@@ -1,0 +1,90 @@
+// A3 — Extension: record-level locking throughput (paper Section 4 /
+// EDBT'96 follow-up).
+//
+// Several local sessions hammer records on a SMALL set of hot pages. With
+// page-granularity locking every pair of sessions conflicts; with the
+// record-granularity extension only same-record access does. Reports
+// committed txns, busy waits, and deadlock aborts per configuration,
+// sweeping the hot-set size.
+
+#include "bench/bench_util.h"
+
+using namespace clog;
+using namespace clog::bench;
+
+namespace {
+
+struct Row {
+  std::uint64_t committed = 0;
+  std::uint64_t busy_waits = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t sim_ns = 0;
+};
+
+Row Run(bool record_locking, std::size_t hot_pages) {
+  std::string name = std::string("a3_") +
+                     (record_locking ? "rec" : "page") +
+                     std::to_string(hot_pages);
+  BenchCluster bc(name, LoggingMode::kClientLocal, 128);
+  Node* owner = Value(bc->AddNode(), "owner");
+  // Record locking is a per-node option: the worker node gets it.
+  NodeOptions opts;
+  opts.local_record_locking = record_locking;
+  opts.buffer_frames = 128;
+  Node* worker = Value(bc->AddNode(opts), "worker");
+
+  auto pages = Value(AllocatePopulatedPages(&bc.get(), owner->id(),
+                                            hot_pages, 16, 48, 5),
+                     "pages");
+
+  // Four interleaved sessions on the SAME node: intra-node concurrency is
+  // exactly what the extension buys.
+  WorkloadConfig config;
+  config.seed = 31;
+  config.txns_per_session = 25;
+  config.ops_per_txn = 4;
+  config.update_fraction = 1.0;
+  config.records_per_page = 16;
+  config.payload_bytes = 48;
+  std::vector<std::pair<NodeId, std::vector<PageId>>> sessions;
+  for (int s = 0; s < 4; ++s) sessions.emplace_back(worker->id(), pages);
+  WorkloadDriver driver(&bc.get(), config, sessions);
+  Check(driver.Run(), "workload");
+
+  Row row;
+  row.committed = driver.stats().committed;
+  row.busy_waits = driver.stats().busy_waits;
+  row.deadlocks = driver.stats().aborted_deadlock;
+  row.sim_ns = driver.stats().sim_ns;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Banner("A3 (extension: record-level locking)",
+         "Four interleaved local sessions updating records on a small hot "
+         "set of pages: page-granularity baseline vs the record-"
+         "granularity extension (Section 4 / EDBT'96).");
+  std::printf("%-10s | %-28s | %-28s\n", "", "page locks (baseline)",
+              "record locks (extension)");
+  std::printf("%-10s | %9s %9s %8s | %9s %9s %8s\n", "hot_pages",
+              "committed", "busy", "dlocks", "committed", "busy", "dlocks");
+  for (std::size_t pages : {1, 2, 4, 8}) {
+    Row page_row = Run(false, pages);
+    Row rec_row = Run(true, pages);
+    std::printf("%-10zu | %9llu %9llu %8llu | %9llu %9llu %8llu\n", pages,
+                static_cast<unsigned long long>(page_row.committed),
+                static_cast<unsigned long long>(page_row.busy_waits),
+                static_cast<unsigned long long>(page_row.deadlocks),
+                static_cast<unsigned long long>(rec_row.committed),
+                static_cast<unsigned long long>(rec_row.busy_waits),
+                static_cast<unsigned long long>(rec_row.deadlocks));
+  }
+  std::printf(
+      "\nexpected shape: identical committed counts (same workload), but "
+      "the record-granularity runs see far fewer busy waits and deadlock "
+      "aborts on small hot sets; the gap closes as pages stop being "
+      "contended.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E7 — Log space management (Section 2.5).
+//
+// A client with a small bounded log runs a long update stream against
+// owner pages. Log pressure must trigger the Section 2.5 protocol —
+// evict/ship the min-RedoLSN page, ask the owner to force it, advance
+// RedoLSN on the flush notification — and the stream must never fail with
+// LogFull. Swept over log capacity; reports reclaim actions, forces, and
+// overhead vs an unbounded log.
+
+#include "bench/bench_util.h"
+
+using namespace clog;
+using namespace clog::bench;
+
+namespace {
+
+void RunRow(std::uint64_t capacity_kib) {
+  BenchCluster bc("e7_" + std::to_string(capacity_kib),
+                  LoggingMode::kClientLocal, 64);
+  Node* server = Value(bc->AddNode(), "server");
+  NodeOptions bounded;
+  bounded.log_capacity_bytes = capacity_kib * 1024;
+  Node* client = Value(bc->AddNode(bounded), "client");
+  auto pages = Value(
+      AllocatePopulatedPages(&bc.get(), server->id(), 6, 8, 64, 31), "pages");
+
+  Random rng(2);
+  bc->network().ResetBusy();
+  const std::size_t kTxns = 150;
+  std::size_t committed = 0;
+  for (std::size_t i = 0; i < kTxns; ++i) {
+    TxnId txn = Value(client->Begin(), "begin");
+    for (int op = 0; op < 4; ++op) {
+      RecordId rid{pages[rng.Uniform(pages.size())],
+                   static_cast<SlotId>(rng.Uniform(8))};
+      Check(client->Update(txn, rid, rng.Bytes(200)), "update");
+    }
+    Check(client->Commit(txn), "commit");
+    ++committed;
+  }
+
+  std::string label = capacity_kib == 0
+                          ? "unbounded"
+                          : std::to_string(capacity_kib) + "KiB";
+  std::printf(
+      "%-10s %10llu %10llu %12llu %12llu %10.1f\n", label.c_str(),
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(
+          client->metrics().CounterValue("logspace.victim_forces")),
+      static_cast<unsigned long long>(
+          bc->network().metrics().CounterValue("msg.flush_request")),
+      static_cast<unsigned long long>(client->log().LiveBytes()),
+      Ms(bc->network().BusyNanos(client->id())));
+}
+
+}  // namespace
+
+int main() {
+  Banner("E7 (log space management)",
+         "Bounded client log under a sustained update stream: the "
+         "Section 2.5 force-min-RedoLSN protocol reclaims space; the "
+         "stream never sees LogFull.");
+  std::printf("%-10s %10s %10s %12s %12s %10s\n", "capacity", "committed",
+              "reclaims", "flush_reqs", "live_bytes", "busy_ms");
+  RunRow(0);
+  for (std::uint64_t kib : {512, 128, 64, 32}) RunRow(kib);
+  std::printf(
+      "\nexpected shape: smaller logs trigger proportionally more reclaim "
+      "actions and owner forces; throughput degrades gracefully and "
+      "correctness is unaffected (all txns commit).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E8 — Hot-page ping-pong without disk forces (Sections 2.2, 3.2).
+//
+// "Rdb/VMS does not allow multiple outstanding updates belonging to
+// different nodes to be present on a database page. Thus, modified pages
+// are forced to disk before they are shipped from one node to another."
+// Client-based logging transfers pages between writers with callbacks
+// only. k nodes take turns updating one hot page; we count messages and
+// disk forces per transfer for both protocols, sweeping the node count.
+
+#include "bench/bench_util.h"
+
+using namespace clog;
+using namespace clog::bench;
+
+namespace {
+
+struct Row {
+  std::uint64_t msgs_per_xfer = 0;
+  std::uint64_t forces_per_xfer = 0;
+  double ms_per_xfer = 0;
+};
+
+Row Measure(LoggingMode mode, std::size_t writers) {
+  BenchCluster bc(std::string("e8_") + std::string(LoggingModeName(mode)) +
+                      std::to_string(writers),
+                  mode, 64);
+  Node* server = Value(bc->AddNode(), "server");
+  std::vector<Node*> nodes{server};
+  for (std::size_t i = 1; i < writers; ++i) {
+    nodes.push_back(Value(bc->AddNode(), "writer"));
+  }
+  auto pages = Value(
+      AllocatePopulatedPages(&bc.get(), server->id(), 1, 8, 64, 55), "page");
+  RecordId hot{pages[0], 0};
+
+  // Warm round so every node has fetched once.
+  Random rng(4);
+  for (Node* n : nodes) {
+    TxnId txn = Value(n->Begin(), "warm");
+    Check(n->Update(txn, hot, rng.Bytes(64)), "warm update");
+    Check(n->Commit(txn), "warm commit");
+  }
+
+  std::uint64_t msgs0 = bc->network().metrics().CounterValue("msg.total");
+  std::uint64_t writes0 = server->disk().writes();
+  std::uint64_t t0 = bc->clock().NowNanos();
+  const std::size_t kRounds = 30;
+  std::size_t transfers = 0;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    Node* n = nodes[r % nodes.size()];
+    TxnId txn = Value(n->Begin(), "begin");
+    Check(n->Update(txn, hot, rng.Bytes(64)), "update");
+    Check(n->Commit(txn), "commit");
+    ++transfers;
+  }
+  Row row;
+  row.msgs_per_xfer =
+      (bc->network().metrics().CounterValue("msg.total") - msgs0) / transfers;
+  row.forces_per_xfer = (server->disk().writes() - writes0) / transfers;
+  row.ms_per_xfer = Ms((bc->clock().NowNanos() - t0) / transfers);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E8 (hot-page ping-pong)",
+         "One hot page bouncing between k writers: messages and owner disk "
+         "forces per ownership transfer, client-local vs "
+         "force-at-transfer.");
+  std::printf("%-8s | %-24s | %-24s\n", "", "client-local",
+              "force-at-transfer (B2)");
+  std::printf("%-8s | %6s %8s %7s | %6s %8s %7s\n", "writers", "msgs",
+              "forces", "ms", "msgs", "forces", "ms");
+  for (std::size_t writers : {2, 3, 4, 6, 8}) {
+    Row local = Measure(LoggingMode::kClientLocal, writers);
+    Row force = Measure(LoggingMode::kForceAtTransfer, writers);
+    std::printf("%-8zu | %6llu %8llu %7.2f | %6llu %8llu %7.2f\n", writers,
+                static_cast<unsigned long long>(local.msgs_per_xfer),
+                static_cast<unsigned long long>(local.forces_per_xfer),
+                local.ms_per_xfer,
+                static_cast<unsigned long long>(force.msgs_per_xfer),
+                static_cast<unsigned long long>(force.forces_per_xfer),
+                force.ms_per_xfer);
+  }
+  std::printf(
+      "\nexpected shape: client-local moves the page with callbacks alone "
+      "(zero disk forces per transfer); B2 pays a synchronous disk force "
+      "on every transfer, dominating its per-transfer latency.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// CAD/CASE-style collaborative editing (paper Section 1): several engineer
+// workstations share a design database hosted by one server. Each
+// workstation caches the parts it works on (inter-transaction caching),
+// edits them under page locks with callback-based consistency, and commits
+// every edit to its own local log. The server's disk is touched only when
+// pages are replaced — never at commit.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/workload.h"
+
+using namespace clog;
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.dir = "/tmp/clog_design";
+  std::system(("rm -rf " + options.dir).c_str());
+
+  Cluster cluster(options);
+  Node* vault = *cluster.AddNode();  // The design vault (owner).
+  Node* alice = *cluster.AddNode();
+  Node* bob = *cluster.AddNode();
+
+  // The vault hosts three assemblies, one page each.
+  PageId chassis = *vault->AllocatePage();
+  PageId motor = *vault->AllocatePage();
+  PageId panel = *vault->AllocatePage();
+
+  TxnId setup = *vault->Begin();
+  RecordId chassis_rev = *vault->Insert(setup, chassis, "chassis rev A");
+  RecordId motor_rev = *vault->Insert(setup, motor, "motor rev A");
+  RecordId panel_rev = *vault->Insert(setup, panel, "panel rev A");
+  Check(vault->Commit(setup), "vault setup");
+
+  // Alice iterates on the chassis: after the first fetch, every edit is
+  // local (cached page + cached lock + local log).
+  for (int rev = 0; rev < 3; ++rev) {
+    TxnId txn = *alice->Begin();
+    Check(alice->Update(txn, chassis_rev,
+                        "chassis rev B" + std::to_string(rev) + " by alice"),
+          "alice edit");
+    Check(alice->Commit(txn), "alice commit");
+  }
+  std::printf("alice made 3 chassis revisions (locally logged)\n");
+
+  // Bob works on the motor concurrently — disjoint pages, zero
+  // interference.
+  TxnId bob_txn = *bob->Begin();
+  Check(bob->Update(bob_txn, motor_rev, "motor rev B by bob"), "bob edit");
+  Check(bob->Commit(bob_txn), "bob commit");
+
+  // Bob now needs the chassis too: the vault calls Alice's exclusive lock
+  // back, her latest revision travels with the callback, and Bob sees it.
+  TxnId bob_read = *bob->Begin();
+  std::string latest = *bob->Read(bob_read, chassis_rev);
+  Check(bob->Commit(bob_read), "bob read");
+  std::printf("bob reads alice's work via callback: \"%s\"\n",
+              latest.c_str());
+
+  // Concurrent contention on one page: both try to edit the panel. The
+  // cluster's RunTransaction retries Busy and resolves deadlocks.
+  Check(cluster.RunTransaction(
+            alice->id(),
+            [&](TxnHandle& t) { return t.Update(panel_rev, "panel by alice"); }),
+        "alice panel");
+  Check(cluster.RunTransaction(
+            bob->id(),
+            [&](TxnHandle& t) { return t.Update(panel_rev, "panel by bob"); }),
+        "bob panel");
+
+  // Alice takes the chassis back (exclusive again) before the outage.
+  TxnId retake = *alice->Begin();
+  Check(alice->Update(retake, chassis_rev, "chassis rev C by alice"),
+        "alice retake");
+  Check(alice->Commit(retake), "alice retake commit");
+
+  // The vault crashes. Its disk version of the chassis is stale — the
+  // committed revisions live in Alice's and Bob's logs/caches only. Alice
+  // holds the page and its exclusive lock in her cache, so she keeps
+  // working and committing against her local log during the outage. The
+  // Section 2.3 protocol later reconstructs everything without merging
+  // logs.
+  Check(cluster.CrashNode(vault->id()), "vault crash");
+  std::printf("vault crashed; engineers keep working on cached pages...\n");
+  TxnId offline = *alice->Begin();
+  Check(alice->Update(offline, chassis_rev, "chassis rev D by alice"),
+        "alice offline edit");
+  Check(alice->Commit(offline), "alice offline commit");
+
+  Check(cluster.RestartNode(vault->id()), "vault restart");
+  const auto& stats = cluster.recovery_stats().at(vault->id());
+  std::printf(
+      "vault recovered: %llu pages fetched from caches, %llu pages redone, "
+      "%llu redo records applied\n",
+      static_cast<unsigned long long>(stats.own_pages_fetched),
+      static_cast<unsigned long long>(stats.own_pages_recovered),
+      static_cast<unsigned long long>(stats.redo_applied));
+
+  TxnId audit = *vault->Begin();
+  std::printf("final design state:\n");
+  for (PageId pid : {chassis, motor, panel}) {
+    std::vector<std::string> records = *vault->ScanPage(audit, pid);
+    for (const std::string& r : records) {
+      std::printf("  %s\n", r.c_str());
+    }
+  }
+  Check(vault->Commit(audit), "audit");
+
+  std::printf("OK\n");
+  return 0;
+}

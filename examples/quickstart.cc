@@ -1,0 +1,68 @@
+// Quickstart: one owner node, one client node, client-based logging.
+//
+// Demonstrates the paper's core loop: the client fetches a page owned by
+// the server, updates it, writes all log records to its OWN local log, and
+// commits without sending a single message. Then the client crashes and
+// restarts, recovering entirely from its local log.
+
+#include <cstdio>
+
+#include "core/cluster.h"
+
+using namespace clog;
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.dir = "/tmp/clog_quickstart";
+  std::system(("rm -rf " + options.dir).c_str());
+
+  Cluster cluster(options);
+  Node* server = *cluster.AddNode();
+  Node* client = *cluster.AddNode();
+
+  // The server owns a page of customer records.
+  PageId page = *server->AllocatePage();
+  std::printf("server allocated page %s\n", page.ToString().c_str());
+
+  // The client runs a transaction against the server's page. Log records
+  // go to the client's local log; commit forces that log only.
+  TxnId txn = *client->Begin();
+  RecordId customer = *client->Insert(txn, page, "alice: 3 widgets");
+  std::uint64_t msgs_before =
+      cluster.network().metrics().CounterValue("msg.total");
+  Check(client->Commit(txn), "commit");
+  std::uint64_t commit_msgs =
+      cluster.network().metrics().CounterValue("msg.total") - msgs_before;
+  std::printf("commit sent %llu messages (client-based logging: zero)\n",
+              static_cast<unsigned long long>(commit_msgs));
+
+  // Crash the client; its cache, locks, and DPT evaporate. The committed
+  // update exists only in the client's local log at this point.
+  Check(cluster.CrashNode(client->id()), "crash");
+  std::printf("client crashed; restarting through Section 2.3 recovery...\n");
+  Check(cluster.RestartNode(client->id()), "restart");
+  const auto& stats = cluster.recovery_stats().at(client->id());
+  std::printf("recovery: %llu records analyzed, %llu redo applied\n",
+              static_cast<unsigned long long>(stats.analysis_records),
+              static_cast<unsigned long long>(stats.redo_applied));
+
+  // The committed record survived.
+  TxnId check = *client->Begin();
+  std::string value = *client->Read(check, customer);
+  Check(client->Commit(check), "read-back commit");
+  std::printf("read back after crash: \"%s\"\n", value.c_str());
+
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "buffer/buffer_pool.h"
+
+namespace clog {
+
+BufferPool::BufferPool(std::size_t capacity) : capacity_(capacity) {}
+
+void BufferPool::SetEvictionHandler(EvictionHandler handler) {
+  handler_ = std::move(handler);
+}
+
+Page* BufferPool::Lookup(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(pid);
+  it->second.lru_pos = lru_.begin();
+  return it->second.page.get();
+}
+
+bool BufferPool::Contains(PageId pid) const { return frames_.contains(pid); }
+
+Result<Page*> BufferPool::Insert(PageId pid) {
+  if (frames_.contains(pid)) {
+    return Status::FailedPrecondition("page already cached: " +
+                                      pid.ToString());
+  }
+  while (frames_.size() >= capacity_) {
+    CLOG_RETURN_IF_ERROR(EvictOne());
+  }
+  Frame frame;
+  frame.page = std::make_unique<Page>();
+  lru_.push_front(pid);
+  frame.lru_pos = lru_.begin();
+  Page* raw = frame.page.get();
+  frames_.emplace(pid, std::move(frame));
+  return raw;
+}
+
+Status BufferPool::EvictOne() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto fit = frames_.find(*it);
+    if (fit != frames_.end() && fit->second.pins == 0) {
+      return EvictFrame(*it);
+    }
+  }
+  return Status::Busy("buffer pool: all frames pinned");
+}
+
+Status BufferPool::EvictFrame(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) return Status::OK();
+  if (handler_) {
+    CLOG_RETURN_IF_ERROR(
+        handler_(pid, it->second.page.get(), it->second.dirty));
+  }
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+  ++evictions_;
+  return Status::OK();
+}
+
+Status BufferPool::Evict(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) {
+    return Status::NotFound("page not cached: " + pid.ToString());
+  }
+  if (it->second.pins > 0) {
+    return Status::Busy("page pinned: " + pid.ToString());
+  }
+  return EvictFrame(pid);
+}
+
+void BufferPool::Pin(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) ++it->second.pins;
+}
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+void BufferPool::MarkDirty(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) it->second.dirty = true;
+}
+
+void BufferPool::MarkClean(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) it->second.dirty = false;
+}
+
+bool BufferPool::IsDirty(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it != frames_.end() && it->second.dirty;
+}
+
+void BufferPool::Drop(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+void BufferPool::DropAll() {
+  frames_.clear();
+  lru_.clear();
+}
+
+std::vector<PageId> BufferPool::CachedPages() const {
+  std::vector<PageId> out;
+  out.reserve(frames_.size());
+  for (const auto& [pid, _] : frames_) out.push_back(pid);
+  return out;
+}
+
+std::vector<PageId> BufferPool::DirtyPages() const {
+  std::vector<PageId> out;
+  for (const auto& [pid, frame] : frames_) {
+    if (frame.dirty) out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace clog

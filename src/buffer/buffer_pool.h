@@ -1,0 +1,109 @@
+#ifndef CLOG_BUFFER_BUFFER_POOL_H_
+#define CLOG_BUFFER_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+/// \file
+/// Per-node buffer pool (node cache, paper Section 2.1). Policies follow
+/// the paper exactly: steal (dirty pages with uncommitted updates may be
+/// replaced) and no-force (commit does not write pages). What happens to a
+/// replaced dirty page — write in place for locally owned pages, ship to the
+/// owner node otherwise — is node policy, injected as the eviction handler.
+
+namespace clog {
+
+/// Fixed-capacity page cache with LRU replacement and pin counts.
+class BufferPool {
+ public:
+  /// Called when a victim frame must leave the cache. `dirty` reflects the
+  /// pool's dirty bit. The handler must complete whatever WAL flushing and
+  /// write/ship the node's policy requires; returning non-OK aborts the
+  /// eviction (and the insertion that triggered it).
+  using EvictionHandler = std::function<Status(PageId, Page*, bool dirty)>;
+
+  /// Creates a pool with `capacity` frames.
+  explicit BufferPool(std::size_t capacity);
+
+  /// Installs the eviction policy. Must be set before the pool fills.
+  void SetEvictionHandler(EvictionHandler handler);
+
+  /// Returns the cached frame for `pid`, or nullptr on miss. Refreshes LRU.
+  Page* Lookup(PageId pid);
+
+  /// True if `pid` is cached (no LRU effect).
+  bool Contains(PageId pid) const;
+
+  /// Allocates a frame for `pid` (must not be cached), evicting the LRU
+  /// unpinned victim if full. The returned frame's contents are undefined;
+  /// the caller fills them (from disk, the owner, or Format).
+  Result<Page*> Insert(PageId pid);
+
+  /// Pins `pid` so it cannot be evicted while the caller works on it.
+  void Pin(PageId pid);
+  void Unpin(PageId pid);
+
+  /// Marks / clears the dirty bit.
+  void MarkDirty(PageId pid);
+  void MarkClean(PageId pid);
+  bool IsDirty(PageId pid) const;
+
+  /// Removes `pid` without invoking the eviction handler (callback-release,
+  /// page forced and dropped, recovery rewiring). No-op if absent.
+  void Drop(PageId pid);
+
+  /// Explicitly evicts `pid` through the eviction handler (Section 2.5 log
+  /// space pressure evicts a specific page, not the LRU choice).
+  Status Evict(PageId pid);
+
+  /// Discards every frame without any handler calls: a node crash.
+  void DropAll();
+
+  /// Ids of all cached pages (used by recovery: "pages owned by N present
+  /// in your cache").
+  std::vector<PageId> CachedPages() const;
+
+  /// Ids of all cached-and-dirty pages (checkpoint support).
+  std::vector<PageId> DirtyPages() const;
+
+  std::size_t size() const { return frames_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Counters for benchmarks.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<Page> page;
+    bool dirty = false;
+    int pins = 0;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  /// Evicts the least recently used unpinned frame.
+  Status EvictOne();
+  Status EvictFrame(PageId pid);
+
+  std::size_t capacity_;
+  EvictionHandler handler_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  ///< Front = most recent.
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_BUFFER_BUFFER_POOL_H_

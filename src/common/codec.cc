@@ -1,0 +1,122 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace clog {
+
+void Encoder::PutU8(std::uint8_t v) {
+  out_->push_back(static_cast<char>(v));
+}
+
+void Encoder::PutU16(std::uint16_t v) {
+  char buf[2];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  out_->append(buf, 2);
+}
+
+void Encoder::PutU32(std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 4);
+}
+
+void Encoder::PutU64(std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 8);
+}
+
+void Encoder::PutVarint64(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_->push_back(static_cast<char>(v));
+}
+
+void Encoder::PutLengthPrefixed(Slice s) {
+  PutVarint64(s.size());
+  PutRaw(s);
+}
+
+void Encoder::PutRaw(Slice s) { out_->append(s.data(), s.size()); }
+
+Status Decoder::Need(std::size_t n) const {
+  if (remaining() < n) {
+    return Status::Corruption("decode past end of buffer");
+  }
+  return Status::OK();
+}
+
+Status Decoder::GetU8(std::uint8_t* v) {
+  CLOG_RETURN_IF_ERROR(Need(1));
+  *v = static_cast<std::uint8_t>(input_[pos_++]);
+  return Status::OK();
+}
+
+Status Decoder::GetU16(std::uint16_t* v) {
+  CLOG_RETURN_IF_ERROR(Need(2));
+  std::uint16_t r = 0;
+  for (int i = 0; i < 2; ++i) {
+    r |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(input_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 2;
+  *v = r;
+  return Status::OK();
+}
+
+Status Decoder::GetU32(std::uint32_t* v) {
+  CLOG_RETURN_IF_ERROR(Need(4));
+  std::uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(input_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *v = r;
+  return Status::OK();
+}
+
+Status Decoder::GetU64(std::uint64_t* v) {
+  CLOG_RETURN_IF_ERROR(Need(8));
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(input_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *v = r;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint64(std::uint64_t* v) {
+  std::uint64_t r = 0;
+  int shift = 0;
+  while (true) {
+    if (shift > 63) return Status::Corruption("varint too long");
+    CLOG_RETURN_IF_ERROR(Need(1));
+    std::uint8_t byte = static_cast<std::uint8_t>(input_[pos_++]);
+    r |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = r;
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixed(std::string* out) {
+  std::uint64_t n = 0;
+  CLOG_RETURN_IF_ERROR(GetVarint64(&n));
+  return GetRaw(static_cast<std::size_t>(n), out);
+}
+
+Status Decoder::GetRaw(std::size_t n, std::string* out) {
+  CLOG_RETURN_IF_ERROR(Need(n));
+  out->assign(input_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,70 @@
+#ifndef CLOG_COMMON_CODEC_H_
+#define CLOG_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+/// \file
+/// Little-endian binary encoding helpers used by the log-record format, the
+/// checkpoint payloads, and every network message body. All multi-byte
+/// integers are fixed-width little-endian unless the Varint forms are used.
+
+namespace clog {
+
+/// Appends primitive values to a growable byte buffer.
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v);
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  /// Unsigned LEB128.
+  void PutVarint64(std::uint64_t v);
+  /// Length-prefixed (varint) byte string.
+  void PutLengthPrefixed(Slice s);
+  /// Raw bytes with no length prefix.
+  void PutRaw(Slice s);
+
+  std::size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Reads primitive values from a byte buffer; every getter reports malformed
+/// input through Status rather than crashing, because decode inputs come
+/// from disk and are untrusted after a crash.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : input_(input) {}
+
+  Status GetU8(std::uint8_t* v);
+  Status GetU16(std::uint16_t* v);
+  Status GetU32(std::uint32_t* v);
+  Status GetU64(std::uint64_t* v);
+  Status GetVarint64(std::uint64_t* v);
+  /// Reads a varint length then that many bytes into *out (copies).
+  Status GetLengthPrefixed(std::string* out);
+  /// Reads exactly n raw bytes into *out (copies).
+  Status GetRaw(std::size_t n, std::string* out);
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return input_.size() - pos_; }
+  bool Done() const { return remaining() == 0; }
+
+ private:
+  Status Need(std::size_t n) const;
+
+  Slice input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_CODEC_H_

@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace clog::crc32c {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
+
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Extend(std::uint32_t crc, const char* data, std::size_t n) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Value(const char* data, std::size_t n) {
+  return Extend(0, data, n);
+}
+
+}  // namespace clog::crc32c

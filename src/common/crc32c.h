@@ -1,0 +1,22 @@
+#ifndef CLOG_COMMON_CRC32C_H_
+#define CLOG_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace clog::crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of the byte range. Used to detect torn
+/// or corrupted pages and log records after a crash.
+std::uint32_t Value(const char* data, std::size_t n);
+
+inline std::uint32_t Value(Slice s) { return Value(s.data(), s.size()); }
+
+/// Extends a running CRC with more bytes.
+std::uint32_t Extend(std::uint32_t crc, const char* data, std::size_t n);
+
+}  // namespace clog::crc32c
+
+#endif  // CLOG_COMMON_CRC32C_H_

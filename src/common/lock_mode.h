@@ -1,0 +1,39 @@
+#ifndef CLOG_COMMON_LOCK_MODE_H_
+#define CLOG_COMMON_LOCK_MODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace clog {
+
+/// Page lock modes. The paper assumes page-granularity shared/exclusive
+/// locking with strict two-phase locking and callback locking for cache
+/// consistency (Section 2.1); the fine-granularity extension is noted as
+/// the EDBT'96 follow-up paper [16].
+enum class LockMode : std::uint8_t {
+  kNone = 0,
+  kShared = 1,
+  kExclusive = 2,
+};
+
+/// True iff a holder in mode `held` permits another party in mode `want`.
+constexpr bool Compatible(LockMode held, LockMode want) {
+  return held == LockMode::kNone || want == LockMode::kNone ||
+         (held == LockMode::kShared && want == LockMode::kShared);
+}
+
+constexpr std::string_view LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNone:
+      return "N";
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_LOCK_MODE_H_

@@ -1,0 +1,87 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clog {
+namespace {
+
+// Bucket i covers [2^(i/4-ish)] — geometric boundaries via bit width halves.
+int BucketFor(std::uint64_t v) {
+  if (v == 0) return 0;
+  int hi = 63 - __builtin_clzll(v);
+  return std::min(hi, 63);
+}
+
+std::uint64_t BucketLow(int b) { return b == 0 ? 0 : (1ull << b); }
+std::uint64_t BucketHigh(int b) { return b >= 63 ? ~0ull : (1ull << (b + 1)); }
+
+}  // namespace
+
+Histogram::Histogram() = default;
+
+void Histogram::Record(std::uint64_t v) {
+  ++buckets_[BucketFor(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (seen + buckets_[b] >= rank + 1 && buckets_[b] > 0) {
+      double frac = buckets_[b] == 0
+                        ? 0
+                        : static_cast<double>(rank - seen) / buckets_[b];
+      return static_cast<double>(BucketLow(b)) +
+             frac * static_cast<double>(BucketHigh(b) - BucketLow(b));
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+Counter& Metrics::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& Metrics::GetHistogram(const std::string& name) {
+  return histograms_[name];
+}
+
+std::uint64_t Metrics::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::Snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+void Metrics::Reset() {
+  for (auto& [_, c] : counters_) c.Reset();
+  for (auto& [_, h] : histograms_) h.Reset();
+}
+
+std::string Metrics::ToString() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name;
+    out += " = ";
+    out += std::to_string(c.value());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace clog

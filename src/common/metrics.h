@@ -1,0 +1,73 @@
+#ifndef CLOG_COMMON_METRICS_H_
+#define CLOG_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clog {
+
+/// Monotonic counter identified by name. Cheap to bump on hot paths.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-boundary histogram for latency-like quantities.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t v);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0; }
+  /// Approximate quantile in [0,1] from bucket interpolation.
+  double Quantile(double q) const;
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics registry. Each node and the network own one; benchmark
+/// harnesses snapshot and diff them across phases.
+class Metrics {
+ public:
+  /// Returns the counter with the given name, creating it on first use.
+  Counter& GetCounter(const std::string& name);
+  /// Returns the histogram with the given name, creating it on first use.
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Counter value or 0 if never touched.
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
+
+  void Reset();
+
+  /// Multi-line "name = value" dump (counters only).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_METRICS_H_

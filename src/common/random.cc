@@ -1,0 +1,59 @@
+#include "common/random.h"
+
+namespace clog {
+
+Random::Random(std::uint64_t seed) {
+  // SplitMix64 to spread the seed across both words.
+  auto mix = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  s0_ = mix();
+  s1_ = mix();
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+std::uint64_t Random::Next() {
+  std::uint64_t x = s0_;
+  const std::uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+std::uint64_t Random::Uniform(std::uint64_t n) { return Next() % n; }
+
+std::uint64_t Random::Range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::Bernoulli(double p) {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+std::uint64_t Random::Skewed(std::uint64_t n) {
+  if (n == 0) return 0;
+  if (Bernoulli(0.8)) {
+    std::uint64_t hot = n / 5;
+    if (hot == 0) hot = 1;
+    return Uniform(hot);
+  }
+  return Uniform(n);
+}
+
+std::string Random::Bytes(std::size_t len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace clog

@@ -1,0 +1,40 @@
+#ifndef CLOG_COMMON_RANDOM_H_
+#define CLOG_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace clog {
+
+/// Small deterministic PRNG (xorshift128+). Workloads, property tests, and
+/// benchmarks all take an explicit seed so every run is reproducible.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Zipfian-ish skewed pick in [0, n): 80% of draws land in the first 20%.
+  std::uint64_t Skewed(std::uint64_t n);
+
+  /// Random printable payload of exactly `len` bytes.
+  std::string Bytes(std::size_t len);
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_RANDOM_H_

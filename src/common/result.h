@@ -1,0 +1,65 @@
+#ifndef CLOG_COMMON_RESULT_H_
+#define CLOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace clog {
+
+/// A Status plus a value of type T on success. Mirrors arrow::Result /
+/// absl::StatusOr. The value may only be accessed when `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define CLOG_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto CLOG_RESULT_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!CLOG_RESULT_CONCAT_(_res_, __LINE__).ok())      \
+    return CLOG_RESULT_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(CLOG_RESULT_CONCAT_(_res_, __LINE__)).value()
+
+#define CLOG_RESULT_CONCAT_INNER_(a, b) a##b
+#define CLOG_RESULT_CONCAT_(a, b) CLOG_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_RESULT_H_

@@ -1,0 +1,47 @@
+#ifndef CLOG_COMMON_SLICE_H_
+#define CLOG_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clog {
+
+/// A non-owning view of a byte range, in the RocksDB tradition. Used for
+/// record payloads and log-record bodies to avoid copies on hot paths.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, std::size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const std::vector<char>& v)                                  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](std::size_t i) const { return data_[i]; }
+
+  /// Copies the bytes into an owning string.
+  std::string ToString() const { return std::string(data_, size_); }
+
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_SLICE_H_

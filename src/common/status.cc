@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace clog {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kDeadlock:
+      return "deadlock";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kLogFull:
+      return "log full";
+    case StatusCode::kNodeDown:
+      return "node down";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kNotSupported:
+      return "not supported";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace clog

@@ -1,0 +1,107 @@
+#ifndef CLOG_COMMON_STATUS_H_
+#define CLOG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file
+/// Status / Result error handling (no exceptions), in the style the RocksDB
+/// and Arrow guides recommend for database engines.
+
+namespace clog {
+
+/// Machine-readable error category.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,            ///< Page, record, or entry does not exist.
+  kInvalidArgument,     ///< Caller passed something malformed.
+  kIOError,             ///< File read/write/fsync failed.
+  kCorruption,          ///< Checksum mismatch or malformed on-disk data.
+  kBusy,                ///< Lock conflict; the caller may retry later.
+  kDeadlock,            ///< Waits-for cycle; victim must abort.
+  kAborted,             ///< Transaction was rolled back.
+  kLogFull,             ///< Bounded log has no reclaimable space left.
+  kNodeDown,            ///< Target node is crashed / unreachable.
+  kFailedPrecondition,  ///< Operation illegal in the current state.
+  kNotSupported,        ///< Feature not available in this configuration.
+};
+
+/// Returns the canonical lower-case name of a code ("ok", "io error", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus an optional context message.
+/// Statuses are cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status LogFull(std::string msg = "") {
+    return Status(StatusCode::kLogFull, std::move(msg));
+  }
+  static Status NodeDown(std::string msg = "") {
+    return Status(StatusCode::kNodeDown, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsLogFull() const { return code_ == StatusCode::kLogFull; }
+  bool IsNodeDown() const { return code_ == StatusCode::kNodeDown; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it.
+#define CLOG_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::clog::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_STATUS_H_

@@ -1,0 +1,127 @@
+#ifndef CLOG_COMMON_TYPES_H_
+#define CLOG_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// \file
+/// Fundamental identifier and sequence-number types shared by every clog
+/// subsystem. The vocabulary follows the ICDE'96 paper: nodes, pages owned
+/// by nodes, page sequence numbers (PSN), and log sequence numbers (LSN).
+
+namespace clog {
+
+/// Size in bytes of every database page (header included).
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Identifier of a processing node in the cluster.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// Log sequence number: the byte offset of a log record in a node's local
+/// log file. Each node has its own LSN space; LSNs from different nodes are
+/// never compared (the paper orders cross-node updates by PSN, not LSN).
+using Lsn = std::uint64_t;
+
+/// Null LSN. Log files begin with a fixed-size header, so offset 0 is never
+/// a valid record address.
+inline constexpr Lsn kNullLsn = 0;
+
+/// Page sequence number: a per-page update counter stored in the page header
+/// and incremented by one on every update (paper Section 2.1). PSNs give the
+/// total order of updates to a page across all nodes because locking is at
+/// page granularity.
+using Psn = std::uint64_t;
+
+/// Sentinel for "no PSN recorded".
+inline constexpr Psn kInvalidPsn = ~0ull;
+
+/// Globally unique transaction identifier. The owning node id is encoded in
+/// the top 16 bits so ids allocated by different nodes never collide and a
+/// log record's transaction can be attributed to its executing node.
+using TxnId = std::uint64_t;
+
+/// Sentinel for "no transaction".
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Builds a TxnId from the executing node and a node-local counter.
+constexpr TxnId MakeTxnId(NodeId node, std::uint64_t local_seq) {
+  return (static_cast<TxnId>(node) << 48) | (local_seq & 0xFFFFFFFFFFFFull);
+}
+
+/// Extracts the node that started the given transaction.
+constexpr NodeId TxnNode(TxnId txn) {
+  return static_cast<NodeId>(txn >> 48);
+}
+
+/// Identifier of a database page. The owner node is part of the id: every
+/// page is stored in exactly one node's database (data-shipping model), and
+/// any node can route requests for the page to `owner`.
+struct PageId {
+  NodeId owner = kInvalidNodeId;   ///< Node whose database stores the page.
+  std::uint32_t page_no = 0;       ///< Page number within the owner database.
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+  friend auto operator<=>(const PageId&, const PageId&) = default;
+
+  /// True iff this id refers to a real page.
+  bool Valid() const { return owner != kInvalidNodeId; }
+
+  /// Packs the id into one 64-bit integer (for maps and wire encoding).
+  std::uint64_t Pack() const {
+    return (static_cast<std::uint64_t>(owner) << 32) | page_no;
+  }
+
+  /// Inverse of Pack().
+  static PageId Unpack(std::uint64_t v) {
+    return PageId{static_cast<NodeId>(v >> 32),
+                  static_cast<std::uint32_t>(v & 0xFFFFFFFFu)};
+  }
+
+  /// Human-readable "owner:page_no" form for logs and test failures.
+  std::string ToString() const {
+    return std::to_string(owner) + ":" + std::to_string(page_no);
+  }
+};
+
+/// Sentinel invalid page id.
+inline constexpr PageId kInvalidPageId{};
+
+/// Identifier of a record within a page (slot number).
+using SlotId = std::uint16_t;
+
+/// Identifier of a record in the distributed database: page + slot.
+struct RecordId {
+  PageId page;
+  SlotId slot = 0;
+
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+
+  std::string ToString() const {
+    return page.ToString() + "." + std::to_string(slot);
+  }
+};
+
+}  // namespace clog
+
+namespace std {
+template <>
+struct hash<clog::PageId> {
+  size_t operator()(const clog::PageId& id) const noexcept {
+    return std::hash<std::uint64_t>()(id.Pack());
+  }
+};
+template <>
+struct hash<clog::RecordId> {
+  size_t operator()(const clog::RecordId& id) const noexcept {
+    return std::hash<std::uint64_t>()(id.page.Pack() * 1000003u ^ id.slot);
+  }
+};
+}  // namespace std
+
+#endif  // CLOG_COMMON_TYPES_H_

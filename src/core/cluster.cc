@@ -1,0 +1,164 @@
+#include "core/cluster.h"
+
+#include <sys/stat.h>
+
+namespace clog {
+namespace {
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), network_(&clock_, options_.cost) {}
+
+Cluster::~Cluster() = default;
+
+Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
+  NodeId id = next_id_++;
+  NodeOptions opts = overrides.value_or(options_.node_defaults);
+  opts.dir = options_.dir + "/node" + std::to_string(id);
+  CLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
+  CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
+  auto node = std::make_unique<Node>(id, opts, &network_, &detector_);
+  CLOG_RETURN_IF_ERROR(node->Start());
+  Node* raw = node.get();
+  nodes_[id] = std::move(node);
+  return raw;
+}
+
+Node* Cluster::node(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> Cluster::NodeIds() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, _] : nodes_) out.push_back(id);
+  return out;
+}
+
+Status Cluster::CrashNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->state() == NodeState::kDown) {
+    return Status::FailedPrecondition("node already down");
+  }
+  n->Crash();
+  return Status::OK();
+}
+
+Status Cluster::RestartNode(NodeId id) {
+  return RestartNodes({id});
+}
+
+Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
+  recovery_stats_.clear();
+  std::vector<std::unique_ptr<RestartRecovery>> recoveries;
+  std::uint64_t t0 = clock_.NowNanos();
+  for (NodeId id : ids) {
+    Node* n = node(id);
+    if (n == nullptr) return Status::NotFound("no such node");
+    if (n->state() != NodeState::kDown) {
+      return Status::FailedPrecondition("node not crashed");
+    }
+    recoveries.push_back(std::make_unique<RestartRecovery>(n));
+  }
+  // Section 2.4 staging: every crashed node rebuilds its superset DPT by
+  // local analysis before any node exchanges recovery state, then all
+  // exchange/redo, then all undo and resume.
+  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->OpenAndAnalyze());
+  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->ExchangeAndRecover());
+  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->UndoLosersAndFinish());
+  std::uint64_t elapsed = clock_.NowNanos() - t0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    RestartRecovery::Stats stats = recoveries[i]->stats();
+    if (stats.sim_ns == 0) stats.sim_ns = elapsed;
+    recovery_stats_[ids[i]] = stats;
+  }
+  return Status::OK();
+}
+
+Status Cluster::DisconnectNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->state() != NodeState::kUp) {
+    return Status::FailedPrecondition("node not up");
+  }
+  network_.SetNodeUp(id, false);
+  return Status::OK();
+}
+
+Status Cluster::ReconnectNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->state() != NodeState::kUp) {
+    return Status::FailedPrecondition("node not up (crashed nodes restart)");
+  }
+  network_.SetNodeUp(id, true);
+  return Status::OK();
+}
+
+Status Cluster::ReplaceAndRestartNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("no such node");
+  if (it->second->state() != NodeState::kDown) {
+    return Status::FailedPrecondition("node not crashed");
+  }
+  NodeOptions opts = it->second->options();
+  // The old process is gone; the standby attaches to the same files.
+  it->second = std::make_unique<Node>(id, opts, &network_, &detector_);
+  return RestartNodes({id});
+}
+
+Status Cluster::RunTransaction(NodeId node_id,
+                               const std::function<Status(TxnHandle&)>& body,
+                               int max_attempts) {
+  Node* n = node(node_id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  Status last = Status::Busy("not attempted");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    CLOG_ASSIGN_OR_RETURN(TxnId txn, n->Begin());
+    TxnHandle handle(n, txn);
+    Status st = body(handle);
+    if (st.ok()) {
+      st = n->Commit(txn);
+      if (st.ok()) {
+        detector_.RemoveTxn(txn);
+        return Status::OK();
+      }
+    }
+    // Busy: register the wait; a cycle (or any terminal error) aborts.
+    if (st.IsBusy()) {
+      NoteBusyAndCheckDeadlock(txn, n->LastBlockers(txn));
+    }
+    detector_.RemoveTxn(txn);
+    n->Abort(txn).ok();  // Best effort; the txn may be gone already.
+    last = st;
+    if (!st.IsBusy() && !st.IsDeadlock()) return st;
+  }
+  return last;
+}
+
+bool Cluster::NoteBusyAndCheckDeadlock(TxnId waiter,
+                                       const std::vector<TxnId>& blockers) {
+  detector_.AddWaits(waiter, blockers);
+  if (detector_.CyclesThrough(waiter)) {
+    detector_.ClearWaits(waiter);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Cluster::SumCounter(const std::string& name) {
+  std::uint64_t total = 0;
+  for (auto& [_, n] : nodes_) total += n->metrics().CounterValue(name);
+  return total;
+}
+
+}  // namespace clog

@@ -1,0 +1,164 @@
+#ifndef CLOG_CORE_CLUSTER_H_
+#define CLOG_CORE_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/deadlock_detector.h"
+#include "net/network.h"
+#include "node/node.h"
+#include "recovery/distributed_recovery.h"
+
+/// \file
+/// Public entry point: a Cluster owns the simulated interconnect, the
+/// shared clock, the deadlock detector, and the set of nodes (paper
+/// Figure 1). Applications create nodes, allocate pages on owner nodes,
+/// run transactions anywhere, and crash/restart nodes at will.
+
+namespace clog {
+
+class TxnHandle;
+
+/// Cluster-wide configuration.
+struct ClusterOptions {
+  /// Base directory; node k lives in "<dir>/node<k>".
+  std::string dir;
+  /// Simulated network/disk cost model (DESIGN.md Section 2).
+  CostModel cost;
+  /// Defaults applied to every node unless overridden in AddNode.
+  NodeOptions node_defaults;
+};
+
+/// The distributed system under test. Deterministic and single-threaded:
+/// identical seeds and call sequences reproduce identical histories,
+/// including crash/recovery interleavings.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Creates and starts the next node (ids are assigned 0,1,2,...).
+  /// `overrides` replaces the default NodeOptions except for the directory,
+  /// which is always derived from the cluster directory.
+  Result<Node*> AddNode(
+      std::optional<NodeOptions> overrides = std::nullopt);
+
+  /// Node accessor (nullptr if unknown).
+  Node* node(NodeId id);
+
+  /// All node ids, in creation order.
+  std::vector<NodeId> NodeIds() const;
+
+  /// Crashes a node: volatile state lost, files intact, peers see it down.
+  Status CrashNode(NodeId id);
+
+  /// Restarts one crashed node through the full Section 2.3 protocol.
+  Status RestartNode(NodeId id);
+
+  /// Restarts several crashed nodes together (Section 2.4): every node
+  /// completes log analysis before any exchanges recovery state.
+  Status RestartNodes(const std::vector<NodeId>& ids);
+
+  /// Takes a node off the network WITHOUT crashing it (paper Section 1.2:
+  /// orderly disconnection, "a rare event [that] can be handled in an
+  /// orderly fashion"). Volatile state survives: the node keeps executing
+  /// and committing transactions against its cached, locked pages; peers
+  /// see it as unreachable.
+  Status DisconnectNode(NodeId id);
+
+  /// Reattaches a disconnected node. No recovery runs — nothing was lost.
+  Status ReconnectNode(NodeId id);
+
+  /// Replaces the crashed node's process entirely — a fresh Node object
+  /// (think hot standby or a rebooted machine) attaches to the same
+  /// database/log directory and runs restart recovery. Exercises the
+  /// paper's Section 2.3 remark that "any node that has access to the
+  /// database and the log file of the crashed node" can perform recovery:
+  /// nothing of the old in-memory object survives.
+  Status ReplaceAndRestartNode(NodeId id);
+
+  /// Stats of the most recent restart (per node id).
+  const std::map<NodeId, RestartRecovery::Stats>& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+  // --- Transaction convenience -----------------------------------------
+
+  /// Runs `body` as a transaction on `node_id` with automatic retry on
+  /// Busy and abort-and-retry on deadlock (at most `max_attempts`). The
+  /// body returning non-OK aborts the transaction and stops.
+  Status RunTransaction(NodeId node_id,
+                        const std::function<Status(TxnHandle&)>& body,
+                        int max_attempts = 8);
+
+  /// Registers a Busy result in the waits-for graph; returns true when the
+  /// wait closes a cycle (caller must abort its transaction).
+  bool NoteBusyAndCheckDeadlock(TxnId waiter,
+                                const std::vector<TxnId>& blockers);
+
+  // --- Infrastructure ----------------------------------------------------
+
+  Network& network() { return network_; }
+  SimClock& clock() { return clock_; }
+  DeadlockDetector& detector() { return detector_; }
+
+  /// Sum of a metrics counter across all nodes.
+  std::uint64_t SumCounter(const std::string& name);
+
+ private:
+  ClusterOptions options_;
+  SimClock clock_;
+  Network network_;
+  DeadlockDetector detector_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  NodeId next_id_ = 0;
+  std::map<NodeId, RestartRecovery::Stats> recovery_stats_;
+};
+
+/// Ergonomic wrapper binding (node, transaction id); used by examples and
+/// the RunTransaction body callback.
+class TxnHandle {
+ public:
+  TxnHandle(Node* node, TxnId id) : node_(node), id_(id) {}
+
+  TxnId id() const { return id_; }
+  Node* node() { return node_; }
+
+  Result<RecordId> Insert(PageId pid, Slice payload) {
+    return node_->Insert(id_, pid, payload);
+  }
+  Result<std::string> Read(RecordId rid) { return node_->Read(id_, rid); }
+  Status Update(RecordId rid, Slice payload) {
+    return node_->Update(id_, rid, payload);
+  }
+  Status Delete(RecordId rid) { return node_->Delete(id_, rid); }
+  Result<std::vector<std::string>> ScanPage(PageId pid) {
+    return node_->ScanPage(id_, pid);
+  }
+  Status SetSavepoint(const std::string& name) {
+    return node_->SetSavepoint(id_, name);
+  }
+  Status RollbackToSavepoint(const std::string& name) {
+    return node_->RollbackToSavepoint(id_, name);
+  }
+
+ private:
+  Node* node_;
+  TxnId id_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_CORE_CLUSTER_H_

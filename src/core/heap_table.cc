@@ -1,0 +1,93 @@
+#include "core/heap_table.h"
+
+#include "common/codec.h"
+
+namespace clog {
+
+std::string EncodeCatalogEntry(PageId pid) {
+  std::string out;
+  Encoder enc(&out);
+  enc.PutU64(pid.Pack());
+  return out;
+}
+
+Result<PageId> DecodeCatalogEntry(Slice payload) {
+  Decoder dec(payload);
+  std::uint64_t packed = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&packed));
+  PageId pid = PageId::Unpack(packed);
+  if (!pid.Valid()) return Status::Corruption("bad catalog entry");
+  return pid;
+}
+
+Result<HeapTable> HeapTable::Create(Cluster* cluster, NodeId owner) {
+  Node* node = cluster->node(owner);
+  if (node == nullptr) return Status::NotFound("no such node");
+  CLOG_ASSIGN_OR_RETURN(PageId catalog, node->AllocatePage());
+  return HeapTable(cluster, catalog);
+}
+
+Result<HeapTable> HeapTable::Open(Cluster* cluster, PageId catalog) {
+  if (cluster->node(catalog.owner) == nullptr) {
+    return Status::NotFound("owner node unknown");
+  }
+  return HeapTable(cluster, catalog);
+}
+
+Result<std::vector<PageId>> HeapTable::DataPages(TxnHandle& txn) {
+  CLOG_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                        txn.ScanPage(catalog_));
+  std::vector<PageId> pages;
+  pages.reserve(entries.size());
+  for (const std::string& e : entries) {
+    CLOG_ASSIGN_OR_RETURN(PageId pid, DecodeCatalogEntry(e));
+    pages.push_back(pid);
+  }
+  return pages;
+}
+
+Result<PageId> HeapTable::Extend(TxnHandle& txn) {
+  // Owner-side DDL for the page allocation itself; the catalog insert is
+  // part of the caller's transaction, so an abort unlinks the page (the
+  // allocated-but-unlinked page is garbage a vacuum pass could reclaim —
+  // the classic trade systems make to keep allocation out of the redo
+  // path).
+  Node* owner_node = cluster_->node(owner());
+  if (owner_node == nullptr) return Status::NotFound("owner node unknown");
+  CLOG_ASSIGN_OR_RETURN(PageId fresh, owner_node->AllocatePage());
+  CLOG_RETURN_IF_ERROR(
+      txn.Insert(catalog_, EncodeCatalogEntry(fresh)).status());
+  return fresh;
+}
+
+Result<RecordId> HeapTable::Insert(TxnHandle& txn, Slice payload) {
+  CLOG_ASSIGN_OR_RETURN(std::vector<PageId> pages, DataPages(txn));
+  for (PageId pid : pages) {
+    Result<RecordId> rid = txn.Insert(pid, payload);
+    if (rid.ok()) return rid;
+    if (rid.status().code() == StatusCode::kFailedPrecondition) {
+      continue;  // Page full; try the next one.
+    }
+    return rid;  // Busy/Deadlock/NodeDown etc. propagate.
+  }
+  CLOG_ASSIGN_OR_RETURN(PageId fresh, Extend(txn));
+  return txn.Insert(fresh, payload);
+}
+
+Result<std::vector<std::string>> HeapTable::Scan(TxnHandle& txn) {
+  CLOG_ASSIGN_OR_RETURN(std::vector<PageId> pages, DataPages(txn));
+  std::vector<std::string> out;
+  for (PageId pid : pages) {
+    CLOG_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                          txn.ScanPage(pid));
+    for (std::string& r : records) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::size_t> HeapTable::Count(TxnHandle& txn) {
+  CLOG_ASSIGN_OR_RETURN(std::vector<std::string> all, Scan(txn));
+  return all.size();
+}
+
+}  // namespace clog

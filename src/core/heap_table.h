@@ -1,0 +1,71 @@
+#ifndef CLOG_CORE_HEAP_TABLE_H_
+#define CLOG_CORE_HEAP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+/// \file
+/// A transactional multi-page heap table on top of the public page API —
+/// what a real application (the CAD/OIS workloads of the paper's
+/// introduction) would build. One catalog page lists the table's data
+/// pages; catalog growth is a normal logged record insert, so table
+/// extension is exactly as crash-safe as any other update and recovers
+/// through the ordinary Section 2.3 machinery with no extra code.
+
+namespace clog {
+
+/// Handle to a heap table. Copyable; state lives in the database.
+class HeapTable {
+ public:
+  /// Creates a new table owned by `owner` (allocates the catalog page).
+  /// Owner-side DDL: runs on the owner node, outside any transaction.
+  static Result<HeapTable> Create(Cluster* cluster, NodeId owner);
+
+  /// Opens an existing table from its catalog page id.
+  static Result<HeapTable> Open(Cluster* cluster, PageId catalog);
+
+  /// The catalog page id — persist this to re-Open the table.
+  PageId catalog() const { return catalog_; }
+  NodeId owner() const { return catalog_.owner; }
+
+  /// Inserts a record somewhere in the table, extending it with a fresh
+  /// page when no existing page fits. Runs inside the caller's
+  /// transaction; the catalog update (if any) is part of the same
+  /// transaction and rolls back with it.
+  Result<RecordId> Insert(TxnHandle& txn, Slice payload);
+
+  /// Reads every live record, in (page, slot) order.
+  Result<std::vector<std::string>> Scan(TxnHandle& txn);
+
+  /// Number of live records (full scan).
+  Result<std::size_t> Count(TxnHandle& txn);
+
+  /// Current data pages, in insertion order (reads the catalog under the
+  /// caller's transaction: repeatable within it).
+  Result<std::vector<PageId>> DataPages(TxnHandle& txn);
+
+  // Updates/deletes address records directly: txn.Update(rid, ...),
+  // txn.Delete(rid) — RecordIds returned by Insert stay stable.
+
+ private:
+  HeapTable(Cluster* cluster, PageId catalog)
+      : cluster_(cluster), catalog_(catalog) {}
+
+  /// Appends a fresh data page to the catalog within `txn`.
+  Result<PageId> Extend(TxnHandle& txn);
+
+  Cluster* cluster_;
+  PageId catalog_;
+};
+
+/// Encodes a page id as a catalog record payload.
+std::string EncodeCatalogEntry(PageId pid);
+
+/// Decodes a catalog record payload (Corruption on malformed input).
+Result<PageId> DecodeCatalogEntry(Slice payload);
+
+}  // namespace clog
+
+#endif  // CLOG_CORE_HEAP_TABLE_H_

@@ -1,0 +1,3 @@
+#include "core/cluster.h"
+
+// TxnHandle is header-only forwarding; this file anchors the target.

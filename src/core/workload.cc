@@ -1,0 +1,147 @@
+#include "core/workload.h"
+
+namespace clog {
+
+Status PopulatePage(Cluster* cluster, NodeId owner_node, PageId pid,
+                    std::size_t records, std::size_t payload_bytes,
+                    Random* rng) {
+  return cluster->RunTransaction(owner_node, [&](TxnHandle& txn) -> Status {
+    for (std::size_t i = 0; i < records; ++i) {
+      Result<RecordId> rid = txn.Insert(pid, rng->Bytes(payload_bytes));
+      if (!rid.ok()) return rid.status();
+    }
+    return Status::OK();
+  });
+}
+
+Result<std::vector<PageId>> AllocatePopulatedPages(Cluster* cluster,
+                                                   NodeId owner,
+                                                   std::size_t count,
+                                                   std::size_t records,
+                                                   std::size_t payload_bytes,
+                                                   std::uint64_t seed) {
+  Node* n = cluster->node(owner);
+  if (n == nullptr) return Status::NotFound("no such node");
+  Random rng(seed);
+  std::vector<PageId> pages;
+  pages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CLOG_ASSIGN_OR_RETURN(PageId pid, n->AllocatePage());
+    CLOG_RETURN_IF_ERROR(
+        PopulatePage(cluster, owner, pid, records, payload_bytes, &rng));
+    pages.push_back(pid);
+  }
+  return pages;
+}
+
+WorkloadDriver::WorkloadDriver(
+    Cluster* cluster, WorkloadConfig config,
+    std::vector<std::pair<NodeId, std::vector<PageId>>> sessions)
+    : cluster_(cluster), config_(config) {
+  std::uint64_t salt = 0;
+  for (auto& [node, pages] : sessions) {
+    Session s;
+    s.node = node;
+    s.pages = std::move(pages);
+    s.rng = Random(config_.seed ^ (0x9E37 * ++salt));
+    sessions_.push_back(std::move(s));
+  }
+}
+
+Status WorkloadDriver::AbortAndRetry(Session* s, bool count_deadlock) {
+  Node* n = cluster_->node(s->node);
+  cluster_->detector().RemoveTxn(s->txn);
+  n->Abort(s->txn).ok();
+  s->txn = kInvalidTxnId;
+  s->ops_done = 0;
+  if (count_deadlock) ++stats_.aborted_deadlock;
+  ++s->attempts;
+  if (s->attempts > config_.max_txn_attempts) {
+    // Give up on this transaction; move to the next one so the run always
+    // terminates.
+    ++s->txns_done;
+    s->attempts = 0;
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::Step(Session* s) {
+  if (s->finished) return Status::OK();
+  if (s->txns_done >= config_.txns_per_session) {
+    s->finished = true;
+    return Status::OK();
+  }
+  Node* n = cluster_->node(s->node);
+
+  if (s->txn == kInvalidTxnId) {
+    Result<TxnId> txn = n->Begin();
+    if (!txn.ok()) return txn.status();
+    s->txn = *txn;
+    s->ops_done = 0;
+    return Status::OK();
+  }
+
+  if (s->ops_done >= config_.ops_per_txn) {
+    Status st = n->Commit(s->txn);
+    if (!st.ok()) return st;
+    cluster_->detector().RemoveTxn(s->txn);
+    s->txn = kInvalidTxnId;
+    s->attempts = 0;
+    ++s->txns_done;
+    ++stats_.committed;
+    return Status::OK();
+  }
+
+  // One record operation.
+  std::size_t page_idx = config_.skewed
+                             ? s->rng.Skewed(s->pages.size())
+                             : s->rng.Uniform(s->pages.size());
+  RecordId rid{s->pages[page_idx],
+               static_cast<SlotId>(s->rng.Uniform(config_.records_per_page))};
+  Status st;
+  if (s->rng.Bernoulli(config_.update_fraction)) {
+    st = n->Update(s->txn, rid, s->rng.Bytes(config_.payload_bytes));
+  } else {
+    st = n->Read(s->txn, rid).status();
+  }
+  if (st.ok()) {
+    ++s->ops_done;
+    ++stats_.ops;
+    return Status::OK();
+  }
+  if (st.IsBusy()) {
+    ++stats_.busy_waits;
+    bool deadlock =
+        cluster_->NoteBusyAndCheckDeadlock(s->txn, n->LastBlockers(s->txn));
+    if (deadlock) return AbortAndRetry(s, /*count_deadlock=*/true);
+    // Otherwise stay blocked; the holder finishes in a later round.
+    ++s->attempts;
+    if (s->attempts > config_.max_txn_attempts) {
+      return AbortAndRetry(s, /*count_deadlock=*/false);
+    }
+    return Status::OK();
+  }
+  if (st.IsDeadlock() || st.IsNodeDown()) {
+    return AbortAndRetry(s, st.IsDeadlock());
+  }
+  return st;
+}
+
+Status WorkloadDriver::Run() {
+  std::uint64_t t0 = cluster_->clock().NowNanos();
+  bool all_done = false;
+  // Round-robin until every session completes. Each full round with no
+  // progress at all would mean a livelock; the attempt caps guarantee
+  // termination regardless.
+  while (!all_done) {
+    all_done = true;
+    for (Session& s : sessions_) {
+      CLOG_RETURN_IF_ERROR(Step(&s));
+      if (!s.finished) all_done = false;
+    }
+  }
+  stats_.sim_ns = cluster_->clock().NowNanos() - t0;
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,97 @@
+#ifndef CLOG_CORE_WORKLOAD_H_
+#define CLOG_CORE_WORKLOAD_H_
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cluster.h"
+
+/// \file
+/// Deterministic workload machinery shared by the benchmark harness, the
+/// examples, and the property tests: page population helpers and a
+/// round-robin multi-session driver that interleaves transactions across
+/// nodes (creating real lock contention, callbacks, and deadlocks) while
+/// remaining fully reproducible from a seed.
+
+namespace clog {
+
+/// Fills `pid` (owned by `owner_node`) with `records` records of
+/// `payload_bytes` each, in one committed transaction.
+Status PopulatePage(Cluster* cluster, NodeId owner_node, PageId pid,
+                    std::size_t records, std::size_t payload_bytes,
+                    Random* rng);
+
+/// Allocates `count` pages on `owner` and populates each with `records`
+/// records of `payload_bytes`.
+Result<std::vector<PageId>> AllocatePopulatedPages(Cluster* cluster,
+                                                   NodeId owner,
+                                                   std::size_t count,
+                                                   std::size_t records,
+                                                   std::size_t payload_bytes,
+                                                   std::uint64_t seed);
+
+/// Tunables of the interleaved driver.
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::size_t txns_per_session = 50;   ///< Transactions each session runs.
+  std::size_t ops_per_txn = 8;         ///< Record operations per txn.
+  double update_fraction = 0.8;        ///< Rest are reads.
+  std::size_t payload_bytes = 100;     ///< Update payload size.
+  std::size_t records_per_page = 8;    ///< Slots assumed populated.
+  bool skewed = false;                 ///< 80/20 page choice if true.
+  int max_txn_attempts = 32;           ///< Busy/deadlock retries per txn.
+};
+
+/// Aggregate outcome of a driver run.
+struct WorkloadStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_deadlock = 0;
+  std::uint64_t busy_waits = 0;   ///< Steps postponed on Busy.
+  std::uint64_t ops = 0;
+  std::uint64_t sim_ns = 0;       ///< Simulated time the run consumed.
+};
+
+/// Runs one session (a sequence of transactions) per entry of
+/// `access_sets`: the session executes on the map key's node and touches
+/// only the pages in its value (which may be owned by any node). Sessions
+/// advance one operation at a time, round-robin, so transactions from
+/// different nodes genuinely interleave.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Cluster* cluster, WorkloadConfig config,
+                 std::vector<std::pair<NodeId, std::vector<PageId>>> sessions);
+
+  /// Drives every session to completion.
+  Status Run();
+
+  const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    NodeId node = kInvalidNodeId;
+    std::vector<PageId> pages;
+    Random rng{1};
+    std::size_t txns_done = 0;
+    // Active transaction state.
+    TxnId txn = kInvalidTxnId;
+    std::size_t ops_done = 0;
+    int attempts = 0;
+    bool finished = false;
+  };
+
+  /// Advances one session by one step; returns false if it just finished.
+  Status Step(Session* s);
+
+  /// Aborts the session's transaction and schedules a retry.
+  Status AbortAndRetry(Session* s, bool count_deadlock);
+
+  Cluster* cluster_;
+  WorkloadConfig config_;
+  std::vector<Session> sessions_;
+  WorkloadStats stats_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_CORE_WORKLOAD_H_

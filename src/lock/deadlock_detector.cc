@@ -1,0 +1,45 @@
+#include "lock/deadlock_detector.h"
+
+namespace clog {
+
+void DeadlockDetector::AddWaits(TxnId waiter,
+                                const std::vector<TxnId>& holders) {
+  auto& out = waits_[waiter];
+  for (TxnId h : holders) {
+    if (h != waiter && h != kInvalidTxnId) out.insert(h);
+  }
+}
+
+void DeadlockDetector::ClearWaits(TxnId waiter) { waits_.erase(waiter); }
+
+void DeadlockDetector::RemoveTxn(TxnId txn) {
+  waits_.erase(txn);
+  for (auto& [_, targets] : waits_) targets.erase(txn);
+}
+
+bool DeadlockDetector::CyclesThrough(TxnId waiter) const {
+  // Iterative DFS from waiter looking for a path back to waiter.
+  std::set<TxnId> visited;
+  std::vector<TxnId> stack;
+  auto it = waits_.find(waiter);
+  if (it == waits_.end()) return false;
+  for (TxnId t : it->second) stack.push_back(t);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == waiter) return true;
+    if (!visited.insert(cur).second) continue;
+    auto cit = waits_.find(cur);
+    if (cit == waits_.end()) continue;
+    for (TxnId t : cit->second) stack.push_back(t);
+  }
+  return false;
+}
+
+std::size_t DeadlockDetector::EdgeCount() const {
+  std::size_t n = 0;
+  for (const auto& [_, targets] : waits_) n += targets.size();
+  return n;
+}
+
+}  // namespace clog

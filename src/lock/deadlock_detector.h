@@ -1,0 +1,45 @@
+#ifndef CLOG_LOCK_DEADLOCK_DETECTOR_H_
+#define CLOG_LOCK_DEADLOCK_DETECTOR_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Cluster-wide waits-for deadlock detection. The paper assumes strict 2PL
+/// with lock waits; in the deterministic simulation a blocked request
+/// returns Busy with the holders, the caller registers the waits-for edges
+/// here, and a cycle through the waiter means the transaction must abort
+/// (the classic distributed-deadlock resolution; which victim dies is policy
+/// — we kill the requester, the simplest deterministic choice).
+
+namespace clog {
+
+/// Waits-for graph over transactions.
+class DeadlockDetector {
+ public:
+  /// Adds edges waiter -> each holder. Self-edges are ignored.
+  void AddWaits(TxnId waiter, const std::vector<TxnId>& holders);
+
+  /// Removes all outgoing edges of `waiter` (its request was granted or it
+  /// gave up).
+  void ClearWaits(TxnId waiter);
+
+  /// Removes the transaction entirely (it ended); also drops edges
+  /// pointing at it.
+  void RemoveTxn(TxnId txn);
+
+  /// True if `waiter` can reach itself through waits-for edges.
+  bool CyclesThrough(TxnId waiter) const;
+
+  std::size_t EdgeCount() const;
+
+ private:
+  std::unordered_map<TxnId, std::set<TxnId>> waits_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_LOCK_DEADLOCK_DETECTOR_H_

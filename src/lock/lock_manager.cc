@@ -1,0 +1,107 @@
+#include "lock/lock_manager.h"
+
+namespace clog {
+
+GrantOutcome GlobalLockTable::TryGrant(PageId pid, NodeId node,
+                                       LockMode mode) {
+  Holders& holders = table_[pid];
+  GrantOutcome out;
+  for (const auto& [holder, held] : holders) {
+    if (holder == node) continue;
+    if (!Compatible(held, mode)) out.conflicting.push_back(holder);
+  }
+  if (!out.conflicting.empty()) {
+    if (holders.empty()) table_.erase(pid);
+    return out;
+  }
+  LockMode& slot = holders[node];
+  if (mode > slot) slot = mode;  // Upgrade or fresh grant.
+  out.granted = true;
+  return out;
+}
+
+void GlobalLockTable::Release(PageId pid, NodeId node) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return;
+  it->second.erase(node);
+  if (it->second.empty()) table_.erase(it);
+}
+
+void GlobalLockTable::Downgrade(PageId pid, NodeId node) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return;
+  auto hit = it->second.find(node);
+  if (hit != it->second.end() && hit->second == LockMode::kExclusive) {
+    hit->second = LockMode::kShared;
+  }
+}
+
+LockMode GlobalLockTable::HeldBy(PageId pid, NodeId node) const {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return LockMode::kNone;
+  auto hit = it->second.find(node);
+  return hit == it->second.end() ? LockMode::kNone : hit->second;
+}
+
+std::vector<NodeId> GlobalLockTable::HoldersOf(PageId pid) const {
+  std::vector<NodeId> out;
+  auto it = table_.find(pid);
+  if (it == table_.end()) return out;
+  for (const auto& [node, _] : it->second) out.push_back(node);
+  return out;
+}
+
+std::vector<LockListEntry> GlobalLockTable::LocksOf(NodeId node) const {
+  std::vector<LockListEntry> out;
+  for (const auto& [pid, holders] : table_) {
+    auto hit = holders.find(node);
+    if (hit != holders.end()) out.push_back(LockListEntry{pid, hit->second});
+  }
+  return out;
+}
+
+std::vector<LockListEntry> GlobalLockTable::ExclusiveLocksOf(
+    NodeId node) const {
+  std::vector<LockListEntry> out;
+  for (const auto& [pid, holders] : table_) {
+    auto hit = holders.find(node);
+    if (hit != holders.end() && hit->second == LockMode::kExclusive) {
+      out.push_back(LockListEntry{pid, hit->second});
+    }
+  }
+  return out;
+}
+
+void GlobalLockTable::ReleaseSharedOf(NodeId node) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto hit = it->second.find(node);
+    if (hit != it->second.end() && hit->second == LockMode::kShared) {
+      it->second.erase(hit);
+    }
+    if (it->second.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GlobalLockTable::ReleaseAllOf(NodeId node) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.erase(node);
+    if (it->second.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GlobalLockTable::Install(PageId pid, NodeId node, LockMode mode) {
+  if (mode == LockMode::kNone) return;
+  table_[pid][node] = mode;
+}
+
+void GlobalLockTable::Clear() { table_.clear(); }
+
+}  // namespace clog

@@ -1,0 +1,218 @@
+#include "net/network.h"
+#include <algorithm>
+
+#include <string>
+
+namespace clog {
+namespace {
+
+/// Fixed per-message envelope (headers, ids, modes) used for byte
+/// accounting; payload bytes are added per call site.
+constexpr std::uint64_t kEnvelopeBytes = 32;
+
+std::uint64_t EncodedSize(const std::vector<LogRecord>& records) {
+  std::uint64_t bytes = 0;
+  std::string scratch;
+  for (const LogRecord& r : records) {
+    scratch.clear();
+    r.EncodeTo(&scratch);
+    bytes += scratch.size() + 8;  // body + frame
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void Network::RegisterNode(NodeId id, NodeService* svc) {
+  peers_[id] = Peer{svc, true};
+}
+
+void Network::SetNodeUp(NodeId id, bool up) {
+  auto it = peers_.find(id);
+  if (it != peers_.end()) it->second.up = up;
+}
+
+bool Network::IsUp(NodeId id) const {
+  auto it = peers_.find(id);
+  return it != peers_.end() && it->second.up;
+}
+
+std::vector<NodeId> Network::AllNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, _] : peers_) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> Network::OperationalNodes(NodeId except) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.up && id != except) out.push_back(id);
+  }
+  return out;
+}
+
+Status Network::CheckSenderUp(NodeId from) const {
+  auto it = peers_.find(from);
+  if (it != peers_.end() && !it->second.up) {
+    return Status::NodeDown("node " + std::to_string(from) +
+                            " is disconnected");
+  }
+  return Status::OK();
+}
+
+Result<NodeService*> Network::Endpoint(NodeId to) const {
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
+    return Status::NotFound("unknown node " + std::to_string(to));
+  }
+  if (!it->second.up) {
+    return Status::NodeDown("node " + std::to_string(to) + " is down");
+  }
+  return it->second.svc;
+}
+
+std::uint64_t Network::MaxBusyNanos() const {
+  std::uint64_t max = 0;
+  for (const auto& [_, ns] : busy_ns_) max = std::max(max, ns);
+  return max;
+}
+
+void Network::Charge(MsgType type, std::uint64_t bytes, NodeId from,
+                     NodeId to) {
+  bytes += kEnvelopeBytes;
+  metrics_.GetCounter(std::string("msg.") + std::string(MsgTypeName(type)))
+      .Add(1);
+  metrics_.GetCounter("msg.total").Add(1);
+  metrics_.GetCounter("bytes.total").Add(bytes);
+  std::uint64_t ns = cost_.network_msg_ns + bytes * cost_.network_byte_ns;
+  if (clock_ != nullptr) clock_->Advance(ns);
+  // Both endpoints spend the wire time (send + receive handling).
+  AddBusy(from, ns);
+  AddBusy(to, ns);
+}
+
+Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
+                         bool want_page, LockPageReply* reply) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kLockPageRequest, 0, from, to);
+  Status st = svc->HandleLockPage(from, pid, mode, want_page, reply);
+  Charge(MsgType::kLockPageReply, reply->page ? kPageSize : 0, from, to);
+  return st;
+}
+
+Status Network::Callback(NodeId from, NodeId to, PageId pid,
+                         LockMode downgrade_to, CallbackReply* reply) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kCallback, 0, from, to);
+  Status st = svc->HandleCallback(from, pid, downgrade_to, reply);
+  Charge(MsgType::kCallbackReply, reply->page ? kPageSize : 0, from, to);
+  return st;
+}
+
+Status Network::UnlockNotice(NodeId from, NodeId to, PageId pid) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kUnlockNotice, 0, from, to);
+  return svc->HandleUnlockNotice(from, pid);
+}
+
+Status Network::PageShip(NodeId from, NodeId to, const Page& page) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kPageShip, kPageSize, from, to);
+  return svc->HandlePageShip(from, page);
+}
+
+Status Network::FlushRequest(NodeId from, NodeId to, PageId pid) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kFlushRequest, 0, from, to);
+  return svc->HandleFlushRequest(from, pid);
+}
+
+Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
+                            Psn flushed_psn) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kFlushNotify, 0, from, to);
+  svc->HandleFlushNotify(from, pid, flushed_psn);
+  return Status::OK();
+}
+
+Status Network::LogShip(NodeId from, NodeId to,
+                        const std::vector<LogRecord>& records, bool force) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kLogShip, EncodedSize(records), from, to);
+  return svc->HandleLogShip(from, records, force);
+}
+
+Status Network::RecoveryQuery(NodeId from, NodeId to,
+                              RecoveryQueryReply* reply) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kRecoveryQuery, 0, from, to);
+  Status st = svc->HandleRecoveryQuery(from, reply);
+  std::uint64_t bytes = reply->cached_pages_of_crashed.size() * 8 +
+                        reply->dpt_entries_for_crashed.size() * 32 +
+                        reply->locks_i_hold_on_crashed.size() * 9 +
+                        reply->x_locks_crashed_held_here.size() * 9;
+  Charge(MsgType::kRecoveryQueryReply, bytes, from, to);
+  return st;
+}
+
+Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
+                                std::shared_ptr<Page>* page) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kFetchCachedPage, 0, from, to);
+  Status st = svc->HandleFetchCachedPage(from, pid, page);
+  Charge(MsgType::kFetchCachedPageReply, *page ? kPageSize : 0, from, to);
+  return st;
+}
+
+Status Network::BuildPsnList(NodeId from, NodeId to,
+                             const std::vector<PageId>& pages,
+                             PsnListReply* reply) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kBuildPsnList, pages.size() * 8, from, to);
+  Status st = svc->HandleBuildPsnList(from, pages, reply);
+  std::uint64_t entries = 0;
+  for (const auto& v : reply->per_page) entries += v.size();
+  Charge(MsgType::kBuildPsnListReply, entries * 16, from, to);
+  return st;
+}
+
+Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
+                            const Page& page_in, bool has_bound, Psn bound,
+                            RecoverPageReply* reply) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kRecoverPage, kPageSize, from, to);
+  Status st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
+                                     reply);
+  Charge(MsgType::kRecoverPageReply, reply->page ? kPageSize : 0, from, to);
+  return st;
+}
+
+Status Network::DptShip(NodeId from, NodeId to,
+                        const std::vector<DptEntry>& entries,
+                        const std::vector<PageId>& cached_pages) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kDptShip, entries.size() * 32 + cached_pages.size() * 8, from, to);
+  return svc->HandleDptShip(from, entries, cached_pages);
+}
+
+Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  Charge(MsgType::kNodeRecovered, 4, from, to);
+  svc->HandleNodeRecovered(who);
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,182 @@
+#ifndef CLOG_NET_NETWORK_H_
+#define CLOG_NET_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/message.h"
+
+/// \file
+/// The cluster interconnect. Dispatch is a synchronous in-process call into
+/// the target node's NodeService, but every call is accounted as the two
+/// wire messages (request + reply) the real system would send: per-type
+/// message counters, byte counters, and simulated latency charged to the
+/// cluster SimClock. Crashed nodes are unreachable (NodeDown).
+
+namespace clog {
+
+/// The RPC surface a node exposes to its peers. One method per request
+/// MsgType; replies are out-parameters. Implemented by node::Node.
+class NodeService {
+ public:
+  virtual ~NodeService() = default;
+
+  // --- Normal processing (Section 2.2) ---
+
+  /// Owner-side: grant `mode` on `pid` to node `from`, running callbacks to
+  /// conflicting holders first. Fills the page image if `want_page`.
+  virtual Status HandleLockPage(NodeId from, PageId pid, LockMode mode,
+                                bool want_page, LockPageReply* reply) = 0;
+
+  /// Holder-side: release (downgrade_to == kNone) or demote
+  /// (downgrade_to == kShared) the cached lock on `pid`; ship the cached
+  /// copy when dirty.
+  virtual Status HandleCallback(NodeId from, PageId pid, LockMode downgrade_to,
+                                CallbackReply* reply) = 0;
+
+  /// Owner-side: node `from` voluntarily dropped its cached lock on `pid`.
+  virtual Status HandleUnlockNotice(NodeId from, PageId pid) = 0;
+
+  /// Owner-side: a replaced dirty copy of one of my pages arrives.
+  virtual Status HandlePageShip(NodeId from, const Page& page) = 0;
+
+  /// Owner-side: force `pid` to disk now (Section 2.5 log-space pressure).
+  virtual Status HandleFlushRequest(NodeId from, PageId pid) = 0;
+
+  /// Replacer-side: owner reports `pid` durable at `flushed_psn`.
+  virtual void HandleFlushNotify(NodeId from, PageId pid, Psn flushed_psn) = 0;
+
+  /// Owner-side (baseline B1 only): client ships log records; `force` asks
+  /// for a commit-time log force.
+  virtual Status HandleLogShip(NodeId from,
+                               const std::vector<LogRecord>& records,
+                               bool force) = 0;
+
+  // --- Crash recovery (Sections 2.3, 2.4) ---
+
+  /// Peer-side: restarting node `crashed` gathers my cache/DPT/lock state
+  /// relevant to it; I release shared locks it held here and retain its
+  /// exclusive ones (Section 2.3.3).
+  virtual Status HandleRecoveryQuery(NodeId crashed,
+                                     RecoveryQueryReply* reply) = 0;
+
+  /// Peer-side: ship my cached copy of `pid` to the recovering owner
+  /// (Section 2.3.1: cached copies supersede recovery).
+  virtual Status HandleFetchCachedPage(NodeId from, PageId pid,
+                                       std::shared_ptr<Page>* page) = 0;
+
+  /// Peer-side: scan my log and build NodePSNLists for `pages`
+  /// (Section 2.3.4).
+  virtual Status HandleBuildPsnList(NodeId from,
+                                    const std::vector<PageId>& pages,
+                                    PsnListReply* reply) = 0;
+
+  /// Peer-side: apply my redo records for `pid` to `page`, stopping at the
+  /// first record whose PSN exceeds `bound` (if `has_bound`).
+  virtual Status HandleRecoverPage(NodeId from, PageId pid,
+                                   const Page& page_in, bool has_bound,
+                                   Psn bound, RecoverPageReply* reply) = 0;
+
+  /// Owner-side (multi-crash, Section 2.4): a recovering peer ships the DPT
+  /// entries it rebuilt for pages I own, plus which of my pages it caches.
+  virtual Status HandleDptShip(NodeId from,
+                               const std::vector<DptEntry>& entries,
+                               const std::vector<PageId>& cached_pages) = 0;
+
+  /// Any-side: `who` finished restart recovery and is operational again.
+  virtual void HandleNodeRecovered(NodeId who) = 0;
+};
+
+/// Routes calls between nodes and accounts for them.
+class Network {
+ public:
+  Network(SimClock* clock, CostModel cost) : clock_(clock), cost_(cost) {}
+
+  /// Registers (or re-registers) a node's service endpoint; nodes start up.
+  void RegisterNode(NodeId id, NodeService* svc);
+
+  /// Marks a node crashed (calls to it fail with NodeDown) or back up.
+  void SetNodeUp(NodeId id, bool up);
+  bool IsUp(NodeId id) const;
+
+  /// All registered node ids.
+  std::vector<NodeId> AllNodes() const;
+
+  /// Registered nodes currently up, excluding `except`.
+  std::vector<NodeId> OperationalNodes(NodeId except = kInvalidNodeId) const;
+
+  // --- Accounted RPC wrappers (one per request type) ---
+  Status LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
+                  bool want_page, LockPageReply* reply);
+  Status Callback(NodeId from, NodeId to, PageId pid, LockMode downgrade_to,
+                  CallbackReply* reply);
+  Status UnlockNotice(NodeId from, NodeId to, PageId pid);
+  Status PageShip(NodeId from, NodeId to, const Page& page);
+  Status FlushRequest(NodeId from, NodeId to, PageId pid);
+  Status FlushNotify(NodeId from, NodeId to, PageId pid, Psn flushed_psn);
+  Status LogShip(NodeId from, NodeId to, const std::vector<LogRecord>& records,
+                 bool force);
+  Status RecoveryQuery(NodeId from, NodeId to, RecoveryQueryReply* reply);
+  Status FetchCachedPage(NodeId from, NodeId to, PageId pid,
+                         std::shared_ptr<Page>* page);
+  Status BuildPsnList(NodeId from, NodeId to, const std::vector<PageId>& pages,
+                      PsnListReply* reply);
+  Status RecoverPage(NodeId from, NodeId to, PageId pid, const Page& page_in,
+                     bool has_bound, Psn bound, RecoverPageReply* reply);
+  Status DptShip(NodeId from, NodeId to, const std::vector<DptEntry>& entries,
+                 const std::vector<PageId>& cached_pages);
+  Status NodeRecovered(NodeId from, NodeId to, NodeId who);
+
+  /// Traffic metrics ("msg.<type>", "msg.total", "bytes.total").
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  SimClock* clock() { return clock_; }
+  const CostModel& cost_model() const { return cost_; }
+
+  /// Per-node busy-time accounting: the simulation is single-threaded, so
+  /// the shared clock measures the *sequential* critical path; per-node
+  /// busy time lets benchmarks compute the parallel makespan
+  /// (max over nodes) of a workload, which is what distinguishes "every
+  /// node forces its own log" from "every commit funnels through the
+  /// server" (DESIGN.md E2).
+  void AddBusy(NodeId node, std::uint64_t ns) { busy_ns_[node] += ns; }
+  std::uint64_t BusyNanos(NodeId node) const {
+    auto it = busy_ns_.find(node);
+    return it == busy_ns_.end() ? 0 : it->second;
+  }
+  /// Largest per-node busy time (the parallel makespan lower bound).
+  std::uint64_t MaxBusyNanos() const;
+  void ResetBusy() { busy_ns_.clear(); }
+
+ private:
+  /// Looks up a live endpoint or returns NodeDown/NotFound.
+  Result<NodeService*> Endpoint(NodeId to) const;
+
+  /// A disconnected sender cannot reach anyone (links are bidirectional).
+  Status CheckSenderUp(NodeId from) const;
+
+  /// Accounts one wire message of `bytes` payload between two endpoints.
+  void Charge(MsgType type, std::uint64_t bytes, NodeId from, NodeId to);
+
+  struct Peer {
+    NodeService* svc = nullptr;
+    bool up = false;
+  };
+
+  SimClock* clock_;
+  CostModel cost_;
+  std::map<NodeId, Peer> peers_;
+  std::map<NodeId, std::uint64_t> busy_ns_;
+  Metrics metrics_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_NET_NETWORK_H_

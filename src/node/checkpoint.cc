@@ -1,0 +1,45 @@
+#include "node/node.h"
+
+/// \file
+/// Fuzzy checkpointing (paper Section 2.2). Checkpoints are entirely local:
+/// no page forcing, no communication, no synchronization with other nodes —
+/// key advantage (4) in the paper's conclusions. The checkpoint logs the
+/// dirty page table and the active-transaction table; the master side file
+/// points at the last *complete* checkpoint.
+
+namespace clog {
+
+Status Node::Checkpoint() {
+  if (state_ != NodeState::kUp) return Status::NodeDown("node not up");
+  if (!options_.has_local_log) {
+    return Status::OK();  // Nothing to checkpoint without a local log.
+  }
+
+  // Checkpoints bypass the capacity check: they are how a full log gets
+  // its reclaim horizon moved, so refusing them would wedge the node.
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  Lsn begin_lsn = kNullLsn;
+  CLOG_RETURN_IF_ERROR(
+      log_.Append(begin, &begin_lsn, /*enforce_capacity=*/false));
+
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  end.checkpoint_begin_lsn = begin_lsn;
+  end.dpt = dpt_.ToEntries();
+  end.att = txns_.Snapshot();
+  Lsn end_lsn = kNullLsn;
+  CLOG_RETURN_IF_ERROR(
+      log_.Append(end, &end_lsn, /*enforce_capacity=*/false));
+
+  CLOG_RETURN_IF_ERROR(log_.Flush(end_lsn));
+  ChargeLogForce();
+  CLOG_RETURN_IF_ERROR(log_.StoreMaster(end_lsn));
+
+  last_ckpt_begin_ = begin_lsn;
+  AdvanceReclaimHorizon();
+  metrics_.GetCounter("checkpoints").Add(1);
+  return Status::OK();
+}
+
+}  // namespace clog

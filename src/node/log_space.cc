@@ -1,0 +1,80 @@
+#include "node/node.h"
+
+/// \file
+/// Log space management (paper Section 2.5). When a node's bounded log
+/// fills, it forces forward the minimum RedoLSN in its DPT: it evicts the
+/// page with the smallest RedoLSN (shipping it to the owner if remote) and
+/// asks the owner to force that page to disk. The owner's flush
+/// notification lets the node advance the entry's RedoLSN to the
+/// end-of-log remembered when the page was replaced — or drop the entry —
+/// which reclaims log space.
+
+namespace clog {
+
+Status Node::ReclaimLogSpace(std::uint64_t needed_bytes) {
+  if (!options_.has_local_log || log_.capacity() == 0) return Status::OK();
+
+  // Bounded effort: each round either advances the reclaim horizon or
+  // burns one of the limited stall allowances; a long-running transaction
+  // that pins the undo horizon eventually yields an honest LogFull.
+  std::size_t max_rounds = dpt_.size() + 3;
+  Lsn prev_horizon = log_.reclaimable_lsn();
+  bool stalled_once = false;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    AdvanceReclaimHorizon();
+    if (!log_.WouldOverflow(needed_bytes)) return Status::OK();
+
+    Lsn dpt_min = dpt_.MinRedoLsn();
+    Lsn ckpt_barrier = last_ckpt_begin_ == kNullLsn ? LogManager::first_lsn()
+                                                    : last_ckpt_begin_;
+
+    if (dpt_min == kNullLsn || ckpt_barrier <= dpt_min) {
+      // The checkpoint position (not a dirty page) is the limiter: take a
+      // fresh checkpoint to move the analysis start forward.
+      CLOG_RETURN_IF_ERROR(Checkpoint());
+    } else {
+      // Section 2.5: replace/force pages in ascending RedoLSN order. A
+      // pinned page (currently being updated) is skipped for this round.
+      bool acted = false;
+      for (PageId pid : dpt_.PagesByRedoLsn()) {
+        if (pid.owner != id_) {
+          // Ship the current dirty copy home (without losing the cached
+          // frame) and ask the owner to force it; the flush notification
+          // then advances or drops our DPT entry (Section 2.5).
+          Status st = ShipDirtyCopy(pid);
+          if (st.IsNodeDown()) continue;  // Owner down; entry cannot move.
+          CLOG_RETURN_IF_ERROR(st);
+          st = network_->FlushRequest(id_, pid.owner, pid);
+          if (st.IsNodeDown()) continue;
+          CLOG_RETURN_IF_ERROR(st);
+        } else {
+          // Our own page: force from the current state.
+          CLOG_RETURN_IF_ERROR(ForceOwnPage(pid));
+        }
+        metrics_.GetCounter("logspace.victim_forces").Add(1);
+        acted = true;
+        break;
+      }
+      if (!acted) {
+        // Nothing evictable: perhaps a checkpoint still helps.
+        CLOG_RETURN_IF_ERROR(Checkpoint());
+      }
+    }
+
+    AdvanceReclaimHorizon();
+    if (log_.reclaimable_lsn() == prev_horizon) {
+      if (stalled_once) break;
+      stalled_once = true;
+    } else {
+      stalled_once = false;
+    }
+    prev_horizon = log_.reclaimable_lsn();
+  }
+
+  if (!log_.WouldOverflow(needed_bytes)) return Status::OK();
+  return Status::LogFull("cannot reclaim " + std::to_string(needed_bytes) +
+                         " bytes of log space");
+}
+
+}  // namespace clog

@@ -1,0 +1,96 @@
+#include "node/node.h"
+#include "node/options.h"
+
+/// \file
+/// Baseline-mode helpers. B1 (kShipToOwner) models ARIES/CSA-style
+/// client-server logging: clients accumulate log records and ship them to
+/// the owner — before a dirty page travels (WAL-to-owner) and, with a log
+/// force, at commit. B2's force-at-transfer logic lives inline in
+/// node.cc/page_service.cc (it reuses the local-logging code plus forces).
+
+namespace clog {
+
+std::string_view LoggingModeName(LoggingMode m) {
+  switch (m) {
+    case LoggingMode::kClientLocal:
+      return "client-local";
+    case LoggingMode::kShipToOwner:
+      return "ship-to-owner";
+    case LoggingMode::kForceAtTransfer:
+      return "force-at-transfer";
+  }
+  return "unknown";
+}
+
+Status Node::ShipPendingRecords(Transaction* txn, bool force,
+                                const PageId* only_page) {
+  // Partition the pending records: those covered by the filter ship now,
+  // the rest stay pending.
+  std::map<NodeId, std::vector<LogRecord>> batches;
+  std::vector<LogRecord> keep;
+  for (LogRecord& rec : txn->pending_records) {
+    bool covered = only_page == nullptr || rec.page == *only_page;
+    if (covered) {
+      batches[rec.page.owner].push_back(std::move(rec));
+    } else {
+      keep.push_back(std::move(rec));
+    }
+  }
+  txn->pending_records = std::move(keep);
+
+  if (force) {
+    // Commit processing: every involved owner gets the commit record; a
+    // read-only transaction ships nothing and stays message-free.
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn = txn->id;
+    for (auto& [owner, batch] : batches) {
+      if (owner != id_) batch.push_back(commit);
+    }
+  }
+
+  bool logged_locally = false;
+  for (auto& [owner, batch] : batches) {
+    if (batch.empty()) continue;
+    if (owner == id_) {
+      // Records for our own pages go straight into the local log (the
+      // owner in ARIES/CSA logs normally). At commit the record batch is
+      // completed with the commit record and forced — a server's own
+      // transactions are durable in its own log.
+      Lsn lsn = kNullLsn;
+      for (const LogRecord& rec : batch) {
+        CLOG_RETURN_IF_ERROR(AppendWithReclaim(rec, &lsn));
+      }
+      if (force) {
+        LogRecord commit;
+        commit.type = LogRecordType::kCommit;
+        commit.txn = txn->id;
+        CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &lsn));
+      }
+      if (force || only_page != nullptr) {
+        // Commit force, or WAL before the page leaves the cache.
+        CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
+        ChargeLogForce();
+      }
+      logged_locally = true;
+    } else {
+      CLOG_RETURN_IF_ERROR(network_->LogShip(id_, owner, batch, force));
+      metrics_.GetCounter("b1.records_shipped").Add(batch.size());
+    }
+  }
+
+  if (force && options_.has_local_log && !logged_locally) {
+    // Pure-remote commit: a local commit record for bookkeeping only. The
+    // durable copy is the owner's, so ARIES/CSA clients do NOT force
+    // their local disk at commit (that is the whole point of the
+    // comparison against client-based logging).
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn = txn->id;
+    Lsn lsn = kNullLsn;
+    CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &lsn));
+  }
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,884 @@
+#include "node/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clog {
+
+Node::Node(NodeId id, NodeOptions options, Network* network,
+           DeadlockDetector* detector)
+    : id_(id),
+      options_(std::move(options)),
+      network_(network),
+      detector_(detector),
+      pool_(options_.buffer_frames),
+      txns_(id) {
+  pool_.SetEvictionHandler([this](PageId pid, Page* page, bool dirty) {
+    return OnEviction(pid, page, dirty);
+  });
+}
+
+Node::~Node() = default;
+
+Status Node::OpenStorage() {
+  CLOG_RETURN_IF_ERROR(disk_.Open(options_.dir + "/node.db"));
+  CLOG_RETURN_IF_ERROR(space_map_.Open(options_.dir + "/node.map"));
+  if (options_.has_local_log) {
+    CLOG_RETURN_IF_ERROR(log_.Open(options_.dir + "/node.log"));
+    log_.set_capacity(options_.log_capacity_bytes);
+  }
+  return Status::OK();
+}
+
+Status Node::Start() {
+  if (state_ != NodeState::kDown) {
+    return Status::FailedPrecondition("node already started");
+  }
+  if (!options_.has_local_log &&
+      options_.logging_mode != LoggingMode::kShipToOwner) {
+    return Status::InvalidArgument(
+        "nodes without a local log must use kShipToOwner");
+  }
+  CLOG_RETURN_IF_ERROR(OpenStorage());
+  network_->RegisterNode(id_, this);
+  network_->SetNodeUp(id_, true);
+  state_ = NodeState::kUp;
+  return Status::OK();
+}
+
+void Node::Crash() {
+  pool_.DropAll();
+  dpt_.Clear();
+  lock_cache_.Clear();
+  global_locks_.Clear();
+  for (const Transaction* t : txns_.Active()) detector_->RemoveTxn(t->id);
+  txns_.Clear();
+  replacers_.clear();
+  last_ckpt_begin_ = kNullLsn;
+  log_.Abandon();   // Unforced log tail is lost with the crash.
+  disk_.Close().ok();
+  state_ = NodeState::kDown;
+  network_->SetNodeUp(id_, false);
+  metrics_.GetCounter("node.crashes").Add(1);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-cost charging
+// ---------------------------------------------------------------------------
+
+void Node::ChargeDiskRead() {
+  network_->clock()->Advance(network_->cost_model().disk_read_ns);
+  network_->AddBusy(id_, network_->cost_model().disk_read_ns);
+  metrics_.GetCounter("disk.page_reads").Add(1);
+}
+
+void Node::ChargeDiskWrite() {
+  network_->clock()->Advance(network_->cost_model().disk_write_ns);
+  network_->AddBusy(id_, network_->cost_model().disk_write_ns);
+  metrics_.GetCounter("disk.page_writes").Add(1);
+}
+
+void Node::ChargeLogForce() {
+  std::uint64_t ns = options_.log_force_ns_override != 0
+                         ? options_.log_force_ns_override
+                         : network_->cost_model().log_force_ns;
+  network_->clock()->Advance(ns);
+  network_->AddBusy(id_, ns);
+  metrics_.GetCounter("log.forces").Add(1);
+}
+
+void Node::ChargeCpuOp() {
+  network_->clock()->Advance(network_->cost_model().cpu_op_ns);
+  network_->AddBusy(id_, network_->cost_model().cpu_op_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Data definition
+// ---------------------------------------------------------------------------
+
+Result<PageId> Node::AllocatePage() {
+  if (state_ != NodeState::kUp) return Status::NodeDown("node not up");
+  CLOG_ASSIGN_OR_RETURN(std::uint32_t page_no, space_map_.Allocate());
+  PageId pid{id_, page_no};
+  Page page;
+  // PSN seeding from the space map (ARIES/CSA technique, Section 2.1):
+  // a reused page number continues its PSN sequence past its prior life.
+  page.Format(pid, PageType::kData, space_map_.PsnSeed(page_no));
+  SlottedPage(&page).InitBody();
+  CLOG_RETURN_IF_ERROR(disk_.WritePage(page_no, &page, /*sync=*/true));
+  ChargeDiskWrite();
+  metrics_.GetCounter("pages.allocated").Add(1);
+  return pid;
+}
+
+Status Node::FreePage(PageId pid) {
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  for (NodeId holder : global_locks_.HoldersOf(pid)) {
+    if (holder != id_) {
+      return Status::Busy("page still locked remotely: " + pid.ToString());
+    }
+  }
+  if (!lock_cache_.CanComply(pid, LockMode::kNone).can_comply) {
+    return Status::Busy("page in use by a local transaction: " +
+                        pid.ToString());
+  }
+  global_locks_.Release(pid, id_);
+  lock_cache_.ApplyCallback(pid, LockMode::kNone);
+  CLOG_ASSIGN_OR_RETURN(Psn disk_psn, DiskPsn(pid));
+  Psn last = disk_psn;
+  if (Page* cached = pool_.Lookup(pid); cached != nullptr) {
+    last = std::max(last, cached->psn());
+    pool_.Drop(pid);
+  }
+  dpt_.Remove(pid);
+  replacers_.erase(pid);
+  return space_map_.Free(pid.page_no, last);
+}
+
+Result<Psn> Node::DiskPsn(PageId pid) {
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  Page tmp;
+  CLOG_RETURN_IF_ERROR(disk_.ReadPage(pid.page_no, &tmp));
+  ChargeDiskRead();
+  return tmp.psn();
+}
+
+// ---------------------------------------------------------------------------
+// Page access: locks, fetches, callbacks (Section 2.2 requester side)
+// ---------------------------------------------------------------------------
+
+Result<Page*> Node::FetchPage(PageId pid) {
+  if (Page* hit = pool_.Lookup(pid)) return hit;
+  if (pid.owner == id_) {
+    // Own page: disk version is current (own-page evictions write in
+    // place, so the cache-miss copy on disk is the newest local version).
+    CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
+    Status st = disk_.ReadPage(pid.page_no, frame);
+    if (!st.ok()) {
+      pool_.Drop(pid);
+      return st;
+    }
+    ChargeDiskRead();
+    return frame;
+  }
+  // Remote page, lock already cached: re-request the image from the owner
+  // (the paper bundles page transfer with lock grant; an idempotent
+  // re-grant at the held mode returns the owner's current version).
+  LockMode mode = lock_cache_.NodeMode(pid);
+  if (mode == LockMode::kNone) {
+    return Status::FailedPrecondition("fetch without a cached lock on " +
+                                      pid.ToString());
+  }
+  LockPageReply reply;
+  CLOG_RETURN_IF_ERROR(network_->LockPage(id_, pid.owner, pid, mode,
+                                          /*want_page=*/true, &reply));
+  if (!reply.granted || !reply.page) {
+    return Status::Busy("owner could not supply page " + pid.ToString());
+  }
+  CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
+  frame->CopyFrom(*reply.page);
+  return frame;
+}
+
+Status Node::EnsureNodeLock(Transaction* txn, PageId pid, LockMode mode) {
+  LockPageReply reply;
+  Status st;
+  if (pid.owner == id_) {
+    st = HandleLockPage(id_, pid, mode, /*want_page=*/false, &reply);
+  } else {
+    st = network_->LockPage(id_, pid.owner, pid, mode,
+                            /*want_page=*/!pool_.Contains(pid), &reply);
+  }
+  if (!st.ok()) return st;  // e.g. owner down
+  if (!reply.granted) {
+    txn->last_blockers = reply.blocking_txns;
+    return Status::Busy("node lock on " + pid.ToString() + " held elsewhere");
+  }
+  lock_cache_.RecordNodeLock(pid, mode);
+  if (reply.page && !pool_.Contains(pid)) {
+    CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
+    frame->CopyFrom(*reply.page);
+  }
+  return Status::OK();
+}
+
+Result<Page*> Node::EnsureNodePage(Transaction* txn, PageId pid,
+                                   LockMode mode) {
+  if (lock_cache_.NodeMode(pid) < mode) {
+    CLOG_RETURN_IF_ERROR(EnsureNodeLock(txn, pid, mode));
+  }
+  return FetchPage(pid);
+}
+
+Result<Page*> Node::AcquirePage(Transaction* txn, PageId pid, LockMode mode) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    LocalAcquire la = lock_cache_.AcquireForTxn(txn->id, pid, mode);
+    switch (la.outcome) {
+      case LocalAcquire::Outcome::kGranted: {
+        Result<Page*> page = FetchPage(pid);
+        if (!page.ok()) return page;
+        if (mode == LockMode::kExclusive) {
+          // Paper Section 2.2: a DPT entry is added when the node obtains
+          // an exclusive lock and none exists; RedoLSN is conservatively
+          // the current end of the local log.
+          dpt_.OnFirstDirty(pid, (*page)->psn(), log_.end_lsn());
+        }
+        txn->last_blockers.clear();
+        return page;
+      }
+      case LocalAcquire::Outcome::kNeedNodeLock:
+        CLOG_RETURN_IF_ERROR(EnsureNodeLock(txn, pid, mode));
+        break;  // retry local acquisition
+      case LocalAcquire::Outcome::kLocalConflict:
+        txn->last_blockers = la.blockers;
+        return Status::Busy("local transaction holds " + pid.ToString());
+    }
+  }
+  return Status::Busy("lock acquisition did not converge on " +
+                      pid.ToString());
+}
+
+Result<Page*> Node::AcquireRecord(Transaction* txn, RecordId rid,
+                                  LockMode mode) {
+  if (!options_.local_record_locking) {
+    return AcquirePage(txn, rid.page, mode);
+  }
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    LocalAcquire la =
+        lock_cache_.AcquireRecordForTxn(txn->id, rid.page, rid.slot, mode);
+    switch (la.outcome) {
+      case LocalAcquire::Outcome::kGranted: {
+        Result<Page*> page = FetchPage(rid.page);
+        if (!page.ok()) return page;
+        if (mode == LockMode::kExclusive) {
+          dpt_.OnFirstDirty(rid.page, (*page)->psn(), log_.end_lsn());
+        }
+        txn->last_blockers.clear();
+        return page;
+      }
+      case LocalAcquire::Outcome::kNeedNodeLock:
+        CLOG_RETURN_IF_ERROR(EnsureNodeLock(txn, rid.page, mode));
+        break;
+      case LocalAcquire::Outcome::kLocalConflict:
+        txn->last_blockers = la.blockers;
+        return Status::Busy("local transaction holds " + rid.ToString());
+    }
+  }
+  return Status::Busy("lock acquisition did not converge on " +
+                      rid.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Logged updates, redo application, undo
+// ---------------------------------------------------------------------------
+
+Status Node::ApplyRedo(const LogRecord& rec, Page* page) {
+  if (rec.psn_before != page->psn()) {
+    return Status::FailedPrecondition(
+        "psn mismatch applying " + rec.ToString() + " to page at psn " +
+        std::to_string(page->psn()));
+  }
+  SlottedPage sp(page);
+  switch (rec.op) {
+    case RecordOp::kInsert:
+      CLOG_RETURN_IF_ERROR(sp.InsertAt(rec.slot, rec.redo_image));
+      break;
+    case RecordOp::kUpdate:
+      CLOG_RETURN_IF_ERROR(sp.Update(rec.slot, rec.redo_image));
+      break;
+    case RecordOp::kDelete:
+      CLOG_RETURN_IF_ERROR(sp.Delete(rec.slot));
+      break;
+    case RecordOp::kFormat:
+      page->Format(rec.page, PageType::kData, rec.psn_before);
+      sp.InitBody();
+      break;
+  }
+  page->BumpPsn();
+  return Status::OK();
+}
+
+Status Node::AppendWithReclaim(const LogRecord& rec, Lsn* lsn) {
+  Status st = log_.Append(rec, lsn);
+  if (!st.IsLogFull()) return st;
+  std::string scratch;
+  rec.EncodeTo(&scratch);
+  CLOG_RETURN_IF_ERROR(ReclaimLogSpace(scratch.size() + 64));
+  return log_.Append(rec, lsn);
+}
+
+namespace {
+
+/// Keeps a page resident while an operation holds a raw pointer to its
+/// frame (log-space reclamation may otherwise evict it mid-update).
+class PinGuard {
+ public:
+  PinGuard(BufferPool* pool, PageId pid) : pool_(pool), pid_(pid) {
+    pool_->Pin(pid_);
+  }
+  ~PinGuard() { pool_->Unpin(pid_); }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+ private:
+  BufferPool* pool_;
+  PageId pid_;
+};
+
+}  // namespace
+
+Status Node::LoggedUpdate(Transaction* txn, Page* page, RecordOp op,
+                          SlotId slot, Slice redo_image, Slice undo_image) {
+  PinGuard pin(&pool_, page->id());
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.page = page->id();
+  rec.psn_before = page->psn();
+  rec.op = op;
+  rec.slot = slot;
+  rec.redo_image = redo_image.ToString();
+  rec.undo_image = undo_image.ToString();
+
+  Lsn lsn = kNullLsn;
+  if (options_.logging_mode == LoggingMode::kShipToOwner) {
+    // Baseline B1: records accumulate locally and are shipped to the owner
+    // (on page replacement and at commit); no local LSN space.
+    txn->pending_records.push_back(rec);
+  } else {
+    CLOG_RETURN_IF_ERROR(AppendWithReclaim(rec, &lsn));
+    txn->last_lsn = lsn;
+    network_->clock()->Advance((rec.redo_image.size() + rec.undo_image.size() +
+                                64) *
+                               network_->cost_model().log_append_byte_ns);
+  }
+
+  // Log-space reclamation during the append may have forced this very
+  // page and dropped its DPT entry; re-arm it with this record as the
+  // exact RedoLSN before the page goes dirty again.
+  dpt_.OnFirstDirty(page->id(), page->psn(),
+                    lsn != kNullLsn ? lsn : log_.end_lsn());
+
+  CLOG_RETURN_IF_ERROR(ApplyRedo(rec, page));
+  if (lsn != kNullLsn) page->set_page_lsn(lsn);
+  PageId pid = page->id();
+  pool_.MarkDirty(pid);
+  dpt_.OnUpdate(pid, page->psn());
+  txn->updated_pages.insert(pid);
+  ++txn->updates;
+  metrics_.GetCounter("txn.updates").Add(1);
+  ChargeCpuOp();
+  return Status::OK();
+}
+
+Status Node::UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn) {
+  Result<Page*> page_r = AcquireRecord(txn, RecordId{rec.page, rec.slot},
+                                       LockMode::kExclusive);
+  if (!page_r.ok()) return page_r.status();
+  Page* page = *page_r;
+
+  LogRecord clr;
+  clr.type = LogRecordType::kClr;
+  clr.txn = txn->id;
+  clr.prev_lsn = txn->last_lsn;
+  clr.page = rec.page;
+  clr.psn_before = page->psn();
+  clr.slot = rec.slot;
+  clr.undo_next_lsn = rec.prev_lsn;
+  switch (rec.op) {
+    case RecordOp::kInsert:
+      clr.op = RecordOp::kDelete;
+      break;
+    case RecordOp::kUpdate:
+      clr.op = RecordOp::kUpdate;
+      clr.redo_image = rec.undo_image;
+      break;
+    case RecordOp::kDelete:
+      clr.op = RecordOp::kInsert;
+      clr.redo_image = rec.undo_image;
+      break;
+    case RecordOp::kFormat:
+      return Status::NotSupported("cannot undo a page format");
+  }
+
+  Lsn lsn = kNullLsn;
+  // Rollback records bypass the capacity check: undo must always be able
+  // to run, or a full log could never drain.
+  CLOG_RETURN_IF_ERROR(log_.Append(clr, &lsn, /*enforce_capacity=*/false));
+  CLOG_RETURN_IF_ERROR(ApplyRedo(clr, page));
+  page->set_page_lsn(lsn);
+  txn->last_lsn = lsn;
+  pool_.MarkDirty(rec.page);
+  dpt_.OnUpdate(rec.page, page->psn());
+  metrics_.GetCounter("txn.undone_updates").Add(1);
+  ChargeCpuOp();
+  return Status::OK();
+}
+
+Status Node::RollbackTo(Transaction* txn, Lsn target_lsn) {
+  TxnBackwardCursor cursor(&log_, txn->last_lsn);
+  LogRecord rec;
+  Lsn lsn = kNullLsn;
+  Status scan_status;
+  while (cursor.Prev(&rec, &lsn, &scan_status)) {
+    if (target_lsn != kNullLsn && lsn <= target_lsn) break;
+    if (rec.type == LogRecordType::kUpdate) {
+      CLOG_RETURN_IF_ERROR(UndoOne(txn, rec, lsn));
+    } else if (rec.type == LogRecordType::kBegin) {
+      break;
+    }
+  }
+  return scan_status;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Result<TxnId> Node::Begin() {
+  if (state_ != NodeState::kUp) return Status::NodeDown("node not up");
+  Transaction* txn = txns_.Begin();
+  if (options_.logging_mode != LoggingMode::kShipToOwner) {
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    rec.txn = txn->id;
+    Lsn lsn = kNullLsn;
+    Status st = AppendWithReclaim(rec, &lsn);
+    if (!st.ok()) {
+      txns_.Remove(txn->id);
+      return st;
+    }
+    txn->first_lsn = lsn;
+    txn->last_lsn = lsn;
+  }
+  metrics_.GetCounter("txn.begins").Add(1);
+  return txn->id;
+}
+
+Status Node::Commit(TxnId txn_id) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kActive) {
+    return Status::NotFound("no active transaction");
+  }
+
+  switch (options_.logging_mode) {
+    case LoggingMode::kClientLocal: {
+      // The headline of the paper: commit writes and forces the *local*
+      // log only. No messages, no page forces, regardless of where the
+      // updated pages live.
+      LogRecord commit;
+      commit.type = LogRecordType::kCommit;
+      commit.txn = txn_id;
+      commit.prev_lsn = txn->last_lsn;
+      Lsn commit_lsn = kNullLsn;
+      CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
+      CLOG_RETURN_IF_ERROR(log_.Flush(commit_lsn));
+      ChargeLogForce();
+      LogRecord end;
+      end.type = LogRecordType::kEnd;
+      end.txn = txn_id;
+      end.prev_lsn = commit_lsn;
+      Lsn end_lsn = kNullLsn;
+      CLOG_RETURN_IF_ERROR(AppendWithReclaim(end, &end_lsn));
+      break;
+    }
+    case LoggingMode::kShipToOwner: {
+      // Baseline B1 (ARIES/CSA-like): all log records travel to the owner
+      // at commit, with a force there.
+      CLOG_RETURN_IF_ERROR(
+          ShipPendingRecords(txn, /*force=*/true, /*only_page=*/nullptr));
+      break;
+    }
+    case LoggingMode::kForceAtTransfer: {
+      // Baseline B2 (Rdb/VMS-like): every updated page is forced to the
+      // owner's disk before the commit record is written.
+      for (PageId pid : txn->updated_pages) {
+        Page* page = pool_.Lookup(pid);
+        if (page == nullptr || !pool_.IsDirty(pid)) continue;
+        CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
+        if (pid.owner == id_) {
+          CLOG_RETURN_IF_ERROR(ForceOwnPage(pid));
+        } else {
+          page->SealChecksum();
+          CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+          dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
+          CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, pid.owner, pid));
+          pool_.MarkClean(pid);
+        }
+      }
+      LogRecord commit;
+      commit.type = LogRecordType::kCommit;
+      commit.txn = txn_id;
+      commit.prev_lsn = txn->last_lsn;
+      Lsn commit_lsn = kNullLsn;
+      CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
+      CLOG_RETURN_IF_ERROR(log_.Flush(commit_lsn));
+      ChargeLogForce();
+      break;
+    }
+  }
+
+  txn->state = TxnState::kCommitted;
+  lock_cache_.ReleaseTxnLocks(txn_id);
+  detector_->RemoveTxn(txn_id);
+  txns_.Remove(txn_id);
+  metrics_.GetCounter("txn.commits").Add(1);
+  AdvanceReclaimHorizon();
+  return Status::OK();
+}
+
+Status Node::Abort(TxnId txn_id) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kActive) {
+    return Status::NotFound("no active transaction");
+  }
+
+  if (options_.logging_mode == LoggingMode::kShipToOwner) {
+    // B1: undo from the pending list (shipped or not, records are still in
+    // the list); compensations are appended and shipped so the owner's log
+    // tells the whole story.
+    std::vector<LogRecord> clrs;
+    for (auto it = txn->pending_records.rbegin();
+         it != txn->pending_records.rend(); ++it) {
+      if (it->type != LogRecordType::kUpdate) continue;
+      Result<Page*> page_r = AcquirePage(txn, it->page, LockMode::kExclusive);
+      if (!page_r.ok()) return page_r.status();
+      Page* page = *page_r;
+      LogRecord clr;
+      clr.type = LogRecordType::kClr;
+      clr.txn = txn_id;
+      clr.page = it->page;
+      clr.psn_before = page->psn();
+      clr.slot = it->slot;
+      switch (it->op) {
+        case RecordOp::kInsert:
+          clr.op = RecordOp::kDelete;
+          break;
+        case RecordOp::kUpdate:
+          clr.op = RecordOp::kUpdate;
+          clr.redo_image = it->undo_image;
+          break;
+        case RecordOp::kDelete:
+          clr.op = RecordOp::kInsert;
+          clr.redo_image = it->undo_image;
+          break;
+        case RecordOp::kFormat:
+          break;
+      }
+      CLOG_RETURN_IF_ERROR(ApplyRedo(clr, page));
+      pool_.MarkDirty(it->page);
+      clrs.push_back(std::move(clr));
+    }
+    for (LogRecord& clr : clrs) txn->pending_records.push_back(std::move(clr));
+    CLOG_RETURN_IF_ERROR(
+        ShipPendingRecords(txn, /*force=*/false, /*only_page=*/nullptr));
+  } else {
+    LogRecord abort_rec;
+    abort_rec.type = LogRecordType::kAbort;
+    abort_rec.txn = txn_id;
+    abort_rec.prev_lsn = txn->last_lsn;
+    Lsn lsn = kNullLsn;
+    CLOG_RETURN_IF_ERROR(
+        log_.Append(abort_rec, &lsn, /*enforce_capacity=*/false));
+    txn->last_lsn = lsn;
+    CLOG_RETURN_IF_ERROR(RollbackTo(txn, kNullLsn));
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn = txn_id;
+    end.prev_lsn = txn->last_lsn;
+    CLOG_RETURN_IF_ERROR(log_.Append(end, &lsn, /*enforce_capacity=*/false));
+  }
+
+  txn->state = TxnState::kAborted;
+  lock_cache_.ReleaseTxnLocks(txn_id);
+  detector_->RemoveTxn(txn_id);
+  txns_.Remove(txn_id);
+  metrics_.GetCounter("txn.aborts").Add(1);
+  AdvanceReclaimHorizon();
+  return Status::OK();
+}
+
+Status Node::SetSavepoint(TxnId txn_id, const std::string& name) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  if (options_.logging_mode == LoggingMode::kShipToOwner) {
+    return Status::NotSupported("savepoints require a local log");
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kSavepoint;
+  rec.txn = txn_id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.savepoint_name = name;
+  Lsn lsn = kNullLsn;
+  CLOG_RETURN_IF_ERROR(AppendWithReclaim(rec, &lsn));
+  txn->last_lsn = lsn;
+  txn->savepoints.push_back(Savepoint{name, lsn});
+  return Status::OK();
+}
+
+Status Node::RollbackToSavepoint(TxnId txn_id, const std::string& name) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  // Latest savepoint with the given name wins.
+  auto it = std::find_if(txn->savepoints.rbegin(), txn->savepoints.rend(),
+                         [&](const Savepoint& s) { return s.name == name; });
+  if (it == txn->savepoints.rend()) {
+    return Status::NotFound("no savepoint named " + name);
+  }
+  Lsn target = it->lsn;
+  CLOG_RETURN_IF_ERROR(RollbackTo(txn, target));
+  // Later savepoints are no longer reachable.
+  txn->savepoints.erase(it.base(), txn->savepoints.end());
+  metrics_.GetCounter("txn.partial_rollbacks").Add(1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Record operations
+// ---------------------------------------------------------------------------
+
+Result<RecordId> Node::Insert(TxnId txn_id, PageId pid, Slice payload) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  Page* page = nullptr;
+  SlotId slot = 0;
+  if (options_.local_record_locking) {
+    // Fine-granularity path: the slot is only known once the page is in
+    // hand, so take the node lock + page first, then the record lock on
+    // the chosen (dead or fresh) slot — which cannot conflict.
+    CLOG_ASSIGN_OR_RETURN(page,
+                          EnsureNodePage(txn, pid, LockMode::kExclusive));
+    SlottedPage sp(page);
+    if (payload.size() > sp.MaxInsertSize()) {
+      return Status::FailedPrecondition("page full: " + pid.ToString());
+    }
+    slot = sp.PeekInsertSlot();
+    CLOG_ASSIGN_OR_RETURN(
+        page, AcquireRecord(txn, RecordId{pid, slot}, LockMode::kExclusive));
+  } else {
+    CLOG_ASSIGN_OR_RETURN(page,
+                          AcquirePage(txn, pid, LockMode::kExclusive));
+    SlottedPage sp(page);
+    if (payload.size() > sp.MaxInsertSize()) {
+      return Status::FailedPrecondition("page full: " + pid.ToString());
+    }
+    slot = sp.PeekInsertSlot();
+  }
+  CLOG_RETURN_IF_ERROR(
+      LoggedUpdate(txn, page, RecordOp::kInsert, slot, payload, Slice()));
+  return RecordId{pid, slot};
+}
+
+Result<std::string> Node::Read(TxnId txn_id, RecordId rid) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  CLOG_ASSIGN_OR_RETURN(Page * page,
+                        AcquireRecord(txn, rid, LockMode::kShared));
+  SlottedPage sp(page);
+  CLOG_ASSIGN_OR_RETURN(Slice value, sp.Read(rid.slot));
+  ChargeCpuOp();
+  metrics_.GetCounter("txn.reads").Add(1);
+  return value.ToString();
+}
+
+Status Node::Update(TxnId txn_id, RecordId rid, Slice payload) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  CLOG_ASSIGN_OR_RETURN(Page * page,
+                        AcquireRecord(txn, rid, LockMode::kExclusive));
+  SlottedPage sp(page);
+  CLOG_ASSIGN_OR_RETURN(Slice old_value, sp.Read(rid.slot));
+  std::string undo = old_value.ToString();  // Copy before the page mutates.
+  if (payload.size() > undo.size() &&
+      payload.size() - undo.size() > sp.FreeSpace()) {
+    return Status::FailedPrecondition("page full: " + rid.page.ToString());
+  }
+  return LoggedUpdate(txn, page, RecordOp::kUpdate, rid.slot, payload, undo);
+}
+
+Status Node::Delete(TxnId txn_id, RecordId rid) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  CLOG_ASSIGN_OR_RETURN(Page * page,
+                        AcquireRecord(txn, rid, LockMode::kExclusive));
+  SlottedPage sp(page);
+  CLOG_ASSIGN_OR_RETURN(Slice old_value, sp.Read(rid.slot));
+  std::string undo = old_value.ToString();
+  return LoggedUpdate(txn, page, RecordOp::kDelete, rid.slot, Slice(), undo);
+}
+
+Result<std::vector<std::string>> Node::ScanPage(TxnId txn_id, PageId pid) {
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr) return Status::NotFound("no active transaction");
+  CLOG_ASSIGN_OR_RETURN(Page * page,
+                        AcquirePage(txn, pid, LockMode::kShared));
+  SlottedPage sp(page);
+  std::vector<std::string> out;
+  for (SlotId s = 0; s < sp.SlotCount(); ++s) {
+    if (!sp.IsLive(s)) continue;
+    CLOG_ASSIGN_OR_RETURN(Slice value, sp.Read(s));
+    out.push_back(value.ToString());
+  }
+  ChargeCpuOp();
+  return out;
+}
+
+std::vector<TxnId> Node::LastBlockers(TxnId txn_id) const {
+  const Transaction* txn = txns_.Find(txn_id);
+  return txn == nullptr ? std::vector<TxnId>{} : txn->last_blockers;
+}
+
+// ---------------------------------------------------------------------------
+// Eviction policy and flush bookkeeping
+// ---------------------------------------------------------------------------
+
+Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
+  if (!dirty) {
+    // Clean pages just leave; the cached node lock stays cached.
+    return Status::OK();
+  }
+  if (options_.logging_mode == LoggingMode::kShipToOwner) {
+    // B1 WAL-to-owner: the owner's log must cover the page before the page
+    // arrives there.
+    for (const Transaction* t : txns_.Active()) {
+      CLOG_RETURN_IF_ERROR(ShipPendingRecords(
+          const_cast<Transaction*>(t), /*force=*/false, /*only_page=*/&pid));
+    }
+  } else {
+    // WAL: all records describing the page must be durable before the page
+    // leaves the cache (Section 2.1).
+    if (page->page_lsn() >= log_.flushed_lsn()) {
+      CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
+      ChargeLogForce();
+    }
+  }
+  if (pid.owner == id_) {
+    // Own page: write in place. Synchronous, because the DPT entry is
+    // dropped on the strength of this write.
+    CLOG_RETURN_IF_ERROR(disk_.WritePage(pid.page_no, page, /*sync=*/true));
+    ChargeDiskWrite();
+    dpt_.Remove(pid);
+    Psn psn = page->psn();
+    auto it = replacers_.find(pid);
+    if (it != replacers_.end()) {
+      if (options_.send_flush_notifications) {
+        for (NodeId peer : it->second) {
+          if (peer == id_) continue;
+          network_->FlushNotify(id_, peer, pid, psn).ok();
+        }
+      }
+      replacers_.erase(it);
+    }
+    AdvanceReclaimHorizon();
+    return Status::OK();
+  }
+  // Remote page: the copy travels home to the owner (Section 2.1), and the
+  // node remembers the end of its log for Section 2.5.
+  page->SealChecksum();
+  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+  dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
+  metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
+  if (options_.logging_mode == LoggingMode::kForceAtTransfer) {
+    CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, pid.owner, pid));
+  }
+  return Status::OK();
+}
+
+Status Node::ForceOwnPage(PageId pid) {
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  Psn flushed_psn;
+  Page* cached = pool_.Lookup(pid);
+  if (cached != nullptr && pool_.IsDirty(pid)) {
+    if (options_.logging_mode != LoggingMode::kShipToOwner &&
+        cached->page_lsn() >= log_.flushed_lsn()) {
+      CLOG_RETURN_IF_ERROR(log_.Flush(cached->page_lsn()));
+      ChargeLogForce();
+    }
+    CLOG_RETURN_IF_ERROR(disk_.WritePage(pid.page_no, cached, /*sync=*/true));
+    ChargeDiskWrite();
+    pool_.MarkClean(pid);
+    dpt_.Remove(pid);
+    flushed_psn = cached->psn();
+  } else {
+    // Nothing newer here: the disk version is what we can vouch for.
+    CLOG_ASSIGN_OR_RETURN(flushed_psn, DiskPsn(pid));
+  }
+  auto it = replacers_.find(pid);
+  if (it != replacers_.end()) {
+    if (options_.send_flush_notifications) {
+      for (NodeId peer : it->second) {
+        if (peer == id_) continue;
+        network_->FlushNotify(id_, peer, pid, flushed_psn).ok();
+      }
+    }
+    replacers_.erase(it);
+  }
+  AdvanceReclaimHorizon();
+  metrics_.GetCounter("pages.forced").Add(1);
+  return Status::OK();
+}
+
+Status Node::ShipDirtyCopy(PageId pid) {
+  if (pid.owner == id_) {
+    return Status::InvalidArgument("own pages are forced, not shipped");
+  }
+  Page* page = pool_.Lookup(pid);
+  if (page == nullptr || !pool_.IsDirty(pid)) return Status::OK();
+  if (options_.logging_mode != LoggingMode::kShipToOwner &&
+      page->page_lsn() >= log_.flushed_lsn()) {
+    CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
+    ChargeLogForce();
+  }
+  page->SealChecksum();
+  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+  dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
+  pool_.MarkClean(pid);
+  metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
+  return Status::OK();
+}
+
+Status Node::InstallShippedCopy(const Page& page, NodeId from) {
+  PageId pid = page.id();
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("shipped page not owned here: " +
+                                   pid.ToString());
+  }
+  Page* cached = pool_.Lookup(pid);
+  if (cached == nullptr) {
+    CLOG_ASSIGN_OR_RETURN(cached, pool_.Insert(pid));
+    cached->CopyFrom(page);
+    pool_.MarkDirty(pid);
+  } else if (page.psn() > cached->psn()) {
+    cached->CopyFrom(page);
+    pool_.MarkDirty(pid);
+  }
+  replacers_[pid].insert(from);
+  return Status::OK();
+}
+
+void Node::AdvanceReclaimHorizon() {
+  if (!options_.has_local_log) return;
+  // The log is needed from the earliest of: the oldest RedoLSN any dirty
+  // page still needs, the first record of the oldest active transaction
+  // (undo), and the last complete checkpoint (restart analysis).
+  Lsn horizon = log_.end_lsn();
+  Lsn dpt_min = dpt_.MinRedoLsn();
+  if (dpt_min != kNullLsn) horizon = std::min(horizon, dpt_min);
+  Lsn txn_min = txns_.MinFirstLsn();
+  if (txn_min != kNullLsn) horizon = std::min(horizon, txn_min);
+  if (last_ckpt_begin_ == kNullLsn) {
+    horizon = std::min(horizon, LogManager::first_lsn());
+  } else {
+    horizon = std::min(horizon, last_ckpt_begin_);
+  }
+  log_.SetReclaimableLsn(horizon);
+}
+
+}  // namespace clog

@@ -1,0 +1,334 @@
+#ifndef CLOG_NODE_NODE_H_
+#define CLOG_NODE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/dirty_page_table.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/deadlock_detector.h"
+#include "lock/lock_cache.h"
+#include "lock/lock_manager.h"
+#include "net/network.h"
+#include "node/options.h"
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+#include "storage/space_map.h"
+#include "txn/txn_table.h"
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+
+/// \file
+/// A processing node of the distributed architecture (paper Figure 1): the
+/// composition of buffer pool, local WAL, lock manager (both the owner-side
+/// global table for pages it owns and the requester-side cache), dirty page
+/// table, and transaction table. Nodes execute transactions entirely
+/// locally, fetch remote pages through the callback-locking page service,
+/// log every update to their own local log, and commit without any
+/// communication (LoggingMode::kClientLocal).
+
+namespace clog {
+
+class RestartRecovery;  // recovery/ implements crash restart; friend below.
+
+/// Runtime availability of a node.
+enum class NodeState : std::uint8_t {
+  kDown = 0,        ///< Crashed: volatile state lost, files intact.
+  kRecovering = 1,  ///< Serving recovery RPCs only.
+  kUp = 2,          ///< Normal processing.
+};
+
+/// One node. Construct, then Start(). All methods are single-threaded by
+/// design (deterministic simulation; DESIGN.md Section 4).
+class Node : public NodeService {
+ public:
+  /// `network`, `clock`, and `detector` are cluster-shared and must outlive
+  /// the node.
+  Node(NodeId id, NodeOptions options, Network* network,
+       DeadlockDetector* detector);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Opens files and registers with the network. Fresh directories start an
+  /// empty database; existing ones are reattached (restart goes through
+  /// Cluster/RestartRecovery instead).
+  Status Start();
+
+  /// Simulates a crash: all volatile state (cache, lock tables, DPT, active
+  /// transactions, unflushed log tail) is destroyed; disk files survive.
+  void Crash();
+
+  NodeId id() const { return id_; }
+  NodeState state() const { return state_; }
+  const NodeOptions& options() const { return options_; }
+
+  /// Runtime tweaks for benchmark ablations.
+  void set_send_flush_notifications(bool on) {
+    options_.send_flush_notifications = on;
+  }
+  void set_log_force_ns_override(std::uint64_t ns) {
+    options_.log_force_ns_override = ns;
+  }
+
+  // ---------------------------------------------------------------------
+  // Data definition (owner-side, outside transactions)
+  // ---------------------------------------------------------------------
+
+  /// Allocates and formats a fresh page in this node's database. The
+  /// initial PSN comes from the space allocation map (ARIES/CSA seeding).
+  /// Durable before return.
+  Result<PageId> AllocatePage();
+
+  /// Frees `pid` (must be owned by this node and not locked remotely).
+  Status FreePage(PageId pid);
+
+  // ---------------------------------------------------------------------
+  // Transactions
+  // ---------------------------------------------------------------------
+
+  /// Starts a transaction on this node.
+  Result<TxnId> Begin();
+
+  /// Commits. In kClientLocal this forces the local log only — the paper's
+  /// headline: zero messages, no page forces. Baselines pay their protocol.
+  Status Commit(TxnId txn);
+
+  /// Rolls the transaction back entirely and ends it.
+  Status Abort(TxnId txn);
+
+  /// Declares a named savepoint (paper Section 2.2 partial rollback).
+  Status SetSavepoint(TxnId txn, const std::string& name);
+
+  /// Undoes everything after the savepoint; the transaction stays active.
+  Status RollbackToSavepoint(TxnId txn, const std::string& name);
+
+  // --- Record operations (page-granularity locking, Section 2.1) ---
+
+  /// Inserts `payload` into `pid` (local or remote page), returning the
+  /// record id. Busy/Deadlock surface lock conflicts; the caller retries or
+  /// aborts (Transaction::last_blockers has the waits-for edge targets).
+  Result<RecordId> Insert(TxnId txn, PageId pid, Slice payload);
+
+  /// Reads the record (S lock).
+  Result<std::string> Read(TxnId txn, RecordId rid);
+
+  /// Overwrites the record (X lock).
+  Status Update(TxnId txn, RecordId rid, Slice payload);
+
+  /// Deletes the record (X lock).
+  Status Delete(TxnId txn, RecordId rid);
+
+  /// All live records in a page (S lock).
+  Result<std::vector<std::string>> ScanPage(TxnId txn, PageId pid);
+
+  /// Blockers reported by the last Busy result for `txn` (waits-for edges).
+  std::vector<TxnId> LastBlockers(TxnId txn) const;
+
+  // ---------------------------------------------------------------------
+  // Checkpointing (Section 2.2: fuzzy, fully local, no synchronization)
+  // ---------------------------------------------------------------------
+
+  /// Takes a fuzzy checkpoint: logs the DPT and active-transaction table,
+  /// forces the log, and advances the master pointer. Sends no messages.
+  Status Checkpoint();
+
+  // ---------------------------------------------------------------------
+  // Log space management (Section 2.5)
+  // ---------------------------------------------------------------------
+
+  /// Frees log space until at least `needed_bytes` fit, by repeatedly
+  /// evicting/forcing the page with the minimum RedoLSN and asking its
+  /// owner to force it to disk.
+  Status ReclaimLogSpace(std::uint64_t needed_bytes);
+
+  // ---------------------------------------------------------------------
+  // NodeService (peer-facing RPC handlers)
+  // ---------------------------------------------------------------------
+
+  Status HandleLockPage(NodeId from, PageId pid, LockMode mode, bool want_page,
+                        LockPageReply* reply) override;
+  Status HandleCallback(NodeId from, PageId pid, LockMode downgrade_to,
+                        CallbackReply* reply) override;
+  Status HandleUnlockNotice(NodeId from, PageId pid) override;
+  Status HandlePageShip(NodeId from, const Page& page) override;
+  Status HandleFlushRequest(NodeId from, PageId pid) override;
+  void HandleFlushNotify(NodeId from, PageId pid, Psn flushed_psn) override;
+  Status HandleLogShip(NodeId from, const std::vector<LogRecord>& records,
+                       bool force) override;
+  Status HandleRecoveryQuery(NodeId crashed, RecoveryQueryReply* reply) override;
+  Status HandleFetchCachedPage(NodeId from, PageId pid,
+                               std::shared_ptr<Page>* page) override;
+  Status HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
+                            PsnListReply* reply) override;
+  Status HandleRecoverPage(NodeId from, PageId pid, const Page& page_in,
+                           bool has_bound, Psn bound,
+                           RecoverPageReply* reply) override;
+  Status HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
+                       const std::vector<PageId>& cached_pages) override;
+  void HandleNodeRecovered(NodeId who) override;
+
+  // ---------------------------------------------------------------------
+  // Introspection (tests, benchmarks, recovery)
+  // ---------------------------------------------------------------------
+
+  const DirtyPageTable& dpt() const { return dpt_; }
+  const BufferPool& pool() const { return pool_; }
+  const LockCache& lock_cache() const { return lock_cache_; }
+  const GlobalLockTable& global_locks() const { return global_locks_; }
+  const TxnTable& txns() const { return txns_; }
+  LogManager& log() { return log_; }
+  DiskManager& disk() { return disk_; }
+  Metrics& metrics() { return metrics_; }
+  Network* network() { return network_; }
+
+  /// PSN of the disk version of an owned page (recovery comparisons).
+  Result<Psn> DiskPsn(PageId pid);
+
+  /// Validates the node's internal cross-structure invariants (dirty
+  /// pages vs locks vs DPT, transaction-holder liveness, clean-page
+  /// disk agreement when `deep`). Returns FailedPrecondition describing
+  /// the first violation. Used by the property tests after every step.
+  Status CheckInvariants(bool deep = false);
+
+  /// Multi-line human-readable state dump (cache, DPT, locks, txns) for
+  /// debugging and the tools.
+  std::string DebugString() const;
+
+ private:
+  friend class RestartRecovery;
+
+  // --- Internal helpers (node.cc) ---
+
+  /// Opens database, space map, and log files under options_.dir.
+  Status OpenStorage();
+
+  /// Installs a page image shipped by `from` into the local pool as the
+  /// newest dirty version of one of our own pages (guarded by PSN).
+  Status InstallShippedCopy(const Page& page, NodeId from);
+
+  /// Acquires a page-granularity `mode` on `pid` for `txn` and brings the
+  /// page into the cache. Implements the full Section 2.2 flow: local lock
+  /// cache, owner request, callbacks, page transfer. On Busy fills
+  /// txn->last_blockers.
+  Result<Page*> AcquirePage(Transaction* txn, PageId pid, LockMode mode);
+
+  /// Record-granularity variant (fine-granularity extension); falls back
+  /// to AcquirePage when the option is off.
+  Result<Page*> AcquireRecord(Transaction* txn, RecordId rid, LockMode mode);
+
+  /// Obtains the node-level lock on `pid` from the owner (running the
+  /// callback protocol there) without granting any transaction-level lock.
+  /// Busy fills txn->last_blockers.
+  Status EnsureNodeLock(Transaction* txn, PageId pid, LockMode mode);
+
+  /// EnsureNodeLock + page fetch (used by Insert, which must examine the
+  /// page to pick a slot before it can take a record lock).
+  Result<Page*> EnsureNodePage(Transaction* txn, PageId pid, LockMode mode);
+
+  /// Ensures the page image is in the pool (lock already held).
+  Result<Page*> FetchPage(PageId pid);
+
+  /// Owner-side: newest version of own page `pid` (cache, else disk).
+  Result<Page*> OwnLatestPage(PageId pid);
+
+  /// WAL for page transfer: before any image of `pid` leaves this node
+  /// (grant-time transfer, callback, ship, recovery fetch), every local
+  /// log record describing it must be durable — otherwise a page whose
+  /// history includes records lost with a crashed log tail could never be
+  /// redone in PSN order.
+  Status WalBeforePageLeaves(PageId pid, const Page* page);
+
+  /// Logs one update, applies it, maintains PSN/DPT/dirty bits.
+  Status LoggedUpdate(Transaction* txn, Page* page, RecordOp op, SlotId slot,
+                      Slice redo_image, Slice undo_image);
+
+  /// Applies the inverse of `rec` to its page and writes the CLR.
+  Status UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn);
+
+  /// Rolls back to `target_lsn` exclusive (kNullLsn = full rollback).
+  Status RollbackTo(Transaction* txn, Lsn target_lsn);
+
+  /// Buffer pool eviction policy (write-in-place / ship-to-owner + WAL).
+  Status OnEviction(PageId pid, Page* page, bool dirty);
+
+  /// Owner-side: force own page to disk and notify replacers.
+  Status ForceOwnPage(PageId pid);
+
+  /// Ships a copy of a dirty remotely-owned page to its owner without
+  /// evicting it (WAL first); used by Section 2.5 log-space pressure when
+  /// the victim page is pinned or worth keeping cached.
+  Status ShipDirtyCopy(PageId pid);
+
+  /// Recomputes the log reclaim horizon from DPT and active transactions.
+  void AdvanceReclaimHorizon();
+
+  /// Baseline B1: ship `txn`'s pending records covering `pid` (WAL-to-owner
+  /// before the page moves), or all pending at commit.
+  Status ShipPendingRecords(Transaction* txn, bool force,
+                            const PageId* only_page);
+
+  /// Appends to the local log, retrying once after log-space reclamation.
+  Status AppendWithReclaim(const LogRecord& rec, Lsn* lsn);
+
+  /// Charges simulated time for local disk/log work.
+  void ChargeDiskRead();
+  void ChargeDiskWrite();
+  void ChargeLogForce();
+  void ChargeCpuOp();
+
+  /// Redo applier shared by restart recovery and HandleRecoverPage.
+  static Status ApplyRedo(const LogRecord& rec, Page* page);
+
+  NodeId id_;
+  NodeOptions options_;
+  Network* network_;
+  DeadlockDetector* detector_;
+  NodeState state_ = NodeState::kDown;
+
+  DiskManager disk_;
+  SpaceMap space_map_;
+  LogManager log_;
+  BufferPool pool_;
+  DirtyPageTable dpt_;
+  LockCache lock_cache_;
+  GlobalLockTable global_locks_;
+  TxnTable txns_;
+  Metrics metrics_;
+
+  /// Owner-side flush bookkeeping: for each own page, the peers that
+  /// shipped dirty copies (or contributed recovery redo) and await a flush
+  /// notification (Sections 2.2/2.5).
+  std::map<PageId, std::set<NodeId>> replacers_;
+
+  /// LSN of the last complete checkpoint's begin record: restart analysis
+  /// starts here, so the log cannot be reclaimed past it.
+  Lsn last_ckpt_begin_ = kNullLsn;
+
+  /// Recovery-scan state (Section 2.3.4): where the next RecoverPage round
+  /// resumes in the local log, and how many redo records were applied so
+  /// far, per page under recovery.
+  std::map<PageId, Lsn> recovery_cursor_;
+  std::map<PageId, std::uint64_t> recovery_applied_;
+
+  /// Multi-crash staging (Section 2.4): DPT entries / cached-page lists
+  /// shipped by recovering peers for pages this node owns, with senders.
+  std::map<PageId, std::vector<std::pair<NodeId, DptEntry>>>
+      foreign_dpt_entries_;
+  std::map<PageId, std::set<NodeId>> foreign_cached_;
+
+  /// B1 only: client log records land here at the owner.
+  std::uint64_t b1_received_records_ = 0;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_NODE_NODE_H_

@@ -1,0 +1,62 @@
+#ifndef CLOG_NODE_OPTIONS_H_
+#define CLOG_NODE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.h"
+
+namespace clog {
+
+/// Which logging protocol a node runs. kClientLocal is the paper's
+/// contribution; the other two are the related-work baselines the benchmark
+/// harness compares against (DESIGN.md Section 2).
+enum class LoggingMode : std::uint8_t {
+  /// Paper: all log records written to the node's local log; commit is
+  /// local; crash recovery per Sections 2.3/2.4.
+  kClientLocal = 0,
+  /// Baseline B1 (ARIES/CSA-like): log records are shipped to the owner
+  /// node — on dirty-page replacement and, with a force, at commit. The
+  /// owner's log is the only log for the client's updates.
+  kShipToOwner = 1,
+  /// Baseline B2 (Rdb/VMS-like): updated pages are forced to the owner's
+  /// disk at commit and before every inter-node transfer; undo-only local
+  /// logging.
+  kForceAtTransfer = 2,
+};
+
+std::string_view LoggingModeName(LoggingMode m);
+
+/// Static configuration of one node.
+struct NodeOptions {
+  /// Directory for this node's database, log, and side files.
+  std::string dir;
+  /// Buffer pool capacity in frames.
+  std::size_t buffer_frames = 256;
+  /// Logging protocol (paper vs baselines).
+  LoggingMode logging_mode = LoggingMode::kClientLocal;
+  /// Bounded log capacity in bytes; 0 = unbounded (Section 2.5 off).
+  std::uint64_t log_capacity_bytes = 0;
+  /// Whether the node keeps a local log at all. Nodes without local logs
+  /// may participate (paper Figure 1) but must use kShipToOwner.
+  bool has_local_log = true;
+  /// Fine-granularity extension (paper Section 4, the EDBT'96 follow-up):
+  /// when true, *local* transactions lock individual records, so several
+  /// of them can concurrently use different records of one page.
+  /// Inter-node locking and callbacks stay page-granular, preserving the
+  /// per-page PSN total order the recovery algorithms require.
+  bool local_record_locking = false;
+  /// Per-node log-force cost override in nanoseconds; 0 uses the cluster
+  /// cost model. Lets benchmarks model asymmetric hardware (fast server
+  /// log, slow client disk — the 1996 objection to client logging).
+  std::uint64_t log_force_ns_override = 0;
+  /// Ablation switch (bench A2): when false, the owner does not send
+  /// Section 2.5 flush notifications after forcing a page, so replacers'
+  /// DPT entries never advance or drop. Shows why the paper's
+  /// notification bookkeeping is load-bearing for log reclamation.
+  bool send_flush_notifications = true;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_NODE_OPTIONS_H_

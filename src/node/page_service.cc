@@ -1,0 +1,445 @@
+#include <algorithm>
+
+#include "node/node.h"
+
+/// \file
+/// NodeService handlers: the owner-side page/lock service of Section 2.2
+/// and the peer-side recovery protocol of Sections 2.3-2.4.
+
+namespace clog {
+
+// ---------------------------------------------------------------------------
+// Normal processing (Section 2.2)
+// ---------------------------------------------------------------------------
+
+Status Node::HandleLockPage(NodeId from, PageId pid, LockMode mode,
+                            bool want_page, LockPageReply* reply) {
+  *reply = LockPageReply();
+  if (state_ == NodeState::kDown) return Status::NodeDown("owner not up");
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  if (!space_map_.IsAllocated(pid.page_no)) {
+    return Status::NotFound("page not allocated: " + pid.ToString());
+  }
+  if (state_ == NodeState::kRecovering) {
+    // During restart recovery only conflict-free grants are served (no
+    // callbacks run in this state): enough for a recovering peer to fetch
+    // a base version or re-assert a lock it already holds, while normal
+    // traffic stays fenced until recovery finishes.
+    if (global_locks_.HeldBy(pid, from) < mode &&
+        !global_locks_.TryGrant(pid, from, mode).granted) {
+      return Status::NodeDown("owner recovering; lock conflicts");
+    }
+    reply->granted = true;
+    if (want_page) {
+      CLOG_ASSIGN_OR_RETURN(Page * latest, OwnLatestPage(pid));
+      CLOG_RETURN_IF_ERROR(WalBeforePageLeaves(pid, latest));
+      auto copy = std::make_shared<Page>();
+      copy->CopyFrom(*latest);
+      copy->SealChecksum();
+      reply->page = std::move(copy);
+    }
+    return Status::OK();
+  }
+
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    GrantOutcome out = global_locks_.TryGrant(pid, from, mode);
+    if (out.granted) {
+      reply->granted = true;
+      break;
+    }
+    // Callback locking: conflicting cached locks are called back. A read
+    // request demotes X holders to S; a write request releases everyone
+    // (Section 2.2).
+    LockMode downgrade_to =
+        mode == LockMode::kShared ? LockMode::kShared : LockMode::kNone;
+    bool all_complied = true;
+    for (NodeId holder : out.conflicting) {
+      if (holder == id_) {
+        // Callback to ourselves: our own local transactions are the users.
+        CallbackDecision dec = lock_cache_.CanComply(pid, downgrade_to);
+        if (!dec.can_comply) {
+          all_complied = false;
+          reply->blockers.push_back(holder);
+          reply->blocking_txns.insert(reply->blocking_txns.end(),
+                                      dec.blocking_txns.begin(),
+                                      dec.blocking_txns.end());
+          continue;
+        }
+        lock_cache_.ApplyCallback(pid, downgrade_to);
+        if (downgrade_to == LockMode::kNone) {
+          global_locks_.Release(pid, id_);
+          // Our cached copy stays: the owner's pool is the home for the
+          // page between remote holders.
+        } else {
+          global_locks_.Downgrade(pid, id_);
+        }
+        continue;
+      }
+      CallbackReply cb;
+      Status st = network_->Callback(id_, holder, pid, downgrade_to, &cb);
+      if (st.IsNodeDown()) {
+        // Holder crashed while holding the lock: the page must wait for
+        // that node's recovery (Section 2.3: exclusive locks of a crashed
+        // node are retained).
+        all_complied = false;
+        reply->blockers.push_back(holder);
+        continue;
+      }
+      if (!st.ok()) return st;
+      if (!cb.complied) {
+        all_complied = false;
+        reply->blockers.push_back(holder);
+        reply->blocking_txns.insert(reply->blocking_txns.end(),
+                                    cb.blocking_txns.begin(),
+                                    cb.blocking_txns.end());
+        continue;
+      }
+      if (downgrade_to == LockMode::kNone) {
+        global_locks_.Release(pid, holder);
+      } else {
+        global_locks_.Downgrade(pid, holder);
+      }
+      if (cb.page) {
+        CLOG_RETURN_IF_ERROR(InstallShippedCopy(*cb.page, holder));
+        if (options_.logging_mode == LoggingMode::kForceAtTransfer) {
+          // B2 forces every transferred page to disk.
+          CLOG_RETURN_IF_ERROR(ForceOwnPage(pid));
+        }
+      }
+    }
+    if (!all_complied) {
+      reply->granted = false;
+      metrics_.GetCounter("lock.callback_blocked").Add(1);
+      return Status::OK();
+    }
+  }
+
+  if (!reply->granted) {
+    return Status::Busy("lock grant did not converge on " + pid.ToString());
+  }
+  metrics_.GetCounter("lock.grants").Add(1);
+  if (want_page) {
+    CLOG_ASSIGN_OR_RETURN(Page * latest, OwnLatestPage(pid));
+    CLOG_RETURN_IF_ERROR(WalBeforePageLeaves(pid, latest));
+    auto copy = std::make_shared<Page>();
+    copy->CopyFrom(*latest);
+    copy->SealChecksum();
+    reply->page = std::move(copy);
+  }
+  return Status::OK();
+}
+
+Status Node::WalBeforePageLeaves(PageId pid, const Page* page) {
+  if (!options_.has_local_log) return Status::OK();
+  if (page == nullptr || !pool_.IsDirty(pid)) return Status::OK();
+  if (options_.logging_mode == LoggingMode::kShipToOwner) {
+    for (const Transaction* t : txns_.Active()) {
+      CLOG_RETURN_IF_ERROR(ShipPendingRecords(const_cast<Transaction*>(t),
+                                              /*force=*/false, &pid));
+    }
+    return Status::OK();
+  }
+  if (page->page_lsn() >= log_.flushed_lsn()) {
+    CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
+    ChargeLogForce();
+  }
+  return Status::OK();
+}
+
+Result<Page*> Node::OwnLatestPage(PageId pid) {
+  if (Page* cached = pool_.Lookup(pid)) return cached;
+  CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
+  Status st = disk_.ReadPage(pid.page_no, frame);
+  if (!st.ok()) {
+    pool_.Drop(pid);
+    return st;
+  }
+  ChargeDiskRead();
+  return frame;
+}
+
+Status Node::HandleCallback(NodeId from, PageId pid, LockMode downgrade_to,
+                            CallbackReply* reply) {
+  *reply = CallbackReply();
+  if (state_ != NodeState::kUp) return Status::NodeDown("holder not up");
+
+  CallbackDecision dec = lock_cache_.CanComply(pid, downgrade_to);
+  if (!dec.can_comply) {
+    reply->complied = false;
+    reply->blocking_txns = dec.blocking_txns;
+    metrics_.GetCounter("lock.callbacks_refused").Add(1);
+    return Status::OK();
+  }
+
+  Page* cached = pool_.Lookup(pid);
+  if (cached != nullptr && pool_.IsDirty(pid)) {
+    // The dirty copy travels with the callback reply so the owner can hand
+    // the current version to the requester. WAL first.
+    if (options_.logging_mode == LoggingMode::kShipToOwner) {
+      for (const Transaction* t : txns_.Active()) {
+        CLOG_RETURN_IF_ERROR(ShipPendingRecords(const_cast<Transaction*>(t),
+                                                /*force=*/false, &pid));
+      }
+    } else if (cached->page_lsn() >= log_.flushed_lsn()) {
+      CLOG_RETURN_IF_ERROR(log_.Flush(cached->page_lsn()));
+      ChargeLogForce();
+    }
+    auto copy = std::make_shared<Page>();
+    copy->CopyFrom(*cached);
+    copy->SealChecksum();
+    reply->page = std::move(copy);
+    reply->page_psn = cached->psn();
+    dpt_.OnReplaced(pid, cached->psn(), log_.end_lsn());
+    pool_.MarkClean(pid);
+  }
+  if (downgrade_to == LockMode::kNone && cached != nullptr) {
+    // Without a lock the page cannot stay cached.
+    pool_.Drop(pid);
+  }
+  lock_cache_.ApplyCallback(pid, downgrade_to);
+  reply->complied = true;
+  metrics_.GetCounter("lock.callbacks_honored").Add(1);
+  return Status::OK();
+}
+
+Status Node::HandleUnlockNotice(NodeId from, PageId pid) {
+  global_locks_.Release(pid, from);
+  return Status::OK();
+}
+
+Status Node::HandlePageShip(NodeId from, const Page& page) {
+  if (state_ == NodeState::kDown) return Status::NodeDown("owner down");
+  CLOG_RETURN_IF_ERROR(page.VerifyChecksum());
+  return InstallShippedCopy(page, from);
+}
+
+Status Node::HandleFlushRequest(NodeId from, PageId pid) {
+  if (state_ != NodeState::kUp) return Status::NodeDown("owner not up");
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  replacers_[pid].insert(from);
+  return ForceOwnPage(pid);
+}
+
+void Node::HandleFlushNotify(NodeId from, PageId pid, Psn flushed_psn) {
+  dpt_.OnOwnerFlushed(pid, flushed_psn);
+  AdvanceReclaimHorizon();
+}
+
+Status Node::HandleLogShip(NodeId from, const std::vector<LogRecord>& records,
+                           bool force) {
+  if (state_ != NodeState::kUp) return Status::NodeDown("owner not up");
+  if (!options_.has_local_log) {
+    return Status::FailedPrecondition("log ship to a node without a log");
+  }
+  Lsn lsn = kNullLsn;
+  for (const LogRecord& rec : records) {
+    CLOG_RETURN_IF_ERROR(AppendWithReclaim(rec, &lsn));
+  }
+  if (force) {
+    CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
+    ChargeLogForce();
+  }
+  b1_received_records_ += records.size();
+  metrics_.GetCounter("b1.records_received").Add(records.size());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery protocol handlers (Sections 2.3, 2.4)
+// ---------------------------------------------------------------------------
+
+Status Node::HandleRecoveryQuery(NodeId crashed, RecoveryQueryReply* reply) {
+  *reply = RecoveryQueryReply();
+  if (state_ == NodeState::kDown) return Status::NodeDown("peer down");
+
+  // (a) Pages owned by the crashed node present in our cache: these carry
+  // all updates made before the crash and supersede log-based recovery
+  // (Section 2.3.1).
+  for (PageId pid : pool_.CachedPages()) {
+    if (pid.owner == crashed) reply->cached_pages_of_crashed.push_back(pid);
+  }
+  std::sort(reply->cached_pages_of_crashed.begin(),
+            reply->cached_pages_of_crashed.end());
+
+  // (b) Our DPT entries for its pages (Section 2.3.1).
+  reply->dpt_entries_for_crashed = dpt_.ToEntries(crashed);
+  std::sort(reply->dpt_entries_for_crashed.begin(),
+            reply->dpt_entries_for_crashed.end(),
+            [](const DptEntry& a, const DptEntry& b) { return a.pid < b.pid; });
+
+  // (c) Lock reconstruction (Section 2.3.3): locks we acquired from the
+  // crashed node rebuild its global table ...
+  reply->locks_i_hold_on_crashed = lock_cache_.NodeLocks(crashed);
+
+  // ... its shared locks here are released, its exclusive locks retained
+  // (they fence off pages that are not yet recovered) and reported so it
+  // can rebuild its lock cache.
+  global_locks_.ReleaseSharedOf(crashed);
+  reply->x_locks_crashed_held_here = global_locks_.ExclusiveLocksOf(crashed);
+  return Status::OK();
+}
+
+Status Node::HandleFetchCachedPage(NodeId from, PageId pid,
+                                   std::shared_ptr<Page>* page) {
+  page->reset();
+  if (state_ == NodeState::kDown) return Status::NodeDown("peer down");
+  Page* cached = pool_.Lookup(pid);
+  if (cached == nullptr) {
+    return Status::NotFound("page not cached: " + pid.ToString());
+  }
+  CLOG_RETURN_IF_ERROR(WalBeforePageLeaves(pid, cached));
+  auto copy = std::make_shared<Page>();
+  copy->CopyFrom(*cached);
+  copy->SealChecksum();
+  *page = std::move(copy);
+  return Status::OK();
+}
+
+Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
+                                PsnListReply* reply) {
+  *reply = PsnListReply();
+  reply->per_page.resize(pages.size());
+  if (state_ == NodeState::kDown) return Status::NodeDown("peer down");
+  if (!options_.has_local_log) return Status::OK();
+
+  // Scan from the minimum RedoLSN among our DPT entries for the requested
+  // pages (Section 2.3.4); without an entry we have nothing to redo.
+  Lsn start = kNullLsn;
+  std::map<PageId, std::size_t> index;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    index[pages[i]] = i;
+    const DirtyPageInfo* info = dpt_.Find(pages[i]);
+    if (info == nullptr) continue;
+    if (start == kNullLsn || info->redo_lsn < start) start = info->redo_lsn;
+  }
+  if (start == kNullLsn) return Status::OK();
+
+  // One pass: a PSN enters the list when the record's transaction differs
+  // from the transaction of the previously inserted PSN for that page.
+  std::map<PageId, TxnId> last_txn;
+  LogCursor cursor(&log_, start);
+  LogRecord rec;
+  Lsn lsn = kNullLsn;
+  Status scan_status;
+  while (cursor.Next(&rec, &lsn, &scan_status)) {
+    if (rec.type != LogRecordType::kUpdate && rec.type != LogRecordType::kClr) {
+      continue;
+    }
+    auto it = index.find(rec.page);
+    if (it == index.end()) continue;
+    const DirtyPageInfo* info = dpt_.Find(rec.page);
+    if (info == nullptr || lsn < info->redo_lsn) {
+      continue;  // Before this page's redo point: already on disk.
+    }
+    // Remember where recovery for this page starts in our log.
+    recovery_cursor_.try_emplace(rec.page, lsn);
+    auto lt = last_txn.find(rec.page);
+    if (lt == last_txn.end() || lt->second != rec.txn) {
+      reply->per_page[it->second].push_back(PsnListEntry{rec.psn_before, lsn});
+      last_txn[rec.page] = rec.txn;
+    }
+  }
+  CLOG_RETURN_IF_ERROR(scan_status);
+  reply->records_scanned = cursor.records_read();
+  metrics_.GetCounter("recovery.psn_list_scans").Add(1);
+  metrics_.GetCounter("recovery.records_scanned")
+      .Add(cursor.records_read());
+  return Status::OK();
+}
+
+Status Node::HandleRecoverPage(NodeId from, PageId pid, const Page& page_in,
+                               bool has_bound, Psn bound,
+                               RecoverPageReply* reply) {
+  *reply = RecoverPageReply();
+  if (state_ == NodeState::kDown) return Status::NodeDown("peer down");
+  if (!options_.has_local_log) {
+    return Status::FailedPrecondition("no local log to recover from");
+  }
+
+  auto work = std::make_shared<Page>();
+  work->CopyFrom(page_in);
+
+  Lsn start = kNullLsn;
+  auto cit = recovery_cursor_.find(pid);
+  if (cit != recovery_cursor_.end()) {
+    start = cit->second;
+  } else if (const DirtyPageInfo* info = dpt_.Find(pid)) {
+    start = info->redo_lsn;
+  } else {
+    start = log_.end_lsn();  // Nothing to contribute.
+  }
+
+  LogCursor cursor(&log_, start);
+  LogRecord rec;
+  Lsn lsn = kNullLsn;
+  Status scan_status;
+  bool more = false;
+  while (cursor.Next(&rec, &lsn, &scan_status)) {
+    if (rec.type != LogRecordType::kUpdate && rec.type != LogRecordType::kClr) {
+      continue;
+    }
+    if (rec.page != pid) continue;
+    if (has_bound && rec.psn_before > bound) {
+      // Another node's updates come next in PSN order; remember where to
+      // resume (Section 2.3.4).
+      recovery_cursor_[pid] = lsn;
+      more = true;
+      break;
+    }
+    if (rec.psn_before == work->psn()) {
+      CLOG_RETURN_IF_ERROR(ApplyRedo(rec, work.get()));
+      ++reply->applied;
+    }
+    // Records with psn_before < page PSN are already reflected; records
+    // with a higher PSN under the bound cannot occur (the coordinator's
+    // ordering guarantees the gap belongs to another node).
+  }
+  CLOG_RETURN_IF_ERROR(scan_status);
+  recovery_applied_[pid] += reply->applied;
+
+  if (!more) {
+    // Section 2.3.4 closing bookkeeping: a node that contributed nothing
+    // drops its DPT entry (no lock held) or re-arms RedoLSN at the log end
+    // (lock still held, all its past updates are on disk).
+    recovery_cursor_.erase(pid);
+    std::uint64_t total = recovery_applied_[pid];
+    recovery_applied_.erase(pid);
+    if (total == 0 && dpt_.Contains(pid)) {
+      if (lock_cache_.NodeMode(pid) == LockMode::kNone) {
+        dpt_.Remove(pid);
+      } else if (DirtyPageInfo* info = dpt_.FindMutable(pid)) {
+        info->redo_lsn = log_.end_lsn();
+      }
+      AdvanceReclaimHorizon();
+    }
+  }
+  reply->more = more;
+  work->SealChecksum();
+  reply->page = std::move(work);
+  metrics_.GetCounter("recovery.redo_applied").Add(reply->applied);
+  return Status::OK();
+}
+
+Status Node::HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
+                           const std::vector<PageId>& cached_pages) {
+  if (state_ == NodeState::kDown) return Status::NodeDown("owner down");
+  for (const DptEntry& e : entries) {
+    if (e.pid.owner != id_) continue;
+    foreign_dpt_entries_[e.pid].emplace_back(from, e);
+  }
+  for (PageId pid : cached_pages) {
+    if (pid.owner != id_) continue;
+    foreign_cached_[pid].insert(from);
+  }
+  return Status::OK();
+}
+
+void Node::HandleNodeRecovered(NodeId who) {
+  metrics_.GetCounter("recovery.peer_recovered_notices").Add(1);
+}
+
+}  // namespace clog

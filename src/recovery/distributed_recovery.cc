@@ -1,0 +1,354 @@
+#include "recovery/distributed_recovery.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "wal/log_reader.h"
+
+namespace clog {
+
+Status RestartRecovery::Run() {
+  std::uint64_t t0 = node_->network()->clock()->NowNanos();
+  CLOG_RETURN_IF_ERROR(OpenAndAnalyze());
+  CLOG_RETURN_IF_ERROR(ExchangeAndRecover());
+  CLOG_RETURN_IF_ERROR(UndoLosersAndFinish());
+  stats_.sim_ns = node_->network()->clock()->NowNanos() - t0;
+  return Status::OK();
+}
+
+Status RestartRecovery::OpenAndAnalyze() {
+  if (node_->state_ != NodeState::kDown) {
+    return Status::FailedPrecondition("node is not crashed");
+  }
+  CLOG_RETURN_IF_ERROR(node_->OpenStorage());
+  if (node_->options_.has_local_log) {
+    CLOG_RETURN_IF_ERROR(AnalyzeLog(&node_->log_, &analysis_));
+    // The rebuilt superset DPT (Sections 2.3.1 / 2.4).
+    for (const auto& [pid, entry] : analysis_.dpt) {
+      node_->dpt_.Install(entry);
+    }
+    stats_.analysis_records = analysis_.records_scanned;
+    node_->metrics_.GetCounter("recovery.analysis_records")
+        .Add(analysis_.records_scanned);
+  }
+  // Reachable for recovery RPCs; normal traffic stays fenced by the state.
+  node_->state_ = NodeState::kRecovering;
+  node_->network_->RegisterNode(node_->id_, node_);
+  node_->network_->SetNodeUp(node_->id_, true);
+  return Status::OK();
+}
+
+Status RestartRecovery::QueryPeers() {
+  for (NodeId peer : node_->network_->OperationalNodes(node_->id_)) {
+    RecoveryQueryReply reply;
+    Status st = node_->network_->RecoveryQuery(node_->id_, peer, &reply);
+    if (st.IsNodeDown()) continue;  // Crashed and not yet restarting.
+    CLOG_RETURN_IF_ERROR(st);
+    peer_replies_[peer] = std::move(reply);
+    ++stats_.peers_queried;
+  }
+  return Status::OK();
+}
+
+Status RestartRecovery::ReconstructLocks() {
+  // Section 2.3.3: peers report (a) locks they acquired from us — these
+  // rebuild our global lock table — and (b) the exclusive locks we held on
+  // their pages — retained there, and now re-installed in our lock cache.
+  for (const auto& [peer, reply] : peer_replies_) {
+    for (const LockListEntry& l : reply.locks_i_hold_on_crashed) {
+      node_->global_locks_.Install(l.pid, peer, l.mode);
+    }
+    for (const LockListEntry& l : reply.x_locks_crashed_held_here) {
+      node_->lock_cache_.Install(l.pid, LockMode::kExclusive);
+    }
+  }
+  // "The crashed node needs to acquire exclusive locks for the pages
+  // present in its DPT that do not have a lock entry": for owned pages the
+  // fence is installed directly; remotely owned DPT pages either still
+  // have our retained X (reported above) or their current version lives at
+  // an operational node and needs no fence from us.
+  for (const auto& [pid, info] : node_->dpt_.entries()) {
+    if (pid.owner != node_->id_) continue;
+    if (node_->global_locks_.HoldersOf(pid).empty()) {
+      node_->global_locks_.Install(pid, node_->id_, LockMode::kExclusive);
+      node_->lock_cache_.Install(pid, LockMode::kExclusive);
+    }
+  }
+  return Status::OK();
+}
+
+Status RestartRecovery::GatherPsnLists(
+    const std::map<NodeId, std::vector<PageId>>& pages_per_node,
+    std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>>* out) {
+  for (const auto& [peer, pages] : pages_per_node) {
+    PsnListReply reply;
+    if (peer == node_->id_) {
+      CLOG_RETURN_IF_ERROR(
+          node_->HandleBuildPsnList(node_->id_, pages, &reply));
+    } else {
+      CLOG_RETURN_IF_ERROR(
+          node_->network_->BuildPsnList(node_->id_, peer, pages, &reply));
+    }
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      if (!reply.per_page[i].empty()) {
+        (*out)[pages[i]][peer] = std::move(reply.per_page[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RestartRecovery::RedoRound(NodeId target, PageId pid, const Page& in,
+                                  bool has_bound, Psn bound,
+                                  RecoverPageReply* reply) {
+  ++stats_.redo_rounds;
+  if (target == node_->id_) {
+    return node_->HandleRecoverPage(node_->id_, pid, in, has_bound, bound,
+                                    reply);
+  }
+  return node_->network_->RecoverPage(node_->id_, target, pid, in, has_bound,
+                                      bound, reply);
+}
+
+Status RestartRecovery::CoordinatePageRecovery(
+    PageId pid, Page* base,
+    const std::map<NodeId, std::vector<PsnListEntry>>& lists) {
+  // Section 2.3.4 step 1: ascending PSN order, adjacent same-node entries
+  // merged.
+  std::vector<RecoveryRun> runs = MergePsnLists(lists);
+
+  // Steps 2-4: bounce the page through the involved nodes. Each node
+  // applies redo until the next run's PSN would be reached.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    bool has_bound = i + 1 < runs.size();
+    Psn bound = has_bound ? runs[i + 1].psn - 1 : 0;
+    RecoverPageReply reply;
+    CLOG_RETURN_IF_ERROR(
+        RedoRound(runs[i].node, pid, *base, has_bound, bound, &reply));
+    if (reply.page) base->CopyFrom(*reply.page);
+    stats_.redo_applied += reply.applied;
+  }
+
+  // The recovered image lands in our buffer pool; forcing it to disk lets
+  // every contributor clear its DPT entry via the flush notification
+  // (conservative variant of the Section 2.3.4 DPT adjustments).
+  Page* frame = node_->pool_.Lookup(pid);
+  if (frame == nullptr) {
+    CLOG_ASSIGN_OR_RETURN(frame, node_->pool_.Insert(pid));
+  }
+  frame->CopyFrom(*base);
+  node_->pool_.MarkDirty(pid);
+  for (const auto& [peer, _] : lists) {
+    if (peer != node_->id_) node_->replacers_[pid].insert(peer);
+  }
+  CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(pid));
+  ++stats_.own_pages_recovered;
+  node_->metrics_.GetCounter("recovery.pages_recovered").Add(1);
+  return Status::OK();
+}
+
+Status RestartRecovery::RecoverOwnPages() {
+  NodeId me = node_->id_;
+
+  // Candidates: every page of ours with a DPT entry anywhere —
+  // our rebuilt superset, the peers' replies, and any Section 2.4 staged
+  // shipments (Section 2.3.1: the basic ARIES DPT alone is not enough
+  // because remote-only updates leave no local log records).
+  std::map<PageId, std::map<NodeId, DptEntry>> contributors;
+  for (const DptEntry& e : node_->dpt_.ToEntries(me)) {
+    contributors[e.pid][me] = e;
+  }
+  for (const auto& [peer, reply] : peer_replies_) {
+    for (const DptEntry& e : reply.dpt_entries_for_crashed) {
+      contributors[e.pid][peer] = e;
+    }
+  }
+  for (const auto& [pid, entries] : node_->foreign_dpt_entries_) {
+    for (const auto& [sender, e] : entries) contributors[pid][sender] = e;
+  }
+  node_->foreign_dpt_entries_.clear();
+
+  std::map<PageId, std::vector<NodeId>> cached_at;
+  for (const auto& [peer, reply] : peer_replies_) {
+    for (PageId pid : reply.cached_pages_of_crashed) {
+      cached_at[pid].push_back(peer);
+    }
+  }
+  for (const auto& [pid, holders] : node_->foreign_cached_) {
+    for (NodeId h : holders) cached_at[pid].push_back(h);
+  }
+  node_->foreign_cached_.clear();
+
+  struct WorkItem {
+    PageId pid;
+    std::unique_ptr<Page> base;
+    std::map<NodeId, DptEntry> involved;
+  };
+  std::vector<WorkItem> work;
+
+  for (auto& [pid, contribs] : contributors) {
+    auto cit = cached_at.find(pid);
+    if (cit != cached_at.end()) {
+      // Section 2.3.1: a copy cached at an operational node carries every
+      // update made before the crash; fetch it instead of redoing logs.
+      bool fetched = false;
+      for (NodeId holder : cit->second) {
+        std::shared_ptr<Page> copy;
+        Status st =
+            node_->network_->FetchCachedPage(me, holder, pid, &copy);
+        if (st.ok() && copy) {
+          CLOG_RETURN_IF_ERROR(node_->InstallShippedCopy(*copy, holder));
+          fetched = true;
+          break;
+        }
+      }
+      if (fetched || node_->pool_.Contains(pid)) {
+        for (const auto& [n, e] : contribs) {
+          if (n != me) node_->replacers_[pid].insert(n);
+        }
+        ++stats_.own_pages_fetched;
+        node_->metrics_.GetCounter("recovery.pages_fetched_from_cache").Add(1);
+        continue;
+      }
+      // Fall through to the redo path if every fetch failed.
+    }
+
+    auto base = std::make_unique<Page>();
+    CLOG_RETURN_IF_ERROR(node_->disk_.ReadPage(pid.page_no, base.get()));
+    node_->ChargeDiskRead();
+    Psn disk_psn = base->psn();
+
+    // Section 2.3.2: a node whose CurrPSN <= the disk PSN has all its
+    // updates on disk already — not involved; its entry can be dropped
+    // (the flush notification does exactly that).
+    WorkItem item;
+    item.pid = pid;
+    for (const auto& [n, e] : contribs) {
+      if (e.curr_psn > disk_psn) {
+        item.involved[n] = e;
+      } else if (n != me) {
+        node_->network_->FlushNotify(me, n, pid, disk_psn).ok();
+      } else {
+        node_->dpt_.OnOwnerFlushed(pid, disk_psn);
+      }
+    }
+    if (item.involved.empty()) {
+      ++stats_.clean_candidates;
+      continue;
+    }
+    item.base = std::move(base);
+    work.push_back(std::move(item));
+  }
+
+  // Section 2.3.4: one NodePSNList request per involved node, covering all
+  // of that node's pages.
+  std::map<NodeId, std::vector<PageId>> pages_per_node;
+  for (const WorkItem& item : work) {
+    for (const auto& [n, _] : item.involved) {
+      pages_per_node[n].push_back(item.pid);
+    }
+  }
+  std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>> lists;
+  CLOG_RETURN_IF_ERROR(GatherPsnLists(pages_per_node, &lists));
+
+  for (WorkItem& item : work) {
+    CLOG_RETURN_IF_ERROR(
+        CoordinatePageRecovery(item.pid, item.base.get(), lists[item.pid]));
+  }
+  return Status::OK();
+}
+
+Status RestartRecovery::RecoverRemotePages() {
+  NodeId me = node_->id_;
+  // Section 2.3.1 (b): remotely owned pages that were exclusively locked
+  // by this node at crash time — their newest version died with our cache.
+  for (const DptEntry& e : node_->dpt_.ToEntries()) {
+    PageId pid = e.pid;
+    if (pid.owner == me) continue;
+    if (node_->lock_cache_.NodeMode(pid) != LockMode::kExclusive) {
+      continue;  // Current version lives elsewhere; nothing of ours is lost.
+    }
+    // Base version: the owner's newest copy (cache or disk). If the owner
+    // crashed too, it coordinates this page itself (Section 2.4) using the
+    // DPT entries and log scans it collects from us.
+    LockPageReply reply;
+    Status st = node_->network_->LockPage(me, pid.owner, pid,
+                                          LockMode::kExclusive,
+                                          /*want_page=*/true, &reply);
+    if (st.IsNodeDown()) continue;
+    CLOG_RETURN_IF_ERROR(st);
+    if (!reply.granted || !reply.page) continue;
+    if (reply.page->psn() >= e.curr_psn) {
+      continue;  // Owner's version already covers all our updates.
+    }
+    // Only our log can contain the missing tail (any other node's updates
+    // predate our exclusive lock and traveled with the page).
+    Page base;
+    base.CopyFrom(*reply.page);
+    PsnListReply plist;
+    CLOG_RETURN_IF_ERROR(
+        node_->HandleBuildPsnList(me, {pid}, &plist));
+    RecoverPageReply rreply;
+    CLOG_RETURN_IF_ERROR(
+        RedoRound(me, pid, base, /*has_bound=*/false, 0, &rreply));
+    stats_.redo_applied += rreply.applied;
+    Page* frame = node_->pool_.Lookup(pid);
+    if (frame == nullptr) {
+      CLOG_ASSIGN_OR_RETURN(frame, node_->pool_.Insert(pid));
+    }
+    if (rreply.page) frame->CopyFrom(*rreply.page);
+    node_->pool_.MarkDirty(pid);
+    ++stats_.remote_pages_recovered;
+    node_->metrics_.GetCounter("recovery.remote_pages_recovered").Add(1);
+  }
+  return Status::OK();
+}
+
+Status RestartRecovery::ExchangeAndRecover() {
+  if (node_->state_ != NodeState::kRecovering) {
+    return Status::FailedPrecondition("analysis has not run");
+  }
+  CLOG_RETURN_IF_ERROR(QueryPeers());
+  CLOG_RETURN_IF_ERROR(ReconstructLocks());
+  CLOG_RETURN_IF_ERROR(RecoverOwnPages());
+  CLOG_RETURN_IF_ERROR(RecoverRemotePages());
+  return Status::OK();
+}
+
+Status RestartRecovery::UndoLosersAndFinish() {
+  if (node_->state_ != NodeState::kRecovering) {
+    return Status::FailedPrecondition("recovery phases out of order");
+  }
+  // Roll back every loser (ARIES undo over the local log only — no log
+  // merging, the paper's key property). Exclusive locks reconstructed in
+  // Section 2.3.3 fence these pages until the undo completes.
+  for (const auto& [txn_id, loser] : analysis_.losers) {
+    Transaction* txn =
+        node_->txns_.Resurrect(txn_id, loser.first_lsn, loser.last_lsn);
+    if (loser.last_lsn != kNullLsn) {
+      CLOG_RETURN_IF_ERROR(node_->RollbackTo(txn, kNullLsn));
+    }
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn = txn_id;
+    end.prev_lsn = txn->last_lsn;
+    Lsn lsn = kNullLsn;
+    CLOG_RETURN_IF_ERROR(node_->log_.Append(end, &lsn));
+    node_->lock_cache_.ReleaseTxnLocks(txn_id);
+    node_->txns_.Remove(txn_id);
+    ++stats_.losers_undone;
+    node_->metrics_.GetCounter("recovery.losers_undone").Add(1);
+  }
+
+  node_->state_ = NodeState::kUp;
+  if (node_->options_.has_local_log) {
+    CLOG_RETURN_IF_ERROR(node_->Checkpoint());
+  }
+  for (NodeId peer : node_->network_->OperationalNodes(node_->id_)) {
+    node_->network_->NodeRecovered(node_->id_, peer, node_->id_).ok();
+  }
+  node_->metrics_.GetCounter("recovery.restarts").Add(1);
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,114 @@
+#ifndef CLOG_RECOVERY_DISTRIBUTED_RECOVERY_H_
+#define CLOG_RECOVERY_DISTRIBUTED_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "node/node.h"
+#include "recovery/local_recovery.h"
+#include "recovery/node_psn_list.h"
+
+/// \file
+/// Distributed restart recovery: the paper's Sections 2.3 (single node
+/// crash) and 2.4 (multiple node crashes). The restarting node:
+///
+///  1. rebuilds a superset DPT and the loser set by local log analysis,
+///  2. queries every operational node for its cache contents, DPT entries,
+///     and lock lists relevant to the crashed node,
+///  3. reconstructs lock tables (shared locks it held are released by the
+///     peers, exclusive ones retained and reported back),
+///  4. determines the pages that may require recovery, fetching the ones
+///     still cached at a peer and redo-coordinating the rest across the
+///     involved nodes in ascending PSN order via NodePSNLists,
+///  5. rolls back its loser transactions and takes a fresh checkpoint.
+///
+/// Log files are never merged; each node only ever scans its own log.
+///
+/// Multiple simultaneous crashes run the same three phases, staged across
+/// the crashed set by the Cluster (every crashed node completes analysis
+/// before any exchanges state, exactly the Section 2.4 requirement that
+/// rebuilt DPT supersets are available to the owners).
+
+namespace clog {
+
+/// Drives the restart of one crashed node.
+class RestartRecovery {
+ public:
+  /// Counters describing one restart (benchmark currency).
+  struct Stats {
+    std::uint64_t analysis_records = 0;    ///< Local log records analyzed.
+    std::uint64_t peers_queried = 0;
+    std::uint64_t own_pages_recovered = 0; ///< Redo-coordinated own pages.
+    std::uint64_t own_pages_fetched = 0;   ///< Taken from a peer's cache.
+    std::uint64_t remote_pages_recovered = 0;
+    std::uint64_t redo_rounds = 0;         ///< RecoverPage calls issued.
+    std::uint64_t redo_applied = 0;        ///< Redo records applied, total.
+    std::uint64_t losers_undone = 0;
+    std::uint64_t clean_candidates = 0;    ///< Candidates already on disk.
+    std::uint64_t sim_ns = 0;              ///< Simulated time consumed.
+  };
+
+  explicit RestartRecovery(Node* node) : node_(node) {}
+
+  /// Full single-node restart: all three phases in order.
+  Status Run();
+
+  // --- Staged interface for multi-crash orchestration (Section 2.4) ---
+
+  /// Phase A: reopen storage, run local analysis, install the rebuilt DPT,
+  /// and become reachable for recovery RPCs (state kRecovering).
+  Status OpenAndAnalyze();
+
+  /// Phase B: query peers, reconstruct locks, determine pages, coordinate
+  /// redo. Requires every other crashed node to have finished phase A.
+  Status ExchangeAndRecover();
+
+  /// Phase C: undo losers, checkpoint, go operational, notify peers.
+  Status UndoLosersAndFinish();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Requests cache/DPT/lock lists from all reachable peers (2.3.1/2.3.3).
+  Status QueryPeers();
+
+  /// Rebuilds the global lock table and lock cache from the peer replies,
+  /// and takes exclusive locks for unprotected DPT pages (2.3.3).
+  Status ReconstructLocks();
+
+  /// Determines and recovers pages owned by this node (2.3.1-2.3.4).
+  Status RecoverOwnPages();
+
+  /// Recovers remotely owned pages this node held exclusively (2.3.1 (b)).
+  Status RecoverRemotePages();
+
+  /// Bounces `pid` between the involved nodes in ascending PSN order
+  /// (2.3.4 steps 1-4); `base` is consumed and the final image returned
+  /// into the node's pool.
+  Status CoordinatePageRecovery(PageId pid, Page* base,
+                                const std::map<NodeId, std::vector<PsnListEntry>>& lists);
+
+  /// Issues one redo round to `target` (self targets bypass the network).
+  Status RedoRound(NodeId target, PageId pid, const Page& in, bool has_bound,
+                   Psn bound, RecoverPageReply* reply);
+
+  /// Batch-builds NodePSNLists: one request per involved node covering all
+  /// its pages (2.3.4).
+  Status GatherPsnLists(
+      const std::map<NodeId, std::vector<PageId>>& pages_per_node,
+      std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>>* out);
+
+  Node* node_;
+  AnalysisResult analysis_;
+  std::map<NodeId, RecoveryQueryReply> peer_replies_;
+  Stats stats_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_RECOVERY_DISTRIBUTED_RECOVERY_H_

@@ -1,0 +1,83 @@
+#include "recovery/local_recovery.h"
+
+#include <algorithm>
+
+#include "wal/log_reader.h"
+
+namespace clog {
+
+Status AnalyzeLog(LogManager* log, AnalysisResult* out) {
+  *out = AnalysisResult();
+
+  CLOG_ASSIGN_OR_RETURN(Lsn master, log->LoadMaster());
+  Lsn scan_start = LogManager::first_lsn();
+  if (master != kNullLsn) {
+    LogRecord ckpt;
+    CLOG_RETURN_IF_ERROR(log->ReadRecord(master, &ckpt));
+    if (ckpt.type != LogRecordType::kCheckpointEnd) {
+      return Status::Corruption("master does not point at a checkpoint end");
+    }
+    for (const DptEntry& e : ckpt.dpt) out->dpt[e.pid] = e;
+    for (const AttEntry& e : ckpt.att) {
+      out->losers[e.txn] = LoserTxn{kNullLsn, e.last_lsn};
+    }
+    scan_start = ckpt.checkpoint_begin_lsn;
+  }
+  out->scan_start = scan_start;
+
+  LogCursor cursor(log, scan_start);
+  LogRecord rec;
+  Lsn lsn = kNullLsn;
+  Status scan_status;
+  while (cursor.Next(&rec, &lsn, &scan_status)) {
+    switch (rec.type) {
+      case LogRecordType::kBegin: {
+        LoserTxn& t = out->losers[rec.txn];
+        t.first_lsn = lsn;
+        t.last_lsn = std::max(t.last_lsn, lsn);
+        break;
+      }
+      case LogRecordType::kUpdate:
+      case LogRecordType::kClr: {
+        LoserTxn& t = out->losers[rec.txn];
+        t.last_lsn = std::max(t.last_lsn, lsn);
+        auto it = out->dpt.find(rec.page);
+        if (it == out->dpt.end()) {
+          // First sight of the page since the checkpoint: this record is
+          // its conservative RedoLSN.
+          out->dpt[rec.page] =
+              DptEntry{rec.page, rec.psn_before, rec.psn_before + 1, lsn};
+        } else {
+          it->second.curr_psn =
+              std::max(it->second.curr_psn, rec.psn_before + 1);
+        }
+        break;
+      }
+      case LogRecordType::kSavepoint: {
+        LoserTxn& t = out->losers[rec.txn];
+        t.last_lsn = std::max(t.last_lsn, lsn);
+        break;
+      }
+      case LogRecordType::kCommit:
+      case LogRecordType::kEnd:
+        // Winners need no undo. (A commit without an end is still a
+        // winner; END is bookkeeping.)
+        out->losers.erase(rec.txn);
+        break;
+      case LogRecordType::kAbort: {
+        // Rollback had started; undo continues from the last CLR.
+        LoserTxn& t = out->losers[rec.txn];
+        t.last_lsn = std::max(t.last_lsn, lsn);
+        break;
+      }
+      case LogRecordType::kCheckpointBegin:
+      case LogRecordType::kCheckpointEnd:
+        break;
+    }
+  }
+  CLOG_RETURN_IF_ERROR(scan_status);
+  out->records_scanned = cursor.records_read();
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,45 @@
+#ifndef CLOG_RECOVERY_LOCAL_RECOVERY_H_
+#define CLOG_RECOVERY_LOCAL_RECOVERY_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+/// \file
+/// The local analysis pass of restart recovery: the ARIES analysis phase
+/// over a node's own log, rebuilding (a superset of) the dirty page table
+/// and the set of loser transactions (paper Sections 2.3.1 and 2.4: "a
+/// superset of each node's DPT can be reconstructed by scanning the node's
+/// log file" from the last complete checkpoint).
+
+namespace clog {
+
+/// A transaction left unresolved by the crash.
+struct LoserTxn {
+  Lsn first_lsn = kNullLsn;  ///< Its kBegin (or first known record).
+  Lsn last_lsn = kNullLsn;   ///< Undo starts here.
+};
+
+/// Output of the analysis pass.
+struct AnalysisResult {
+  /// Superset DPT rebuilt from the checkpoint image plus the scan. Entries
+  /// are keyed by page; RedoLSN is the earliest record that may need redo.
+  std::map<PageId, DptEntry> dpt;
+  /// Transactions with no commit/end record: they must be rolled back.
+  std::map<TxnId, LoserTxn> losers;
+  /// LSN the scan started from (last complete checkpoint's begin).
+  Lsn scan_start = kNullLsn;
+  /// Records examined (benchmark metric).
+  std::uint64_t records_scanned = 0;
+};
+
+/// Runs analysis over `log`: loads the master checkpoint pointer, installs
+/// the checkpointed DPT/ATT, and scans forward to the end of the log.
+Status AnalyzeLog(LogManager* log, AnalysisResult* out);
+
+}  // namespace clog
+
+#endif  // CLOG_RECOVERY_LOCAL_RECOVERY_H_

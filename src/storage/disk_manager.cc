@@ -1,0 +1,80 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace clog {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status::IOError(Errno("open " + path));
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status st = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+Status DiskManager::ReadPage(std::uint32_t page_no, Page* page) {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  ssize_t n = ::pread(fd_, page->data(), kPageSize,
+                      static_cast<off_t>(page_no) * kPageSize);
+  if (n < 0) return Status::IOError(Errno("pread " + path_));
+  if (static_cast<std::size_t>(n) != kPageSize) {
+    return Status::NotFound("page " + std::to_string(page_no) +
+                            " beyond end of " + path_);
+  }
+  ++reads_;
+  return page->VerifyChecksum();
+}
+
+Status DiskManager::WritePage(std::uint32_t page_no, Page* page, bool sync) {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  page->SealChecksum();
+  ssize_t n = ::pwrite(fd_, page->data(), kPageSize,
+                       static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(Errno("pwrite " + path_));
+  }
+  ++writes_;
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync"));
+  ++syncs_;
+  return Status::OK();
+}
+
+Result<std::uint32_t> DiskManager::NumPages() const {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IOError(Errno("fstat"));
+  return static_cast<std::uint32_t>(st.st_size / kPageSize);
+}
+
+}  // namespace clog

@@ -1,0 +1,67 @@
+#ifndef CLOG_STORAGE_DISK_MANAGER_H_
+#define CLOG_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+/// \file
+/// Durable page store for one node's database, backed by a real file and
+/// accessed with pread/pwrite. A simulated node crash discards all volatile
+/// state but the file persists, so recovery tests exercise true durability.
+
+namespace clog {
+
+/// Owns one database file; pages are addressed by page number (the page_no
+/// component of PageId). Not thread-safe; the cluster simulation is
+/// single-threaded by design (DESIGN.md Section 4).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if absent) the database file.
+  Status Open(const std::string& path);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Reads page `page_no` into `*page` and verifies its checksum.
+  Status ReadPage(std::uint32_t page_no, Page* page);
+
+  /// Seals the page checksum and writes it at `page_no`, extending the file
+  /// if needed. If `sync`, the write is followed by fdatasync.
+  Status WritePage(std::uint32_t page_no, Page* page, bool sync);
+
+  /// fdatasyncs the file.
+  Status Sync();
+
+  /// Number of whole pages currently in the file.
+  Result<std::uint32_t> NumPages() const;
+
+  /// Cumulative counters for the benchmark harness.
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_STORAGE_DISK_MANAGER_H_

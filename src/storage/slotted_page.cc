@@ -1,0 +1,177 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace clog {
+
+void SlottedPage::InitBody() {
+  SetU16(0, 0);                                       // slot_count
+  SetFreeEnd(static_cast<std::uint16_t>(Page::BodySize()));
+}
+
+std::uint16_t SlottedPage::GetU16(std::size_t off) const {
+  std::uint16_t v;
+  std::memcpy(&v, page_->body() + off, 2);
+  return v;
+}
+
+void SlottedPage::SetU16(std::size_t off, std::uint16_t v) {
+  std::memcpy(page_->body() + off, &v, 2);
+}
+
+void SlottedPage::SetSlot(SlotId s, std::uint16_t off, std::uint16_t len) {
+  SetU16(4 + 4 * s, off);
+  SetU16(4 + 4 * s + 2, len);
+}
+
+std::uint16_t SlottedPage::SlotCount() const { return GetU16(0); }
+
+std::uint16_t SlottedPage::LiveRecords() const {
+  std::uint16_t live = 0;
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) != kDeadSlot) ++live;
+  }
+  return live;
+}
+
+std::size_t SlottedPage::FreeSpace() const {
+  // Total payload bytes currently live.
+  std::size_t used = 0;
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) != kDeadSlot) used += SlotLength(s);
+  }
+  std::size_t heap = Page::BodySize() - DirectoryEnd();
+  return heap > used ? heap - used : 0;
+}
+
+std::size_t SlottedPage::MaxInsertSize() const {
+  std::size_t fs = FreeSpace();
+  // A new slot entry may be needed; reserve 4 bytes unless a dead slot
+  // exists.
+  bool has_dead = false;
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) == kDeadSlot) {
+      has_dead = true;
+      break;
+    }
+  }
+  std::size_t overhead = has_dead ? 0 : 4;
+  return fs > overhead ? fs - overhead : 0;
+}
+
+bool SlottedPage::IsLive(SlotId slot) const {
+  return slot < SlotCount() && SlotOffset(slot) != kDeadSlot;
+}
+
+std::uint16_t SlottedPage::AllocatePayload(Slice payload) {
+  std::uint16_t off =
+      static_cast<std::uint16_t>(FreeEnd() - payload.size());
+  std::memcpy(page_->body() + off, payload.data(), payload.size());
+  SetFreeEnd(off);
+  return off;
+}
+
+void SlottedPage::Compact() {
+  struct Rec {
+    SlotId slot;
+    std::vector<char> bytes;
+  };
+  std::vector<Rec> live;
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) == kDeadSlot) continue;
+    const char* p = page_->body() + SlotOffset(s);
+    live.push_back(Rec{s, std::vector<char>(p, p + SlotLength(s))});
+  }
+  SetFreeEnd(static_cast<std::uint16_t>(Page::BodySize()));
+  for (const Rec& r : live) {
+    std::uint16_t off = AllocatePayload(Slice(r.bytes.data(), r.bytes.size()));
+    SetSlot(r.slot, off, static_cast<std::uint16_t>(r.bytes.size()));
+  }
+}
+
+SlotId SlottedPage::PeekInsertSlot() const {
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) == kDeadSlot) return s;
+  }
+  return SlotCount();
+}
+
+Result<SlotId> SlottedPage::Insert(Slice payload) {
+  // Prefer reusing a dead slot.
+  SlotId target = SlotCount();
+  for (SlotId s = 0; s < SlotCount(); ++s) {
+    if (SlotOffset(s) == kDeadSlot) {
+      target = s;
+      break;
+    }
+  }
+  Status st = InsertAt(target, payload);
+  if (!st.ok()) return st;
+  return target;
+}
+
+Status SlottedPage::InsertAt(SlotId slot, Slice payload) {
+  if (payload.size() > Page::BodySize()) {
+    return Status::InvalidArgument("record larger than page body");
+  }
+  if (slot < SlotCount() && SlotOffset(slot) != kDeadSlot) {
+    return Status::FailedPrecondition("slot already occupied");
+  }
+  std::size_t new_dir_entries =
+      slot >= SlotCount() ? (slot - SlotCount() + 1) : 0;
+  std::size_t need = payload.size() + 4 * new_dir_entries;
+  if (need > FreeSpace()) {
+    return Status::FailedPrecondition("page full");
+  }
+  // Grow the directory first (new entries start dead).
+  if (new_dir_entries > 0) {
+    std::uint16_t old_count = SlotCount();
+    std::uint16_t new_count = static_cast<std::uint16_t>(slot + 1);
+    if (DirectoryEnd() + 4 * new_dir_entries > FreeEnd()) Compact();
+    SetU16(0, new_count);
+    for (SlotId s = old_count; s < new_count; ++s) SetSlot(s, kDeadSlot, 0);
+  }
+  if (ContiguousFree() < payload.size()) Compact();
+  std::uint16_t off = AllocatePayload(payload);
+  SetSlot(slot, off, static_cast<std::uint16_t>(payload.size()));
+  return Status::OK();
+}
+
+Result<Slice> SlottedPage::Read(SlotId slot) const {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  return Slice(page_->body() + SlotOffset(slot), SlotLength(slot));
+}
+
+Status SlottedPage::Update(SlotId slot, Slice payload) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  std::uint16_t old_len = SlotLength(slot);
+  if (payload.size() <= old_len) {
+    std::memcpy(page_->body() + SlotOffset(slot), payload.data(),
+                payload.size());
+    SetSlot(slot, SlotOffset(slot), static_cast<std::uint16_t>(payload.size()));
+    return Status::OK();
+  }
+  if (payload.size() - old_len > FreeSpace()) {
+    return Status::FailedPrecondition("page full");
+  }
+  SetSlot(slot, kDeadSlot, 0);
+  if (ContiguousFree() < payload.size()) Compact();
+  std::uint16_t off = AllocatePayload(payload);
+  SetSlot(slot, off, static_cast<std::uint16_t>(payload.size()));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  SetSlot(slot, kDeadSlot, 0);
+  return Status::OK();
+}
+
+}  // namespace clog

@@ -1,0 +1,101 @@
+#ifndef CLOG_STORAGE_SLOTTED_PAGE_H_
+#define CLOG_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+/// \file
+/// Record manager for data pages: the classic slotted-page layout. Records
+/// are addressed by (PageId, SlotId). The transaction layer logs record
+/// operations physiologically (page-oriented redo keyed on PSN, record-level
+/// undo), so SlottedPage must be able to re-insert a record into a specific
+/// slot during undo/redo.
+///
+/// Body layout (offsets relative to Page::body()):
+///   [0,2)  slot_count  (u16)
+///   [2,4)  free_end    (u16)  start of the record heap, grows downward
+///   [4, 4 + 4*slot_count)  slot directory: {u16 offset, u16 length} each
+///   [free_end, BodySize())  record payloads
+/// A slot with offset == kDeadSlot is empty (deleted or never used).
+
+namespace clog {
+
+/// A typed view over a Page of PageType::kData. The view does not own the
+/// page; it reads and mutates the page body in place. Callers are
+/// responsible for logging and PSN bumps; SlottedPage is pure layout.
+class SlottedPage {
+ public:
+  static constexpr std::uint16_t kDeadSlot = 0xFFFF;
+
+  /// Wraps `page`. The page must be formatted as kData (InitBody() once
+  /// after Page::Format()).
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Initializes an empty slot directory. Call exactly once per fresh page.
+  void InitBody();
+
+  /// Number of slot directory entries (including dead ones).
+  std::uint16_t SlotCount() const;
+
+  /// Number of live records.
+  std::uint16_t LiveRecords() const;
+
+  /// Bytes available for a new record (assuming one new slot entry),
+  /// counting space reclaimable by compaction.
+  std::size_t FreeSpace() const;
+
+  /// Largest payload Insert() can currently accept.
+  std::size_t MaxInsertSize() const;
+
+  /// Inserts a record, reusing a dead slot if one exists.
+  Result<SlotId> Insert(Slice payload);
+
+  /// The slot Insert() would use right now (lets the caller write the log
+  /// record before mutating the page).
+  SlotId PeekInsertSlot() const;
+
+  /// Inserts a record into a specific slot; the slot must be dead or beyond
+  /// the current directory (used by redo and by undo of delete).
+  Status InsertAt(SlotId slot, Slice payload);
+
+  /// Reads the record in `slot`. The returned slice points into the page
+  /// and is invalidated by any mutation.
+  Result<Slice> Read(SlotId slot) const;
+
+  /// Replaces the payload of an existing record (size may change).
+  Status Update(SlotId slot, Slice payload);
+
+  /// Deletes the record in `slot` (slot becomes dead and reusable).
+  Status Delete(SlotId slot);
+
+  /// True if `slot` currently holds a record.
+  bool IsLive(SlotId slot) const;
+
+ private:
+  std::uint16_t GetU16(std::size_t off) const;
+  void SetU16(std::size_t off, std::uint16_t v);
+  std::uint16_t SlotOffset(SlotId s) const { return GetU16(4 + 4 * s); }
+  std::uint16_t SlotLength(SlotId s) const { return GetU16(4 + 4 * s + 2); }
+  void SetSlot(SlotId s, std::uint16_t off, std::uint16_t len);
+  std::uint16_t FreeEnd() const { return GetU16(2); }
+  void SetFreeEnd(std::uint16_t v) { SetU16(2, v); }
+  std::size_t DirectoryEnd() const { return 4 + 4 * SlotCount(); }
+  std::size_t ContiguousFree() const { return FreeEnd() - DirectoryEnd(); }
+
+  /// Slides all live payloads to the end of the body, squeezing out holes.
+  void Compact();
+
+  /// Carves `len` bytes out of the record heap; requires contiguous room.
+  std::uint16_t AllocatePayload(Slice payload);
+
+  Page* page_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,3 @@
+#include "txn/transaction.h"
+
+// Transaction is a plain data holder; logic lives in the node engine.

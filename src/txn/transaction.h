@@ -1,0 +1,57 @@
+#ifndef CLOG_TXN_TRANSACTION_H_
+#define CLOG_TXN_TRANSACTION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "wal/log_record.h"
+
+/// \file
+/// Per-transaction volatile state. Transactions execute entirely on the
+/// node that started them (paper Section 2.1); this struct is bookkeeping
+/// only — the node engine drives logging, locking, and rollback.
+
+namespace clog {
+
+/// Lifecycle of a transaction.
+enum class TxnState : std::uint8_t {
+  kActive = 0,
+  kCommitted,
+  kAborted,
+};
+
+/// A savepoint a partial rollback can return to (paper Section 2.2).
+struct Savepoint {
+  std::string name;
+  Lsn lsn = kNullLsn;  ///< LSN of the kSavepoint log record.
+};
+
+/// Volatile descriptor of one transaction.
+struct Transaction {
+  TxnId id = kInvalidTxnId;
+  TxnState state = TxnState::kActive;
+
+  Lsn first_lsn = kNullLsn;  ///< LSN of kBegin (log truncation barrier).
+  Lsn last_lsn = kNullLsn;   ///< Most recent record (undo chain head).
+
+  std::vector<Savepoint> savepoints;
+
+  /// Pages this transaction updated (commit processing in the baseline
+  /// modes forces/ships them; statistics otherwise).
+  std::set<PageId> updated_pages;
+
+  /// Baseline B1 (ship-to-owner) only: log records not yet shipped.
+  std::vector<LogRecord> pending_records;
+
+  /// Transactions that blocked this one on its last Busy result; feeds the
+  /// cluster deadlock detector.
+  std::vector<TxnId> last_blockers;
+
+  std::uint64_t updates = 0;  ///< Logged update count (metrics).
+};
+
+}  // namespace clog
+
+#endif  // CLOG_TXN_TRANSACTION_H_

@@ -1,0 +1,61 @@
+#include "txn/txn_table.h"
+
+namespace clog {
+
+Transaction* TxnTable::Begin() {
+  TxnId id = MakeTxnId(node_, next_seq_++);
+  Transaction txn;
+  txn.id = id;
+  auto [it, _] = txns_.emplace(id, std::move(txn));
+  return &it->second;
+}
+
+Transaction* TxnTable::Resurrect(TxnId id, Lsn first_lsn, Lsn last_lsn) {
+  Transaction txn;
+  txn.id = id;
+  txn.first_lsn = first_lsn;
+  txn.last_lsn = last_lsn;
+  if (TxnNode(id) == node_) {
+    std::uint64_t seq = id & 0xFFFFFFFFFFFFull;
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+  }
+  auto [it, _] = txns_.insert_or_assign(id, std::move(txn));
+  return &it->second;
+}
+
+Transaction* TxnTable::Find(TxnId id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+const Transaction* TxnTable::Find(TxnId id) const {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void TxnTable::Remove(TxnId id) { txns_.erase(id); }
+
+std::vector<const Transaction*> TxnTable::Active() const {
+  std::vector<const Transaction*> out;
+  for (const auto& [_, txn] : txns_) out.push_back(&txn);
+  return out;
+}
+
+std::vector<AttEntry> TxnTable::Snapshot() const {
+  std::vector<AttEntry> out;
+  for (const auto& [id, txn] : txns_) {
+    out.push_back(AttEntry{id, txn.last_lsn});
+  }
+  return out;
+}
+
+Lsn TxnTable::MinFirstLsn() const {
+  Lsn min = kNullLsn;
+  for (const auto& [_, txn] : txns_) {
+    if (txn.first_lsn == kNullLsn) continue;
+    if (min == kNullLsn || txn.first_lsn < min) min = txn.first_lsn;
+  }
+  return min;
+}
+
+}  // namespace clog

@@ -1,0 +1,59 @@
+#ifndef CLOG_TXN_TXN_TABLE_H_
+#define CLOG_TXN_TXN_TABLE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace clog {
+
+/// The node's table of live transactions. Checkpoints snapshot it (the ATT
+/// part of the checkpoint record); restart analysis rebuilds it from the
+/// log to find loser transactions.
+class TxnTable {
+ public:
+  explicit TxnTable(NodeId node) : node_(node) {}
+
+  /// Creates a new active transaction with a globally unique id.
+  Transaction* Begin();
+
+  /// Re-installs a transaction found by restart analysis (a loser being
+  /// rolled back). Bumps the id allocator past it so new transactions
+  /// never collide with pre-crash ids.
+  Transaction* Resurrect(TxnId id, Lsn first_lsn, Lsn last_lsn);
+
+  /// Finds a live transaction (nullptr if unknown).
+  Transaction* Find(TxnId id);
+  const Transaction* Find(TxnId id) const;
+
+  /// Removes a finished transaction.
+  void Remove(TxnId id);
+
+  /// All live transactions.
+  std::vector<const Transaction*> Active() const;
+  std::size_t ActiveCount() const { return txns_.size(); }
+
+  /// Checkpoint form: every live transaction and its last LSN.
+  std::vector<AttEntry> Snapshot() const;
+
+  /// Earliest first_lsn over live transactions (log truncation barrier);
+  /// kNullLsn when idle.
+  Lsn MinFirstLsn() const;
+
+  /// Loses everything (node crash).
+  void Clear() { txns_.clear(); }
+
+ private:
+  NodeId node_;
+  std::uint64_t next_seq_ = 1;
+  std::map<TxnId, Transaction> txns_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_TXN_TXN_TABLE_H_

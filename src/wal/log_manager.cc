@@ -1,0 +1,249 @@
+#include "wal/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+
+namespace clog {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Record framing: u32 body_len | u32 crc32c(body) | body.
+constexpr std::size_t kFrameOverhead = 8;
+
+}  // namespace
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogManager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status::IOError(Errno("open " + path));
+  fd_ = fd;
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IOError(Errno("fstat"));
+  if (st.st_size == 0) {
+    CLOG_RETURN_IF_ERROR(WriteHeader());
+    end_lsn_ = kHeaderSize;
+    flushed_lsn_ = kHeaderSize;
+  } else {
+    CLOG_RETURN_IF_ERROR(RecoverTail());
+  }
+  buffer_start_ = end_lsn_;
+  reclaimable_lsn_ = kHeaderSize;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LogManager::WriteHeader() {
+  std::string hdr;
+  Encoder enc(&hdr);
+  enc.PutU32(kLogMagic);
+  enc.PutU32(1);  // version
+  hdr.resize(kHeaderSize, '\0');
+  if (::pwrite(fd_, hdr.data(), hdr.size(), 0) !=
+      static_cast<ssize_t>(hdr.size())) {
+    return Status::IOError(Errno("pwrite log header"));
+  }
+  if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync"));
+  return Status::OK();
+}
+
+Status LogManager::RecoverTail() {
+  // Walk whole frames from the header until a torn/invalid frame or EOF;
+  // the end LSN is the end of the last valid frame. A torn tail (crash in
+  // mid-write) is expected and silently truncated, per standard WAL
+  // practice: anything past the last complete frame was never acknowledged.
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IOError(Errno("fstat"));
+  std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  std::uint64_t pos = kHeaderSize;
+  char frame_hdr[kFrameOverhead];
+  std::string body;
+  while (pos + kFrameOverhead <= size) {
+    if (::pread(fd_, frame_hdr, kFrameOverhead, static_cast<off_t>(pos)) !=
+        static_cast<ssize_t>(kFrameOverhead)) {
+      break;
+    }
+    std::uint32_t len, crc;
+    std::memcpy(&len, frame_hdr, 4);
+    std::memcpy(&crc, frame_hdr + 4, 4);
+    if (len == 0 || pos + kFrameOverhead + len > size) break;
+    body.resize(len);
+    if (::pread(fd_, body.data(), len,
+                static_cast<off_t>(pos + kFrameOverhead)) !=
+        static_cast<ssize_t>(len)) {
+      break;
+    }
+    if (crc32c::Value(body.data(), len) != crc) break;
+    pos += kFrameOverhead + len;
+  }
+  end_lsn_ = pos;
+  flushed_lsn_ = pos;
+  if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+    return Status::IOError(Errno("ftruncate torn log tail"));
+  }
+  return Status::OK();
+}
+
+Status LogManager::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status st = Flush(end_lsn_);
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+void LogManager::Abandon() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Status LogManager::Append(const LogRecord& rec, Lsn* lsn,
+                          bool enforce_capacity) {
+  if (fd_ < 0) return Status::FailedPrecondition("log not open");
+  std::string body;
+  rec.EncodeTo(&body);
+  std::uint64_t frame_size = body.size() + kFrameOverhead;
+  if (enforce_capacity && WouldOverflow(frame_size)) {
+    return Status::LogFull("log capacity " + std::to_string(capacity_) +
+                           " bytes exhausted");
+  }
+  std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  std::uint32_t crc = crc32c::Value(body.data(), body.size());
+  char frame_hdr[kFrameOverhead];
+  std::memcpy(frame_hdr, &len, 4);
+  std::memcpy(frame_hdr + 4, &crc, 4);
+  buffer_.append(frame_hdr, kFrameOverhead);
+  buffer_.append(body);
+  *lsn = end_lsn_;
+  end_lsn_ += frame_size;
+  ++appended_records_;
+  appended_bytes_ += frame_size;
+  return Status::OK();
+}
+
+Status LogManager::Flush(Lsn up_to) {
+  if (fd_ < 0) return Status::FailedPrecondition("log not open");
+  // flushed_lsn_ is the end of the durable prefix: a record is durable iff
+  // its start LSN lies strictly before it.
+  if (up_to < flushed_lsn_) return Status::OK();
+  if (buffer_.empty()) return Status::OK();
+  if (::pwrite(fd_, buffer_.data(), buffer_.size(),
+               static_cast<off_t>(buffer_start_)) !=
+      static_cast<ssize_t>(buffer_.size())) {
+    return Status::IOError(Errno("pwrite log"));
+  }
+  if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync log"));
+  buffer_start_ = end_lsn_;
+  flushed_lsn_ = end_lsn_;
+  buffer_.clear();
+  ++forces_;
+  return Status::OK();
+}
+
+Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
+  if (fd_ < 0) return Status::FailedPrecondition("log not open");
+  if (lsn < kHeaderSize || lsn >= end_lsn_) {
+    return Status::NotFound("lsn " + std::to_string(lsn) + " out of range");
+  }
+  char frame_hdr[kFrameOverhead];
+  std::string body;
+  if (lsn >= buffer_start_) {
+    // Still in the append buffer.
+    std::size_t off = static_cast<std::size_t>(lsn - buffer_start_);
+    if (off + kFrameOverhead > buffer_.size()) {
+      return Status::Corruption("buffered frame header out of range");
+    }
+    std::memcpy(frame_hdr, buffer_.data() + off, kFrameOverhead);
+    std::uint32_t len;
+    std::memcpy(&len, frame_hdr, 4);
+    if (off + kFrameOverhead + len > buffer_.size()) {
+      return Status::Corruption("buffered frame body out of range");
+    }
+    body.assign(buffer_.data() + off + kFrameOverhead, len);
+  } else {
+    if (::pread(fd_, frame_hdr, kFrameOverhead, static_cast<off_t>(lsn)) !=
+        static_cast<ssize_t>(kFrameOverhead)) {
+      return Status::IOError(Errno("pread log frame"));
+    }
+    std::uint32_t len;
+    std::memcpy(&len, frame_hdr, 4);
+    body.resize(len);
+    if (::pread(fd_, body.data(), len,
+                static_cast<off_t>(lsn + kFrameOverhead)) !=
+        static_cast<ssize_t>(len)) {
+      return Status::IOError(Errno("pread log body"));
+    }
+  }
+  std::uint32_t crc;
+  std::memcpy(&crc, frame_hdr + 4, 4);
+  if (crc32c::Value(body.data(), body.size()) != crc) {
+    return Status::Corruption("log record crc mismatch at lsn " +
+                              std::to_string(lsn));
+  }
+  CLOG_RETURN_IF_ERROR(LogRecord::DecodeFrom(body, rec));
+  if (next_lsn != nullptr) *next_lsn = lsn + kFrameOverhead + body.size();
+  return Status::OK();
+}
+
+void LogManager::SetReclaimableLsn(Lsn lsn) {
+  if (lsn > reclaimable_lsn_) reclaimable_lsn_ = lsn;
+}
+
+Status LogManager::StoreMaster(Lsn checkpoint_end_lsn) {
+  std::string blob;
+  Encoder enc(&blob);
+  enc.PutU32(kLogMagic);
+  enc.PutU64(checkpoint_end_lsn);
+  std::uint32_t crc = crc32c::Value(blob.data(), blob.size());
+  enc.PutU32(crc);
+  std::string master = path_ + ".master";
+  std::string tmp = master + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return Status::IOError("open " + tmp);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) return Status::IOError("write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), master.c_str()) != 0) {
+    return Status::IOError(Errno("rename master"));
+  }
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::LoadMaster() const {
+  std::ifstream in(path_ + ".master", std::ios::binary);
+  if (!in.good()) return kNullLsn;  // No checkpoint taken yet.
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Decoder dec(blob);
+  std::uint32_t magic = 0, crc = 0;
+  std::uint64_t lsn = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&magic));
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&lsn));
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&crc));
+  if (magic != kLogMagic ||
+      crc32c::Value(blob.data(), blob.size() - 4) != crc) {
+    return Status::Corruption("bad master record");
+  }
+  return lsn;
+}
+
+}  // namespace clog

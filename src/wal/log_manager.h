@@ -1,0 +1,137 @@
+#ifndef CLOG_WAL_LOG_MANAGER_H_
+#define CLOG_WAL_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_record.h"
+
+/// \file
+/// Per-node write-ahead log. Every node with a local disk has exactly one
+/// log file holding *all* log records the node writes — for updates to its
+/// own pages and to remotely owned pages alike (the paper's core idea). LSNs
+/// are byte offsets into this file; LSN spaces of different nodes are
+/// disjoint and never compared.
+
+namespace clog {
+
+/// Append/flush interface over one log file.
+///
+/// Durability contract (WAL, paper Section 2.1): a log record is durable
+/// once Flush() has covered its LSN. The buffer pool calls Flush(page_lsn)
+/// before an updated page leaves the cache, and the transaction manager
+/// calls Flush(commit_lsn) at commit.
+///
+/// Bounded log space (paper Section 2.5): the log has a configurable
+/// capacity. Live space is `end_lsn - reclaimable_lsn`, where the
+/// reclaimable LSN is the minimum RedoLSN any local DPT entry still needs
+/// (advanced by the node as pages are forced and flush notifications
+/// arrive). Append fails with LogFull when capacity would be exceeded,
+/// triggering the node's log-space pressure protocol. The file itself is
+/// append-only; reclaimed prefixes simply stop counting against capacity,
+/// which preserves the paper-visible behaviour without wraparound framing.
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Opens (creating if absent) the log at `path`. On reopen after a crash
+  /// the tail is scanned so appends continue after the last whole record.
+  Status Open(const std::string& path);
+
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Closes without flushing the append buffer — simulates losing the
+  /// volatile log tail in a crash (unforced records were never durable).
+  void Abandon();
+
+  /// Appends `rec`, assigning its LSN (returned through `*lsn`). The record
+  /// is buffered; it becomes durable on the next covering Flush. Fails with
+  /// LogFull if the bounded log has no room — unless `enforce_capacity` is
+  /// false, which rollback paths use: compensation and end records must
+  /// always be appendable or a full log could never drain (the classic
+  /// ARIES rollback reservation).
+  Status Append(const LogRecord& rec, Lsn* lsn, bool enforce_capacity = true);
+
+  /// Forces all records with LSN <= `up_to` to disk (group commit: the
+  /// entire buffer is written, one fsync). No-op if already durable.
+  Status Flush(Lsn up_to);
+
+  /// Reads the record at `lsn` (possibly still unflushed). Returns the LSN
+  /// of the following record via `*next_lsn` if non-null.
+  Status ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn = nullptr);
+
+  /// LSN that the *next* appended record will get (current logical end).
+  Lsn end_lsn() const { return end_lsn_; }
+
+  /// Highest LSN known durable.
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+
+  /// LSN of the first valid record (after the file header).
+  static constexpr Lsn first_lsn() { return kHeaderSize; }
+
+  // --- Bounded space accounting (Section 2.5) ---
+
+  /// Sets the capacity in bytes; 0 (default) means unbounded.
+  void set_capacity(std::uint64_t bytes) { capacity_ = bytes; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  /// Advances the reclaim horizon: all records before `lsn` are no longer
+  /// needed for crash recovery (min RedoLSN moved past them).
+  void SetReclaimableLsn(Lsn lsn);
+  Lsn reclaimable_lsn() const { return reclaimable_lsn_; }
+
+  /// Bytes currently counted against capacity.
+  std::uint64_t LiveBytes() const { return end_lsn_ - reclaimable_lsn_; }
+
+  /// True if appending `bytes` more would exceed a bounded capacity.
+  bool WouldOverflow(std::uint64_t bytes) const {
+    return capacity_ != 0 && LiveBytes() + bytes > capacity_;
+  }
+
+  // --- Checkpoint master record ---
+
+  /// Durably records the LSN of the last *complete* checkpoint's
+  /// kCheckpointEnd record (atomic rename of a side file).
+  Status StoreMaster(Lsn checkpoint_end_lsn);
+
+  /// Reads the master pointer; kNullLsn if no checkpoint completed yet.
+  Result<Lsn> LoadMaster() const;
+
+  // --- Counters for benchmarks ---
+  std::uint64_t appended_records() const { return appended_records_; }
+  std::uint64_t appended_bytes() const { return appended_bytes_; }
+  std::uint64_t forces() const { return forces_; }
+
+ private:
+  static constexpr std::uint64_t kHeaderSize = 64;
+  static constexpr std::uint32_t kLogMagic = 0x434C4F4C;  // "CLOL"
+
+  Status WriteHeader();
+  Status RecoverTail();
+
+  std::string path_;
+  int fd_ = -1;
+  Lsn end_lsn_ = kHeaderSize;       ///< Next LSN to assign.
+  Lsn flushed_lsn_ = 0;             ///< All records < this are durable.
+  Lsn buffer_start_ = kHeaderSize;  ///< LSN of first byte in `buffer_`.
+  std::string buffer_;              ///< Appended-but-unflushed bytes.
+
+  std::uint64_t capacity_ = 0;
+  Lsn reclaimable_lsn_ = kHeaderSize;
+
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+  std::uint64_t forces_ = 0;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_WAL_LOG_MANAGER_H_

@@ -1,0 +1,37 @@
+#include "wal/log_reader.h"
+
+namespace clog {
+
+bool LogCursor::Next(LogRecord* rec, Lsn* lsn, Status* status) {
+  if (status != nullptr) *status = Status::OK();
+  if (next_ >= log_->end_lsn()) return false;
+  Lsn here = next_;
+  Lsn after = kNullLsn;
+  Status st = log_->ReadRecord(here, rec, &after);
+  if (!st.ok()) {
+    if (status != nullptr) *status = st;
+    return false;
+  }
+  next_ = after;
+  if (lsn != nullptr) *lsn = here;
+  ++records_read_;
+  return true;
+}
+
+bool TxnBackwardCursor::Prev(LogRecord* rec, Lsn* lsn, Status* status) {
+  if (status != nullptr) *status = Status::OK();
+  if (next_ == kNullLsn) return false;
+  Lsn here = next_;
+  Status st = log_->ReadRecord(here, rec);
+  if (!st.ok()) {
+    if (status != nullptr) *status = st;
+    return false;
+  }
+  if (lsn != nullptr) *lsn = here;
+  // CLRs skip over the compensated suffix.
+  next_ = rec->type == LogRecordType::kClr ? rec->undo_next_lsn
+                                           : rec->prev_lsn;
+  return true;
+}
+
+}  // namespace clog

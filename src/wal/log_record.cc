@@ -1,0 +1,137 @@
+#include "wal/log_record.h"
+
+namespace clog {
+
+std::string_view LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kBegin:
+      return "BEGIN";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kEnd:
+      return "END";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kClr:
+      return "CLR";
+    case LogRecordType::kSavepoint:
+      return "SAVEPOINT";
+    case LogRecordType::kCheckpointBegin:
+      return "CKPT_BEGIN";
+    case LogRecordType::kCheckpointEnd:
+      return "CKPT_END";
+  }
+  return "UNKNOWN";
+}
+
+void LogRecord::EncodeTo(std::string* out) const {
+  Encoder enc(out);
+  enc.PutU8(static_cast<std::uint8_t>(type));
+  enc.PutU64(txn);
+  enc.PutU64(prev_lsn);
+  switch (type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kClr:
+      enc.PutU64(page.Pack());
+      enc.PutU64(psn_before);
+      enc.PutU8(static_cast<std::uint8_t>(op));
+      enc.PutU16(slot);
+      enc.PutLengthPrefixed(redo_image);
+      enc.PutLengthPrefixed(undo_image);
+      if (type == LogRecordType::kClr) enc.PutU64(undo_next_lsn);
+      break;
+    case LogRecordType::kSavepoint:
+      enc.PutLengthPrefixed(savepoint_name);
+      break;
+    case LogRecordType::kCheckpointEnd:
+      enc.PutU64(checkpoint_begin_lsn);
+      enc.PutVarint64(dpt.size());
+      for (const DptEntry& e : dpt) {
+        enc.PutU64(e.pid.Pack());
+        enc.PutU64(e.psn);
+        enc.PutU64(e.curr_psn);
+        enc.PutU64(e.redo_lsn);
+      }
+      enc.PutVarint64(att.size());
+      for (const AttEntry& e : att) {
+        enc.PutU64(e.txn);
+        enc.PutU64(e.last_lsn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
+  *out = LogRecord();
+  Decoder dec(body);
+  std::uint8_t type8 = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU8(&type8));
+  if (type8 < 1 || type8 > 9) return Status::Corruption("bad log record type");
+  out->type = static_cast<LogRecordType>(type8);
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&out->txn));
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&out->prev_lsn));
+  switch (out->type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kClr: {
+      std::uint64_t packed = 0;
+      std::uint8_t op8 = 0;
+      CLOG_RETURN_IF_ERROR(dec.GetU64(&packed));
+      out->page = PageId::Unpack(packed);
+      CLOG_RETURN_IF_ERROR(dec.GetU64(&out->psn_before));
+      CLOG_RETURN_IF_ERROR(dec.GetU8(&op8));
+      if (op8 < 1 || op8 > 4) return Status::Corruption("bad record op");
+      out->op = static_cast<RecordOp>(op8);
+      CLOG_RETURN_IF_ERROR(dec.GetU16(&out->slot));
+      CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->redo_image));
+      CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->undo_image));
+      if (out->type == LogRecordType::kClr) {
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->undo_next_lsn));
+      }
+      break;
+    }
+    case LogRecordType::kSavepoint:
+      CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->savepoint_name));
+      break;
+    case LogRecordType::kCheckpointEnd: {
+      CLOG_RETURN_IF_ERROR(dec.GetU64(&out->checkpoint_begin_lsn));
+      std::uint64_t n = 0;
+      CLOG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+      out->dpt.resize(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t packed = 0;
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&packed));
+        out->dpt[i].pid = PageId::Unpack(packed);
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->dpt[i].psn));
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->dpt[i].curr_psn));
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->dpt[i].redo_lsn));
+      }
+      CLOG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+      out->att.resize(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->att[i].txn));
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->att[i].last_lsn));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+std::string LogRecord::ToString() const {
+  std::string out(LogRecordTypeName(type));
+  out += " txn=" + std::to_string(txn & 0xFFFFFFFFFFFFull);
+  if (type == LogRecordType::kUpdate || type == LogRecordType::kClr) {
+    out += " page=" + page.ToString();
+    out += " psn_before=" + std::to_string(psn_before);
+    out += " slot=" + std::to_string(slot);
+  }
+  return out;
+}
+
+}  // namespace clog

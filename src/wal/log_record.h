@@ -1,0 +1,112 @@
+#ifndef CLOG_WAL_LOG_RECORD_H_
+#define CLOG_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file
+/// Log record model. Recovery is ARIES redo-undo over a local write-ahead
+/// log (paper Section 2.1). Update records are *physiological*: redo is
+/// page-oriented and ordered by the PSN the page had just before the update
+/// (stored in every update record, as the paper requires), undo is a
+/// record-level logical operation (insert is undone by delete, etc.).
+
+namespace clog {
+
+/// Discriminates log record kinds.
+enum class LogRecordType : std::uint8_t {
+  kBegin = 1,            ///< Transaction started.
+  kCommit = 2,           ///< Transaction committed (force point).
+  kAbort = 3,            ///< Rollback has started.
+  kEnd = 4,              ///< Transaction fully finished (after commit/undo).
+  kUpdate = 5,           ///< Record operation on a page.
+  kClr = 6,              ///< Compensation record written during undo.
+  kSavepoint = 7,        ///< Named savepoint (partial rollback target).
+  kCheckpointBegin = 8,  ///< Fuzzy checkpoint start.
+  kCheckpointEnd = 9,    ///< Fuzzy checkpoint body (DPT + active txns).
+};
+
+/// Record-level operation logged by kUpdate / compensated by kClr.
+enum class RecordOp : std::uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+  kFormat = 4,  ///< Page formatted/allocated (redo formats the page).
+};
+
+/// Entry of the dirty page table as logged in checkpoints and exchanged
+/// during distributed recovery (paper Section 2.2).
+struct DptEntry {
+  PageId pid;
+  Psn psn = 0;        ///< Page PSN the *first* time the node dirtied it.
+  Psn curr_psn = 0;   ///< Page PSN after the node's *last* update.
+  Lsn redo_lsn = kNullLsn;  ///< Earliest local log record that may need redo.
+
+  friend bool operator==(const DptEntry&, const DptEntry&) = default;
+};
+
+/// Active-transaction-table entry logged in checkpoints.
+struct AttEntry {
+  TxnId txn = kInvalidTxnId;
+  Lsn last_lsn = kNullLsn;  ///< Most recent log record of the transaction.
+
+  friend bool operator==(const AttEntry&, const AttEntry&) = default;
+};
+
+/// A fully decoded log record. One struct covers all types; unused fields
+/// stay at their defaults. Encoding is explicit (no in-memory layout
+/// dependence) so logs are portable and fuzzable.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn = kInvalidTxnId;
+  Lsn prev_lsn = kNullLsn;  ///< Previous record of the same transaction.
+
+  // --- kUpdate / kClr ---
+  PageId page;
+  Psn psn_before = 0;  ///< PSN the page had just before this update.
+  RecordOp op = RecordOp::kInsert;
+  SlotId slot = 0;
+  std::string redo_image;  ///< After-image (insert/update) or empty.
+  std::string undo_image;  ///< Before-image (update/delete) or empty.
+
+  // --- kClr only ---
+  Lsn undo_next_lsn = kNullLsn;  ///< Next record to undo after this CLR.
+
+  // --- kSavepoint only ---
+  std::string savepoint_name;
+
+  // --- kCheckpointEnd only ---
+  Lsn checkpoint_begin_lsn = kNullLsn;
+  std::vector<DptEntry> dpt;
+  std::vector<AttEntry> att;
+
+  /// Serializes the record body (no framing; the log manager adds
+  /// length + CRC framing).
+  void EncodeTo(std::string* out) const;
+
+  /// Decodes a record body produced by EncodeTo.
+  static Status DecodeFrom(Slice body, LogRecord* out);
+
+  /// Short human-readable form for traces and test failures.
+  std::string ToString() const;
+
+  /// True for types that belong to a transaction's undo chain.
+  bool IsTransactional() const {
+    return type == LogRecordType::kBegin || type == LogRecordType::kCommit ||
+           type == LogRecordType::kAbort || type == LogRecordType::kEnd ||
+           type == LogRecordType::kUpdate || type == LogRecordType::kClr ||
+           type == LogRecordType::kSavepoint;
+  }
+};
+
+/// Name of a log record type ("UPDATE", "CLR", ...).
+std::string_view LogRecordTypeName(LogRecordType t);
+
+}  // namespace clog
+
+#endif  // CLOG_WAL_LOG_RECORD_H_

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "core/workload.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Six-node stress: two owners, four clients, cross-ownership
+/// transactions, randomized crash subsets — the Figure 1 topology pushed
+/// harder than the targeted tests.
+class BigClusterTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  BigClusterTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 12;  // Real cache pressure.
+    cluster_ = std::make_unique<Cluster>(opts);
+    for (int i = 0; i < 6; ++i) nodes_.push_back(*cluster_->AddNode());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<Node*> nodes_;
+};
+
+TEST_P(BigClusterTest, MixedWorkloadWithRandomCrashSubsets) {
+  Random rng(GetParam());
+  // Owners 0 and 1 host 6 pages each; everyone touches everything.
+  std::vector<PageId> pages;
+  for (int o = 0; o < 2; ++o) {
+    auto owned = *AllocatePopulatedPages(cluster_.get(), nodes_[o]->id(), 6,
+                                         6, 48, GetParam() + o);
+    pages.insert(pages.end(), owned.begin(), owned.end());
+  }
+
+  auto run_mix = [&](std::uint64_t seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.txns_per_session = 6;
+    config.ops_per_txn = 4;
+    config.records_per_page = 6;
+    config.payload_bytes = 48;
+    std::vector<std::pair<NodeId, std::vector<PageId>>> sessions;
+    for (Node* n : nodes_) {
+      if (n->state() == NodeState::kUp) sessions.emplace_back(n->id(), pages);
+    }
+    WorkloadDriver driver(cluster_.get(), config, sessions);
+    ASSERT_OK(driver.Run());
+    EXPECT_GT(driver.stats().committed, 0u);
+  };
+
+  run_mix(rng.Next());
+
+  for (int round = 0; round < 3; ++round) {
+    // Crash a random non-empty subset of up to 3 nodes.
+    std::vector<NodeId> victims;
+    std::size_t count = 1 + rng.Uniform(3);
+    std::set<std::size_t> picked;
+    while (picked.size() < count) picked.insert(rng.Uniform(nodes_.size()));
+    for (std::size_t idx : picked) {
+      ASSERT_OK(cluster_->CrashNode(nodes_[idx]->id()));
+      victims.push_back(nodes_[idx]->id());
+    }
+    ASSERT_OK(cluster_->RestartNodes(victims));
+    run_mix(rng.Next());
+  }
+
+  // Global audit: every page scannable from every node, and all nodes
+  // agree on the contents.
+  std::vector<std::vector<std::string>> reference;
+  ASSERT_OK_AND_ASSIGN(TxnId ref_txn, nodes_[5]->Begin());
+  for (PageId pid : pages) {
+    ASSERT_OK_AND_ASSIGN(auto records, nodes_[5]->ScanPage(ref_txn, pid));
+    reference.push_back(records);
+  }
+  ASSERT_OK(nodes_[5]->Commit(ref_txn));
+  for (Node* n : nodes_) {
+    ASSERT_OK_AND_ASSIGN(TxnId check, n->Begin());
+    for (std::size_t p = 0; p < pages.size(); ++p) {
+      ASSERT_OK_AND_ASSIGN(auto records, n->ScanPage(check, pages[p]));
+      EXPECT_EQ(records, reference[p])
+          << "node " << n->id() << " page " << pages[p].ToString();
+    }
+    ASSERT_OK(n->Commit(check));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigClusterTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(TwoOwnersTest, CrossOwnershipTransaction) {
+  // One transaction updates pages of two different owners; commit is
+  // still one local log force (contrast: shared-nothing would need 2PC).
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  Cluster cluster(opts);
+  Node* owner_a = *cluster.AddNode();
+  Node* owner_b = *cluster.AddNode();
+  Node* worker = *cluster.AddNode();
+  PageId pa = *owner_a->AllocatePage();
+  PageId pb = *owner_b->AllocatePage();
+
+  std::uint64_t forces_before = worker->log().forces();
+  TxnId txn = *worker->Begin();
+  RecordId ra = *worker->Insert(txn, pa, "debit");
+  RecordId rb = *worker->Insert(txn, pb, "credit");
+  std::uint64_t msgs_before =
+      cluster.network().metrics().CounterValue("msg.total");
+  ASSERT_OK(worker->Commit(txn));
+  EXPECT_EQ(cluster.network().metrics().CounterValue("msg.total"),
+            msgs_before);                             // Zero-message commit.
+  EXPECT_EQ(worker->log().forces(), forces_before + 1);  // One force.
+
+  // Atomicity across both owners after the worker crashes.
+  ASSERT_OK(cluster.CrashNode(worker->id()));
+  ASSERT_OK(cluster.RestartNode(worker->id()));
+  TxnId check = *worker->Begin();
+  ASSERT_OK_AND_ASSIGN(std::string va, worker->Read(check, ra));
+  ASSERT_OK_AND_ASSIGN(std::string vb, worker->Read(check, rb));
+  EXPECT_EQ(va, "debit");
+  EXPECT_EQ(vb, "credit");
+  ASSERT_OK(worker->Commit(check));
+}
+
+TEST(TwoOwnersTest, CrossOwnershipLoserUndoneOnBothOwners) {
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  Cluster cluster(opts);
+  Node* owner_a = *cluster.AddNode();
+  Node* owner_b = *cluster.AddNode();
+  Node* worker = *cluster.AddNode();
+  PageId pa = *owner_a->AllocatePage();
+  PageId pb = *owner_b->AllocatePage();
+
+  TxnId seed = *worker->Begin();
+  RecordId ra = *worker->Insert(seed, pa, "A");
+  RecordId rb = *worker->Insert(seed, pb, "B");
+  ASSERT_OK(worker->Commit(seed));
+
+  TxnId loser = *worker->Begin();
+  ASSERT_OK(worker->Update(loser, ra, "A-dirty"));
+  ASSERT_OK(worker->Update(loser, rb, "B-dirty"));
+  ASSERT_OK(worker->log().Flush(worker->log().end_lsn()));
+  ASSERT_OK(cluster.CrashNode(worker->id()));
+  ASSERT_OK(cluster.RestartNode(worker->id()));
+
+  TxnId check = *worker->Begin();
+  ASSERT_OK_AND_ASSIGN(std::string va, worker->Read(check, ra));
+  ASSERT_OK_AND_ASSIGN(std::string vb, worker->Read(check, rb));
+  EXPECT_EQ(va, "A");
+  EXPECT_EQ(vb, "B");
+  ASSERT_OK(worker->Commit(check));
+}
+
+}  // namespace
+}  // namespace clog

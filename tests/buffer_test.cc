@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/dirty_page_table.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+PageId P(std::uint32_t n) { return PageId{0, n}; }
+
+TEST(BufferPoolTest, LookupMissThenInsert) {
+  BufferPool pool(4);
+  EXPECT_EQ(pool.Lookup(P(1)), nullptr);
+  EXPECT_EQ(pool.misses(), 1u);
+  ASSERT_OK_AND_ASSIGN(Page * frame, pool.Insert(P(1)));
+  frame->Format(P(1), PageType::kData, 0);
+  EXPECT_EQ(pool.Lookup(P(1)), frame);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(pool.Contains(P(1)));
+}
+
+TEST(BufferPoolTest, DoubleInsertFails) {
+  BufferPool pool(4);
+  ASSERT_OK(pool.Insert(P(1)).status());
+  EXPECT_EQ(pool.Insert(P(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  BufferPool pool(2);
+  std::vector<PageId> evicted;
+  pool.SetEvictionHandler([&](PageId pid, Page*, bool) {
+    evicted.push_back(pid);
+    return Status::OK();
+  });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  ASSERT_OK(pool.Insert(P(2)).status());
+  pool.Lookup(P(1));  // P(1) most recent; P(2) is the LRU victim.
+  ASSERT_OK(pool.Insert(P(3)).status());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], P(2));
+  EXPECT_TRUE(pool.Contains(P(1)));
+  EXPECT_TRUE(pool.Contains(P(3)));
+}
+
+TEST(BufferPoolTest, PinnedPagesNotEvicted) {
+  BufferPool pool(2);
+  std::vector<PageId> evicted;
+  pool.SetEvictionHandler([&](PageId pid, Page*, bool) {
+    evicted.push_back(pid);
+    return Status::OK();
+  });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  ASSERT_OK(pool.Insert(P(2)).status());
+  pool.Pin(P(1));
+  pool.Lookup(P(2));  // P(1) would be LRU, but it is pinned.
+  ASSERT_OK(pool.Insert(P(3)).status());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], P(2));
+  pool.Unpin(P(1));
+}
+
+TEST(BufferPoolTest, AllPinnedMeansBusy) {
+  BufferPool pool(1);
+  pool.SetEvictionHandler([](PageId, Page*, bool) { return Status::OK(); });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  pool.Pin(P(1));
+  EXPECT_TRUE(pool.Insert(P(2)).status().IsBusy());
+}
+
+TEST(BufferPoolTest, DirtyBitFlowsToHandler) {
+  BufferPool pool(1);
+  bool saw_dirty = false;
+  pool.SetEvictionHandler([&](PageId, Page*, bool dirty) {
+    saw_dirty = dirty;
+    return Status::OK();
+  });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  pool.MarkDirty(P(1));
+  EXPECT_TRUE(pool.IsDirty(P(1)));
+  ASSERT_OK(pool.Insert(P(2)).status());
+  EXPECT_TRUE(saw_dirty);
+}
+
+TEST(BufferPoolTest, ExplicitEvictAndDrop) {
+  BufferPool pool(4);
+  int handler_calls = 0;
+  pool.SetEvictionHandler([&](PageId, Page*, bool) {
+    ++handler_calls;
+    return Status::OK();
+  });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  ASSERT_OK(pool.Insert(P(2)).status());
+  ASSERT_OK(pool.Evict(P(1)));
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_FALSE(pool.Contains(P(1)));
+  pool.Drop(P(2));  // No handler for Drop.
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_TRUE(pool.Evict(P(9)).IsNotFound());
+}
+
+TEST(BufferPoolTest, DropAllSimulatesCrash) {
+  BufferPool pool(4);
+  int handler_calls = 0;
+  pool.SetEvictionHandler([&](PageId, Page*, bool) {
+    ++handler_calls;
+    return Status::OK();
+  });
+  ASSERT_OK(pool.Insert(P(1)).status());
+  ASSERT_OK(pool.Insert(P(2)).status());
+  pool.MarkDirty(P(1));
+  pool.DropAll();
+  EXPECT_EQ(handler_calls, 0);  // Crash writes nothing.
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPoolTest, CachedAndDirtyLists) {
+  BufferPool pool(4);
+  ASSERT_OK(pool.Insert(P(1)).status());
+  ASSERT_OK(pool.Insert(P(2)).status());
+  pool.MarkDirty(P(2));
+  EXPECT_EQ(pool.CachedPages().size(), 2u);
+  auto dirty = pool.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], P(2));
+  pool.MarkClean(P(2));
+  EXPECT_TRUE(pool.DirtyPages().empty());
+}
+
+// --- DirtyPageTable: the paper's Section 2.2 rules ---
+
+TEST(DirtyPageTableTest, FirstDirtyCapturesPsnAndRedoLsn) {
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(P(1), /*page_psn=*/10, /*log_end=*/500);
+  const DirtyPageInfo* info = dpt.Find(P(1));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->psn, 10u);
+  EXPECT_EQ(info->curr_psn, 10u);
+  EXPECT_EQ(info->redo_lsn, 500u);
+  // A second first-dirty is a no-op (entry exists).
+  dpt.OnFirstDirty(P(1), 99, 900);
+  EXPECT_EQ(dpt.Find(P(1))->redo_lsn, 500u);
+}
+
+TEST(DirtyPageTableTest, UpdatesAdvanceCurrPsnOnly) {
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(P(1), 10, 500);
+  dpt.OnUpdate(P(1), 11);
+  dpt.OnUpdate(P(1), 12);
+  EXPECT_EQ(dpt.Find(P(1))->psn, 10u);
+  EXPECT_EQ(dpt.Find(P(1))->curr_psn, 12u);
+}
+
+TEST(DirtyPageTableTest, FlushCoveringAllUpdatesDropsEntry) {
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(P(1), 10, 500);
+  dpt.OnUpdate(P(1), 12);
+  dpt.OnReplaced(P(1), 12, 800);
+  EXPECT_TRUE(dpt.OnOwnerFlushed(P(1), 12));
+  EXPECT_FALSE(dpt.Contains(P(1)));
+}
+
+TEST(DirtyPageTableTest, StaleFlushKeepsEntry) {
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(P(1), 10, 500);
+  dpt.OnUpdate(P(1), 15);
+  // Disk only reached PSN 12: our updates 13..15 are not durable.
+  EXPECT_FALSE(dpt.OnOwnerFlushed(P(1), 12));
+  EXPECT_TRUE(dpt.Contains(P(1)));
+  EXPECT_EQ(dpt.Find(P(1))->redo_lsn, 500u);
+}
+
+TEST(DirtyPageTableTest, Section25RedoLsnAdvance) {
+  // Replace at log end 800, re-dirty, then the owner flushes the shipped
+  // copy: RedoLSN advances to the remembered 800 (Section 2.5).
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(P(1), 10, 500);
+  dpt.OnUpdate(P(1), 12);
+  dpt.OnReplaced(P(1), 12, 800);
+  dpt.OnUpdate(P(1), 14);  // Re-dirtied after replacement.
+  EXPECT_FALSE(dpt.OnOwnerFlushed(P(1), 12));
+  ASSERT_TRUE(dpt.Contains(P(1)));
+  EXPECT_EQ(dpt.Find(P(1))->redo_lsn, 800u);
+}
+
+TEST(DirtyPageTableTest, MinRedoLsnAndVictim) {
+  DirtyPageTable dpt;
+  EXPECT_EQ(dpt.MinRedoLsn(), kNullLsn);
+  EXPECT_FALSE(dpt.MinRedoLsnPage().has_value());
+  dpt.OnFirstDirty(P(1), 0, 700);
+  dpt.OnFirstDirty(P(2), 0, 300);
+  dpt.OnFirstDirty(P(3), 0, 900);
+  EXPECT_EQ(dpt.MinRedoLsn(), 300u);
+  EXPECT_EQ(dpt.MinRedoLsnPage().value(), P(2));
+}
+
+TEST(DirtyPageTableTest, ToEntriesFiltersByOwner) {
+  DirtyPageTable dpt;
+  dpt.OnFirstDirty(PageId{1, 1}, 0, 100);
+  dpt.OnFirstDirty(PageId{2, 1}, 0, 200);
+  EXPECT_EQ(dpt.ToEntries().size(), 2u);
+  auto owned = dpt.ToEntries(NodeId{2});
+  ASSERT_EQ(owned.size(), 1u);
+  EXPECT_EQ(owned[0].pid, (PageId{2, 1}));
+}
+
+TEST(DirtyPageTableTest, InstallForAnalysis) {
+  DirtyPageTable dpt;
+  dpt.Install(DptEntry{P(4), 5, 9, 1234});
+  ASSERT_TRUE(dpt.Contains(P(4)));
+  EXPECT_EQ(dpt.Find(P(4))->curr_psn, 9u);
+  EXPECT_EQ(dpt.Find(P(4))->redo_lsn, 1234u);
+}
+
+}  // namespace
+}  // namespace clog

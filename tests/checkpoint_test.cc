@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+  }
+
+  Result<LogRecord> LastCheckpoint(Node* node) {
+    CLOG_ASSIGN_OR_RETURN(Lsn master, node->log().LoadMaster());
+    if (master == kNullLsn) return Status::NotFound("no checkpoint");
+    LogRecord rec;
+    CLOG_RETURN_IF_ERROR(node->log().ReadRecord(master, &rec));
+    return rec;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_F(CheckpointTest, CapturesActiveTransactions) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId active, owner_->Begin());
+  ASSERT_OK(owner_->Insert(active, pid, "in-flight").status());
+  ASSERT_OK(owner_->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(LogRecord ckpt, LastCheckpoint(owner_));
+  ASSERT_EQ(ckpt.att.size(), 1u);
+  EXPECT_EQ(ckpt.att[0].txn, active);
+  ASSERT_EQ(ckpt.dpt.size(), 1u);
+  EXPECT_EQ(ckpt.dpt[0].pid, pid);
+  ASSERT_OK(owner_->Commit(active));
+}
+
+TEST_F(CheckpointTest, FuzzyDoesNotWritePages) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+  ASSERT_OK(owner_->Insert(txn, pid, "dirty").status());
+  ASSERT_OK(owner_->Commit(txn));
+  std::uint64_t writes = owner_->disk().writes();
+  ASSERT_OK(owner_->Checkpoint());
+  // Fuzzy: the dirty page is still dirty in the pool, nothing was forced.
+  EXPECT_EQ(owner_->disk().writes(), writes);
+  EXPECT_TRUE(owner_->pool().IsDirty(pid));
+  EXPECT_TRUE(owner_->dpt().Contains(pid));
+}
+
+TEST_F(CheckpointTest, IncludesRemoteOwnedDirtyPages) {
+  // The client's DPT tracks pages of the OWNER it updated; its checkpoint
+  // must log those entries (they are what Section 2.3.1 recovery reads).
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+  ASSERT_OK(client_->Insert(txn, pid, "remote-dirty").status());
+  ASSERT_OK(client_->Commit(txn));
+  ASSERT_OK(client_->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(LogRecord ckpt, LastCheckpoint(client_));
+  ASSERT_EQ(ckpt.dpt.size(), 1u);
+  EXPECT_EQ(ckpt.dpt[0].pid, pid);
+  EXPECT_EQ(ckpt.dpt[0].pid.owner, owner_->id());
+  EXPECT_EQ(ckpt.dpt[0].curr_psn, 1u);
+}
+
+TEST_F(CheckpointTest, MasterAdvancesMonotonically) {
+  ASSERT_OK(owner_->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(Lsn first, owner_->log().LoadMaster());
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+  ASSERT_OK(owner_->Insert(txn, pid, "x").status());
+  ASSERT_OK(owner_->Commit(txn));
+  ASSERT_OK(owner_->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(Lsn second, owner_->log().LoadMaster());
+  EXPECT_GT(second, first);
+}
+
+TEST_F(CheckpointTest, CheckpointAdvancesReclaimHorizon) {
+  // With no dirty pages and no active txns, a checkpoint moves the
+  // reclaimable horizon to its own begin record.
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+  ASSERT_OK(owner_->Insert(txn, pid, "x").status());
+  ASSERT_OK(owner_->Commit(txn));
+  ASSERT_OK(owner_->HandleFlushRequest(owner_->id(), pid));  // Clean DPT.
+  Lsn before = owner_->log().reclaimable_lsn();
+  ASSERT_OK(owner_->Checkpoint());
+  EXPECT_GT(owner_->log().reclaimable_lsn(), before);
+}
+
+TEST_F(CheckpointTest, RecoveryUsesLatestCompleteCheckpoint) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+      ASSERT_OK(owner_->Insert(txn, pid, "b" + std::to_string(burst))
+                    .status());
+      ASSERT_OK(owner_->Commit(txn));
+    }
+    ASSERT_OK(owner_->Checkpoint());
+  }
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  ASSERT_OK(cluster_->RestartNode(owner_->id()));
+  // Analysis starts at the LAST checkpoint: only its begin/end pair is
+  // rescanned (no user records followed it).
+  EXPECT_LE(cluster_->recovery_stats().at(owner_->id()).analysis_records,
+            3u);
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(auto records, owner_->ScanPage(check, pid));
+  EXPECT_EQ(records.size(), 15u);
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(CheckpointTest, IndependentCheckpointsAcrossNodes) {
+  // Section 2.2 / advantage (4): nodes checkpoint at wildly different
+  // cadences with zero coordination, and both recover correctly.
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(TxnId to, owner_->Begin());
+    ASSERT_OK(owner_->Insert(to, pid, "o").status());
+    ASSERT_OK(owner_->Commit(to));
+    ASSERT_OK(owner_->Checkpoint());  // Owner: every txn.
+    ASSERT_OK_AND_ASSIGN(TxnId tc, client_->Begin());
+    ASSERT_OK(client_->Insert(tc, pid, "c").status());
+    ASSERT_OK(client_->Commit(tc));
+    // Client: never.
+  }
+  std::uint64_t msgs = cluster_->network().metrics().CounterValue(
+      "msg.total");
+  ASSERT_OK(owner_->Checkpoint());
+  EXPECT_EQ(cluster_->network().metrics().CounterValue("msg.total"), msgs);
+
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  ASSERT_OK(cluster_->CrashNode(client_->id()));
+  ASSERT_OK(cluster_->RestartNodes({owner_->id(), client_->id()}));
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(auto records, owner_->ScanPage(check, pid));
+  EXPECT_EQ(records.size(), 20u);
+  ASSERT_OK(owner_->Commit(check));
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Fault-injection on the durable artifacts: recovery must detect (not
+/// silently absorb) corrupted pages and log records, and must tolerate a
+/// torn log tail — the one corruption that is *expected* after a crash.
+class CorruptionTest : public ::testing::Test {
+ protected:
+  CorruptionTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    cluster_ = std::make_unique<Cluster>(opts);
+    node_ = *cluster_->AddNode();
+  }
+
+  std::string NodeFile(const char* name) {
+    return dir_.path() + "/node0/" + name;
+  }
+
+  void FlipByteAt(const std::string& path, long offset) {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, offset, SEEK_SET);
+    std::fputc(c ^ 0x5A, f);
+    std::fclose(f);
+  }
+
+  void AppendGarbage(const std::string& path, const std::string& bytes) {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* node_ = nullptr;
+};
+
+TEST_F(CorruptionTest, TornLogTailIsExpectedAndTruncated) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(txn, pid, "whole"));
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+
+  // A torn frame at the tail: length promises more bytes than exist.
+  std::string torn;
+  torn.append("\x40\x00\x00\x00", 4);  // len = 64
+  torn.append("\x00\x00\x00\x00", 4);  // bogus crc
+  torn.append("short");
+  AppendGarbage(NodeFile("node.log"), torn);
+
+  ASSERT_OK(cluster_->RestartNode(node_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(check, rid));
+  EXPECT_EQ(v, "whole");
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(CorruptionTest, BitFlipInDurableLogBodyDetected) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, std::string(200, 'x')).status());
+  ASSERT_OK(node_->Commit(txn));
+  Lsn target = LogManager::first_lsn() + 20;  // Inside the first record.
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+  FlipByteAt(NodeFile("node.log"), static_cast<long>(target));
+
+  // The reopen tail-scan treats the corrupted frame as the end of the
+  // valid log (everything after a bad CRC is untrusted), so recovery sees
+  // a truncated history rather than corrupt data. Depending on what the
+  // flip hit this either surfaces as a clean-but-shorter log or a decode
+  // failure; it must never produce wrong data silently.
+  Status st = cluster_->RestartNode(node_->id());
+  if (st.ok()) {
+    ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+    ASSERT_OK_AND_ASSIGN(auto records, node_->ScanPage(check, pid));
+    EXPECT_TRUE(records.empty());  // The insert's record was disavowed.
+    ASSERT_OK(node_->Commit(check));
+  } else {
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+}
+
+TEST_F(CorruptionTest, CorruptDiskPageSurfacesOnRead) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "data").status());
+  ASSERT_OK(node_->Commit(txn));
+  // Force to disk, then damage the on-disk page body.
+  ASSERT_OK(node_->HandleFlushRequest(node_->id(), pid));
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+  FlipByteAt(NodeFile("node.db"),
+             static_cast<long>(pid.page_no) * kPageSize + 2048);
+
+  // Restart analysis itself may not touch the page (DPT entry was
+  // dropped); the corruption must surface as Corruption on first access,
+  // never as silent garbage.
+  Status st = cluster_->RestartNode(node_->id());
+  if (st.ok()) {
+    ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+    Status read = node_->ScanPage(check, pid).status();
+    EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+    ASSERT_OK(node_->Abort(check));
+  } else {
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+}
+
+TEST_F(CorruptionTest, CorruptSpaceMapDetected) {
+  ASSERT_OK(node_->AllocatePage().status());
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+  FlipByteAt(NodeFile("node.map"), 10);
+  Status st = cluster_->RestartNode(node_->id());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(CorruptionTest, CorruptMasterPointerDetected) {
+  ASSERT_OK(node_->Checkpoint());
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+  FlipByteAt(NodeFile("node.log.master"), 6);
+  Status st = cluster_->RestartNode(node_->id());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(CorruptionTest, MissingMasterMeansFullScanNotFailure) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(txn, pid, "v"));
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK(node_->Checkpoint());
+  ASSERT_OK(cluster_->CrashNode(node_->id()));
+  std::remove(NodeFile("node.log.master").c_str());
+
+  ASSERT_OK(cluster_->RestartNode(node_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK(node_->Read(check, rid).status());
+  ASSERT_OK(node_->Commit(check));
+}
+
+}  // namespace
+}  // namespace clog

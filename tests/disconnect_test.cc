@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Paper Section 1.2: orderly disconnection is not a crash. A
+/// disconnected node keeps its cache, locks, and active transactions, and
+/// keeps committing durably against its local log; peers simply cannot
+/// reach it. Reconnection needs no recovery.
+class DisconnectTest : public ::testing::Test {
+ protected:
+  DisconnectTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    cluster_ = std::make_unique<Cluster>(opts);
+    office_ = *cluster_->AddNode();
+    notebook_ = *cluster_->AddNode();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* office_ = nullptr;
+  Node* notebook_ = nullptr;
+};
+
+TEST_F(DisconnectTest, DisconnectedNodeKeepsCommittingLocally) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, office_->AllocatePage());
+  // Check the customer data out before leaving the office.
+  ASSERT_OK_AND_ASSIGN(TxnId checkout, notebook_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, notebook_->Insert(checkout, pid, "v0"));
+  ASSERT_OK(notebook_->Commit(checkout));
+
+  ASSERT_OK(cluster_->DisconnectNode(notebook_->id()));
+  // In the field: many durable transactions, zero office contact.
+  std::uint64_t msgs = cluster_->network().metrics().CounterValue("msg.total");
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, notebook_->Begin());
+    ASSERT_OK(notebook_->Update(txn, rid, "v" + std::to_string(i)));
+    ASSERT_OK(notebook_->Commit(txn));
+  }
+  EXPECT_EQ(cluster_->network().metrics().CounterValue("msg.total"), msgs);
+
+  // Office cannot reach the checked-out data meanwhile.
+  ASSERT_OK_AND_ASSIGN(TxnId blocked, office_->Begin());
+  Status st = office_->Read(blocked, rid).status();
+  EXPECT_TRUE(st.IsBusy()) << st.ToString();
+  ASSERT_OK(office_->Abort(blocked));
+
+  // Reconnect: NO recovery; the office's read pulls the newest version.
+  ASSERT_OK(cluster_->ReconnectNode(notebook_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId check, office_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, office_->Read(check, rid));
+  EXPECT_EQ(v, "v5");
+  ASSERT_OK(office_->Commit(check));
+}
+
+TEST_F(DisconnectTest, CrashWhileDisconnectedStillRecovers) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, office_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId checkout, notebook_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       notebook_->Insert(checkout, pid, "field-data"));
+  ASSERT_OK(notebook_->Commit(checkout));
+  ASSERT_OK(cluster_->DisconnectNode(notebook_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId txn, notebook_->Begin());
+  ASSERT_OK(notebook_->Update(txn, rid, "field-commit"));
+  ASSERT_OK(notebook_->Commit(txn));
+  // The notebook is dropped in a puddle while offline.
+  ASSERT_OK(cluster_->CrashNode(notebook_->id()));
+  ASSERT_OK(cluster_->RestartNode(notebook_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId check, notebook_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, notebook_->Read(check, rid));
+  EXPECT_EQ(v, "field-commit");
+  ASSERT_OK(notebook_->Commit(check));
+}
+
+TEST_F(DisconnectTest, UncachedDataUnavailableWhileDisconnected) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, office_->AllocatePage());
+  ASSERT_OK(cluster_->DisconnectNode(notebook_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId txn, notebook_->Begin());
+  // Never fetched: the disconnected node cannot get it now.
+  Status st = notebook_->Insert(txn, pid, "x").status();
+  EXPECT_TRUE(st.IsNodeDown()) << st.ToString();
+  ASSERT_OK(notebook_->Abort(txn));
+  ASSERT_OK(cluster_->ReconnectNode(notebook_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId txn2, notebook_->Begin());
+  ASSERT_OK(notebook_->Insert(txn2, pid, "x").status());
+  ASSERT_OK(notebook_->Commit(txn2));
+}
+
+TEST_F(DisconnectTest, StateValidation) {
+  EXPECT_TRUE(cluster_->DisconnectNode(99).IsNotFound());
+  ASSERT_OK(cluster_->CrashNode(notebook_->id()));
+  EXPECT_EQ(cluster_->DisconnectNode(notebook_->id()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster_->ReconnectNode(notebook_->id()).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK(cluster_->RestartNode(notebook_->id()));
+  ASSERT_OK(cluster_->DisconnectNode(notebook_->id()));
+  ASSERT_OK(cluster_->ReconnectNode(notebook_->id()));
+}
+
+}  // namespace
+}  // namespace clog

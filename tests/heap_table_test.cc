@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/heap_table.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class HeapTableTest : public ::testing::Test {
+ protected:
+  HeapTableTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 32;
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_F(HeapTableTest, CatalogEntryRoundTrip) {
+  PageId pid{3, 77};
+  std::string enc = EncodeCatalogEntry(pid);
+  ASSERT_OK_AND_ASSIGN(PageId out, DecodeCatalogEntry(enc));
+  EXPECT_EQ(out, pid);
+  EXPECT_TRUE(DecodeCatalogEntry("xx").status().IsCorruption());
+}
+
+TEST_F(HeapTableTest, InsertAndScan) {
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    for (int i = 0; i < 10; ++i) {
+      CLOG_RETURN_IF_ERROR(
+          table.Insert(txn, "row" + std::to_string(i)).status());
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, table.Count(txn));
+    EXPECT_EQ(n, 10u);
+    CLOG_ASSIGN_OR_RETURN(auto rows, table.Scan(txn));
+    EXPECT_EQ(rows.front(), "row0");
+    return Status::OK();
+  }));
+}
+
+TEST_F(HeapTableTest, GrowsAcrossPages) {
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  // ~4 KiB pages, 500-byte rows: 100 rows span 13+ pages.
+  std::string row(500, 'g');
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    for (int i = 0; i < 100; ++i) {
+      CLOG_RETURN_IF_ERROR(table.Insert(txn, row).status());
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(auto pages, table.DataPages(txn));
+    EXPECT_GE(pages.size(), 13u);
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, table.Count(txn));
+    EXPECT_EQ(n, 100u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(HeapTableTest, RemoteClientUsesTable) {
+  // The table lives at the owner; a client inserts/scans through its own
+  // cache and local log, extending the table when needed.
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  std::string row(700, 'c');
+  ASSERT_OK(cluster_->RunTransaction(client_->id(), [&](TxnHandle& txn) {
+    for (int i = 0; i < 20; ++i) {
+      CLOG_RETURN_IF_ERROR(table.Insert(txn, row).status());
+    }
+    return Status::OK();
+  }));
+  // Owner sees everything after the callbacks pull pages home.
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, table.Count(txn));
+    EXPECT_EQ(n, 20u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(HeapTableTest, AbortUnlinksExtension) {
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  // Abort a transaction that grew the table: the catalog entries (and so
+  // the rows) must vanish atomically.
+  ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+  TxnHandle handle(owner_, txn);
+  std::string row(900, 'a');
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(table.Insert(handle, row).status());
+  }
+  ASSERT_OK(owner_->Abort(txn));
+
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& check) {
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, table.Count(check));
+    EXPECT_EQ(n, 0u);
+    CLOG_ASSIGN_OR_RETURN(auto pages, check.ScanPage(table.catalog()));
+    EXPECT_TRUE(pages.empty());
+    return Status::OK();
+  }));
+}
+
+TEST_F(HeapTableTest, SurvivesOwnerCrash) {
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  std::string row(400, 's');
+  ASSERT_OK(cluster_->RunTransaction(client_->id(), [&](TxnHandle& txn) {
+    for (int i = 0; i < 30; ++i) {
+      CLOG_RETURN_IF_ERROR(table.Insert(txn, row).status());
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  ASSERT_OK(cluster_->RestartNode(owner_->id()));
+
+  ASSERT_OK_AND_ASSIGN(HeapTable reopened,
+                       HeapTable::Open(cluster_.get(), table.catalog()));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, reopened.Count(txn));
+    EXPECT_EQ(n, 30u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(HeapTableTest, UpdateAndDeleteViaStableRecordIds) {
+  ASSERT_OK_AND_ASSIGN(HeapTable table,
+                       HeapTable::Create(cluster_.get(), owner_->id()));
+  RecordId target;
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(target, table.Insert(txn, "original"));
+    CLOG_RETURN_IF_ERROR(table.Insert(txn, "other").status());
+    return Status::OK();
+  }));
+  ASSERT_OK(cluster_->RunTransaction(client_->id(), [&](TxnHandle& txn) {
+    return txn.Update(target, "updated");
+  }));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(std::string v, txn.Read(target));
+    EXPECT_EQ(v, "updated");
+    return txn.Delete(target);
+  }));
+  ASSERT_OK(cluster_->RunTransaction(owner_->id(), [&](TxnHandle& txn) {
+    CLOG_ASSIGN_OR_RETURN(std::size_t n, table.Count(txn));
+    EXPECT_EQ(n, 1u);
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class LogSpaceTest : public ::testing::Test {
+ protected:
+  void Build(std::uint64_t capacity_bytes) {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 64;
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    NodeOptions bounded = opts.node_defaults;
+    bounded.log_capacity_bytes = capacity_bytes;
+    client_ = *cluster_->AddNode(bounded);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_F(LogSpaceTest, BoundedLogReclaimsThroughOwnerForces) {
+  // Section 2.5 end to end: a client with a tiny log keeps updating the
+  // owner's pages. Log pressure evicts the min-RedoLSN page, ships it
+  // home, asks the owner to force it, and the flush notification frees log
+  // space. The workload must never see LogFull.
+  Build(/*capacity_bytes=*/64 * 1024);
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK_AND_ASSIGN(RecordId rid,
+                         client_->Insert(txn, pid, std::string(100, 'x')));
+    ASSERT_OK(client_->Commit(txn));
+    rids.push_back(rid);
+  }
+  // Push well past the 64 KiB capacity.
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK(client_->Update(txn, rids[round % rids.size()],
+                              std::string(400, 'a' + (round % 26))));
+    ASSERT_OK(client_->Commit(txn));
+  }
+  EXPECT_LE(client_->log().LiveBytes(), 64 * 1024u);
+  EXPECT_GT(client_->metrics().CounterValue("logspace.victim_forces"), 0u);
+  EXPECT_GT(cluster_->network().metrics().CounterValue("msg.flush_request"),
+            0u);
+  // Data still correct.
+  ASSERT_OK_AND_ASSIGN(TxnId check, client_->Begin());
+  for (RecordId rid : rids) {
+    ASSERT_OK(client_->Read(check, rid).status());
+  }
+  ASSERT_OK(client_->Commit(check));
+}
+
+TEST_F(LogSpaceTest, RecoveryStillCorrectAfterReclaim) {
+  Build(/*capacity_bytes=*/64 * 1024);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId seed, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(seed, pid, std::string(100, 's')));
+  ASSERT_OK(client_->Commit(seed));
+  std::string last;
+  for (int round = 0; round < 150; ++round) {
+    last = "v" + std::to_string(round) + std::string(300, 'p');
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK(client_->Update(txn, rid, last));
+    ASSERT_OK(client_->Commit(txn));
+  }
+  ASSERT_OK(cluster_->CrashNode(client_->id()));
+  ASSERT_OK(cluster_->RestartNode(client_->id()));
+  ASSERT_OK_AND_ASSIGN(TxnId check, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, client_->Read(check, rid));
+  EXPECT_EQ(v, last);
+  ASSERT_OK(client_->Commit(check));
+}
+
+TEST_F(LogSpaceTest, LongRunningTransactionPinsTheLog) {
+  // An active transaction's first record is an undo barrier the reclaimer
+  // cannot cross: eventually the bounded log genuinely fills.
+  Build(/*capacity_bytes=*/32 * 1024);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId pinner, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(pinner, pid, std::string(64, 'p')));
+  Status st;
+  int updates = 0;
+  for (int round = 0; round < 500; ++round) {
+    st = client_->Update(pinner, rid, std::string(400, 'q'));
+    if (!st.ok()) break;
+    ++updates;
+  }
+  EXPECT_TRUE(st.IsLogFull()) << st.ToString();
+  EXPECT_GT(updates, 10);
+  ASSERT_OK(client_->Abort(pinner));
+}
+
+TEST_F(LogSpaceTest, UnboundedLogNeverFills) {
+  Build(/*capacity_bytes=*/0);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(txn, pid, std::string(64, 'u')));
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_OK(client_->Update(txn, rid, std::string(400, 'u')));
+  }
+  ASSERT_OK(client_->Commit(txn));
+}
+
+}  // namespace
+}  // namespace clog

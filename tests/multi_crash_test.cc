@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class MultiCrashTest : public ::testing::Test {
+ protected:
+  MultiCrashTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 32;
+    cluster_ = std::make_unique<Cluster>(opts);
+    a_ = *cluster_->AddNode();  // Owner of pages used below.
+    b_ = *cluster_->AddNode();
+    c_ = *cluster_->AddNode();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* a_ = nullptr;
+  Node* b_ = nullptr;
+  Node* c_ = nullptr;
+};
+
+TEST_F(MultiCrashTest, OwnerAndClientCrashTogether) {
+  // Client B updates A's page and commits locally; both A and B crash.
+  // B's rebuilt DPT (Section 2.4 superset reconstruction) tells A the page
+  // needs redo from B's log.
+  ASSERT_OK_AND_ASSIGN(PageId pid, a_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, b_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, b_->Insert(txn, pid, "from-b"));
+  ASSERT_OK(b_->Commit(txn));
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->CrashNode(b_->id()));
+  ASSERT_OK(cluster_->RestartNodes({a_->id(), b_->id()}));
+  EXPECT_EQ(a_->state(), NodeState::kUp);
+  EXPECT_EQ(b_->state(), NodeState::kUp);
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, c_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, c_->Read(check, rid));
+  EXPECT_EQ(v, "from-b");
+  ASSERT_OK(c_->Commit(check));
+}
+
+TEST_F(MultiCrashTest, TwoClientsAndOwnerAllCrash) {
+  // B and C alternate committed updates on A's page; then all three crash.
+  // Recovery must stitch the page together from B's and C's logs in PSN
+  // order, without merging any log files.
+  ASSERT_OK_AND_ASSIGN(PageId pid, a_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t0, b_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, b_->Insert(t0, pid, "seed"));
+  ASSERT_OK(b_->Commit(t0));
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId tc, c_->Begin());
+    ASSERT_OK(c_->Update(tc, rid, "c" + std::to_string(round)));
+    ASSERT_OK(c_->Commit(tc));
+    ASSERT_OK_AND_ASSIGN(TxnId tb, b_->Begin());
+    ASSERT_OK(b_->Update(tb, rid, "b" + std::to_string(round)));
+    ASSERT_OK(b_->Commit(tb));
+  }
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->CrashNode(b_->id()));
+  ASSERT_OK(cluster_->CrashNode(c_->id()));
+  ASSERT_OK(cluster_->RestartNodes({a_->id(), b_->id(), c_->id()}));
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, a_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, a_->Read(check, rid));
+  EXPECT_EQ(v, "b1");
+  ASSERT_OK(a_->Commit(check));
+}
+
+TEST_F(MultiCrashTest, LosersOnBothNodesUndone) {
+  ASSERT_OK_AND_ASSIGN(PageId pa, a_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(PageId pb, b_->AllocatePage());
+  // Committed baselines.
+  ASSERT_OK_AND_ASSIGN(TxnId s1, a_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId ra, a_->Insert(s1, pa, "a-base"));
+  ASSERT_OK(a_->Commit(s1));
+  ASSERT_OK_AND_ASSIGN(TxnId s2, b_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rb, b_->Insert(s2, pb, "b-base"));
+  ASSERT_OK(b_->Commit(s2));
+  // Losers on both nodes, with flushed records (worst case).
+  ASSERT_OK_AND_ASSIGN(TxnId la, a_->Begin());
+  ASSERT_OK(a_->Update(la, ra, "a-dirty"));
+  ASSERT_OK(a_->log().Flush(a_->log().end_lsn()));
+  ASSERT_OK_AND_ASSIGN(TxnId lb, b_->Begin());
+  ASSERT_OK(b_->Update(lb, rb, "b-dirty"));
+  ASSERT_OK(b_->log().Flush(b_->log().end_lsn()));
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->CrashNode(b_->id()));
+  ASSERT_OK(cluster_->RestartNodes({a_->id(), b_->id()}));
+  EXPECT_EQ(cluster_->recovery_stats().at(a_->id()).losers_undone, 1u);
+  EXPECT_EQ(cluster_->recovery_stats().at(b_->id()).losers_undone, 1u);
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, c_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string va, c_->Read(check, ra));
+  ASSERT_OK_AND_ASSIGN(std::string vb, c_->Read(check, rb));
+  EXPECT_EQ(va, "a-base");
+  EXPECT_EQ(vb, "b-base");
+  ASSERT_OK(c_->Commit(check));
+}
+
+TEST_F(MultiCrashTest, CrossLoserOnRemotePageUndoneAcrossRecoveries) {
+  // B's loser updated A's page; both crash. After both recover, the page
+  // must show only committed data: redo replays B's committed prefix, then
+  // B's phase C undoes the loser tail against the recovering A.
+  ASSERT_OK_AND_ASSIGN(PageId pid, a_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId good, b_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, b_->Insert(good, pid, "good"));
+  ASSERT_OK(b_->Commit(good));
+  ASSERT_OK_AND_ASSIGN(TxnId loser, b_->Begin());
+  ASSERT_OK(b_->Update(loser, rid, "evil"));
+  ASSERT_OK(b_->log().Flush(b_->log().end_lsn()));
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->CrashNode(b_->id()));
+  ASSERT_OK(cluster_->RestartNodes({a_->id(), b_->id()}));
+  EXPECT_EQ(cluster_->recovery_stats().at(b_->id()).losers_undone, 1u);
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, c_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, c_->Read(check, rid));
+  EXPECT_EQ(v, "good");
+  ASSERT_OK(c_->Commit(check));
+}
+
+TEST_F(MultiCrashTest, SurvivorKeepsItsCachedPagesThroughDoubleCrash) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, a_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId warm, c_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, c_->Insert(warm, pid, "survivor"));
+  ASSERT_OK(c_->Commit(warm));
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->CrashNode(b_->id()));
+  // C holds the page + X lock: unaffected by both crashes.
+  ASSERT_OK_AND_ASSIGN(TxnId txn, c_->Begin());
+  ASSERT_OK(c_->Update(txn, rid, "survivor-2"));
+  ASSERT_OK(c_->Commit(txn));
+
+  ASSERT_OK(cluster_->RestartNodes({a_->id(), b_->id()}));
+  // A's restart saw the page cached at C and did not touch it.
+  EXPECT_EQ(cluster_->recovery_stats().at(a_->id()).own_pages_recovered, 0u);
+  ASSERT_OK_AND_ASSIGN(TxnId check, c_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, c_->Read(check, rid));
+  EXPECT_EQ(v, "survivor-2");
+  ASSERT_OK(c_->Commit(check));
+}
+
+}  // namespace
+}  // namespace clog

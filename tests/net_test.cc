@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Minimal NodeService that counts calls; isolates Network mechanics from
+/// the real node engine.
+class StubService : public NodeService {
+ public:
+  Status HandleLockPage(NodeId, PageId, LockMode, bool want_page,
+                        LockPageReply* reply) override {
+    ++lock_calls;
+    reply->granted = true;
+    if (want_page) {
+      reply->page = std::make_shared<Page>();
+      reply->page->Format(PageId{0, 0}, PageType::kData, 0);
+      reply->page->SealChecksum();
+    }
+    return Status::OK();
+  }
+  Status HandleCallback(NodeId, PageId, LockMode, CallbackReply* r) override {
+    r->complied = true;
+    return Status::OK();
+  }
+  Status HandleUnlockNotice(NodeId, PageId) override { return Status::OK(); }
+  Status HandlePageShip(NodeId, const Page&) override {
+    ++ships;
+    return Status::OK();
+  }
+  Status HandleFlushRequest(NodeId, PageId) override { return Status::OK(); }
+  void HandleFlushNotify(NodeId, PageId, Psn) override { ++notifies; }
+  Status HandleLogShip(NodeId, const std::vector<LogRecord>& recs,
+                       bool) override {
+    shipped_records += recs.size();
+    return Status::OK();
+  }
+  Status HandleRecoveryQuery(NodeId, RecoveryQueryReply*) override {
+    return Status::OK();
+  }
+  Status HandleFetchCachedPage(NodeId, PageId,
+                               std::shared_ptr<Page>* page) override {
+    page->reset();
+    return Status::NotFound("");
+  }
+  Status HandleBuildPsnList(NodeId, const std::vector<PageId>& pages,
+                            PsnListReply* reply) override {
+    reply->per_page.resize(pages.size());
+    return Status::OK();
+  }
+  Status HandleRecoverPage(NodeId, PageId, const Page&, bool, Psn,
+                           RecoverPageReply*) override {
+    return Status::OK();
+  }
+  Status HandleDptShip(NodeId, const std::vector<DptEntry>&,
+                       const std::vector<PageId>&) override {
+    return Status::OK();
+  }
+  void HandleNodeRecovered(NodeId) override {}
+
+  int lock_calls = 0;
+  int ships = 0;
+  int notifies = 0;
+  std::size_t shipped_records = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&clock_, CostModel{}) {
+    net_.RegisterNode(1, &a_);
+    net_.RegisterNode(2, &b_);
+  }
+  SimClock clock_;
+  Network net_;
+  StubService a_, b_;
+};
+
+TEST_F(NetworkTest, RoutesToRegisteredNode) {
+  LockPageReply reply;
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                          &reply));
+  EXPECT_EQ(b_.lock_calls, 1);
+  EXPECT_EQ(a_.lock_calls, 0);
+  EXPECT_TRUE(reply.granted);
+}
+
+TEST_F(NetworkTest, UnknownNodeIsNotFound) {
+  LockPageReply reply;
+  EXPECT_TRUE(net_.LockPage(1, 9, PageId{9, 0}, LockMode::kShared, false,
+                            &reply)
+                  .IsNotFound());
+}
+
+TEST_F(NetworkTest, DownNodeIsNodeDown) {
+  net_.SetNodeUp(2, false);
+  LockPageReply reply;
+  EXPECT_TRUE(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                            &reply)
+                  .IsNodeDown());
+  EXPECT_EQ(b_.lock_calls, 0);
+  net_.SetNodeUp(2, true);
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                          &reply));
+  EXPECT_EQ(b_.lock_calls, 1);
+}
+
+TEST_F(NetworkTest, CountsMessagesPerTypeAndTotal) {
+  LockPageReply reply;
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, true,
+                          &reply));
+  // Request + reply are two wire messages.
+  EXPECT_EQ(net_.metrics().CounterValue("msg.lock_page_request"), 1u);
+  EXPECT_EQ(net_.metrics().CounterValue("msg.lock_page_reply"), 1u);
+  EXPECT_EQ(net_.metrics().CounterValue("msg.total"), 2u);
+  // Page transfer counts page-sized bytes.
+  EXPECT_GE(net_.metrics().CounterValue("bytes.total"), kPageSize);
+}
+
+TEST_F(NetworkTest, ChargesSimulatedTime) {
+  std::uint64_t before = clock_.NowNanos();
+  Page page;
+  page.Format(PageId{2, 1}, PageType::kData, 0);
+  page.SealChecksum();
+  ASSERT_OK(net_.PageShip(1, 2, page));
+  // One message with a page payload: at least the fixed hop cost plus the
+  // per-byte cost of a page.
+  CostModel cost;
+  EXPECT_GE(clock_.NowNanos() - before,
+            cost.network_msg_ns + kPageSize * cost.network_byte_ns);
+}
+
+TEST_F(NetworkTest, BusyTimeAccruesOnBothEndpoints) {
+  LockPageReply reply;
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                          &reply));
+  EXPECT_GT(net_.BusyNanos(1), 0u);
+  EXPECT_GT(net_.BusyNanos(2), 0u);
+  EXPECT_EQ(net_.MaxBusyNanos(),
+            std::max(net_.BusyNanos(1), net_.BusyNanos(2)));
+  net_.ResetBusy();
+  EXPECT_EQ(net_.MaxBusyNanos(), 0u);
+}
+
+TEST_F(NetworkTest, OperationalNodesExcludesDownAndSelf) {
+  EXPECT_EQ(net_.AllNodes().size(), 2u);
+  EXPECT_EQ(net_.OperationalNodes().size(), 2u);
+  EXPECT_EQ(net_.OperationalNodes(1).size(), 1u);
+  net_.SetNodeUp(2, false);
+  EXPECT_EQ(net_.OperationalNodes().size(), 1u);
+  EXPECT_TRUE(net_.OperationalNodes(1).empty());
+}
+
+TEST_F(NetworkTest, LogShipBytesScaleWithRecords) {
+  std::vector<LogRecord> few(1), many(10);
+  for (auto* batch : {&few, &many}) {
+    for (LogRecord& rec : *batch) {
+      rec.type = LogRecordType::kUpdate;
+      rec.redo_image = std::string(100, 'r');
+    }
+  }
+  ASSERT_OK(net_.LogShip(1, 2, few, false));
+  std::uint64_t after_few = net_.metrics().CounterValue("bytes.total");
+  ASSERT_OK(net_.LogShip(1, 2, many, false));
+  std::uint64_t after_many = net_.metrics().CounterValue("bytes.total");
+  EXPECT_GT(after_many - after_few, (after_few)*5);
+  EXPECT_EQ(b_.shipped_records, 11u);
+}
+
+TEST(MsgTypeTest, AllNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int t = 0; t <= static_cast<int>(MsgType::kNodeRecovered); ++t) {
+    names.insert(MsgTypeName(static_cast<MsgType>(t)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(MsgType::kNodeRecovered) + 1);
+  EXPECT_FALSE(names.contains("unknown"));
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 16;
+    cluster_ = std::make_unique<Cluster>(opts);
+    auto node = cluster_->AddNode();
+    EXPECT_TRUE(node.ok());
+    node_ = *node;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* node_ = nullptr;
+};
+
+TEST_F(NodeTest, AllocatePageIsDurableAndSeeded) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  EXPECT_EQ(pid.owner, node_->id());
+  ASSERT_OK_AND_ASSIGN(Psn psn, node_->DiskPsn(pid));
+  EXPECT_EQ(psn, 0u);
+  ASSERT_OK_AND_ASSIGN(PageId pid2, node_->AllocatePage());
+  EXPECT_NE(pid.page_no, pid2.page_no);
+}
+
+TEST_F(NodeTest, InsertReadUpdateDeleteWithinTxn) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(txn, pid, "v1"));
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(txn, rid));
+  EXPECT_EQ(v, "v1");
+  ASSERT_OK(node_->Update(txn, rid, "v2"));
+  ASSERT_OK_AND_ASSIGN(std::string v2, node_->Read(txn, rid));
+  EXPECT_EQ(v2, "v2");
+  ASSERT_OK(node_->Delete(txn, rid));
+  EXPECT_TRUE(node_->Read(txn, rid).status().IsNotFound());
+  ASSERT_OK(node_->Commit(txn));
+}
+
+TEST_F(NodeTest, CommitIsVisibleToNextTxn) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t1, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(t1, pid, "hello"));
+  ASSERT_OK(node_->Commit(t1));
+  ASSERT_OK_AND_ASSIGN(TxnId t2, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(t2, rid));
+  EXPECT_EQ(v, "hello");
+  ASSERT_OK(node_->Commit(t2));
+}
+
+TEST_F(NodeTest, AbortRollsBackAllOps) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t1, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId keep, node_->Insert(t1, pid, "keep"));
+  ASSERT_OK(node_->Commit(t1));
+
+  ASSERT_OK_AND_ASSIGN(TxnId t2, node_->Begin());
+  ASSERT_OK(node_->Update(t2, keep, "clobbered"));
+  ASSERT_OK_AND_ASSIGN(RecordId extra, node_->Insert(t2, pid, "extra"));
+  ASSERT_OK(node_->Delete(t2, keep));
+  ASSERT_OK(node_->Abort(t2));
+
+  ASSERT_OK_AND_ASSIGN(TxnId t3, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(t3, keep));
+  EXPECT_EQ(v, "keep");
+  EXPECT_TRUE(node_->Read(t3, extra).status().IsNotFound());
+  ASSERT_OK(node_->Commit(t3));
+}
+
+TEST_F(NodeTest, SavepointPartialRollback) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId before, node_->Insert(txn, pid, "before"));
+  ASSERT_OK(node_->SetSavepoint(txn, "sp"));
+  ASSERT_OK_AND_ASSIGN(RecordId after, node_->Insert(txn, pid, "after"));
+  ASSERT_OK(node_->Update(txn, before, "mutated"));
+  ASSERT_OK(node_->RollbackToSavepoint(txn, "sp"));
+  // Work after the savepoint is gone, work before it survives, and the
+  // transaction is still active (Section 2.2).
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(txn, before));
+  EXPECT_EQ(v, "before");
+  EXPECT_TRUE(node_->Read(txn, after).status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(RecordId more, node_->Insert(txn, pid, "more"));
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK(node_->Read(check, more).status());
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(NodeTest, UnknownSavepointFails) {
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  EXPECT_TRUE(node_->RollbackToSavepoint(txn, "nope").IsNotFound());
+  ASSERT_OK(node_->Abort(txn));
+}
+
+TEST_F(NodeTest, CommitSendsNoMessages) {
+  // The paper's headline property: commit is entirely local.
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  std::uint64_t msgs_before =
+      cluster_->network().metrics().CounterValue("msg.total");
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "x").status());
+  ASSERT_OK(node_->Commit(txn));
+  EXPECT_EQ(cluster_->network().metrics().CounterValue("msg.total"),
+            msgs_before);
+  EXPECT_GE(node_->log().forces(), 1u);
+}
+
+TEST_F(NodeTest, PsnIncrementsPerUpdate) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "a").status());
+  ASSERT_OK(node_->Insert(txn, pid, "b").status());
+  ASSERT_OK(node_->Commit(txn));
+  const DirtyPageInfo* info = node_->dpt().Find(pid);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->psn, 0u);
+  EXPECT_EQ(info->curr_psn, 2u);
+}
+
+TEST_F(NodeTest, DptEntryRemovedWhenOwnPageForced) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "a").status());
+  ASSERT_OK(node_->Commit(txn));
+  EXPECT_TRUE(node_->dpt().Contains(pid));
+  ASSERT_OK(node_->HandleFlushRequest(node_->id(), pid));
+  EXPECT_FALSE(node_->dpt().Contains(pid));
+  ASSERT_OK_AND_ASSIGN(Psn disk_psn, node_->DiskPsn(pid));
+  EXPECT_EQ(disk_psn, 1u);
+}
+
+TEST_F(NodeTest, CheckpointLogsDptAndAdvancesMaster) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "x").status());
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK(node_->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(Lsn master, node_->log().LoadMaster());
+  ASSERT_NE(master, kNullLsn);
+  LogRecord ckpt;
+  ASSERT_OK(node_->log().ReadRecord(master, &ckpt));
+  EXPECT_EQ(ckpt.type, LogRecordType::kCheckpointEnd);
+  ASSERT_EQ(ckpt.dpt.size(), 1u);
+  EXPECT_EQ(ckpt.dpt[0].pid, pid);
+  EXPECT_TRUE(ckpt.att.empty());
+}
+
+TEST_F(NodeTest, CheckpointSendsNoMessages) {
+  std::uint64_t msgs_before =
+      cluster_->network().metrics().CounterValue("msg.total");
+  ASSERT_OK(node_->Checkpoint());
+  EXPECT_EQ(cluster_->network().metrics().CounterValue("msg.total"),
+            msgs_before);
+}
+
+TEST_F(NodeTest, EvictionWritesOwnPagesInPlace) {
+  // More pages than buffer frames forces steal-policy evictions; dirty own
+  // pages are written back and their DPT entries dropped.
+  std::vector<PageId> pages;
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+    pages.push_back(pid);
+  }
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  for (PageId pid : pages) {
+    ASSERT_OK(node_->Insert(txn, pid, "data").status());
+  }
+  ASSERT_OK(node_->Commit(txn));
+  EXPECT_GT(node_->disk().writes(), 24u);  // Allocations + evictions.
+  // Everything is still readable.
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  for (PageId pid : pages) {
+    ASSERT_OK_AND_ASSIGN(auto records, node_->ScanPage(check, pid));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0], "data");
+  }
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(NodeTest, FreePageRecordsPsnSeed) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid, "a").status());
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK(node_->HandleFlushRequest(node_->id(), pid));
+  // Owner still holds the cached node lock from the transaction above.
+  ASSERT_OK(node_->FreePage(pid));
+  ASSERT_OK_AND_ASSIGN(PageId reused, node_->AllocatePage());
+  EXPECT_EQ(reused.page_no, pid.page_no);
+  ASSERT_OK_AND_ASSIGN(Psn psn, node_->DiskPsn(reused));
+  EXPECT_GE(psn, 2u);  // Seeded past the prior life (ARIES/CSA).
+}
+
+TEST_F(NodeTest, OperationsOnUnknownTxnFail) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  EXPECT_TRUE(node_->Insert(999, pid, "x").status().IsNotFound());
+  EXPECT_TRUE(node_->Commit(999).IsNotFound());
+  EXPECT_TRUE(node_->Abort(999).IsNotFound());
+}
+
+TEST_F(NodeTest, RecordTooLargeRejected) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  std::string huge(kPageSize, 'x');
+  EXPECT_FALSE(node_->Insert(txn, pid, huge).ok());
+  ASSERT_OK(node_->Abort(txn));
+}
+
+}  // namespace
+}  // namespace clog

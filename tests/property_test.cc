@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Randomized crash-recovery property test: a shadow model tracks the
+/// expected committed value of every record; after arbitrary sequences of
+/// transactions, aborts, checkpoints, crashes, and recoveries, the
+/// database must agree with the model exactly (durability of committed
+/// work, atomicity of everything else).
+class CrashFuzzTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {
+ protected:
+  struct Model {
+    // Committed value per record; nullopt = deleted/never existed.
+    std::map<RecordId, std::optional<std::string>> committed;
+  };
+
+  void Build(LoggingMode mode, std::size_t buffer_frames) {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = buffer_frames;
+    opts.node_defaults.logging_mode = mode;
+    opts.node_defaults.local_record_locking = std::get<1>(GetParam());
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+  }
+
+  void VerifyAgainstModel(Node* reader, const Model& model) {
+    ASSERT_OK_AND_ASSIGN(TxnId check, reader->Begin());
+    for (const auto& [rid, expect] : model.committed) {
+      Result<std::string> got = reader->Read(check, rid);
+      if (expect.has_value()) {
+        ASSERT_TRUE(got.ok()) << rid.ToString() << ": " << got.status().ToString();
+        EXPECT_EQ(*got, *expect) << rid.ToString();
+      } else {
+        EXPECT_TRUE(got.status().IsNotFound()) << rid.ToString();
+      }
+    }
+    ASSERT_OK(reader->Commit(check));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_P(CrashFuzzTest, CommittedStateSurvivesArbitraryCrashes) {
+  Random rng(std::get<0>(GetParam()));
+  Build(LoggingMode::kClientLocal, /*buffer_frames=*/8);
+
+  // Fixed record population: 4 pages x 4 records.
+  Model model;
+  std::vector<RecordId> rids;
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+    ASSERT_OK_AND_ASSIGN(TxnId txn, owner_->Begin());
+    for (int r = 0; r < 4; ++r) {
+      std::string v = rng.Bytes(30);
+      ASSERT_OK_AND_ASSIGN(RecordId rid, owner_->Insert(txn, pid, v));
+      rids.push_back(rid);
+      model.committed[rid] = v;
+    }
+    ASSERT_OK(owner_->Commit(txn));
+  }
+
+  Node* nodes[2] = {owner_, client_};
+  for (int step = 0; step < 60; ++step) {
+    std::uint64_t dice = rng.Uniform(100);
+    Node* actor = nodes[rng.Uniform(2)];
+    if (actor->state() != NodeState::kUp) {
+      ASSERT_OK(cluster_->RestartNode(actor->id()));
+      continue;
+    }
+    if (dice < 8) {
+      // Crash + immediate restart of one node.
+      ASSERT_OK(cluster_->CrashNode(actor->id()));
+      ASSERT_OK(cluster_->RestartNode(actor->id()));
+    } else if (dice < 12) {
+      ASSERT_OK(actor->Checkpoint());
+    } else {
+      // A transaction touching 1-4 random records; commit, abort, or be
+      // interrupted by a crash mid-flight.
+      Result<TxnId> txn_r = actor->Begin();
+      if (!txn_r.ok()) continue;
+      TxnId txn = *txn_r;
+      std::map<RecordId, std::optional<std::string>> staged;
+      bool gave_up = false;
+      std::size_t ops = 1 + rng.Uniform(4);
+      for (std::size_t i = 0; i < ops && !gave_up; ++i) {
+        RecordId rid = rids[rng.Uniform(rids.size())];
+        std::string v = rng.Bytes(30);
+        Status st = actor->Update(txn, rid, v);
+        if (st.ok()) {
+          staged[rid] = v;
+        } else if (st.IsBusy() || st.IsNodeDown()) {
+          gave_up = true;  // Lock fenced by a crashed peer etc.
+        } else if (st.IsNotFound()) {
+          continue;  // Record currently deleted in some variants.
+        } else {
+          FAIL() << st.ToString();
+        }
+      }
+      std::uint64_t outcome = rng.Uniform(100);
+      if (gave_up || outcome < 25) {
+        ASSERT_OK(actor->Abort(txn));
+      } else if (outcome < 85) {
+        Status st = actor->Commit(txn);
+        if (st.ok()) {
+          for (auto& [rid, v] : staged) model.committed[rid] = v;
+        }
+      } else {
+        // Crash mid-transaction: the transaction is a loser; nothing of it
+        // may survive.
+        ASSERT_OK(cluster_->CrashNode(actor->id()));
+        ASSERT_OK(cluster_->RestartNode(actor->id()));
+      }
+    }
+    ASSERT_OK(owner_->CheckInvariants());
+    ASSERT_OK(client_->CheckInvariants());
+  }
+
+  // Everything settled: verify from both sides.
+  for (Node* n : nodes) {
+    if (n->state() != NodeState::kUp) {
+      ASSERT_OK(cluster_->RestartNode(n->id()));
+    }
+  }
+  ASSERT_OK(owner_->CheckInvariants(/*deep=*/true));
+  ASSERT_OK(client_->CheckInvariants(/*deep=*/true));
+  VerifyAgainstModel(owner_, model);
+  VerifyAgainstModel(client_, model);
+
+  // Final full crash of both nodes and joint recovery; still consistent.
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  ASSERT_OK(cluster_->CrashNode(client_->id()));
+  ASSERT_OK(cluster_->RestartNodes({owner_->id(), client_->id()}));
+  VerifyAgainstModel(client_, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CrashFuzzTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                       ::testing::Bool()));
+
+TEST(PsnMonotonicityTest, PsnNeverDecreasesAcrossLifecycles) {
+  // Property: the PSN of a page is monotone over its whole history,
+  // including crashes, recoveries, frees, and reallocation (the space-map
+  // seeding). This is the invariant distributed redo ordering rests on.
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  Cluster cluster(opts);
+  Node* node = *cluster.AddNode();
+  Random rng(99);
+
+  ASSERT_OK_AND_ASSIGN(PageId pid, node->AllocatePage());
+  Psn watermark = 0;
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, node->Begin());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK(node->Insert(txn, pid, rng.Bytes(16)).status());
+    }
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_OK(node->Commit(txn));
+    } else {
+      ASSERT_OK(node->Abort(txn));  // Undo also bumps PSNs.
+    }
+    ASSERT_OK(cluster.CrashNode(node->id()));
+    ASSERT_OK(cluster.RestartNode(node->id()));
+    ASSERT_OK_AND_ASSIGN(Psn now, node->DiskPsn(pid));
+    EXPECT_GE(now, watermark);
+    watermark = now;
+  }
+}
+
+}  // namespace
+}  // namespace clog

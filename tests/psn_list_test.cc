@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// White-box tests of the Section 2.3.4 NodePSNList construction: "the
+/// PSN value stored in the first log record written for P by each
+/// transaction [run] that updated P" — one entry per transaction run, not
+/// per update, and only for records at or after the page's RedoLSN.
+class PsnListBuildTest : public ::testing::Test {
+ protected:
+  PsnListBuildTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_F(PsnListBuildTest, OneEntryPerTransactionRun) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  // Client txn 1: psn 0->3 (three updates, ONE run).
+  ASSERT_OK_AND_ASSIGN(TxnId t1, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, client_->Insert(t1, pid, "a"));
+  ASSERT_OK(client_->Update(t1, rid, "b"));
+  ASSERT_OK(client_->Update(t1, rid, "c"));
+  ASSERT_OK(client_->Commit(t1));
+  // Client txn 2: psn 3->4 (a second run of the same node).
+  ASSERT_OK_AND_ASSIGN(TxnId t2, client_->Begin());
+  ASSERT_OK(client_->Update(t2, rid, "d"));
+  ASSERT_OK(client_->Commit(t2));
+
+  PsnListReply reply;
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  ASSERT_EQ(reply.per_page.size(), 1u);
+  ASSERT_EQ(reply.per_page[0].size(), 2u);  // Two runs, not four updates.
+  EXPECT_EQ(reply.per_page[0][0].psn, 0u);  // First record of run 1.
+  EXPECT_EQ(reply.per_page[0][1].psn, 3u);  // First record of run 2.
+  EXPECT_GT(reply.records_scanned, 0u);
+}
+
+TEST_F(PsnListBuildTest, InterleavedTransactionsAlternateRuns) {
+  // With record locking, two local txns interleave on one page; their
+  // alternating records create alternating runs.
+  TempDir fresh;
+  ClusterOptions opts;
+  opts.dir = fresh.path();
+  opts.node_defaults.local_record_locking = true;
+  Cluster cluster(opts);
+  Node* owner = *cluster.AddNode();
+  Node* worker = *cluster.AddNode();
+  PageId pid = *owner->AllocatePage();
+  TxnId seed = *worker->Begin();
+  RecordId r0 = *worker->Insert(seed, pid, "r0");   // psn 0
+  RecordId r1 = *worker->Insert(seed, pid, "r1");   // psn 1
+  ASSERT_OK(worker->Commit(seed));
+
+  TxnId a = *worker->Begin();
+  TxnId b = *worker->Begin();
+  ASSERT_OK(worker->Update(a, r0, "a1"));  // psn 2
+  ASSERT_OK(worker->Update(b, r1, "b1"));  // psn 3
+  ASSERT_OK(worker->Update(a, r0, "a2"));  // psn 4
+  ASSERT_OK(worker->Commit(a));
+  ASSERT_OK(worker->Commit(b));
+
+  PsnListReply reply;
+  ASSERT_OK(worker->HandleBuildPsnList(owner->id(), {pid}, &reply));
+  ASSERT_EQ(reply.per_page.size(), 1u);
+  // Runs: seed(0), a(2), b(3), a(4) — txn boundaries, per the paper's
+  // "transaction that wrote the log record is not the same as the
+  // transaction that wrote the [previous] log record".
+  std::vector<Psn> psns;
+  for (const auto& e : reply.per_page[0]) psns.push_back(e.psn);
+  EXPECT_EQ(psns, (std::vector<Psn>{0, 2, 3, 4}));
+}
+
+TEST_F(PsnListBuildTest, PagesWithoutDptEntryContributeNothing) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(PageId untouched, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+  ASSERT_OK(client_->Insert(txn, pid, "x").status());
+  ASSERT_OK(client_->Commit(txn));
+
+  PsnListReply reply;
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid, untouched},
+                                        &reply));
+  ASSERT_EQ(reply.per_page.size(), 2u);
+  EXPECT_FALSE(reply.per_page[0].empty());
+  EXPECT_TRUE(reply.per_page[1].empty());
+}
+
+TEST_F(PsnListBuildTest, RecordsBeforeRedoLsnExcluded) {
+  // Updates whose effects are already on disk (entry dropped, then the
+  // page re-dirtied) must not reappear in the list: the scan starts at
+  // the CURRENT RedoLSN.
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t1, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, client_->Insert(t1, pid, "old"));
+  ASSERT_OK(client_->Commit(t1));
+  // Ship + force: the client's entry drops.
+  ASSERT_OK(const_cast<BufferPool&>(client_->pool()).Evict(pid));
+  ASSERT_OK(owner_->HandleFlushRequest(client_->id(), pid));
+  ASSERT_FALSE(client_->dpt().Contains(pid));
+  // Re-dirty: fresh entry with RedoLSN after the old records.
+  ASSERT_OK_AND_ASSIGN(TxnId t2, client_->Begin());
+  ASSERT_OK(client_->Update(t2, rid, "new"));
+  ASSERT_OK(client_->Commit(t2));
+
+  PsnListReply reply;
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  ASSERT_EQ(reply.per_page[0].size(), 1u);
+  EXPECT_EQ(reply.per_page[0][0].psn, 1u);  // Only the post-force run.
+}
+
+TEST_F(PsnListBuildTest, ClrRecordsParticipateInRuns) {
+  // An aborted transaction's CLRs are redo records too; they must appear
+  // in the list so the rolled-back state is reproducible.
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t1, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, client_->Insert(t1, pid, "keep"));
+  ASSERT_OK(client_->Commit(t1));
+  ASSERT_OK_AND_ASSIGN(TxnId t2, client_->Begin());
+  ASSERT_OK(client_->Update(t2, rid, "scrap"));   // psn 1->2
+  ASSERT_OK(client_->Abort(t2));                  // CLR: psn 2->3
+
+  PsnListReply reply;
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  // Runs: t1(0), t2(1) — t2's CLR continues its own run.
+  ASSERT_EQ(reply.per_page[0].size(), 2u);
+  EXPECT_EQ(reply.per_page[0][0].psn, 0u);
+  EXPECT_EQ(reply.per_page[0][1].psn, 1u);
+}
+
+}  // namespace
+}  // namespace clog

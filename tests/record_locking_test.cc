@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Fine-granularity extension (paper Section 4 / EDBT'96 follow-up):
+/// record-level locking among local transactions, page-level between
+/// nodes. These tests pin down the concurrency gains and the invariants
+/// that must not regress (PSN order, callbacks, recovery).
+class RecordLockingTest : public ::testing::Test {
+ protected:
+  RecordLockingTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.local_record_locking = true;
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+    pid_ = *owner_->AllocatePage();
+    // Two seed records.
+    TxnId seed = *owner_->Begin();
+    r0_ = *owner_->Insert(seed, pid_, "zero");
+    r1_ = *owner_->Insert(seed, pid_, "one");
+    EXPECT_OK(owner_->Commit(seed));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+  PageId pid_;
+  RecordId r0_, r1_;
+};
+
+TEST_F(RecordLockingTest, TwoLocalWritersOnDifferentRecords) {
+  // The whole point of the extension: page-level locking would block this.
+  ASSERT_OK_AND_ASSIGN(TxnId t1, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId t2, owner_->Begin());
+  ASSERT_OK(owner_->Update(t1, r0_, "t1-was-here"));
+  ASSERT_OK(owner_->Update(t2, r1_, "t2-was-here"));  // No conflict.
+  ASSERT_OK(owner_->Commit(t1));
+  ASSERT_OK(owner_->Commit(t2));
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v0, owner_->Read(check, r0_));
+  ASSERT_OK_AND_ASSIGN(std::string v1, owner_->Read(check, r1_));
+  EXPECT_EQ(v0, "t1-was-here");
+  EXPECT_EQ(v1, "t2-was-here");
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(RecordLockingTest, SameRecordStillConflicts) {
+  ASSERT_OK_AND_ASSIGN(TxnId t1, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId t2, owner_->Begin());
+  ASSERT_OK(owner_->Update(t1, r0_, "first"));
+  Status st = owner_->Update(t2, r0_, "second");
+  EXPECT_TRUE(st.IsBusy());
+  EXPECT_EQ(owner_->LastBlockers(t2), std::vector<TxnId>{t1});
+  // Reader of the SAME record also blocks; reader of the other one not.
+  EXPECT_TRUE(owner_->Read(t2, r0_).status().IsBusy());
+  ASSERT_OK(owner_->Read(t2, r1_).status());
+  ASSERT_OK(owner_->Commit(t1));
+  ASSERT_OK(owner_->Update(t2, r0_, "second"));
+  ASSERT_OK(owner_->Commit(t2));
+}
+
+TEST_F(RecordLockingTest, PageScanConflictsWithRecordWriter) {
+  // ScanPage takes a page-granularity S lock: phantom protection against
+  // concurrent record writers.
+  ASSERT_OK_AND_ASSIGN(TxnId writer, owner_->Begin());
+  ASSERT_OK(owner_->Update(writer, r0_, "w"));
+  ASSERT_OK_AND_ASSIGN(TxnId scanner, owner_->Begin());
+  EXPECT_TRUE(owner_->ScanPage(scanner, pid_).status().IsBusy());
+  ASSERT_OK(owner_->Commit(writer));
+  ASSERT_OK(owner_->ScanPage(scanner, pid_).status());
+  // And the reverse: a record writer blocks behind an active page scan.
+  ASSERT_OK_AND_ASSIGN(TxnId writer2, owner_->Begin());
+  EXPECT_TRUE(owner_->Update(writer2, r1_, "x").IsBusy());
+  ASSERT_OK(owner_->Commit(scanner));
+  ASSERT_OK(owner_->Update(writer2, r1_, "x"));
+  ASSERT_OK(owner_->Commit(writer2));
+}
+
+TEST_F(RecordLockingTest, ConcurrentInsertsGetDistinctSlots) {
+  ASSERT_OK_AND_ASSIGN(TxnId t1, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId t2, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId a, owner_->Insert(t1, pid_, "from-t1"));
+  ASSERT_OK_AND_ASSIGN(RecordId b, owner_->Insert(t2, pid_, "from-t2"));
+  EXPECT_NE(a.slot, b.slot);
+  // t1 aborts: its insert vanishes, t2's survives.
+  ASSERT_OK(owner_->Abort(t1));
+  ASSERT_OK(owner_->Commit(t2));
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  EXPECT_TRUE(owner_->Read(check, a).status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(std::string v, owner_->Read(check, b));
+  EXPECT_EQ(v, "from-t2");
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(RecordLockingTest, InterleavedAbortUndoesOnlyItsOwnRecords) {
+  // Two local txns interleave updates on one page; one commits, one
+  // aborts. Undo (record-level CLRs) must not touch the winner's work.
+  ASSERT_OK_AND_ASSIGN(TxnId winner, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId loser, owner_->Begin());
+  ASSERT_OK(owner_->Update(winner, r0_, "w1"));
+  ASSERT_OK(owner_->Update(loser, r1_, "l1"));
+  ASSERT_OK(owner_->Update(winner, r0_, "w2"));
+  ASSERT_OK(owner_->Update(loser, r1_, "l2"));
+  ASSERT_OK(owner_->Abort(loser));
+  ASSERT_OK(owner_->Commit(winner));
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v0, owner_->Read(check, r0_));
+  ASSERT_OK_AND_ASSIGN(std::string v1, owner_->Read(check, r1_));
+  EXPECT_EQ(v0, "w2");
+  EXPECT_EQ(v1, "one");
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(RecordLockingTest, CallbackBlockedByAnyRecordHolder) {
+  // Inter-node granularity is still the page: a remote request must wait
+  // for ALL local record users, exactly as with page locks.
+  ASSERT_OK_AND_ASSIGN(TxnId local, owner_->Begin());
+  ASSERT_OK(owner_->Update(local, r0_, "local"));
+  ASSERT_OK_AND_ASSIGN(TxnId remote, client_->Begin());
+  Status st = client_->Update(remote, r1_, "remote");
+  EXPECT_TRUE(st.IsBusy());  // Page X callback refused by the r0_ holder.
+  EXPECT_EQ(client_->LastBlockers(remote), std::vector<TxnId>{local});
+  ASSERT_OK(owner_->Commit(local));
+  ASSERT_OK(client_->Update(remote, r1_, "remote"));
+  ASSERT_OK(client_->Commit(remote));
+}
+
+TEST_F(RecordLockingTest, CrashWithInterleavedSamePageTxns) {
+  // Winner + loser interleaved on one page at crash time: redo replays
+  // both in PSN order, undo then strips only the loser — the PSN total
+  // order survives intra-page concurrency because inter-node locking is
+  // still page-granular.
+  ASSERT_OK_AND_ASSIGN(TxnId winner, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId loser, owner_->Begin());
+  ASSERT_OK(owner_->Update(winner, r0_, "committed-w1"));
+  ASSERT_OK(owner_->Update(loser, r1_, "uncommitted-l1"));
+  ASSERT_OK(owner_->Update(winner, r0_, "committed-w2"));
+  ASSERT_OK(owner_->Commit(winner));
+  ASSERT_OK(owner_->Update(loser, r1_, "uncommitted-l2"));
+  ASSERT_OK(owner_->log().Flush(owner_->log().end_lsn()));
+
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  ASSERT_OK(cluster_->RestartNode(owner_->id()));
+  EXPECT_EQ(cluster_->recovery_stats().at(owner_->id()).losers_undone, 1u);
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v0, owner_->Read(check, r0_));
+  ASSERT_OK_AND_ASSIGN(std::string v1, owner_->Read(check, r1_));
+  EXPECT_EQ(v0, "committed-w2");
+  EXPECT_EQ(v1, "one");
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(RecordLockingTest, RemoteAccessUnaffectedByGranularity) {
+  // End-to-end sanity: client transactions against the owner's page work
+  // exactly as before (callbacks, caching, zero-message commits).
+  ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+  ASSERT_OK(client_->Update(txn, r0_, "remote-write"));
+  std::uint64_t msgs =
+      cluster_->network().metrics().CounterValue("msg.total");
+  ASSERT_OK(client_->Commit(txn));
+  EXPECT_EQ(cluster_->network().metrics().CounterValue("msg.total"), msgs);
+}
+
+TEST_F(RecordLockingTest, DisabledByDefaultPreservesPageSemantics) {
+  TempDir fresh;
+  ClusterOptions opts;
+  opts.dir = fresh.path();
+  Cluster cluster(opts);
+  Node* node = *cluster.AddNode();
+  PageId pid = *node->AllocatePage();
+  TxnId seed = *node->Begin();
+  RecordId a = *node->Insert(seed, pid, "a");
+  RecordId b = *node->Insert(seed, pid, "b");
+  ASSERT_OK(node->Commit(seed));
+
+  TxnId t1 = *node->Begin();
+  TxnId t2 = *node->Begin();
+  ASSERT_OK(node->Update(t1, a, "x"));
+  // Page-granularity baseline: different records still conflict.
+  EXPECT_TRUE(node->Update(t2, b, "y").IsBusy());
+  ASSERT_OK(node->Commit(t1));
+  ASSERT_OK(node->Update(t2, b, "y"));
+  ASSERT_OK(node->Commit(t2));
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "storage/slotted_page.h"
+#include "tests/test_util.h"
+#include "wal/log_record.h"
+
+namespace clog {
+namespace {
+
+/// Property test: random insert/update/delete sequences on one page must
+/// always agree with a shadow map, never corrupt the layout, and space
+/// accounting must stay conservative (FreeSpace never lies upward).
+class SlottedFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlottedFuzzTest, RandomOpsMatchShadowModel) {
+  Random rng(GetParam());
+  Page page;
+  page.Format(PageId{0, 0}, PageType::kData, 0);
+  SlottedPage sp(&page);
+  sp.InitBody();
+
+  std::map<SlotId, std::string> model;
+  for (int step = 0; step < 2000; ++step) {
+    std::uint64_t dice = rng.Uniform(100);
+    if (dice < 40) {
+      // Insert with a random size, sometimes huge on purpose.
+      std::size_t len = rng.Bernoulli(0.05) ? 5000 : rng.Uniform(300) + 1;
+      std::string payload = rng.Bytes(len);
+      std::size_t max = sp.MaxInsertSize();
+      Result<SlotId> slot = sp.Insert(payload);
+      if (len <= max) {
+        ASSERT_TRUE(slot.ok()) << "len=" << len << " max=" << max;
+        ASSERT_FALSE(model.contains(*slot));
+        model[*slot] = payload;
+      } else {
+        EXPECT_FALSE(slot.ok());
+      }
+    } else if (dice < 65 && !model.empty()) {
+      // Update a live record.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      std::size_t len = rng.Uniform(300) + 1;
+      std::string payload = rng.Bytes(len);
+      std::size_t old_len = it->second.size();
+      std::size_t headroom = sp.FreeSpace() + old_len;
+      Status st = sp.Update(it->first, payload);
+      if (len <= headroom) {
+        ASSERT_OK(st);
+        it->second = payload;
+      } else {
+        EXPECT_FALSE(st.ok());
+      }
+    } else if (dice < 85 && !model.empty()) {
+      // Delete a live record.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_OK(sp.Delete(it->first));
+      model.erase(it);
+    } else {
+      // Operations on dead/missing slots must fail cleanly.
+      SlotId bogus = static_cast<SlotId>(sp.SlotCount() + rng.Uniform(3));
+      EXPECT_FALSE(sp.Read(bogus).ok());
+      EXPECT_FALSE(sp.Update(bogus, "x").ok());
+      EXPECT_FALSE(sp.Delete(bogus).ok());
+    }
+
+    // Full-state check every few steps (O(n) scan).
+    if (step % 50 == 0) {
+      ASSERT_EQ(sp.LiveRecords(), model.size());
+      for (const auto& [slot, expect] : model) {
+        ASSERT_TRUE(sp.IsLive(slot));
+        ASSERT_OK_AND_ASSIGN(Slice got, sp.Read(slot));
+        ASSERT_EQ(got.ToString(), expect) << "slot " << slot;
+      }
+    }
+  }
+  // Final exhaustive check.
+  ASSERT_EQ(sp.LiveRecords(), model.size());
+  for (const auto& [slot, expect] : model) {
+    ASSERT_OK_AND_ASSIGN(Slice got, sp.Read(slot));
+    ASSERT_EQ(got.ToString(), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlottedFuzzTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+/// Decoder fuzz: feeding arbitrary bytes into the log-record decoder and
+/// the page verifier must fail cleanly, never crash (crash-recovery reads
+/// whatever the disk contains).
+class DecodeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecodeFuzzTest, RandomBytesNeverCrashDecoders) {
+  Random rng(GetParam());
+  for (int round = 0; round < 500; ++round) {
+    std::size_t len = rng.Uniform(200);
+    std::string garbage = rng.Bytes(len);
+    // Raw random printable bytes.
+    LogRecord rec;
+    LogRecord::DecodeFrom(garbage, &rec).ok();  // Must not crash.
+    // Mutated valid record: flip bytes of a real encoding.
+    LogRecord valid;
+    valid.type = LogRecordType::kUpdate;
+    valid.txn = 7;
+    valid.page = PageId{1, 2};
+    valid.redo_image = rng.Bytes(40);
+    valid.undo_image = rng.Bytes(40);
+    std::string body;
+    valid.EncodeTo(&body);
+    if (!body.empty()) {
+      body[rng.Uniform(body.size())] =
+          static_cast<char>(rng.Uniform(256));
+      LogRecord::DecodeFrom(body, &rec).ok();  // Must not crash.
+      // Truncations too.
+      LogRecord::DecodeFrom(Slice(body.data(), rng.Uniform(body.size())),
+                            &rec)
+          .ok();
+    }
+  }
+}
+
+TEST_P(DecodeFuzzTest, CorruptedPagesFailVerification) {
+  Random rng(GetParam() ^ 0xABCD);
+  for (int round = 0; round < 50; ++round) {
+    Page page;
+    page.Format(PageId{0, 1}, PageType::kData, round);
+    SlottedPage sp(&page);
+    sp.InitBody();
+    sp.Insert(rng.Bytes(100)).status().ok();
+    page.SealChecksum();
+    // Flip one random byte outside the checksum field itself.
+    std::size_t pos = 8 + rng.Uniform(kPageSize - 8);
+    page.data()[pos] ^= static_cast<char>(1 + rng.Uniform(255));
+    EXPECT_FALSE(page.VerifyChecksum().ok()) << "flipped byte " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzzTest, ::testing::Values(3, 17, 91));
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "lock/deadlock_detector.h"
+#include "tests/test_util.h"
+#include "wal/log_record.h"
+
+namespace clog {
+namespace {
+
+/// Parameterized round-trip sweep over every log record type × payload
+/// size: encode/decode must be the identity on every field.
+struct RecordSweepParam {
+  LogRecordType type;
+  std::size_t payload;
+};
+
+class LogRecordSweepTest
+    : public ::testing::TestWithParam<RecordSweepParam> {};
+
+TEST_P(LogRecordSweepTest, EncodeDecodeIdentity) {
+  Random rng(static_cast<std::uint64_t>(GetParam().payload) * 31 +
+             static_cast<std::uint64_t>(GetParam().type));
+  LogRecord rec;
+  rec.type = GetParam().type;
+  rec.txn = MakeTxnId(3, rng.Next() & 0xFFFF);
+  rec.prev_lsn = rng.Next() & 0xFFFFFF;
+  switch (rec.type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kClr:
+      rec.page = PageId{2, static_cast<std::uint32_t>(rng.Uniform(1000))};
+      rec.psn_before = rng.Next() & 0xFFFFF;
+      rec.op = static_cast<RecordOp>(1 + rng.Uniform(3));
+      rec.slot = static_cast<SlotId>(rng.Uniform(200));
+      rec.redo_image = rng.Bytes(GetParam().payload);
+      rec.undo_image = rng.Bytes(GetParam().payload / 2);
+      if (rec.type == LogRecordType::kClr) {
+        rec.undo_next_lsn = rng.Next() & 0xFFFFFF;
+      }
+      break;
+    case LogRecordType::kSavepoint:
+      rec.savepoint_name = rng.Bytes(GetParam().payload % 50 + 1);
+      break;
+    case LogRecordType::kCheckpointEnd:
+      rec.checkpoint_begin_lsn = rng.Next() & 0xFFFFFF;
+      for (std::size_t i = 0; i < GetParam().payload % 20; ++i) {
+        rec.dpt.push_back(DptEntry{
+            PageId{static_cast<NodeId>(rng.Uniform(4)),
+                   static_cast<std::uint32_t>(rng.Uniform(100))},
+            rng.Next() & 0xFFFF, rng.Next() & 0xFFFF, rng.Next() & 0xFFFFF});
+        rec.att.push_back(
+            AttEntry{MakeTxnId(1, i + 1), rng.Next() & 0xFFFFF});
+      }
+      break;
+    default:
+      break;
+  }
+  std::string body;
+  rec.EncodeTo(&body);
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.type, rec.type);
+  EXPECT_EQ(out.txn, rec.txn);
+  EXPECT_EQ(out.prev_lsn, rec.prev_lsn);
+  EXPECT_EQ(out.page, rec.page);
+  EXPECT_EQ(out.psn_before, rec.psn_before);
+  EXPECT_EQ(out.slot, rec.slot);
+  EXPECT_EQ(out.redo_image, rec.redo_image);
+  EXPECT_EQ(out.undo_image, rec.undo_image);
+  EXPECT_EQ(out.undo_next_lsn, rec.undo_next_lsn);
+  EXPECT_EQ(out.savepoint_name, rec.savepoint_name);
+  EXPECT_EQ(out.checkpoint_begin_lsn, rec.checkpoint_begin_lsn);
+  EXPECT_EQ(out.dpt, rec.dpt);
+  EXPECT_EQ(out.att, rec.att);
+}
+
+std::vector<RecordSweepParam> AllRecordSweeps() {
+  std::vector<RecordSweepParam> out;
+  for (LogRecordType t :
+       {LogRecordType::kBegin, LogRecordType::kCommit, LogRecordType::kAbort,
+        LogRecordType::kEnd, LogRecordType::kUpdate, LogRecordType::kClr,
+        LogRecordType::kSavepoint, LogRecordType::kCheckpointBegin,
+        LogRecordType::kCheckpointEnd}) {
+    for (std::size_t payload : {0u, 1u, 64u, 1000u}) {
+      out.push_back(RecordSweepParam{t, payload});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, LogRecordSweepTest,
+                         ::testing::ValuesIn(AllRecordSweeps()));
+
+/// Property: the waits-for detector agrees with a brute-force reference
+/// cycle search on random graphs.
+class DeadlockFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+
+/// Reference: DFS over an adjacency map looking for a cycle through `t`.
+bool ReferenceCycle(const std::map<TxnId, std::set<TxnId>>& graph, TxnId t) {
+  std::set<TxnId> visited;
+  std::vector<TxnId> stack;
+  auto it = graph.find(t);
+  if (it == graph.end()) return false;
+  for (TxnId n : it->second) stack.push_back(n);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == t) return true;
+    if (!visited.insert(cur).second) continue;
+    auto cit = graph.find(cur);
+    if (cit == graph.end()) continue;
+    for (TxnId n : cit->second) stack.push_back(n);
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST_P(DeadlockFuzzTest, MatchesReferenceOnRandomGraphs) {
+  Random rng(GetParam());
+  DeadlockDetector dd;
+  std::map<TxnId, std::set<TxnId>> reference;
+  const TxnId kTxns = 12;
+  for (int step = 0; step < 600; ++step) {
+    std::uint64_t dice = rng.Uniform(100);
+    TxnId t = 1 + rng.Uniform(kTxns);
+    if (dice < 55) {
+      // Add a wait edge (batched like real usage).
+      std::vector<TxnId> holders;
+      std::size_t n = 1 + rng.Uniform(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        holders.push_back(1 + rng.Uniform(kTxns));
+      }
+      dd.AddWaits(t, holders);
+      for (TxnId h : holders) {
+        if (h != t) reference[t].insert(h);
+      }
+    } else if (dice < 75) {
+      dd.ClearWaits(t);
+      reference.erase(t);
+    } else if (dice < 90) {
+      dd.RemoveTxn(t);
+      reference.erase(t);
+      for (auto& [_, targets] : reference) targets.erase(t);
+    } else {
+      // Probe every transaction against the reference.
+      for (TxnId probe = 1; probe <= kTxns; ++probe) {
+        ASSERT_EQ(dd.CyclesThrough(probe), ReferenceCycle(reference, probe))
+            << "step " << step << " probe " << probe;
+      }
+    }
+  }
+  for (TxnId probe = 1; probe <= kTxns; ++probe) {
+    EXPECT_EQ(dd.CyclesThrough(probe), ReferenceCycle(reference, probe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlockFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace clog

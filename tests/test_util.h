@@ -1,0 +1,65 @@
+#ifndef CLOG_TESTS_TEST_UTIL_H_
+#define CLOG_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace clog::testing {
+
+/// Creates a unique scratch directory for one test and removes it on
+/// destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = std::filesystem::temp_directory_path() /
+                       "clog_test_XXXXXX";
+    std::string buf = tmpl;
+    char* got = ::mkdtemp(buf.data());
+    EXPECT_NE(got, nullptr);
+    path_ = buf;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace clog::testing
+
+/// gtest-friendly Status assertions.
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    ::clog::Status _assert_ok_st = (expr);                          \
+    ASSERT_TRUE(_assert_ok_st.ok())                              \
+        << "status: " << _assert_ok_st.ToString();         \
+  } while (0)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    ::clog::Status _expect_ok_st = (expr);                          \
+    EXPECT_TRUE(_expect_ok_st.ok())                              \
+        << "status: " << _expect_ok_st.ToString();         \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                           \
+  auto CLOG_TEST_CONCAT_(_res_, __LINE__) = (rexpr);               \
+  ASSERT_TRUE(CLOG_TEST_CONCAT_(_res_, __LINE__).ok())             \
+      << CLOG_TEST_CONCAT_(_res_, __LINE__).status().ToString();   \
+  lhs = std::move(CLOG_TEST_CONCAT_(_res_, __LINE__)).value()
+
+#define CLOG_TEST_CONCAT_INNER_(a, b) a##b
+#define CLOG_TEST_CONCAT_(a, b) CLOG_TEST_CONCAT_INNER_(a, b)
+
+#endif  // CLOG_TESTS_TEST_UTIL_H_

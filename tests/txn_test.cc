@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+#include "txn/txn_table.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+TEST(TxnTableTest, BeginAssignsUniqueIdsWithNodeTag) {
+  TxnTable table(7);
+  TxnId a = table.Begin()->id;
+  TxnId b = table.Begin()->id;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(TxnNode(a), 7u);
+  EXPECT_EQ(table.ActiveCount(), 2u);
+  table.Remove(a);
+  EXPECT_EQ(table.ActiveCount(), 1u);
+  EXPECT_EQ(table.Find(a), nullptr);
+  EXPECT_NE(table.Find(b), nullptr);
+}
+
+TEST(TxnTableTest, ResurrectBumpsAllocatorPastOldIds) {
+  TxnTable table(3);
+  TxnId old_id = MakeTxnId(3, 500);
+  Transaction* t = table.Resurrect(old_id, 100, 200);
+  EXPECT_EQ(t->first_lsn, 100u);
+  EXPECT_EQ(t->last_lsn, 200u);
+  Transaction* fresh = table.Begin();
+  EXPECT_GT(fresh->id & 0xFFFFFFFFFFFFull, 500u);
+}
+
+TEST(TxnTableTest, MinFirstLsnTracksOldestActive) {
+  TxnTable table(1);
+  EXPECT_EQ(table.MinFirstLsn(), kNullLsn);
+  Transaction* a = table.Begin();
+  a->first_lsn = 300;
+  Transaction* b = table.Begin();
+  b->first_lsn = 100;
+  EXPECT_EQ(table.MinFirstLsn(), 100u);
+  table.Remove(b->id);
+  EXPECT_EQ(table.MinFirstLsn(), 300u);
+}
+
+TEST(TxnTableTest, SnapshotMatchesActiveSet) {
+  TxnTable table(1);
+  Transaction* a = table.Begin();
+  a->last_lsn = 777;
+  auto snap = table.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].txn, a->id);
+  EXPECT_EQ(snap[0].last_lsn, 777u);
+}
+
+class TxnSemanticsTest : public ::testing::Test {
+ protected:
+  TxnSemanticsTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    cluster_ = std::make_unique<Cluster>(opts);
+    node_ = *cluster_->AddNode();
+    pid_ = *node_->AllocatePage();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* node_ = nullptr;
+  PageId pid_;
+};
+
+TEST_F(TxnSemanticsTest, ReadYourOwnWrites) {
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(txn, pid_, "v1"));
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(txn, rid));
+  EXPECT_EQ(v, "v1");
+  ASSERT_OK(node_->Update(txn, rid, "v2"));
+  ASSERT_OK_AND_ASSIGN(std::string v2, node_->Read(txn, rid));
+  EXPECT_EQ(v2, "v2");
+  ASSERT_OK(node_->Abort(txn));
+}
+
+TEST_F(TxnSemanticsTest, NestedSavepointsUnwindInOrder) {
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId r0, node_->Insert(txn, pid_, "r0"));
+  ASSERT_OK(node_->SetSavepoint(txn, "outer"));
+  ASSERT_OK_AND_ASSIGN(RecordId r1, node_->Insert(txn, pid_, "r1"));
+  ASSERT_OK(node_->SetSavepoint(txn, "inner"));
+  ASSERT_OK_AND_ASSIGN(RecordId r2, node_->Insert(txn, pid_, "r2"));
+
+  ASSERT_OK(node_->RollbackToSavepoint(txn, "inner"));
+  EXPECT_TRUE(node_->Read(txn, r2).status().IsNotFound());
+  ASSERT_OK(node_->Read(txn, r1).status());
+
+  ASSERT_OK(node_->RollbackToSavepoint(txn, "outer"));
+  EXPECT_TRUE(node_->Read(txn, r1).status().IsNotFound());
+  ASSERT_OK(node_->Read(txn, r0).status());
+  // "inner" is gone after unwinding past it.
+  EXPECT_TRUE(node_->RollbackToSavepoint(txn, "inner").IsNotFound());
+  ASSERT_OK(node_->Commit(txn));
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(auto records, node_->ScanPage(check, pid_));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "r0");
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(TxnSemanticsTest, SameNameSavepointLatestWins) {
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId r1, node_->Insert(txn, pid_, "one"));
+  ASSERT_OK(node_->SetSavepoint(txn, "sp"));
+  ASSERT_OK_AND_ASSIGN(RecordId r2, node_->Insert(txn, pid_, "two"));
+  ASSERT_OK(node_->SetSavepoint(txn, "sp"));
+  ASSERT_OK_AND_ASSIGN(RecordId r3, node_->Insert(txn, pid_, "three"));
+  ASSERT_OK(node_->RollbackToSavepoint(txn, "sp"));
+  // Only the work after the SECOND "sp" is undone.
+  EXPECT_TRUE(node_->Read(txn, r3).status().IsNotFound());
+  ASSERT_OK(node_->Read(txn, r2).status());
+  ASSERT_OK(node_->Read(txn, r1).status());
+  ASSERT_OK(node_->Commit(txn));
+}
+
+TEST_F(TxnSemanticsTest, AbortAfterPartialRollback) {
+  ASSERT_OK_AND_ASSIGN(TxnId seed, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(seed, pid_, "base"));
+  ASSERT_OK(node_->Commit(seed));
+
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Update(txn, rid, "a"));
+  ASSERT_OK(node_->SetSavepoint(txn, "sp"));
+  ASSERT_OK(node_->Update(txn, rid, "b"));
+  ASSERT_OK(node_->RollbackToSavepoint(txn, "sp"));
+  ASSERT_OK(node_->Update(txn, rid, "c"));
+  ASSERT_OK(node_->Abort(txn));  // Full abort across the CLR boundary.
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, node_->Read(check, rid));
+  EXPECT_EQ(v, "base");
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(TxnSemanticsTest, ConcurrentLocalTxnsOnDisjointPages) {
+  ASSERT_OK_AND_ASSIGN(PageId pid2, node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId t1, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId t2, node_->Begin());
+  ASSERT_OK(node_->Insert(t1, pid_, "t1").status());
+  ASSERT_OK(node_->Insert(t2, pid2, "t2").status());
+  ASSERT_OK(node_->Commit(t1));
+  ASSERT_OK(node_->Abort(t2));
+
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(auto p1, node_->ScanPage(check, pid_));
+  ASSERT_OK_AND_ASSIGN(auto p2, node_->ScanPage(check, pid2));
+  EXPECT_EQ(p1.size(), 1u);
+  EXPECT_TRUE(p2.empty());
+  ASSERT_OK(node_->Commit(check));
+}
+
+TEST_F(TxnSemanticsTest, SharedReadersCoexistLocally) {
+  ASSERT_OK_AND_ASSIGN(TxnId seed, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid, node_->Insert(seed, pid_, "shared"));
+  ASSERT_OK(node_->Commit(seed));
+
+  ASSERT_OK_AND_ASSIGN(TxnId r1, node_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId r2, node_->Begin());
+  ASSERT_OK(node_->Read(r1, rid).status());
+  ASSERT_OK(node_->Read(r2, rid).status());
+  // A writer blocks on both readers.
+  ASSERT_OK_AND_ASSIGN(TxnId w, node_->Begin());
+  Status st = node_->Update(w, rid, "x");
+  EXPECT_TRUE(st.IsBusy());
+  EXPECT_EQ(node_->LastBlockers(w).size(), 2u);
+  ASSERT_OK(node_->Commit(r1));
+  ASSERT_OK(node_->Commit(r2));
+  ASSERT_OK(node_->Update(w, rid, "x"));
+  ASSERT_OK(node_->Commit(w));
+}
+
+TEST_F(TxnSemanticsTest, DoubleCommitAndAbortAreErrors) {
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  ASSERT_OK(node_->Insert(txn, pid_, "x").status());
+  ASSERT_OK(node_->Commit(txn));
+  EXPECT_TRUE(node_->Commit(txn).IsNotFound());
+  EXPECT_TRUE(node_->Abort(txn).IsNotFound());
+  EXPECT_TRUE(node_->Insert(txn, pid_, "y").status().IsNotFound());
+}
+
+TEST_F(TxnSemanticsTest, LargeTransactionManyPages) {
+  std::vector<PageId> pages{pid_};
+  for (int i = 0; i < 9; ++i) pages.push_back(*node_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId txn, node_->Begin());
+  std::vector<RecordId> rids;
+  for (int round = 0; round < 5; ++round) {
+    for (PageId pid : pages) {
+      ASSERT_OK_AND_ASSIGN(
+          RecordId rid,
+          node_->Insert(txn, pid, "r" + std::to_string(round)));
+      rids.push_back(rid);
+    }
+  }
+  ASSERT_OK(node_->Commit(txn));
+  ASSERT_OK_AND_ASSIGN(TxnId check, node_->Begin());
+  for (RecordId rid : rids) ASSERT_OK(node_->Read(check, rid).status());
+  ASSERT_OK(node_->Commit(check));
+}
+
+}  // namespace
+}  // namespace clog

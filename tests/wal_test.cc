@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+LogRecord MakeUpdate(TxnId txn, PageId page, Psn psn_before, Lsn prev,
+                     const std::string& redo, const std::string& undo) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn = txn;
+  rec.prev_lsn = prev;
+  rec.page = page;
+  rec.psn_before = psn_before;
+  rec.op = RecordOp::kUpdate;
+  rec.slot = 2;
+  rec.redo_image = redo;
+  rec.undo_image = undo;
+  return rec;
+}
+
+TEST(LogRecordTest, UpdateEncodeDecodeRoundTrip) {
+  LogRecord rec = MakeUpdate(MakeTxnId(1, 7), PageId{2, 5}, 42, 1000, "new",
+                             "old");
+  std::string body;
+  rec.EncodeTo(&body);
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.type, LogRecordType::kUpdate);
+  EXPECT_EQ(out.txn, rec.txn);
+  EXPECT_EQ(out.prev_lsn, 1000u);
+  EXPECT_EQ(out.page, (PageId{2, 5}));
+  EXPECT_EQ(out.psn_before, 42u);
+  EXPECT_EQ(out.op, RecordOp::kUpdate);
+  EXPECT_EQ(out.slot, 2);
+  EXPECT_EQ(out.redo_image, "new");
+  EXPECT_EQ(out.undo_image, "old");
+}
+
+TEST(LogRecordTest, ClrCarriesUndoNext) {
+  LogRecord rec;
+  rec.type = LogRecordType::kClr;
+  rec.txn = MakeTxnId(0, 1);
+  rec.page = PageId{0, 1};
+  rec.psn_before = 9;
+  rec.op = RecordOp::kDelete;
+  rec.slot = 4;
+  rec.undo_next_lsn = 777;
+  std::string body;
+  rec.EncodeTo(&body);
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.type, LogRecordType::kClr);
+  EXPECT_EQ(out.undo_next_lsn, 777u);
+}
+
+TEST(LogRecordTest, CheckpointCarriesDptAndAtt) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpointEnd;
+  rec.checkpoint_begin_lsn = 128;
+  rec.dpt = {DptEntry{PageId{1, 2}, 3, 9, 500},
+             DptEntry{PageId{0, 7}, 1, 1, 900}};
+  rec.att = {AttEntry{MakeTxnId(1, 3), 450}};
+  std::string body;
+  rec.EncodeTo(&body);
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.checkpoint_begin_lsn, 128u);
+  ASSERT_EQ(out.dpt.size(), 2u);
+  EXPECT_EQ(out.dpt[0], rec.dpt[0]);
+  EXPECT_EQ(out.dpt[1], rec.dpt[1]);
+  ASSERT_EQ(out.att.size(), 1u);
+  EXPECT_EQ(out.att[0], rec.att[0]);
+}
+
+TEST(LogRecordTest, SavepointName) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSavepoint;
+  rec.txn = 1;
+  rec.savepoint_name = "sp1";
+  std::string body;
+  rec.EncodeTo(&body);
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.savepoint_name, "sp1");
+}
+
+TEST(LogRecordTest, GarbageIsCorruption) {
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::DecodeFrom(Slice("\xFFgarbage", 8), &out)
+                  .IsCorruption());
+  EXPECT_TRUE(LogRecord::DecodeFrom(Slice("", 0), &out).IsCorruption());
+}
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  TempDir dir_;
+};
+
+TEST_F(LogManagerTest, AppendAssignsIncreasingLsns) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "a", "b");
+  Lsn l1, l2;
+  ASSERT_OK(log.Append(rec, &l1));
+  ASSERT_OK(log.Append(rec, &l2));
+  EXPECT_EQ(l1, LogManager::first_lsn());
+  EXPECT_GT(l2, l1);
+  EXPECT_EQ(log.appended_records(), 2u);
+}
+
+TEST_F(LogManagerTest, ReadBackUnflushedAndFlushed) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord rec = MakeUpdate(1, PageId{0, 0}, 3, kNullLsn, "abc", "xyz");
+  Lsn lsn;
+  ASSERT_OK(log.Append(rec, &lsn));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(lsn, &got));  // From the append buffer.
+  EXPECT_EQ(got.redo_image, "abc");
+  ASSERT_OK(log.Flush(lsn));
+  ASSERT_OK(log.ReadRecord(lsn, &got));  // From disk.
+  EXPECT_EQ(got.undo_image, "xyz");
+  EXPECT_EQ(log.forces(), 1u);
+}
+
+TEST_F(LogManagerTest, FlushIsIdempotentAndOrdered) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "a", "");
+  Lsn lsn;
+  ASSERT_OK(log.Append(rec, &lsn));
+  ASSERT_OK(log.Flush(lsn));
+  std::uint64_t forces = log.forces();
+  ASSERT_OK(log.Flush(lsn));  // Already durable: no new force.
+  EXPECT_EQ(log.forces(), forces);
+  EXPECT_GE(log.flushed_lsn(), lsn);
+}
+
+TEST_F(LogManagerTest, SurvivesReopen) {
+  Lsn lsn;
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(dir_.path() + "/log"));
+    LogRecord rec = MakeUpdate(5, PageId{1, 1}, 7, kNullLsn, "persist", "");
+    ASSERT_OK(log.Append(rec, &lsn));
+    ASSERT_OK(log.Flush(lsn));
+    ASSERT_OK(log.Close());
+  }
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(lsn, &got));
+  EXPECT_EQ(got.redo_image, "persist");
+  EXPECT_GT(log.end_lsn(), lsn);
+}
+
+TEST_F(LogManagerTest, AbandonLosesUnflushedTail) {
+  Lsn durable, volatile_lsn;
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(dir_.path() + "/log"));
+    LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "keep", "");
+    ASSERT_OK(log.Append(rec, &durable));
+    ASSERT_OK(log.Flush(durable));
+    rec.redo_image = "lose";
+    ASSERT_OK(log.Append(rec, &volatile_lsn));
+    log.Abandon();  // Crash: tail never forced.
+  }
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(durable, &got));
+  EXPECT_EQ(got.redo_image, "keep");
+  EXPECT_TRUE(log.ReadRecord(volatile_lsn, &got).IsNotFound());
+  EXPECT_EQ(log.end_lsn(), volatile_lsn);  // Appends continue here.
+}
+
+TEST_F(LogManagerTest, TornTailTruncatedOnReopen) {
+  Lsn lsn;
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(dir_.path() + "/log"));
+    LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "whole", "");
+    ASSERT_OK(log.Append(rec, &lsn));
+    ASSERT_OK(log.Flush(lsn));
+    ASSERT_OK(log.Close());
+  }
+  // Simulate a torn write: append garbage that looks like a frame header.
+  {
+    FILE* f = std::fopen((dir_.path() + "/log").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::uint32_t len = 100, crc = 0;
+    std::fwrite(&len, 4, 1, f);
+    std::fwrite(&crc, 4, 1, f);
+    std::fwrite("short", 5, 1, f);  // Body shorter than advertised.
+    std::fclose(f);
+  }
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(lsn, &got));
+  EXPECT_EQ(got.redo_image, "whole");
+}
+
+TEST_F(LogManagerTest, BoundedCapacityAndReclaim) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  log.set_capacity(1024);
+  LogRecord rec =
+      MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, std::string(100, 'r'), "");
+  Lsn lsn = kNullLsn;
+  Status st;
+  int appended = 0;
+  while ((st = log.Append(rec, &lsn)).ok()) ++appended;
+  EXPECT_TRUE(st.IsLogFull());
+  EXPECT_GT(appended, 0);
+  EXPECT_LE(log.LiveBytes(), 1024u);
+  // Reclaiming space re-enables appends.
+  log.SetReclaimableLsn(log.end_lsn());
+  EXPECT_EQ(log.LiveBytes(), 0u);
+  ASSERT_OK(log.Append(rec, &lsn));
+}
+
+TEST_F(LogManagerTest, MasterPointerRoundTrip) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  ASSERT_OK_AND_ASSIGN(Lsn none, log.LoadMaster());
+  EXPECT_EQ(none, kNullLsn);
+  ASSERT_OK(log.StoreMaster(4242));
+  ASSERT_OK_AND_ASSIGN(Lsn got, log.LoadMaster());
+  EXPECT_EQ(got, 4242u);
+  ASSERT_OK(log.StoreMaster(9000));  // Overwrite atomically.
+  ASSERT_OK_AND_ASSIGN(Lsn got2, log.LoadMaster());
+  EXPECT_EQ(got2, 9000u);
+}
+
+TEST_F(LogManagerTest, ForwardCursorScansAll) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  Lsn lsn;
+  for (int i = 0; i < 10; ++i) {
+    LogRecord rec = MakeUpdate(1, PageId{0, 0}, i, kNullLsn,
+                               "v" + std::to_string(i), "");
+    ASSERT_OK(log.Append(rec, &lsn));
+  }
+  LogCursor cursor(&log, LogManager::first_lsn());
+  LogRecord rec;
+  Lsn at;
+  int count = 0;
+  Status st;
+  while (cursor.Next(&rec, &at, &st)) {
+    EXPECT_EQ(rec.psn_before, static_cast<Psn>(count));
+    ++count;
+  }
+  ASSERT_OK(st);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(cursor.records_read(), 10u);
+}
+
+TEST_F(LogManagerTest, BackwardCursorFollowsTxnChainAndClrSkips) {
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  // Chain: U1 <- U2 <- CLR(undo of U2, undo_next -> U1).
+  Lsn l1, l2, l3;
+  LogRecord u1 = MakeUpdate(9, PageId{0, 0}, 0, kNullLsn, "1", "");
+  ASSERT_OK(log.Append(u1, &l1));
+  LogRecord u2 = MakeUpdate(9, PageId{0, 0}, 1, l1, "2", "");
+  ASSERT_OK(log.Append(u2, &l2));
+  LogRecord clr;
+  clr.type = LogRecordType::kClr;
+  clr.txn = 9;
+  clr.prev_lsn = l2;
+  clr.page = PageId{0, 0};
+  clr.psn_before = 2;
+  clr.op = RecordOp::kUpdate;
+  clr.undo_next_lsn = l1;  // Skip U2: already compensated.
+  ASSERT_OK(log.Append(clr, &l3));
+
+  TxnBackwardCursor cursor(&log, l3);
+  LogRecord rec;
+  Lsn at;
+  ASSERT_TRUE(cursor.Prev(&rec, &at));
+  EXPECT_EQ(rec.type, LogRecordType::kClr);
+  ASSERT_TRUE(cursor.Prev(&rec, &at));
+  EXPECT_EQ(at, l1);  // U2 skipped via undo_next_lsn.
+  EXPECT_EQ(rec.redo_image, "1");
+  EXPECT_FALSE(cursor.Prev(&rec, &at));
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/workload.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.node_defaults.buffer_frames = 32;
+    cluster_ = std::make_unique<Cluster>(opts);
+    owner_ = *cluster_->AddNode();
+    client_ = *cluster_->AddNode();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* owner_ = nullptr;
+  Node* client_ = nullptr;
+};
+
+TEST_F(WorkloadTest, PopulatePageFillsRecords) {
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  Random rng(5);
+  ASSERT_OK(PopulatePage(cluster_.get(), owner_->id(), pid, 12, 50, &rng));
+  ASSERT_OK_AND_ASSIGN(TxnId check, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(auto records, owner_->ScanPage(check, pid));
+  EXPECT_EQ(records.size(), 12u);
+  for (const std::string& r : records) EXPECT_EQ(r.size(), 50u);
+  ASSERT_OK(owner_->Commit(check));
+}
+
+TEST_F(WorkloadTest, AllocatePopulatedPagesCreatesAll) {
+  ASSERT_OK_AND_ASSIGN(
+      auto pages,
+      AllocatePopulatedPages(cluster_.get(), owner_->id(), 5, 4, 30, 9));
+  EXPECT_EQ(pages.size(), 5u);
+  for (PageId pid : pages) EXPECT_EQ(pid.owner, owner_->id());
+}
+
+TEST_F(WorkloadTest, DriverCompletesAllSessions) {
+  ASSERT_OK_AND_ASSIGN(
+      auto pages,
+      AllocatePopulatedPages(cluster_.get(), owner_->id(), 4, 8, 40, 9));
+  WorkloadConfig config;
+  config.txns_per_session = 12;
+  config.ops_per_txn = 5;
+  config.records_per_page = 8;
+  WorkloadDriver driver(cluster_.get(), config,
+                        {{owner_->id(), pages}, {client_->id(), pages}});
+  ASSERT_OK(driver.Run());
+  EXPECT_GT(driver.stats().committed, 0u);
+  EXPECT_LE(driver.stats().committed, 24u);
+  EXPECT_GE(driver.stats().ops, driver.stats().committed * 5);
+}
+
+TEST_F(WorkloadTest, DriverIsDeterministicPerSeed) {
+  auto run_once = [&](const std::string& tag,
+                      std::uint64_t seed) -> WorkloadStats {
+    TempDir fresh;
+    ClusterOptions opts;
+    opts.dir = fresh.path();
+    opts.node_defaults.buffer_frames = 32;
+    Cluster cluster(opts);
+    Node* o = *cluster.AddNode();
+    Node* c = *cluster.AddNode();
+    auto pages = *AllocatePopulatedPages(&cluster, o->id(), 4, 8, 40, 1);
+    WorkloadConfig config;
+    config.seed = seed;
+    config.txns_per_session = 10;
+    config.ops_per_txn = 4;
+    config.records_per_page = 8;
+    WorkloadDriver driver(&cluster, config,
+                          {{o->id(), pages}, {c->id(), pages}});
+    EXPECT_OK(driver.Run());
+    return driver.stats();
+  };
+  WorkloadStats a = run_once("a", 77);
+  WorkloadStats b = run_once("b", 77);
+  WorkloadStats c = run_once("c", 78);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.busy_waits, b.busy_waits);
+  EXPECT_EQ(a.sim_ns, b.sim_ns);
+  // A different seed almost surely behaves differently in some counter.
+  EXPECT_TRUE(a.ops != c.ops || a.busy_waits != c.busy_waits ||
+              a.sim_ns != c.sim_ns);
+}
+
+TEST_F(WorkloadTest, ContendedHotPageProducesWaitsButFinishes) {
+  ASSERT_OK_AND_ASSIGN(
+      auto pages,
+      AllocatePopulatedPages(cluster_.get(), owner_->id(), 1, 8, 40, 2));
+  WorkloadConfig config;
+  config.txns_per_session = 15;
+  config.ops_per_txn = 6;
+  config.update_fraction = 1.0;
+  config.records_per_page = 8;
+  WorkloadDriver driver(cluster_.get(), config,
+                        {{owner_->id(), pages}, {client_->id(), pages}});
+  ASSERT_OK(driver.Run());
+  EXPECT_GT(driver.stats().busy_waits, 0u);  // Real contention happened.
+  EXPECT_GT(driver.stats().committed, 0u);   // And it still made progress.
+}
+
+TEST_F(WorkloadTest, RunTransactionResolvesCrossNodeDeadlock) {
+  // Manufacture a deadlock: txn A (owner) holds page1 and wants page2;
+  // txn B (client) holds page2 and wants page1. The waits-for graph must
+  // detect the cycle and one side must abort + retry successfully.
+  ASSERT_OK_AND_ASSIGN(PageId p1, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(PageId p2, owner_->AllocatePage());
+  Random rng(1);
+  ASSERT_OK(PopulatePage(cluster_.get(), owner_->id(), p1, 2, 20, &rng));
+  ASSERT_OK(PopulatePage(cluster_.get(), owner_->id(), p2, 2, 20, &rng));
+
+  ASSERT_OK_AND_ASSIGN(TxnId ta, owner_->Begin());
+  ASSERT_OK_AND_ASSIGN(TxnId tb, client_->Begin());
+  ASSERT_OK(owner_->Update(ta, RecordId{p1, 0}, "A1"));
+  ASSERT_OK(client_->Update(tb, RecordId{p2, 0}, "B2"));
+
+  // A -> p2 blocks on B.
+  Status sa = owner_->Update(ta, RecordId{p2, 0}, "A2");
+  ASSERT_TRUE(sa.IsBusy());
+  EXPECT_FALSE(
+      cluster_->NoteBusyAndCheckDeadlock(ta, owner_->LastBlockers(ta)));
+  // B -> p1 blocks on A: closes the cycle.
+  Status sb = client_->Update(tb, RecordId{p1, 0}, "B1");
+  ASSERT_TRUE(sb.IsBusy());
+  EXPECT_TRUE(
+      cluster_->NoteBusyAndCheckDeadlock(tb, client_->LastBlockers(tb)));
+
+  // Victim aborts; survivor proceeds.
+  ASSERT_OK(client_->Abort(tb));
+  cluster_->detector().RemoveTxn(tb);
+  ASSERT_OK(owner_->Update(ta, RecordId{p2, 0}, "A2"));
+  ASSERT_OK(owner_->Commit(ta));
+  ASSERT_OK_AND_ASSIGN(TxnId check, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(std::string v, client_->Read(check, RecordId{p2, 0}));
+  EXPECT_EQ(v, "A2");
+  ASSERT_OK(client_->Commit(check));
+}
+
+TEST_F(WorkloadTest, SkewedConfigConcentratesAccesses) {
+  ASSERT_OK_AND_ASSIGN(
+      auto pages,
+      AllocatePopulatedPages(cluster_.get(), owner_->id(), 10, 8, 40, 4));
+  WorkloadConfig config;
+  config.skewed = true;
+  config.txns_per_session = 10;
+  config.ops_per_txn = 4;
+  config.records_per_page = 8;
+  WorkloadDriver driver(cluster_.get(), config, {{client_->id(), pages}});
+  ASSERT_OK(driver.Run());
+  EXPECT_EQ(driver.stats().committed, 10u);
+}
+
+}  // namespace
+}  // namespace clog

@@ -1,0 +1,163 @@
+// clog_logdump — prints a node's write-ahead log, record by record.
+//
+// Usage: clog_logdump <node.log> [--from <lsn>] [--txn <id>] [--page o:n]
+//
+// The workhorse debugging tool for this storage engine: shows the exact
+// record stream restart analysis and NodePSNList construction would see,
+// including the PSN-before values the distributed redo ordering is built
+// on. Reads the file directly (no node required).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+using namespace clog;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: clog_logdump <node.log> [--from <lsn>] [--txn <id>] "
+               "[--page <owner:page_no>] [--stats]\n");
+  std::exit(2);
+}
+
+std::optional<PageId> ParsePageId(const std::string& s) {
+  std::size_t colon = s.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  return PageId{static_cast<NodeId>(std::strtoul(s.c_str(), nullptr, 10)),
+                static_cast<std::uint32_t>(
+                    std::strtoul(s.c_str() + colon + 1, nullptr, 10))};
+}
+
+const char* OpName(RecordOp op) {
+  switch (op) {
+    case RecordOp::kInsert:
+      return "INSERT";
+    case RecordOp::kUpdate:
+      return "UPDATE";
+    case RecordOp::kDelete:
+      return "DELETE";
+    case RecordOp::kFormat:
+      return "FORMAT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  std::string path = argv[1];
+  Lsn from = LogManager::first_lsn();
+  std::optional<TxnId> txn_filter;
+  std::optional<PageId> page_filter;
+  bool stats_only = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--from" && i + 1 < argc) {
+      from = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--txn" && i + 1 < argc) {
+      txn_filter = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--page" && i + 1 < argc) {
+      page_filter = ParsePageId(argv[++i]);
+      if (!page_filter.has_value()) Usage();
+    } else if (arg == "--stats") {
+      stats_only = true;
+    } else {
+      Usage();
+    }
+  }
+
+  LogManager log;
+  Status st = log.Open(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  Result<Lsn> master = log.LoadMaster();
+  std::printf("# %s  end_lsn=%llu  master_checkpoint=%llu\n", path.c_str(),
+              static_cast<unsigned long long>(log.end_lsn()),
+              static_cast<unsigned long long>(master.ok() ? *master : 0));
+
+  LogCursor cursor(&log, from);
+  LogRecord rec;
+  Lsn lsn = kNullLsn;
+  Status scan;
+  std::uint64_t counts[10] = {};
+  std::uint64_t total = 0;
+  while (cursor.Next(&rec, &lsn, &scan)) {
+    ++total;
+    ++counts[static_cast<int>(rec.type)];
+    if (txn_filter.has_value() && rec.txn != *txn_filter) continue;
+    if (page_filter.has_value() &&
+        (rec.type != LogRecordType::kUpdate &&
+         rec.type != LogRecordType::kClr)) {
+      continue;
+    }
+    if (page_filter.has_value() && rec.page != *page_filter) continue;
+    if (stats_only) continue;
+
+    std::printf("%-10llu %-10s txn=%llu prev=%llu",
+                static_cast<unsigned long long>(lsn),
+                std::string(LogRecordTypeName(rec.type)).c_str(),
+                static_cast<unsigned long long>(rec.txn),
+                static_cast<unsigned long long>(rec.prev_lsn));
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+      case LogRecordType::kClr:
+        std::printf(" page=%s psn_before=%llu op=%s slot=%u redo=%zuB "
+                    "undo=%zuB",
+                    rec.page.ToString().c_str(),
+                    static_cast<unsigned long long>(rec.psn_before),
+                    OpName(rec.op), rec.slot, rec.redo_image.size(),
+                    rec.undo_image.size());
+        if (rec.type == LogRecordType::kClr) {
+          std::printf(" undo_next=%llu",
+                      static_cast<unsigned long long>(rec.undo_next_lsn));
+        }
+        break;
+      case LogRecordType::kSavepoint:
+        std::printf(" name=%s", rec.savepoint_name.c_str());
+        break;
+      case LogRecordType::kCheckpointEnd:
+        std::printf(" begin=%llu dpt=%zu att=%zu",
+                    static_cast<unsigned long long>(rec.checkpoint_begin_lsn),
+                    rec.dpt.size(), rec.att.size());
+        for (const DptEntry& e : rec.dpt) {
+          std::printf("\n    dpt %s psn=%llu curr=%llu redo=%llu",
+                      e.pid.ToString().c_str(),
+                      static_cast<unsigned long long>(e.psn),
+                      static_cast<unsigned long long>(e.curr_psn),
+                      static_cast<unsigned long long>(e.redo_lsn));
+        }
+        break;
+      default:
+        break;
+    }
+    std::printf("\n");
+  }
+  if (!scan.ok()) {
+    std::fprintf(stderr, "scan stopped: %s\n", scan.ToString().c_str());
+    return 1;
+  }
+  std::printf("# %llu records", static_cast<unsigned long long>(total));
+  static const char* kNames[] = {"",       "begin", "commit", "abort",
+                                 "end",    "update", "clr",   "savepoint",
+                                 "ckpt_b", "ckpt_e"};
+  for (int t = 1; t <= 9; ++t) {
+    if (counts[t] > 0) {
+      std::printf("  %s=%llu", kNames[t],
+                  static_cast<unsigned long long>(counts[t]));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
