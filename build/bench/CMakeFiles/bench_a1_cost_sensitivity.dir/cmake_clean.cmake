@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_cost_sensitivity.dir/a1_cost_sensitivity.cc.o"
+  "CMakeFiles/bench_a1_cost_sensitivity.dir/a1_cost_sensitivity.cc.o.d"
+  "bench_a1_cost_sensitivity"
+  "bench_a1_cost_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_flush_notify.dir/a2_flush_notify.cc.o"
+  "CMakeFiles/bench_a2_flush_notify.dir/a2_flush_notify.cc.o.d"
+  "bench_a2_flush_notify"
+  "bench_a2_flush_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_flush_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_record_locking.dir/a3_record_locking.cc.o"
+  "CMakeFiles/bench_a3_record_locking.dir/a3_record_locking.cc.o.d"
+  "bench_a3_record_locking"
+  "bench_a3_record_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_record_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_scalability.dir/e2_scalability.cc.o"
+  "CMakeFiles/bench_e2_scalability.dir/e2_scalability.cc.o.d"
+  "bench_e2_scalability"
+  "bench_e2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

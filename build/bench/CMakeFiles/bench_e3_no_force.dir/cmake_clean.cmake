@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_no_force.dir/e3_no_force.cc.o"
+  "CMakeFiles/bench_e3_no_force.dir/e3_no_force.cc.o.d"
+  "bench_e3_no_force"
+  "bench_e3_no_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_no_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

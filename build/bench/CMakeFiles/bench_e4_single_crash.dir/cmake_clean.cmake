@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_single_crash.dir/e4_single_crash.cc.o"
+  "CMakeFiles/bench_e4_single_crash.dir/e4_single_crash.cc.o.d"
+  "bench_e4_single_crash"
+  "bench_e4_single_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_single_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

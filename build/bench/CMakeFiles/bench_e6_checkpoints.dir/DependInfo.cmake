@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e6_checkpoints.cc" "bench/CMakeFiles/bench_e6_checkpoints.dir/e6_checkpoints.cc.o" "gcc" "bench/CMakeFiles/bench_e6_checkpoints.dir/e6_checkpoints.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

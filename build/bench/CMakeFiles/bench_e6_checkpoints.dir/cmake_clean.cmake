@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_checkpoints.dir/e6_checkpoints.cc.o"
+  "CMakeFiles/bench_e6_checkpoints.dir/e6_checkpoints.cc.o.d"
+  "bench_e6_checkpoints"
+  "bench_e6_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

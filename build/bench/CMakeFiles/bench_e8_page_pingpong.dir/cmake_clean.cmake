@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_page_pingpong.dir/e8_page_pingpong.cc.o"
+  "CMakeFiles/bench_e8_page_pingpong.dir/e8_page_pingpong.cc.o.d"
+  "bench_e8_page_pingpong"
+  "bench_e8_page_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_page_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

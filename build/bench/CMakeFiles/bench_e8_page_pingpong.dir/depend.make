@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e8_page_pingpong.
+# This may be replaced when dependencies are built.

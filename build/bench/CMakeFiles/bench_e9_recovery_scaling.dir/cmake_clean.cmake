@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_recovery_scaling.dir/e9_recovery_scaling.cc.o"
+  "CMakeFiles/bench_e9_recovery_scaling.dir/e9_recovery_scaling.cc.o.d"
+  "bench_e9_recovery_scaling"
+  "bench_e9_recovery_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_recovery_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

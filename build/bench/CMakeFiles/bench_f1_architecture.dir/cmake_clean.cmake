@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_architecture.dir/f1_architecture.cc.o"
+  "CMakeFiles/bench_f1_architecture.dir/f1_architecture.cc.o.d"
+  "bench_f1_architecture"
+  "bench_f1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

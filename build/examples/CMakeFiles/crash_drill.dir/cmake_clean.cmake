@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_drill.dir/crash_drill.cc.o"
+  "CMakeFiles/crash_drill.dir/crash_drill.cc.o.d"
+  "crash_drill"
+  "crash_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

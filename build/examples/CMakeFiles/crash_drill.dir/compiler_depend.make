@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crash_drill.
+# This may be replaced when dependencies are built.

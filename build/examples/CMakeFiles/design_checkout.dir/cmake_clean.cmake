@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_checkout.dir/design_checkout.cc.o"
+  "CMakeFiles/design_checkout.dir/design_checkout.cc.o.d"
+  "design_checkout"
+  "design_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_technician.dir/mobile_technician.cc.o"
+  "CMakeFiles/mobile_technician.dir/mobile_technician.cc.o.d"
+  "mobile_technician"
+  "mobile_technician.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_technician.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

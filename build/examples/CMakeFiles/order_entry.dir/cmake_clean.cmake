@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_entry.dir/order_entry.cc.o"
+  "CMakeFiles/order_entry.dir/order_entry.cc.o.d"
+  "order_entry"
+  "order_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

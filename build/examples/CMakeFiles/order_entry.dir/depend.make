@@ -1,0 +1,2 @@
+# Empty dependencies file for order_entry.
+# This may be replaced when dependencies are built.

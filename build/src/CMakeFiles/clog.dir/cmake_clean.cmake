@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog.dir/core/cluster.cc.o"
+  "CMakeFiles/clog.dir/core/cluster.cc.o.d"
+  "CMakeFiles/clog.dir/core/heap_table.cc.o"
+  "CMakeFiles/clog.dir/core/heap_table.cc.o.d"
+  "CMakeFiles/clog.dir/core/txn_handle.cc.o"
+  "CMakeFiles/clog.dir/core/txn_handle.cc.o.d"
+  "CMakeFiles/clog.dir/core/workload.cc.o"
+  "CMakeFiles/clog.dir/core/workload.cc.o.d"
+  "libclog.a"
+  "libclog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/clog_buffer.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/clog_buffer.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/dirty_page_table.cc" "src/CMakeFiles/clog_buffer.dir/buffer/dirty_page_table.cc.o" "gcc" "src/CMakeFiles/clog_buffer.dir/buffer/dirty_page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

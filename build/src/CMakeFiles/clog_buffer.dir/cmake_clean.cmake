@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_buffer.dir/buffer/buffer_pool.cc.o"
+  "CMakeFiles/clog_buffer.dir/buffer/buffer_pool.cc.o.d"
+  "CMakeFiles/clog_buffer.dir/buffer/dirty_page_table.cc.o"
+  "CMakeFiles/clog_buffer.dir/buffer/dirty_page_table.cc.o.d"
+  "libclog_buffer.a"
+  "libclog_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

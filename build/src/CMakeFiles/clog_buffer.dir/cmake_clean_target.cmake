@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclog_buffer.a"
+)

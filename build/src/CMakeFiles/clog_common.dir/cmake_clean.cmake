@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_common.dir/common/codec.cc.o"
+  "CMakeFiles/clog_common.dir/common/codec.cc.o.d"
+  "CMakeFiles/clog_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/clog_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/clog_common.dir/common/metrics.cc.o"
+  "CMakeFiles/clog_common.dir/common/metrics.cc.o.d"
+  "CMakeFiles/clog_common.dir/common/random.cc.o"
+  "CMakeFiles/clog_common.dir/common/random.cc.o.d"
+  "CMakeFiles/clog_common.dir/common/sim_clock.cc.o"
+  "CMakeFiles/clog_common.dir/common/sim_clock.cc.o.d"
+  "CMakeFiles/clog_common.dir/common/status.cc.o"
+  "CMakeFiles/clog_common.dir/common/status.cc.o.d"
+  "libclog_common.a"
+  "libclog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/deadlock_detector.cc" "src/CMakeFiles/clog_lock.dir/lock/deadlock_detector.cc.o" "gcc" "src/CMakeFiles/clog_lock.dir/lock/deadlock_detector.cc.o.d"
+  "/root/repo/src/lock/lock_cache.cc" "src/CMakeFiles/clog_lock.dir/lock/lock_cache.cc.o" "gcc" "src/CMakeFiles/clog_lock.dir/lock/lock_cache.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/CMakeFiles/clog_lock.dir/lock/lock_manager.cc.o" "gcc" "src/CMakeFiles/clog_lock.dir/lock/lock_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

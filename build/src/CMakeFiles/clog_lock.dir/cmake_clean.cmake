@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_lock.dir/lock/deadlock_detector.cc.o"
+  "CMakeFiles/clog_lock.dir/lock/deadlock_detector.cc.o.d"
+  "CMakeFiles/clog_lock.dir/lock/lock_cache.cc.o"
+  "CMakeFiles/clog_lock.dir/lock/lock_cache.cc.o.d"
+  "CMakeFiles/clog_lock.dir/lock/lock_manager.cc.o"
+  "CMakeFiles/clog_lock.dir/lock/lock_manager.cc.o.d"
+  "libclog_lock.a"
+  "libclog_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_net.dir/net/message.cc.o"
+  "CMakeFiles/clog_net.dir/net/message.cc.o.d"
+  "CMakeFiles/clog_net.dir/net/network.cc.o"
+  "CMakeFiles/clog_net.dir/net/network.cc.o.d"
+  "libclog_net.a"
+  "libclog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

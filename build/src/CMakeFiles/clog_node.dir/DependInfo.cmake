@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/checkpoint.cc" "src/CMakeFiles/clog_node.dir/node/checkpoint.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/checkpoint.cc.o.d"
+  "/root/repo/src/node/introspect.cc" "src/CMakeFiles/clog_node.dir/node/introspect.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/introspect.cc.o.d"
+  "/root/repo/src/node/log_space.cc" "src/CMakeFiles/clog_node.dir/node/log_space.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/log_space.cc.o.d"
+  "/root/repo/src/node/logging_strategy.cc" "src/CMakeFiles/clog_node.dir/node/logging_strategy.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/logging_strategy.cc.o.d"
+  "/root/repo/src/node/node.cc" "src/CMakeFiles/clog_node.dir/node/node.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/node.cc.o.d"
+  "/root/repo/src/node/page_service.cc" "src/CMakeFiles/clog_node.dir/node/page_service.cc.o" "gcc" "src/CMakeFiles/clog_node.dir/node/page_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_node.dir/node/checkpoint.cc.o"
+  "CMakeFiles/clog_node.dir/node/checkpoint.cc.o.d"
+  "CMakeFiles/clog_node.dir/node/introspect.cc.o"
+  "CMakeFiles/clog_node.dir/node/introspect.cc.o.d"
+  "CMakeFiles/clog_node.dir/node/log_space.cc.o"
+  "CMakeFiles/clog_node.dir/node/log_space.cc.o.d"
+  "CMakeFiles/clog_node.dir/node/logging_strategy.cc.o"
+  "CMakeFiles/clog_node.dir/node/logging_strategy.cc.o.d"
+  "CMakeFiles/clog_node.dir/node/node.cc.o"
+  "CMakeFiles/clog_node.dir/node/node.cc.o.d"
+  "CMakeFiles/clog_node.dir/node/page_service.cc.o"
+  "CMakeFiles/clog_node.dir/node/page_service.cc.o.d"
+  "libclog_node.a"
+  "libclog_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

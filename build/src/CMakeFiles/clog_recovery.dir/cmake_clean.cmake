@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_recovery.dir/recovery/distributed_recovery.cc.o"
+  "CMakeFiles/clog_recovery.dir/recovery/distributed_recovery.cc.o.d"
+  "CMakeFiles/clog_recovery.dir/recovery/local_recovery.cc.o"
+  "CMakeFiles/clog_recovery.dir/recovery/local_recovery.cc.o.d"
+  "CMakeFiles/clog_recovery.dir/recovery/node_psn_list.cc.o"
+  "CMakeFiles/clog_recovery.dir/recovery/node_psn_list.cc.o.d"
+  "libclog_recovery.a"
+  "libclog_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/clog_storage.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/clog_storage.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/clog_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/clog_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/clog_storage.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/clog_storage.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/space_map.cc" "src/CMakeFiles/clog_storage.dir/storage/space_map.cc.o" "gcc" "src/CMakeFiles/clog_storage.dir/storage/space_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/clog_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/clog_storage.dir/storage/page.cc.o"
+  "CMakeFiles/clog_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/clog_storage.dir/storage/slotted_page.cc.o"
+  "CMakeFiles/clog_storage.dir/storage/slotted_page.cc.o.d"
+  "CMakeFiles/clog_storage.dir/storage/space_map.cc.o"
+  "CMakeFiles/clog_storage.dir/storage/space_map.cc.o.d"
+  "libclog_storage.a"
+  "libclog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

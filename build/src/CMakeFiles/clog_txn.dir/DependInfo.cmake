@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/clog_txn.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/clog_txn.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/txn_table.cc" "src/CMakeFiles/clog_txn.dir/txn/txn_table.cc.o" "gcc" "src/CMakeFiles/clog_txn.dir/txn/txn_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clog_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

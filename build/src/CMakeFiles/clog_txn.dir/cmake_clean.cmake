@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_txn.dir/txn/transaction.cc.o"
+  "CMakeFiles/clog_txn.dir/txn/transaction.cc.o.d"
+  "CMakeFiles/clog_txn.dir/txn/txn_table.cc.o"
+  "CMakeFiles/clog_txn.dir/txn/txn_table.cc.o.d"
+  "libclog_txn.a"
+  "libclog_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

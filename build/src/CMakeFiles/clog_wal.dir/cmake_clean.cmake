@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_wal.dir/wal/log_manager.cc.o"
+  "CMakeFiles/clog_wal.dir/wal/log_manager.cc.o.d"
+  "CMakeFiles/clog_wal.dir/wal/log_reader.cc.o"
+  "CMakeFiles/clog_wal.dir/wal/log_reader.cc.o.d"
+  "CMakeFiles/clog_wal.dir/wal/log_record.cc.o"
+  "CMakeFiles/clog_wal.dir/wal/log_record.cc.o.d"
+  "libclog_wal.a"
+  "libclog_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

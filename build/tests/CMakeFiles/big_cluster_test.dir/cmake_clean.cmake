@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_cluster_test.dir/big_cluster_test.cc.o"
+  "CMakeFiles/big_cluster_test.dir/big_cluster_test.cc.o.d"
+  "big_cluster_test"
+  "big_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_test.dir/buffer_test.cc.o"
+  "CMakeFiles/buffer_test.dir/buffer_test.cc.o.d"
+  "buffer_test"
+  "buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnect_test.dir/disconnect_test.cc.o"
+  "CMakeFiles/disconnect_test.dir/disconnect_test.cc.o.d"
+  "disconnect_test"
+  "disconnect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_table_test.dir/heap_table_test.cc.o"
+  "CMakeFiles/heap_table_test.dir/heap_table_test.cc.o.d"
+  "heap_table_test"
+  "heap_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

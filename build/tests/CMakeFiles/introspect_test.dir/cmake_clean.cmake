@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/introspect_test.dir/introspect_test.cc.o"
+  "CMakeFiles/introspect_test.dir/introspect_test.cc.o.d"
+  "introspect_test"
+  "introspect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/introspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

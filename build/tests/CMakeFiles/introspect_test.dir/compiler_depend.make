@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for introspect_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_space_test.dir/log_space_test.cc.o"
+  "CMakeFiles/log_space_test.dir/log_space_test.cc.o.d"
+  "log_space_test"
+  "log_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_matrix_test.dir/mode_matrix_test.cc.o"
+  "CMakeFiles/mode_matrix_test.dir/mode_matrix_test.cc.o.d"
+  "mode_matrix_test"
+  "mode_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

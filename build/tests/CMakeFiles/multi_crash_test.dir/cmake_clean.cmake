@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_crash_test.dir/multi_crash_test.cc.o"
+  "CMakeFiles/multi_crash_test.dir/multi_crash_test.cc.o.d"
+  "multi_crash_test"
+  "multi_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psn_list_test.dir/psn_list_test.cc.o"
+  "CMakeFiles/psn_list_test.dir/psn_list_test.cc.o.d"
+  "psn_list_test"
+  "psn_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psn_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

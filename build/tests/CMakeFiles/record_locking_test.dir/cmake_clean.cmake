@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_locking_test.dir/record_locking_test.cc.o"
+  "CMakeFiles/record_locking_test.dir/record_locking_test.cc.o.d"
+  "record_locking_test"
+  "record_locking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

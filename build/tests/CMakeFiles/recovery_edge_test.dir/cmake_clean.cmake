@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_edge_test.dir/recovery_edge_test.cc.o"
+  "CMakeFiles/recovery_edge_test.dir/recovery_edge_test.cc.o.d"
+  "recovery_edge_test"
+  "recovery_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slotted_fuzz_test.dir/slotted_fuzz_test.cc.o"
+  "CMakeFiles/slotted_fuzz_test.dir/slotted_fuzz_test.cc.o.d"
+  "slotted_fuzz_test"
+  "slotted_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slotted_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

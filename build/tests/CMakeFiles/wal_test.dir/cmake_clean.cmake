@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_test.dir/wal_test.cc.o"
+  "CMakeFiles/wal_test.dir/wal_test.cc.o.d"
+  "wal_test"
+  "wal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_logdump.dir/logdump.cc.o"
+  "CMakeFiles/clog_logdump.dir/logdump.cc.o.d"
+  "clog_logdump"
+  "clog_logdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_logdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

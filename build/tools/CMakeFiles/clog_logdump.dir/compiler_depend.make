@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clog_logdump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clog_pagedump.dir/pagedump.cc.o"
+  "CMakeFiles/clog_pagedump.dir/pagedump.cc.o.d"
+  "clog_pagedump"
+  "clog_pagedump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clog_pagedump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
