@@ -42,6 +42,13 @@ class BufferPool {
   /// True if `pid` is cached (no LRU effect).
   bool Contains(PageId pid) const;
 
+  /// Read-only view of the cached frame, or nullptr on miss. No LRU effect;
+  /// used by invariant checkers that must not perturb replacement order.
+  const Page* Peek(PageId pid) const {
+    auto it = frames_.find(pid);
+    return it == frames_.end() ? nullptr : it->second.page.get();
+  }
+
   /// Allocates a frame for `pid` (must not be cached), evicting the LRU
   /// unpinned victim if full. The returned frame's contents are undefined;
   /// the caller fills them (from disk, the owner, or Format).

@@ -15,7 +15,9 @@ Status EnsureDir(const std::string& path) {
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
-    : options_(std::move(options)), network_(&clock_, options_.cost) {}
+    : options_(std::move(options)), network_(&clock_, options_.cost) {
+  network_.set_fault_injector(options_.fault_injector);
+}
 
 Cluster::~Cluster() = default;
 
@@ -23,6 +25,9 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   NodeId id = next_id_++;
   NodeOptions opts = overrides.value_or(options_.node_defaults);
   opts.dir = options_.dir + "/node" + std::to_string(id);
+  if (opts.fault_injector == nullptr) {
+    opts.fault_injector = options_.fault_injector;
+  }
   CLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
   CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
   auto node = std::make_unique<Node>(id, opts, &network_, &detector_);

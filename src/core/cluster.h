@@ -36,6 +36,9 @@ struct ClusterOptions {
   CostModel cost;
   /// Defaults applied to every node unless overridden in AddNode.
   NodeOptions node_defaults;
+  /// Optional fault injector (not owned; must outlive the cluster). Wired
+  /// into the network and every node; see src/fault/fault_injector.h.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// The distributed system under test. Deterministic and single-threaded:

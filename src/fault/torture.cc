@@ -1,0 +1,945 @@
+#include "fault/torture.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "recovery/node_psn_list.h"
+#include "wal/log_reader.h"
+
+namespace clog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule hashing: incremental FNV-1a64 over the event strings. Events never
+// contain filesystem paths or addresses, so hashes are stable across machines.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  h ^= '\n';
+  h *= kFnvPrime;
+  return h;
+}
+
+std::string OptStr(const std::optional<std::string>& v) {
+  return v ? "\"" + *v + "\"" : "<absent>";
+}
+
+/// One record's role in an in-flight transaction: the committed value before
+/// the transaction and the value it will have if the commit lands. For an
+/// insert `prior` is absent; for a delete `staged` is absent.
+struct StagedWrite {
+  RecordId rid;
+  std::optional<std::string> prior;
+  std::optional<std::string> staged;
+};
+
+/// A transaction whose Commit() returned an error while faults were live:
+/// its commit record may or may not have reached the durable log, so the
+/// model cannot say which state is correct until the node restarts and
+/// recovery decides. Resolved (all-or-nothing) at the next full restart.
+struct PendingTxn {
+  NodeId node = kInvalidNodeId;
+  std::vector<StagedWrite> writes;
+};
+
+// ---------------------------------------------------------------------------
+// TortureRun: one seeded schedule, start to verdict.
+// ---------------------------------------------------------------------------
+
+class TortureRun {
+ public:
+  explicit TortureRun(const TortureOptions& options)
+      : options_(options), rng_(options.seed), injector_(options.seed) {}
+
+  ~TortureRun() {
+    cluster_.reset();  // Close files before removing the directory.
+    if (owns_dir_ && !dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  TortureReport Run() {
+    report_.seed = options_.seed;
+    Setup();
+    if (failure_.empty()) {
+      for (int step = 0; step < options_.steps && failure_.empty(); ++step) {
+        Step(step);
+      }
+    }
+    if (failure_.empty()) FinalPhase();
+    Finish();
+    return std::move(report_);
+  }
+
+ private:
+  // --- Bookkeeping ------------------------------------------------------
+
+  void Event(const std::string& s) {
+    hash_ = FnvMix(hash_, s);
+    if (options_.keep_events) report_.events.push_back(s);
+  }
+
+  void Fail(const std::string& msg) {
+    if (failure_.empty()) failure_ = msg;
+    Event("FAIL " + msg);
+  }
+
+  void Finish() {
+    report_.ok = failure_.empty();
+    report_.failure = failure_;
+    report_.schedule_hash = hash_;
+    report_.faults = injector_.counters();
+  }
+
+  std::string NextValue() { return "v" + std::to_string(++value_seq_); }
+
+  std::optional<std::string> ModelValue(RecordId rid) const {
+    auto it = model_.find(rid);
+    return it == model_.end() ? std::nullopt : it->second;
+  }
+
+  bool InPending(RecordId rid) const {
+    for (const PendingTxn& p : pending_) {
+      for (const StagedWrite& w : p.writes) {
+        if (w.rid == rid) return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<NodeId> UpNodes() const {
+    std::vector<NodeId> up;
+    for (NodeId id : cluster_->NodeIds()) {
+      Node* n = const_cast<Cluster*>(cluster_.get())->node(id);
+      if (n != nullptr && n->state() == NodeState::kUp) up.push_back(id);
+    }
+    return up;
+  }
+
+  NodeId RandomUpNode() {
+    std::vector<NodeId> up = UpNodes();
+    return up[rng_.Uniform(up.size())];
+  }
+
+  RecordId RandomRid() { return rids_[rng_.Uniform(rids_.size())]; }
+
+  void CrashActor(NodeId id, const char* why) {
+    Node* n = cluster_->node(id);
+    if (n == nullptr || n->state() != NodeState::kUp) return;
+    Status st = cluster_->CrashNode(id);
+    if (!st.ok()) {
+      Fail("CrashNode(" + std::to_string(id) + "): " + st.ToString());
+      return;
+    }
+    ++report_.crashes;
+    Event("crash node=" + std::to_string(id) + " why=" + why);
+  }
+
+  // --- Setup ------------------------------------------------------------
+
+  void Setup() {
+    if (options_.scratch_dir.empty()) {
+      std::string tmpl = "/tmp/clog_torture_XXXXXX";
+      std::vector<char> buf(tmpl.begin(), tmpl.end());
+      buf.push_back('\0');
+      if (::mkdtemp(buf.data()) == nullptr) {
+        Fail("mkdtemp failed");
+        return;
+      }
+      dir_ = buf.data();
+      owns_dir_ = true;
+    } else {
+      dir_ = options_.scratch_dir;
+    }
+
+    // The fault mix this seed runs under. Every seed tolerates crashes and
+    // torn log tails; richer mixes add message faults, armed I/O faults,
+    // and partitions.
+    FaultConfig cfg;
+    int mix = static_cast<int>(rng_.Uniform(4));
+    cfg.torn_tail_p = 0.4;
+    if (mix >= 1) {
+      cfg.net_drop_p = 0.02;
+      cfg.net_delay_p = 0.05;
+      cfg.net_duplicate_p = 0.05;
+    }
+    use_io_faults_ = mix >= 2;
+    use_partitions_ = mix == 3;
+    injector_.set_config(cfg);
+    injector_.set_enabled(false);  // Quiet while the cluster is built.
+    Event("mix=" + std::to_string(mix));
+
+    ClusterOptions copts;
+    copts.dir = dir_;
+    copts.fault_injector = &injector_;
+    // A pool smaller than the working set keeps pages bouncing through the
+    // eviction/ship/force paths, where most of the interesting fault
+    // interactions (torn and failed page writes included) live.
+    copts.node_defaults.buffer_frames = 4;
+    cluster_ = std::make_unique<Cluster>(copts);
+
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      Result<Node*> added = cluster_->AddNode();
+      if (!added.ok()) {
+        Fail("AddNode: " + added.status().ToString());
+        return;
+      }
+    }
+
+    // Seed data: every node owns `pages_per_node` pages, each preloaded
+    // with `records_per_page` committed records.
+    for (NodeId id : cluster_->NodeIds()) {
+      Node* n = cluster_->node(id);
+      for (int p = 0; p < options_.pages_per_node; ++p) {
+        Result<PageId> pid = n->AllocatePage();
+        if (!pid.ok()) {
+          Fail("AllocatePage: " + pid.status().ToString());
+          return;
+        }
+        pages_.push_back(*pid);
+        Result<TxnId> txn = n->Begin();
+        if (!txn.ok()) {
+          Fail("seed Begin: " + txn.status().ToString());
+          return;
+        }
+        for (int r = 0; r < options_.records_per_page; ++r) {
+          std::string val = NextValue();
+          Result<RecordId> rid = n->Insert(*txn, *pid, val);
+          if (!rid.ok()) {
+            Fail("seed Insert: " + rid.status().ToString());
+            return;
+          }
+          model_[*rid] = val;
+          rids_.push_back(*rid);
+          known_.insert(*rid);
+        }
+        Status st = n->Commit(*txn);
+        if (!st.ok()) {
+          Fail("seed Commit: " + st.ToString());
+          return;
+        }
+      }
+    }
+    Event("setup nodes=" + std::to_string(options_.num_nodes) +
+          " pages=" + std::to_string(pages_.size()) +
+          " records=" + std::to_string(rids_.size()));
+    injector_.set_enabled(true);
+  }
+
+  // --- The step loop ----------------------------------------------------
+
+  void Step(int step) {
+    // Fail-stop: a node whose armed I/O fault fired must not keep running
+    // on a device that lied to it (the PostgreSQL fsync lesson).
+    for (NodeId id : injector_.TakeFiredNodes()) {
+      CrashActor(id, "io-fault-fired");
+      if (!failure_.empty()) return;
+    }
+    if (UpNodes().empty()) {
+      Event("step=" + std::to_string(step) + " all-down");
+      DoRestartAll();
+      if (!failure_.empty()) return;
+    }
+
+    std::uint64_t dice = rng_.Uniform(100);
+    if (dice < 42) {
+      DoTxn(step);
+    } else if (dice < 54) {
+      DoRead(step);
+    } else if (dice < 64) {
+      DoCrash(step);
+    } else if (dice < 74) {
+      DoRestartAll();
+    } else if (dice < 82) {
+      if (use_partitions_) {
+        DoPartition(step);
+      } else {
+        DoTxn(step);
+      }
+    } else if (dice < 90) {
+      if (use_io_faults_) {
+        DoArmIoFault(step);
+      } else {
+        DoCheckpoint(step);
+      }
+    } else if (dice < 95) {
+      DoFlush(step);
+    } else {
+      DoCheckpoint(step);
+    }
+    if (!failure_.empty()) return;
+
+    for (NodeId id : UpNodes()) {
+      Status st = cluster_->node(id)->CheckInvariants(false);
+      if (!st.ok()) {
+        Fail("step=" + std::to_string(step) + " node=" + std::to_string(id) +
+             " invariants: " + st.ToString());
+        return;
+      }
+    }
+  }
+
+  void DoTxn(int step) {
+    NodeId actor = RandomUpNode();
+    Node* n = cluster_->node(actor);
+    Result<TxnId> begun = n->Begin();
+    if (!begun.ok()) {
+      Event("txn node=" + std::to_string(actor) + " begin-failed");
+      return;
+    }
+    TxnId txn = *begun;
+    // rid -> (value before this txn, value if this txn commits).
+    std::map<RecordId,
+             std::pair<std::optional<std::string>, std::optional<std::string>>>
+        staged;
+    auto prior_of = [&](RecordId rid) {
+      auto it = staged.find(rid);
+      return it != staged.end() ? it->second.first : ModelValue(rid);
+    };
+    auto expected_of = [&](RecordId rid) {
+      auto it = staged.find(rid);
+      return it != staged.end() ? it->second.second : ModelValue(rid);
+    };
+
+    bool gave_up = false;
+    int nops = 1 + static_cast<int>(rng_.Uniform(3));
+    int done = 0;
+    for (int op = 0; op < nops; ++op) {
+      std::uint64_t kind = rng_.Uniform(100);
+      if (kind < 55) {  // Update.
+        RecordId rid = RandomRid();
+        std::string val = NextValue();
+        Status st = n->Update(txn, rid, val);
+        if (st.IsNotFound()) {
+          // Deleted record; a legal no-op pick unless the model disagrees.
+          if (expected_of(rid).has_value() && !InPending(rid)) {
+            Fail("update lost record " + rid.ToString() + " expected " +
+                 OptStr(expected_of(rid)));
+            break;
+          }
+          continue;
+        }
+        if (!st.ok()) {
+          gave_up = true;
+          break;
+        }
+        if (!expected_of(rid).has_value()) {
+          Fail("update succeeded on deleted record " + rid.ToString());
+          break;
+        }
+        staged[rid] = {prior_of(rid), val};
+        ++done;
+      } else if (kind < 70) {  // Insert.
+        PageId pid = pages_[rng_.Uniform(pages_.size())];
+        std::string val = NextValue();
+        Result<RecordId> rid = n->Insert(txn, pid, val);
+        if (!rid.ok()) {
+          gave_up = true;
+          break;
+        }
+        staged[*rid] = {prior_of(*rid), val};
+        ++done;
+      } else if (kind < 85) {  // Delete.
+        RecordId rid = RandomRid();
+        Status st = n->Delete(txn, rid);
+        if (st.IsNotFound()) {
+          if (expected_of(rid).has_value() && !InPending(rid)) {
+            Fail("delete lost record " + rid.ToString());
+            break;
+          }
+          continue;
+        }
+        if (!st.ok()) {
+          gave_up = true;
+          break;
+        }
+        if (!expected_of(rid).has_value()) {
+          Fail("delete succeeded on deleted record " + rid.ToString());
+          break;
+        }
+        staged[rid] = {prior_of(rid), std::nullopt};
+        ++done;
+      } else {  // Read (checked against the model + this txn's writes).
+        RecordId rid = RandomRid();
+        if (InPending(rid)) continue;  // Indeterminate until next restart.
+        Result<std::string> got = n->Read(txn, rid);
+        std::optional<std::string> expected = expected_of(rid);
+        if (got.ok()) {
+          if (!expected || *expected != *got) {
+            Fail("txn read mismatch " + rid.ToString() + " got \"" + *got +
+                 "\" expected " + OptStr(expected));
+            break;
+          }
+          ++report_.reads_checked;
+        } else if (got.status().IsNotFound()) {
+          if (expected) {
+            Fail("txn read lost record " + rid.ToString() + " expected " +
+                 OptStr(expected));
+            break;
+          }
+          ++report_.reads_checked;
+        } else {
+          gave_up = true;
+          break;
+        }
+      }
+    }
+    if (!failure_.empty()) {
+      (void)n->Abort(txn);
+      return;
+    }
+
+    if (gave_up || staged.empty()) {
+      Status ab = n->Abort(txn);
+      ++report_.txns_aborted;
+      Event("txn step=" + std::to_string(step) +
+            " node=" + std::to_string(actor) + " aborted ops=" +
+            std::to_string(done));
+      if (!ab.ok()) CrashActor(actor, "abort-failed");
+      return;
+    }
+
+    // Sometimes die with the transaction still open: recovery must undo it.
+    if (rng_.Uniform(100) < 8) {
+      Event("txn step=" + std::to_string(step) +
+            " node=" + std::to_string(actor) + " midcrash ops=" +
+            std::to_string(done));
+      CrashActor(actor, "mid-txn");
+      return;
+    }
+
+    Status cs = n->Commit(txn);
+    if (cs.ok()) {
+      for (const auto& [rid, vals] : staged) {
+        model_[rid] = vals.second;
+        if (known_.insert(rid).second) rids_.push_back(rid);
+      }
+      ++report_.txns_committed;
+      Event("txn step=" + std::to_string(step) +
+            " node=" + std::to_string(actor) + " committed ops=" +
+            std::to_string(done));
+    } else {
+      // The commit record may or may not be durable; recovery decides.
+      PendingTxn pending;
+      pending.node = actor;
+      for (const auto& [rid, vals] : staged) {
+        pending.writes.push_back(StagedWrite{rid, vals.first, vals.second});
+      }
+      pending_.push_back(std::move(pending));
+      ++report_.txns_indeterminate;
+      Event("txn step=" + std::to_string(step) +
+            " node=" + std::to_string(actor) + " indeterminate ops=" +
+            std::to_string(done));
+      CrashActor(actor, "commit-failed");
+    }
+  }
+
+  void DoRead(int step) {
+    NodeId actor = RandomUpNode();
+    Node* n = cluster_->node(actor);
+    RecordId rid = RandomRid();
+    Result<TxnId> begun = n->Begin();
+    if (!begun.ok()) return;
+    TxnId txn = *begun;
+    Result<std::string> got = n->Read(txn, rid);
+    bool checked = false;
+    if (!InPending(rid)) {
+      std::optional<std::string> expected = ModelValue(rid);
+      if (got.ok()) {
+        if (!expected || *expected != *got) {
+          Fail("read mismatch " + rid.ToString() + " got \"" + *got +
+               "\" expected " + OptStr(expected));
+        }
+        checked = true;
+      } else if (got.status().IsNotFound()) {
+        if (expected) {
+          Fail("read lost record " + rid.ToString() + " expected " +
+               OptStr(expected));
+        }
+        checked = true;
+      }
+      // Busy / NodeDown / injected IOError: nothing to conclude.
+    }
+    if (checked) ++report_.reads_checked;
+    Status done = n->Commit(txn);
+    Event("read step=" + std::to_string(step) +
+          " node=" + std::to_string(actor) +
+          (checked ? " checked" : " gave-up"));
+    if (!done.ok()) CrashActor(actor, "read-commit-failed");
+  }
+
+  void DoCrash(int step) {
+    NodeId victim = RandomUpNode();
+    Event("sched-crash step=" + std::to_string(step));
+    CrashActor(victim, "scheduled");
+  }
+
+  void DoPartition(int step) {
+    if (injector_.AnyLinkBlocked()) {
+      injector_.HealAllLinks();
+      Event("partition step=" + std::to_string(step) + " healed");
+      return;
+    }
+    std::vector<NodeId> ids = cluster_->NodeIds();
+    if (ids.size() < 2) return;
+    NodeId a = ids[rng_.Uniform(ids.size())];
+    NodeId b = ids[rng_.Uniform(ids.size())];
+    if (a == b) b = ids[(a + 1) % ids.size()];
+    injector_.BlockLink(a, b);
+    ++report_.partitions;
+    Event("partition step=" + std::to_string(step) + " block " +
+          std::to_string(a) + "-" + std::to_string(b));
+  }
+
+  void DoArmIoFault(int step) {
+    NodeId victim = RandomUpNode();
+    IoFault fault = static_cast<IoFault>(1 + rng_.Uniform(4));
+    injector_.ArmIoFault(victim, fault);
+    Event("arm step=" + std::to_string(step) +
+          " node=" + std::to_string(victim) +
+          " fault=" + std::to_string(static_cast<int>(fault)));
+  }
+
+  void DoFlush(int step) {
+    // Force one of the actor's own pages to disk — the page-write path an
+    // armed torn/failed write fault fires on.
+    NodeId actor = RandomUpNode();
+    Node* n = cluster_->node(actor);
+    std::vector<PageId> own;
+    for (PageId pid : pages_) {
+      if (pid.owner == actor) own.push_back(pid);
+    }
+    if (own.empty()) return;
+    PageId pid = own[rng_.Uniform(own.size())];
+    Status st = n->HandleFlushRequest(actor, pid);
+    Event("flush step=" + std::to_string(step) +
+          " node=" + std::to_string(actor) + (st.ok() ? " ok" : " failed"));
+    if (!st.ok()) CrashActor(actor, "flush-failed");
+  }
+
+  void DoCheckpoint(int step) {
+    NodeId actor = RandomUpNode();
+    Node* n = cluster_->node(actor);
+    Status st = n->Checkpoint();
+    Event("checkpoint step=" + std::to_string(step) +
+          " node=" + std::to_string(actor) + (st.ok() ? " ok" : " failed"));
+    if (!st.ok()) CrashActor(actor, "checkpoint-failed");
+  }
+
+  // --- Restart + the four invariants ------------------------------------
+
+  void DoRestartAll() {
+    // Faults quiesce during repair: the torture contract is that recovery
+    // runs on honest hardware (fail-stop, not byzantine).
+    injector_.set_enabled(false);
+    injector_.HealAllLinks();
+    std::vector<NodeId> down;
+    for (NodeId id : cluster_->NodeIds()) {
+      if (cluster_->node(id)->state() == NodeState::kDown) down.push_back(id);
+    }
+    if (!down.empty()) {
+      Status st = cluster_->RestartNodes(down);
+      if (!st.ok()) {
+        Fail("RestartNodes: " + st.ToString());
+        return;
+      }
+      report_.restarts += down.size();
+      std::string who;
+      for (NodeId id : down) who += (who.empty() ? "" : ",") +
+          std::to_string(id);
+      Event("restart nodes=" + who);
+    }
+    ResolvePending();
+    if (failure_.empty()) CheckPsnConsistency("post-restart");
+    if (failure_.empty() && !rids_.empty()) {
+      VerifyModel(RandomUpNode(), "post-restart");
+    }
+    injector_.set_enabled(true);
+  }
+
+  /// Reads the committed state of `rid` with faults quiesced. Returns
+  /// nullopt-wrapped value; sets *ok=false (and fails the run) on any error
+  /// other than NotFound.
+  std::optional<std::string> ReadCommitted(Node* n, RecordId rid, bool* ok) {
+    *ok = false;
+    Result<TxnId> begun = n->Begin();
+    if (!begun.ok()) {
+      Fail("resolve Begin: " + begun.status().ToString());
+      return std::nullopt;
+    }
+    Result<std::string> got = n->Read(*begun, rid);
+    std::optional<std::string> value;
+    if (got.ok()) {
+      value = *got;
+    } else if (!got.status().IsNotFound()) {
+      Fail("resolve Read " + rid.ToString() + ": " + got.status().ToString());
+      (void)n->Abort(*begun);
+      return std::nullopt;
+    }
+    Status done = n->Commit(*begun);
+    if (!done.ok()) {
+      Fail("resolve Commit: " + done.ToString());
+      return std::nullopt;
+    }
+    *ok = true;
+    return value;
+  }
+
+  /// Invariants 1+2 for interrupted commits: recovery must have made each
+  /// pending transaction land atomically — all staged values visible
+  /// (committed) or none (rolled back). Picks the branch from the first
+  /// record, then holds the rest to it.
+  void ResolvePending() {
+    std::vector<PendingTxn> pending = std::move(pending_);
+    pending_.clear();
+    for (const PendingTxn& p : pending) {
+      Node* n = cluster_->node(p.node);
+      if (n == nullptr || n->state() != NodeState::kUp) {
+        Fail("resolve: node " + std::to_string(p.node) + " not up");
+        return;
+      }
+      bool ok = false;
+      const StagedWrite& first = p.writes.front();
+      std::optional<std::string> got = ReadCommitted(n, first.rid, &ok);
+      if (!ok) return;
+      bool committed;
+      if (got == first.staged) {
+        committed = true;
+      } else if (got == first.prior) {
+        committed = false;
+      } else {
+        Fail("resolve " + first.rid.ToString() + ": got " + OptStr(got) +
+             ", neither staged " + OptStr(first.staged) + " nor prior " +
+             OptStr(first.prior));
+        return;
+      }
+      for (std::size_t i = 1; i < p.writes.size(); ++i) {
+        const StagedWrite& w = p.writes[i];
+        std::optional<std::string> expect = committed ? w.staged : w.prior;
+        std::optional<std::string> val = ReadCommitted(n, w.rid, &ok);
+        if (!ok) return;
+        if (val != expect) {
+          Fail("atomicity: " + w.rid.ToString() + " got " + OptStr(val) +
+               " but txn " + (committed ? "committed" : "aborted") +
+               " elsewhere (expected " + OptStr(expect) + ")");
+          return;
+        }
+        ++report_.reads_checked;
+      }
+      if (committed) {
+        for (const StagedWrite& w : p.writes) {
+          model_[w.rid] = w.staged;
+          if (known_.insert(w.rid).second) rids_.push_back(w.rid);
+        }
+      }
+      Event(std::string("resolve node=") + std::to_string(p.node) +
+            (committed ? " committed" : " rolled-back"));
+    }
+  }
+
+  /// Invariants 1+2 in bulk: every record the model knows reads back at its
+  /// committed value (or NotFound if deleted) from `reader`.
+  void VerifyModel(NodeId reader, const char* tag) {
+    Node* n = cluster_->node(reader);
+    Result<TxnId> begun = n->Begin();
+    if (!begun.ok()) {
+      Fail(std::string(tag) + " verify Begin: " + begun.status().ToString());
+      return;
+    }
+    TxnId txn = *begun;
+    for (RecordId rid : rids_) {
+      if (InPending(rid)) continue;
+      std::optional<std::string> expected = ModelValue(rid);
+      Result<std::string> got = n->Read(txn, rid);
+      if (got.ok()) {
+        if (!expected || *expected != *got) {
+          Fail(std::string(tag) + " verify from node " +
+               std::to_string(reader) + ": " + rid.ToString() + " got \"" +
+               *got + "\" expected " + OptStr(expected));
+          break;
+        }
+      } else if (got.status().IsNotFound()) {
+        if (expected) {
+          Fail(std::string(tag) + " verify from node " +
+               std::to_string(reader) + ": " + rid.ToString() +
+               " lost, expected " + OptStr(expected));
+          break;
+        }
+      } else {
+        Fail(std::string(tag) + " verify Read " + rid.ToString() + ": " +
+             got.status().ToString());
+        break;
+      }
+      ++report_.reads_checked;
+    }
+    Status done = failure_.empty() ? n->Commit(txn) : n->Abort(txn);
+    if (failure_.empty() && !done.ok()) {
+      Fail(std::string(tag) + " verify Commit: " + done.ToString());
+    }
+  }
+
+  /// Invariant 3. Runs only when every node is up and recovery is done:
+  /// per page, the newest visible PSN (max over all cached copies and the
+  /// disk version) never regresses across the run — crashes and recoveries
+  /// must never lose updates — and the disk version must be readable
+  /// whenever no surviving cache holds the page dirty. Per-copy PSN
+  /// equality is deliberately NOT asserted: the owner legitimately keeps a
+  /// stale clean "home copy" after being called back, and undo CLRs
+  /// advance one copy past the others until the next transfer.
+  void CheckPsnConsistency(const char* tag) {
+    for (PageId pid : pages_) {
+      Psn max_psn = 0;
+      bool any_copy = false;
+      bool any_dirty = false;
+      for (NodeId id : cluster_->NodeIds()) {
+        Node* n = cluster_->node(id);
+        if (n->state() != NodeState::kUp) continue;
+        const Page* p = n->pool().Peek(pid);
+        if (p == nullptr) continue;
+        any_copy = true;
+        max_psn = std::max(max_psn, p->psn());
+        if (n->pool().IsDirty(pid)) any_dirty = true;
+      }
+      Psn disk_psn = 0;
+      bool have_disk = false;
+      Node* owner = cluster_->node(pid.owner);
+      if (owner != nullptr && owner->state() == NodeState::kUp) {
+        Result<Psn> dr = owner->DiskPsn(pid);
+        if (dr.ok()) {
+          disk_psn = *dr;
+          have_disk = true;
+        } else if (!any_dirty) {
+          Fail(std::string(tag) + " " + pid.ToString() +
+               ": disk version unreadable with no dirty cached copy: " +
+               dr.status().ToString());
+          return;
+        }
+      }
+      Psn effective = std::max(max_psn, disk_psn);
+      if (!any_copy && !have_disk) continue;  // Owner down: nothing visible.
+      auto [it, fresh] = watermark_.try_emplace(pid, effective);
+      if (!fresh) {
+        if (effective < it->second) {
+          Fail(std::string(tag) + " " + pid.ToString() + ": psn regressed " +
+               std::to_string(it->second) + " -> " +
+               std::to_string(effective));
+          return;
+        }
+        it->second = effective;
+      }
+    }
+    Event(std::string("psn-check ") + tag + " ok");
+  }
+
+  /// Invariant 4. Ground truth: an independent forward scan of each node's
+  /// log, coalescing update/CLR records into transaction runs exactly as
+  /// Section 2.3.4 specifies. It must agree with what HandleBuildPsnList
+  /// reports in full-history mode, and the merged cross-node schedule must
+  /// be strictly ascending with adjacent runs on different nodes.
+  void CheckPsnListReconstruction() {
+    std::map<PageId, std::size_t> index;
+    for (std::size_t i = 0; i < pages_.size(); ++i) index[pages_[i]] = i;
+    // lists[page index][node] = that node's full-history PSN list.
+    std::vector<std::map<NodeId, std::vector<PsnListEntry>>> lists(
+        pages_.size());
+
+    for (NodeId id : cluster_->NodeIds()) {
+      Node* n = cluster_->node(id);
+      std::vector<std::vector<PsnListEntry>> truth(pages_.size());
+      std::map<PageId, TxnId> last_txn;
+      LogCursor cursor(&n->log(), LogManager::first_lsn());
+      LogRecord rec;
+      Lsn lsn = kNullLsn;
+      Status scan;
+      while (cursor.Next(&rec, &lsn, &scan)) {
+        if (rec.type != LogRecordType::kUpdate &&
+            rec.type != LogRecordType::kClr) {
+          continue;
+        }
+        auto it = index.find(rec.page);
+        if (it == index.end()) continue;
+        auto lt = last_txn.find(rec.page);
+        if (lt == last_txn.end() || lt->second != rec.txn) {
+          truth[it->second].push_back(PsnListEntry{rec.psn_before, lsn});
+          last_txn[rec.page] = rec.txn;
+        }
+      }
+      if (!scan.ok()) {
+        Fail("psn-list scan node " + std::to_string(id) + ": " +
+             scan.ToString());
+        return;
+      }
+
+      PsnListReply reply;
+      Status st = n->HandleBuildPsnList(id, pages_, /*full_history=*/true,
+                                        &reply);
+      if (!st.ok()) {
+        Fail("BuildPsnList node " + std::to_string(id) + ": " + st.ToString());
+        return;
+      }
+      for (std::size_t i = 0; i < pages_.size(); ++i) {
+        const auto& got = reply.per_page[i];
+        const auto& want = truth[i];
+        if (got.size() != want.size()) {
+          Fail("psn-list node " + std::to_string(id) + " " +
+               pages_[i].ToString() + ": " + std::to_string(got.size()) +
+               " runs reported, ground truth has " +
+               std::to_string(want.size()));
+          return;
+        }
+        for (std::size_t k = 0; k < got.size(); ++k) {
+          if (got[k].psn != want[k].psn ||
+              got[k].start_lsn != want[k].start_lsn) {
+            Fail("psn-list node " + std::to_string(id) + " " +
+                 pages_[i].ToString() + " run " + std::to_string(k) +
+                 ": reported (psn=" + std::to_string(got[k].psn) +
+                 ", lsn=" + std::to_string(got[k].start_lsn) +
+                 ") truth (psn=" + std::to_string(want[k].psn) +
+                 ", lsn=" + std::to_string(want[k].start_lsn) + ")");
+            return;
+          }
+        }
+        if (!want.empty()) lists[i][id] = want;
+      }
+    }
+
+    std::size_t total_runs = 0;
+    for (std::size_t i = 0; i < pages_.size(); ++i) {
+      std::vector<RecoveryRun> merged = MergePsnLists(lists[i]);
+      total_runs += merged.size();
+      for (std::size_t k = 0; k + 1 < merged.size(); ++k) {
+        if (merged[k].psn >= merged[k + 1].psn) {
+          Fail("merged schedule for " + pages_[i].ToString() +
+               " not strictly ascending at run " + std::to_string(k));
+          return;
+        }
+        if (merged[k].node == merged[k + 1].node) {
+          Fail("merged schedule for " + pages_[i].ToString() +
+               " has uncoalesced adjacent runs of node " +
+               std::to_string(merged[k].node));
+          return;
+        }
+      }
+    }
+    Event("psn-list-check ok runs=" + std::to_string(total_runs));
+  }
+
+  // --- Final phase ------------------------------------------------------
+
+  void FinalPhase() {
+    injector_.set_enabled(false);
+    injector_.HealAllLinks();
+    for (NodeId id : injector_.TakeFiredNodes()) {
+      CrashActor(id, "io-fault-fired");
+      if (!failure_.empty()) return;
+    }
+    // Bring stragglers back and settle indeterminate commits while the
+    // survivors' caches are still warm.
+    DoRestartAll();
+    injector_.set_enabled(false);
+    if (!failure_.empty()) return;
+
+    // The big hammer: lose every cache at once, then recover the whole
+    // cluster jointly (Section 2.4) and check everything.
+    for (NodeId id : cluster_->NodeIds()) {
+      CrashActor(id, "final");
+      if (!failure_.empty()) return;
+    }
+    Status st = cluster_->RestartNodes(cluster_->NodeIds());
+    if (!st.ok()) {
+      Fail("final RestartNodes: " + st.ToString());
+      return;
+    }
+    report_.restarts += cluster_->NodeIds().size();
+    Event("final restart");
+
+    for (NodeId id : cluster_->NodeIds()) {
+      VerifyModel(id, "final");
+      if (!failure_.empty()) return;
+    }
+    for (NodeId id : cluster_->NodeIds()) {
+      Status inv = cluster_->node(id)->CheckInvariants(/*deep=*/true);
+      if (!inv.ok()) {
+        Fail("final deep invariants node " + std::to_string(id) + ": " +
+             inv.ToString());
+        return;
+      }
+    }
+    CheckPsnConsistency("final");
+    if (!failure_.empty()) return;
+    CheckPsnListReconstruction();
+  }
+
+  // --- State ------------------------------------------------------------
+
+  TortureOptions options_;
+  Random rng_;
+  FaultInjector injector_;
+  bool use_partitions_ = false;
+  bool use_io_faults_ = false;
+
+  std::string dir_;
+  bool owns_dir_ = false;
+  std::unique_ptr<Cluster> cluster_;
+
+  /// Ground-truth committed state: rid -> value, nullopt = deleted.
+  std::map<RecordId, std::optional<std::string>> model_;
+  std::vector<RecordId> rids_;  ///< Stable pick order for the RNG.
+  std::set<RecordId> known_;
+  std::vector<PageId> pages_;
+  std::vector<PendingTxn> pending_;
+  std::map<PageId, Psn> watermark_;  ///< Invariant 3: PSNs never regress.
+
+  std::uint64_t value_seq_ = 0;
+  std::uint64_t hash_ = kFnvOffset;
+  std::string failure_;
+  TortureReport report_;
+};
+
+}  // namespace
+}  // namespace clog
+
+namespace clog {
+
+std::string TortureReport::Summary() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " verdict=" << (ok ? "PASS" : "FAIL")
+      << " hash=" << std::hex << schedule_hash << std::dec
+      << " committed=" << txns_committed << " aborted=" << txns_aborted
+      << " indeterminate=" << txns_indeterminate << " crashes=" << crashes
+      << " restarts=" << restarts << " partitions=" << partitions
+      << " reads=" << reads_checked << " faults{drop=" << faults.dropped_msgs
+      << " delay=" << faults.delayed_msgs << " dup=" << faults.duplicated_msgs
+      << " blocked=" << faults.blocked_msgs << " torn_tail=" << faults.torn_tails
+      << " torn_page=" << faults.torn_page_writes
+      << " failed_write=" << faults.failed_page_writes
+      << " failed_sync=" << faults.failed_syncs << "}";
+  if (!ok) out << " failure=\"" << failure << "\"";
+  return out.str();
+}
+
+TortureReport RunTortureSchedule(const TortureOptions& options) {
+  TortureRun run(options);
+  return run.Run();
+}
+
+}  // namespace clog

@@ -1,0 +1,68 @@
+#ifndef CLOG_FAULT_TORTURE_H_
+#define CLOG_FAULT_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+
+/// \file
+/// Seeded crash-schedule torture harness. One call runs a whole cluster
+/// lifetime — workload, crashes, partitions, torn writes, recoveries —
+/// driven entirely by a single uint64 seed, and checks four global
+/// invariants throughout:
+///
+///  1. every committed transaction's effects are durable,
+///  2. no aborted (or never-committed) transaction's effects survive,
+///  3. per-page PSNs are monotone over time and consistent across caches,
+///  4. NodePSNList reconstruction agrees with a ground-truth log scan.
+///
+/// The same function backs tests/torture_test.cc and the tools/torture
+/// CLI, so `tools/torture --seed=N` replays exactly the schedule a failing
+/// test names. The schedule hash is a stable FNV-1a over the event trace
+/// (no filesystem paths), so two runs of one seed can be diffed cheaply.
+
+namespace clog {
+
+struct TortureOptions {
+  std::uint64_t seed = 0;
+  int num_nodes = 3;
+  int pages_per_node = 2;
+  int records_per_page = 4;
+  int steps = 40;
+  /// Retain the full event trace in the report (CLI --verbose replay).
+  bool keep_events = true;
+  /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
+  std::string scratch_dir;
+};
+
+struct TortureReport {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  /// First invariant violation or unexpected error; empty when ok.
+  std::string failure;
+  /// FNV-1a64 over the event trace; equal hashes = identical schedules.
+  std::uint64_t schedule_hash = 0;
+  std::vector<std::string> events;
+
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t txns_indeterminate = 0;  ///< Commit interrupted by a fault.
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t reads_checked = 0;       ///< Reads compared to the model.
+  FaultInjector::Counters faults;
+
+  /// One-line "seed=… verdict=… hash=…" summary for reports and logs.
+  std::string Summary() const;
+};
+
+/// Runs one complete seeded schedule; never throws, never aborts the
+/// process — all violations land in the returned report.
+TortureReport RunTortureSchedule(const TortureOptions& options);
+
+}  // namespace clog
+
+#endif  // CLOG_FAULT_TORTURE_H_

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "fault/fault_injector.h"
+
 namespace clog {
 namespace {
 
@@ -25,6 +27,10 @@ std::uint64_t EncodedSize(const std::vector<LogRecord>& records) {
 
 void Network::RegisterNode(NodeId id, NodeService* svc) {
   peers_[id] = Peer{svc, true};
+  // A re-registration is a restarted process: its busy-time accounting
+  // starts over. Cluster-lifetime traffic counters (msg.*, bytes.*) are
+  // deliberately left alone — they describe the wire, not the process.
+  busy_ns_.erase(id);
 }
 
 void Network::SetNodeUp(NodeId id, bool up) {
@@ -71,6 +77,31 @@ Result<NodeService*> Network::Endpoint(NodeId to) const {
   return it->second.svc;
 }
 
+Result<NodeService*> Network::Route(NodeId from, NodeId to) {
+  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
+  CLOG_ASSIGN_OR_RETURN(NodeService * endpoint, Endpoint(to));
+  if (fault_ != nullptr && from != to) {
+    if (fault_->LinkBlocked(from, to)) {
+      fault_->NoteBlockedMessage();
+      return Status::NodeDown("fault injection: link " + std::to_string(from) +
+                              "<->" + std::to_string(to) + " partitioned");
+    }
+    // Dropped before Charge: a lost request costs the sender nothing but
+    // the timeout, which the simulation does not model.
+    if (fault_->DropMessage(from, to)) {
+      return Status::NodeDown("fault injection: request " +
+                              std::to_string(from) + "->" +
+                              std::to_string(to) + " dropped");
+    }
+    std::uint64_t delay = fault_->DelayNanos(from, to);
+    if (delay > 0) {
+      if (clock_ != nullptr) clock_->Advance(delay);
+      AddBusy(from, delay);
+    }
+  }
+  return endpoint;
+}
+
 std::uint64_t Network::MaxBusyNanos() const {
   std::uint64_t max = 0;
   for (const auto& [_, ns] : busy_ns_) max = std::max(max, ns);
@@ -93,8 +124,7 @@ void Network::Charge(MsgType type, std::uint64_t bytes, NodeId from,
 
 Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
                          bool want_page, LockPageReply* reply) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kLockPageRequest, 0, from, to);
   Status st = svc->HandleLockPage(from, pid, mode, want_page, reply);
   Charge(MsgType::kLockPageReply, reply->page ? kPageSize : 0, from, to);
@@ -103,8 +133,7 @@ Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
 
 Status Network::Callback(NodeId from, NodeId to, PageId pid,
                          LockMode downgrade_to, CallbackReply* reply) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kCallback, 0, from, to);
   Status st = svc->HandleCallback(from, pid, downgrade_to, reply);
   Charge(MsgType::kCallbackReply, reply->page ? kPageSize : 0, from, to);
@@ -112,47 +141,47 @@ Status Network::Callback(NodeId from, NodeId to, PageId pid,
 }
 
 Status Network::UnlockNotice(NodeId from, NodeId to, PageId pid) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kUnlockNotice, 0, from, to);
   return svc->HandleUnlockNotice(from, pid);
 }
 
 Status Network::PageShip(NodeId from, NodeId to, const Page& page) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kPageShip, kPageSize, from, to);
   return svc->HandlePageShip(from, page);
 }
 
 Status Network::FlushRequest(NodeId from, NodeId to, PageId pid) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kFlushRequest, 0, from, to);
   return svc->HandleFlushRequest(from, pid);
 }
 
 Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
                             Psn flushed_psn) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kFlushNotify, 0, from, to);
   svc->HandleFlushNotify(from, pid, flushed_psn);
+  // FlushNotify is a one-way idempotent notice: re-delivery just re-asserts
+  // a durability watermark the replacer already recorded.
+  if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {
+    Charge(MsgType::kFlushNotify, 0, from, to);
+    svc->HandleFlushNotify(from, pid, flushed_psn);
+  }
   return Status::OK();
 }
 
 Status Network::LogShip(NodeId from, NodeId to,
                         const std::vector<LogRecord>& records, bool force) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kLogShip, EncodedSize(records), from, to);
   return svc->HandleLogShip(from, records, force);
 }
 
 Status Network::RecoveryQuery(NodeId from, NodeId to,
                               RecoveryQueryReply* reply) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kRecoveryQuery, 0, from, to);
   Status st = svc->HandleRecoveryQuery(from, reply);
   std::uint64_t bytes = reply->cached_pages_of_crashed.size() * 8 +
@@ -165,8 +194,7 @@ Status Network::RecoveryQuery(NodeId from, NodeId to,
 
 Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
                                 std::shared_ptr<Page>* page) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kFetchCachedPage, 0, from, to);
   Status st = svc->HandleFetchCachedPage(from, pid, page);
   Charge(MsgType::kFetchCachedPageReply, *page ? kPageSize : 0, from, to);
@@ -175,11 +203,10 @@ Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
 
 Status Network::BuildPsnList(NodeId from, NodeId to,
                              const std::vector<PageId>& pages,
-                             PsnListReply* reply) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
-  Charge(MsgType::kBuildPsnList, pages.size() * 8, from, to);
-  Status st = svc->HandleBuildPsnList(from, pages, reply);
+                             bool full_history, PsnListReply* reply) {
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  Charge(MsgType::kBuildPsnList, pages.size() * 8 + 1, from, to);
+  Status st = svc->HandleBuildPsnList(from, pages, full_history, reply);
   std::uint64_t entries = 0;
   for (const auto& v : reply->per_page) entries += v.size();
   Charge(MsgType::kBuildPsnListReply, entries * 16, from, to);
@@ -189,8 +216,7 @@ Status Network::BuildPsnList(NodeId from, NodeId to,
 Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
                             const Page& page_in, bool has_bound, Psn bound,
                             RecoverPageReply* reply) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kRecoverPage, kPageSize, from, to);
   Status st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
                                      reply);
@@ -201,17 +227,21 @@ Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
 Status Network::DptShip(NodeId from, NodeId to,
                         const std::vector<DptEntry>& entries,
                         const std::vector<PageId>& cached_pages) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kDptShip, entries.size() * 32 + cached_pages.size() * 8, from, to);
   return svc->HandleDptShip(from, entries, cached_pages);
 }
 
 Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
-  CLOG_RETURN_IF_ERROR(CheckSenderUp(from));
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Endpoint(to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
   Charge(MsgType::kNodeRecovered, 4, from, to);
   svc->HandleNodeRecovered(who);
+  // NodeRecovered is likewise idempotent: it clears crash-recovery state
+  // for `who`, and clearing twice is a no-op.
+  if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {
+    Charge(MsgType::kNodeRecovered, 4, from, to);
+    svc->HandleNodeRecovered(who);
+  }
   return Status::OK();
 }
 

@@ -18,8 +18,15 @@
 /// wire messages (request + reply) the real system would send: per-type
 /// message counters, byte counters, and simulated latency charged to the
 /// cluster SimClock. Crashed nodes are unreachable (NodeDown).
+///
+/// An optional FaultInjector makes the interconnect lossy: requests can be
+/// dropped before dispatch, delayed, or refused by a link partition (all
+/// surfacing as NodeDown, the condition every caller already tolerates),
+/// and idempotent one-way notices can be duplicated.
 
 namespace clog {
+
+class FaultInjector;
 
 /// The RPC surface a node exposes to its peers. One method per request
 /// MsgType; replies are out-parameters. Implemented by node::Node.
@@ -72,9 +79,12 @@ class NodeService {
                                        std::shared_ptr<Page>* page) = 0;
 
   /// Peer-side: scan my log and build NodePSNLists for `pages`
-  /// (Section 2.3.4).
+  /// (Section 2.3.4). With `full_history` the scan starts at the log's
+  /// first record and ignores the DPT — needed when the requester is
+  /// rebuilding a torn on-disk page from its space-map PSN seed.
   virtual Status HandleBuildPsnList(NodeId from,
                                     const std::vector<PageId>& pages,
+                                    bool full_history,
                                     PsnListReply* reply) = 0;
 
   /// Peer-side: apply my redo records for `pid` to `page`, stopping at the
@@ -97,6 +107,11 @@ class NodeService {
 class Network {
  public:
   Network(SimClock* clock, CostModel cost) : clock_(clock), cost_(cost) {}
+
+  /// Attaches a fault injector (nullptr detaches). Not owned; must outlive
+  /// the network while attached.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault_injector() { return fault_; }
 
   /// Registers (or re-registers) a node's service endpoint; nodes start up.
   void RegisterNode(NodeId id, NodeService* svc);
@@ -126,7 +141,7 @@ class Network {
   Status FetchCachedPage(NodeId from, NodeId to, PageId pid,
                          std::shared_ptr<Page>* page);
   Status BuildPsnList(NodeId from, NodeId to, const std::vector<PageId>& pages,
-                      PsnListReply* reply);
+                      bool full_history, PsnListReply* reply);
   Status RecoverPage(NodeId from, NodeId to, PageId pid, const Page& page_in,
                      bool has_bound, Psn bound, RecoverPageReply* reply);
   Status DptShip(NodeId from, NodeId to, const std::vector<DptEntry>& entries,
@@ -162,6 +177,11 @@ class Network {
   /// A disconnected sender cannot reach anyone (links are bidirectional).
   Status CheckSenderUp(NodeId from) const;
 
+  /// Full per-request admission path: sender up, endpoint live, link not
+  /// partitioned, request not dropped by the fault injector (both surface
+  /// as NodeDown), injected delay charged. Every RPC wrapper routes here.
+  Result<NodeService*> Route(NodeId from, NodeId to);
+
   /// Accounts one wire message of `bytes` payload between two endpoints.
   void Charge(MsgType type, std::uint64_t bytes, NodeId from, NodeId to);
 
@@ -172,6 +192,7 @@ class Network {
 
   SimClock* clock_;
   CostModel cost_;
+  FaultInjector* fault_ = nullptr;
   std::map<NodeId, Peer> peers_;
   std::map<NodeId, std::uint64_t> busy_ns_;
   Metrics metrics_;

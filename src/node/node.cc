@@ -21,6 +21,8 @@ Node::Node(NodeId id, NodeOptions options, Network* network,
 Node::~Node() = default;
 
 Status Node::OpenStorage() {
+  disk_.set_fault_injector(options_.fault_injector, id_);
+  log_.set_fault_injector(options_.fault_injector, id_);
   CLOG_RETURN_IF_ERROR(disk_.Open(options_.dir + "/node.db"));
   CLOG_RETURN_IF_ERROR(space_map_.Open(options_.dir + "/node.map"));
   if (options_.has_local_log) {
@@ -43,6 +45,7 @@ Status Node::Start() {
   network_->RegisterNode(id_, this);
   network_->SetNodeUp(id_, true);
   state_ = NodeState::kUp;
+  recovery_redo_done_ = true;
   return Status::OK();
 }
 
@@ -58,6 +61,7 @@ void Node::Crash() {
   log_.Abandon();   // Unforced log tail is lost with the crash.
   disk_.Close().ok();
   state_ = NodeState::kDown;
+  recovery_redo_done_ = false;
   network_->SetNodeUp(id_, false);
   metrics_.GetCounter("node.crashes").Add(1);
 }
@@ -410,6 +414,12 @@ Status Node::UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn) {
   // Rollback records bypass the capacity check: undo must always be able
   // to run, or a full log could never drain.
   CLOG_RETURN_IF_ERROR(log_.Append(clr, &lsn, /*enforce_capacity=*/false));
+  // The DPT entry may be gone even though the transaction is still live: an
+  // owner flush notification drops it once the disk version covers every
+  // update this node made. The CLR dirties the page again, so the entry must
+  // be re-armed here or the reclaim horizon could release the log records
+  // this page still needs for redo.
+  dpt_.OnFirstDirty(rec.page, page->psn(), lsn);
   CLOG_RETURN_IF_ERROR(ApplyRedo(clr, page));
   page->set_page_lsn(lsn);
   txn->last_lsn = lsn;
@@ -852,7 +862,29 @@ Status Node::InstallShippedCopy(const Page& page, NodeId from) {
   }
   Page* cached = pool_.Lookup(pid);
   if (cached == nullptr) {
-    CLOG_ASSIGN_OR_RETURN(cached, pool_.Insert(pid));
+    Result<Page*> frame = pool_.Insert(pid);
+    if (!frame.ok()) {
+      // No frame available: every victim is dirty and unevictable (for
+      // example its owner is down). The shipper has already dropped its
+      // copy on the strength of this transfer, so the shipped version may
+      // be the only one in existence — bypass the cache and write it
+      // straight home rather than lose it.
+      bool newer = true;
+      if (Result<Psn> disk_psn = DiskPsn(pid); disk_psn.ok()) {
+        newer = page.psn() > *disk_psn;
+      }
+      if (newer) {
+        Page tmp;
+        tmp.CopyFrom(page);
+        CLOG_RETURN_IF_ERROR(
+            disk_.WritePage(pid.page_no, &tmp, /*sync=*/true));
+        ChargeDiskWrite();
+        dpt_.OnOwnerFlushed(pid, tmp.psn());
+      }
+      replacers_[pid].insert(from);
+      return Status::OK();
+    }
+    cached = *frame;
     cached->CopyFrom(page);
     pool_.MarkDirty(pid);
   } else if (page.psn() > cached->psn()) {

@@ -168,7 +168,7 @@ class Node : public NodeService {
   Status HandleFetchCachedPage(NodeId from, PageId pid,
                                std::shared_ptr<Page>* page) override;
   Status HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
-                            PsnListReply* reply) override;
+                            bool full_history, PsnListReply* reply) override;
   Status HandleRecoverPage(NodeId from, PageId pid, const Page& page_in,
                            bool has_bound, Psn bound,
                            RecoverPageReply* reply) override;
@@ -293,6 +293,11 @@ class Node : public NodeService {
   Network* network_;
   DeadlockDetector* detector_;
   NodeState state_ = NodeState::kDown;
+
+  /// Joint-restart sub-phase (Section 2.4): true once this node's redo pass
+  /// (ExchangeAndRecover) has completed, at which point the recovery fences
+  /// on its own pages may be yielded to peers' undo passes.
+  bool recovery_redo_done_ = false;
 
   DiskManager disk_;
   SpaceMap space_map_;

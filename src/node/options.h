@@ -8,6 +8,8 @@
 
 namespace clog {
 
+class FaultInjector;
+
 /// Which logging protocol a node runs. kClientLocal is the paper's
 /// contribution; the other two are the related-work baselines the benchmark
 /// harness compares against (DESIGN.md Section 2).
@@ -55,6 +57,9 @@ struct NodeOptions {
   /// DPT entries never advance or drop. Shows why the paper's
   /// notification bookkeeping is load-bearing for log reclamation.
   bool send_flush_notifications = true;
+  /// Optional fault injector shared by the whole cluster (not owned); wired
+  /// into this node's DiskManager and LogManager on open. nullptr = off.
+  FaultInjector* fault_injector = nullptr;
 };
 
 }  // namespace clog

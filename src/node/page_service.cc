@@ -27,9 +27,37 @@ Status Node::HandleLockPage(NodeId from, PageId pid, LockMode mode,
     // callbacks run in this state): enough for a recovering peer to fetch
     // a base version or re-assert a lock it already holds, while normal
     // traffic stays fenced until recovery finishes.
-    if (global_locks_.HeldBy(pid, from) < mode &&
-        !global_locks_.TryGrant(pid, from, mode).granted) {
-      return Status::NodeDown("owner recovering; lock conflicts");
+    if (global_locks_.HeldBy(pid, from) < mode) {
+      GrantOutcome out = global_locks_.TryGrant(pid, from, mode);
+      if (!out.granted && recovery_redo_done_) {
+        // Joint restart (Section 2.4): once our own redo pass is complete,
+        // the Section 2.3.3 fences we installed on our pages have done
+        // their job. A recovering peer's undo pass may need one of those
+        // pages; yield the fence exactly as a normal self-callback would,
+        // provided we are the only conflicting holder and no local
+        // transaction uses the page.
+        bool all_self = true;
+        for (NodeId holder : out.conflicting) {
+          if (holder != id_) {
+            all_self = false;
+            break;
+          }
+        }
+        LockMode downgrade_to =
+            mode == LockMode::kShared ? LockMode::kShared : LockMode::kNone;
+        if (all_self && lock_cache_.CanComply(pid, downgrade_to).can_comply) {
+          lock_cache_.ApplyCallback(pid, downgrade_to);
+          if (downgrade_to == LockMode::kNone) {
+            global_locks_.Release(pid, id_);
+          } else {
+            global_locks_.Downgrade(pid, id_);
+          }
+          out = global_locks_.TryGrant(pid, from, mode);
+        }
+      }
+      if (!out.granted) {
+        return Status::NodeDown("owner recovering; lock conflicts");
+      }
     }
     reply->granted = true;
     if (want_page) {
@@ -226,6 +254,14 @@ Status Node::HandleFlushRequest(NodeId from, PageId pid) {
 
 void Node::HandleFlushNotify(NodeId from, PageId pid, Psn flushed_psn) {
   dpt_.OnOwnerFlushed(pid, flushed_psn);
+  // PSNs order every update to a page globally, so a flushed version at
+  // PSN >= ours subsumes our cached copy: everything in it is on the
+  // owner's disk. The copy can stay cached, but it no longer needs to
+  // travel home on replacement.
+  Page* cached = pool_.Lookup(pid);
+  if (cached != nullptr && pool_.IsDirty(pid) && cached->psn() <= flushed_psn) {
+    pool_.MarkClean(pid);
+  }
   AdvanceReclaimHorizon();
 }
 
@@ -300,21 +336,28 @@ Status Node::HandleFetchCachedPage(NodeId from, PageId pid,
 }
 
 Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
-                                PsnListReply* reply) {
+                                bool full_history, PsnListReply* reply) {
   *reply = PsnListReply();
   reply->per_page.resize(pages.size());
   if (state_ == NodeState::kDown) return Status::NodeDown("peer down");
   if (!options_.has_local_log) return Status::OK();
 
   // Scan from the minimum RedoLSN among our DPT entries for the requested
-  // pages (Section 2.3.4); without an entry we have nothing to redo.
-  Lsn start = kNullLsn;
+  // pages (Section 2.3.4); without an entry we have nothing to redo. In
+  // full-history mode (a torn on-disk page is being rebuilt from its
+  // space-map PSN seed) the DPT is no guide — updates already flushed and
+  // acknowledged must be replayed again — so the whole log is scanned.
   std::map<PageId, std::size_t> index;
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    index[pages[i]] = i;
-    const DirtyPageInfo* info = dpt_.Find(pages[i]);
-    if (info == nullptr) continue;
-    if (start == kNullLsn || info->redo_lsn < start) start = info->redo_lsn;
+  for (std::size_t i = 0; i < pages.size(); ++i) index[pages[i]] = i;
+  Lsn start = kNullLsn;
+  if (full_history) {
+    start = LogManager::first_lsn();
+  } else {
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const DirtyPageInfo* info = dpt_.Find(pages[i]);
+      if (info == nullptr) continue;
+      if (start == kNullLsn || info->redo_lsn < start) start = info->redo_lsn;
+    }
   }
   if (start == kNullLsn) return Status::OK();
 
@@ -331,13 +374,21 @@ Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
     }
     auto it = index.find(rec.page);
     if (it == index.end()) continue;
-    const DirtyPageInfo* info = dpt_.Find(rec.page);
-    if (info == nullptr || lsn < info->redo_lsn) {
-      continue;  // Before this page's redo point: already on disk.
+    if (!full_history) {
+      const DirtyPageInfo* info = dpt_.Find(rec.page);
+      if (info == nullptr || lsn < info->redo_lsn) {
+        continue;  // Before this page's redo point: already on disk.
+      }
     }
-    // Remember where recovery for this page starts in our log.
-    recovery_cursor_.try_emplace(rec.page, lsn);
+    // Remember where recovery for this page starts in our log. A
+    // full-history scan overwrites any cursor a previous partial scan
+    // left: redo must restart at the page's first record.
     auto lt = last_txn.find(rec.page);
+    if (full_history && lt == last_txn.end()) {
+      recovery_cursor_[rec.page] = lsn;
+    } else {
+      recovery_cursor_.try_emplace(rec.page, lsn);
+    }
     if (lt == last_txn.end() || lt->second != rec.txn) {
       reply->per_page[it->second].push_back(PsnListEntry{rec.psn_before, lsn});
       last_txn[rec.page] = rec.txn;

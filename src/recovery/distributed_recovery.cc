@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "storage/slotted_page.h"
 #include "wal/log_reader.h"
 
 namespace clog {
@@ -79,15 +80,16 @@ Status RestartRecovery::ReconstructLocks() {
 
 Status RestartRecovery::GatherPsnLists(
     const std::map<NodeId, std::vector<PageId>>& pages_per_node,
+    bool full_history,
     std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>>* out) {
   for (const auto& [peer, pages] : pages_per_node) {
     PsnListReply reply;
     if (peer == node_->id_) {
-      CLOG_RETURN_IF_ERROR(
-          node_->HandleBuildPsnList(node_->id_, pages, &reply));
+      CLOG_RETURN_IF_ERROR(node_->HandleBuildPsnList(node_->id_, pages,
+                                                     full_history, &reply));
     } else {
-      CLOG_RETURN_IF_ERROR(
-          node_->network_->BuildPsnList(node_->id_, peer, pages, &reply));
+      CLOG_RETURN_IF_ERROR(node_->network_->BuildPsnList(
+          node_->id_, peer, pages, full_history, &reply));
     }
     for (std::size_t i = 0; i < pages.size(); ++i) {
       if (!reply.per_page[i].empty()) {
@@ -183,6 +185,7 @@ Status RestartRecovery::RecoverOwnPages() {
     PageId pid;
     std::unique_ptr<Page> base;
     std::map<NodeId, DptEntry> involved;
+    bool full_history = false;  ///< Rebuilding a torn page from its seed.
   };
   std::vector<WorkItem> work;
 
@@ -214,42 +217,72 @@ Status RestartRecovery::RecoverOwnPages() {
     }
 
     auto base = std::make_unique<Page>();
-    CLOG_RETURN_IF_ERROR(node_->disk_.ReadPage(pid.page_no, base.get()));
+    Status rd = node_->disk_.ReadPage(pid.page_no, base.get());
     node_->ChargeDiskRead();
-    Psn disk_psn = base->psn();
 
-    // Section 2.3.2: a node whose CurrPSN <= the disk PSN has all its
-    // updates on disk already — not involved; its entry can be dropped
-    // (the flush notification does exactly that).
     WorkItem item;
     item.pid = pid;
-    for (const auto& [n, e] : contribs) {
-      if (e.curr_psn > disk_psn) {
-        item.involved[n] = e;
-      } else if (n != me) {
-        node_->network_->FlushNotify(me, n, pid, disk_psn).ok();
-      } else {
-        node_->dpt_.OnOwnerFlushed(pid, disk_psn);
+    if (rd.IsCorruption() || rd.IsNotFound()) {
+      // Torn page write: the crash interrupted a flush mid-page (checksum
+      // mismatch), or half-extended the file (short read at EOF). The
+      // prior on-disk version is gone, so rebuild from the page's
+      // space-map PSN seed — the PSN this incarnation started from — and
+      // redo its *entire* history, including updates that were flushed
+      // and acknowledged long ago.
+      base->Format(pid, PageType::kData,
+                   node_->space_map_.PsnSeed(pid.page_no));
+      SlottedPage(base.get()).InitBody();
+      item.full_history = true;
+      item.involved = contribs;
+      node_->metrics_.GetCounter("recovery.pages_rebuilt_from_seed").Add(1);
+    } else {
+      CLOG_RETURN_IF_ERROR(rd);
+      Psn disk_psn = base->psn();
+      // Section 2.3.2: a node whose CurrPSN <= the disk PSN has all its
+      // updates on disk already — not involved; its entry can be dropped
+      // (the flush notification does exactly that).
+      for (const auto& [n, e] : contribs) {
+        if (e.curr_psn > disk_psn) {
+          item.involved[n] = e;
+        } else if (n != me) {
+          node_->network_->FlushNotify(me, n, pid, disk_psn).ok();
+        } else {
+          node_->dpt_.OnOwnerFlushed(pid, disk_psn);
+        }
       }
-    }
-    if (item.involved.empty()) {
-      ++stats_.clean_candidates;
-      continue;
+      if (item.involved.empty()) {
+        ++stats_.clean_candidates;
+        continue;
+      }
     }
     item.base = std::move(base);
     work.push_back(std::move(item));
   }
 
   // Section 2.3.4: one NodePSNList request per involved node, covering all
-  // of that node's pages.
+  // of that node's pages. Full-history rebuilds must hear from *every*
+  // reachable node, not just DPT contributors: a node whose flushed
+  // updates were acknowledged dropped its entry, yet those updates are
+  // part of the history being replayed from the seed.
   std::map<NodeId, std::vector<PageId>> pages_per_node;
+  std::map<NodeId, std::vector<PageId>> full_pages_per_node;
   for (const WorkItem& item : work) {
+    if (item.full_history) {
+      full_pages_per_node[me].push_back(item.pid);
+      for (const auto& [peer, _] : peer_replies_) {
+        full_pages_per_node[peer].push_back(item.pid);
+      }
+      continue;
+    }
     for (const auto& [n, _] : item.involved) {
       pages_per_node[n].push_back(item.pid);
     }
   }
   std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>> lists;
-  CLOG_RETURN_IF_ERROR(GatherPsnLists(pages_per_node, &lists));
+  CLOG_RETURN_IF_ERROR(
+      GatherPsnLists(pages_per_node, /*full_history=*/false, &lists));
+  CLOG_RETURN_IF_ERROR(
+      GatherPsnLists(full_pages_per_node, /*full_history=*/true, &lists));
 
   for (WorkItem& item : work) {
     CLOG_RETURN_IF_ERROR(
@@ -279,7 +312,20 @@ Status RestartRecovery::RecoverRemotePages() {
     CLOG_RETURN_IF_ERROR(st);
     if (!reply.granted || !reply.page) continue;
     if (reply.page->psn() >= e.curr_psn) {
-      continue;  // Owner's version already covers all our updates.
+      // Owner's version already covers all our updates — but the grant may
+      // have demoted the owner's dirty copy to a clean stale home copy, on
+      // the strength of the version that just traveled here. Discarding it
+      // would let the newest committed state evaporate when the owner
+      // evicts; cache it dirty so it ships home like any callback copy.
+      Page* frame = node_->pool_.Lookup(pid);
+      if (frame == nullptr) {
+        CLOG_ASSIGN_OR_RETURN(frame, node_->pool_.Insert(pid));
+      }
+      if (reply.page->psn() > frame->psn()) {
+        frame->CopyFrom(*reply.page);
+      }
+      node_->pool_.MarkDirty(pid);
+      continue;
     }
     // Only our log can contain the missing tail (any other node's updates
     // predate our exclusive lock and traveled with the page).
@@ -287,7 +333,7 @@ Status RestartRecovery::RecoverRemotePages() {
     base.CopyFrom(*reply.page);
     PsnListReply plist;
     CLOG_RETURN_IF_ERROR(
-        node_->HandleBuildPsnList(me, {pid}, &plist));
+        node_->HandleBuildPsnList(me, {pid}, /*full_history=*/false, &plist));
     RecoverPageReply rreply;
     CLOG_RETURN_IF_ERROR(
         RedoRound(me, pid, base, /*has_bound=*/false, 0, &rreply));
@@ -312,6 +358,7 @@ Status RestartRecovery::ExchangeAndRecover() {
   CLOG_RETURN_IF_ERROR(ReconstructLocks());
   CLOG_RETURN_IF_ERROR(RecoverOwnPages());
   CLOG_RETURN_IF_ERROR(RecoverRemotePages());
+  node_->recovery_redo_done_ = true;
   return Status::OK();
 }
 

@@ -98,9 +98,11 @@ class RestartRecovery {
                    Psn bound, RecoverPageReply* reply);
 
   /// Batch-builds NodePSNLists: one request per involved node covering all
-  /// its pages (2.3.4).
+  /// its pages (2.3.4). `full_history` asks peers to scan their whole log
+  /// ignoring their DPT (torn-page rebuild from the space-map PSN seed).
   Status GatherPsnLists(
       const std::map<NodeId, std::vector<PageId>>& pages_per_node,
+      bool full_history,
       std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>>* out);
 
   Node* node_;

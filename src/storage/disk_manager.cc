@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/fault_injector.h"
+
 namespace clog {
 namespace {
 
@@ -52,6 +54,21 @@ Status DiskManager::ReadPage(std::uint32_t page_no, Page* page) {
 
 Status DiskManager::WritePage(std::uint32_t page_no, Page* page, bool sync) {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (fault_ != nullptr) {
+    IoFault f = fault_->OnPageWrite(node_);
+    if (f == IoFault::kFailPageWrite) {
+      // Clean failure: no byte reaches the file.
+      return Status::IOError("fault injection: page write failed");
+    }
+    if (f == IoFault::kTornPageWrite) {
+      // Only the first half of the sealed page reaches the platter; the
+      // next read of this slot fails its checksum (a crash artifact).
+      page->SealChecksum();
+      ::pwrite(fd_, page->data(), kPageSize / 2,
+               static_cast<off_t>(page_no) * kPageSize);
+      return Status::IOError("fault injection: page write torn");
+    }
+  }
   page->SealChecksum();
   ssize_t n = ::pwrite(fd_, page->data(), kPageSize,
                        static_cast<off_t>(page_no) * kPageSize);
@@ -65,6 +82,9 @@ Status DiskManager::WritePage(std::uint32_t page_no, Page* page, bool sync) {
 
 Status DiskManager::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (fault_ != nullptr && fault_->OnDiskSync(node_)) {
+    return Status::IOError("fault injection: fdatasync failed");
+  }
   if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync"));
   ++syncs_;
   return Status::OK();

@@ -16,6 +16,8 @@
 
 namespace clog {
 
+class FaultInjector;
+
 /// Owns one database file; pages are addressed by page number (the page_no
 /// component of PageId). Not thread-safe; the cluster simulation is
 /// single-threaded by design (DESIGN.md Section 4).
@@ -54,9 +56,18 @@ class DiskManager {
   std::uint64_t writes() const { return writes_; }
   std::uint64_t syncs() const { return syncs_; }
 
+  /// Attaches a fault injector consulted before every write/sync as `node`
+  /// (nullptr detaches). Not owned.
+  void set_fault_injector(FaultInjector* fault, NodeId node) {
+    fault_ = fault;
+    node_ = node;
+  }
+
  private:
   std::string path_;
   int fd_ = -1;
+  FaultInjector* fault_ = nullptr;
+  NodeId node_ = kInvalidNodeId;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t syncs_ = 0;

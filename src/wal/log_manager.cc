@@ -11,6 +11,7 @@
 
 #include "common/codec.h"
 #include "common/crc32c.h"
+#include "fault/fault_injector.h"
 
 namespace clog {
 namespace {
@@ -110,6 +111,20 @@ Status LogManager::Close() {
 
 void LogManager::Abandon() {
   if (fd_ < 0) return;
+  if (fault_ != nullptr && !buffer_.empty()) {
+    // A real crash can leave any prefix of the in-flight tail on the
+    // platter, possibly garbled. None of these bytes were ever covered by
+    // a successful Flush, so whatever survives is legal under WAL: reopen
+    // scans whole frames and truncates at the first torn one.
+    FaultInjector::TornTail tear = fault_->OnAbandon(node_, buffer_.size());
+    if (tear.tear && tear.keep_bytes > 0) {
+      std::string tail = buffer_.substr(0, tear.keep_bytes);
+      if (tear.corrupt_last) tail.back() ^= 0x5A;
+      // Best effort, like the crash it simulates.
+      ::pwrite(fd_, tail.data(), tail.size(),
+               static_cast<off_t>(buffer_start_));
+    }
+  }
   ::close(fd_);
   fd_ = -1;
   buffer_.clear();
@@ -145,6 +160,13 @@ Status LogManager::Flush(Lsn up_to) {
   // its start LSN lies strictly before it.
   if (up_to < flushed_lsn_) return Status::OK();
   if (buffer_.empty()) return Status::OK();
+  if (fault_ != nullptr && fault_->OnLogSync(node_)) {
+    // Fails before any byte reaches the file: the records stay buffered
+    // and flushed_lsn_ is unchanged, so a later retry is sound — but the
+    // harness fail-stops the node instead (I/O errors on the WAL are not
+    // survivable in place).
+    return Status::IOError("fault injection: log force failed");
+  }
   if (::pwrite(fd_, buffer_.data(), buffer_.size(),
                static_cast<off_t>(buffer_start_)) !=
       static_cast<ssize_t>(buffer_.size())) {

@@ -18,6 +18,8 @@
 
 namespace clog {
 
+class FaultInjector;
+
 /// Append/flush interface over one log file.
 ///
 /// Durability contract (WAL, paper Section 2.1): a log record is durable
@@ -110,6 +112,13 @@ class LogManager {
   std::uint64_t appended_bytes() const { return appended_bytes_; }
   std::uint64_t forces() const { return forces_; }
 
+  /// Attaches a fault injector consulted on Flush (fsync failure) and
+  /// Abandon (torn tail) as `node` (nullptr detaches). Not owned.
+  void set_fault_injector(FaultInjector* fault, NodeId node) {
+    fault_ = fault;
+    node_ = node;
+  }
+
  private:
   static constexpr std::uint64_t kHeaderSize = 64;
   static constexpr std::uint32_t kLogMagic = 0x434C4F4C;  // "CLOL"
@@ -130,6 +139,9 @@ class LogManager {
   std::uint64_t appended_records_ = 0;
   std::uint64_t appended_bytes_ = 0;
   std::uint64_t forces_ = 0;
+
+  FaultInjector* fault_ = nullptr;
+  NodeId node_ = kInvalidNodeId;
 };
 
 }  // namespace clog

@@ -49,7 +49,7 @@ class StubService : public NodeService {
     page->reset();
     return Status::NotFound("");
   }
-  Status HandleBuildPsnList(NodeId, const std::vector<PageId>& pages,
+  Status HandleBuildPsnList(NodeId, const std::vector<PageId>& pages, bool,
                             PsnListReply* reply) override {
     reply->per_page.resize(pages.size());
     return Status::OK();
@@ -170,6 +170,83 @@ TEST_F(NetworkTest, LogShipBytesScaleWithRecords) {
   std::uint64_t after_many = net_.metrics().CounterValue("bytes.total");
   EXPECT_GT(after_many - after_few, (after_few)*5);
   EXPECT_EQ(b_.shipped_records, 11u);
+}
+
+TEST_F(NetworkTest, CrashedNodeIsNodeDownForEveryMsgType) {
+  net_.SetNodeUp(2, false);
+  std::uint64_t msgs_before = net_.metrics().CounterValue("msg.total");
+  std::uint64_t bytes_before = net_.metrics().CounterValue("bytes.total");
+
+  Page page;
+  page.Format(PageId{2, 1}, PageType::kData, 0);
+  page.SealChecksum();
+  std::vector<LogRecord> recs(1);
+  recs[0].type = LogRecordType::kUpdate;
+  LockPageReply lock_reply;
+  CallbackReply cb_reply;
+  RecoveryQueryReply rq_reply;
+  PsnListReply psn_reply;
+  RecoverPageReply rec_reply;
+  std::shared_ptr<Page> fetched;
+
+  EXPECT_TRUE(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, true,
+                            &lock_reply)
+                  .IsNodeDown());
+  EXPECT_TRUE(net_.Callback(1, 2, PageId{2, 0}, LockMode::kNone, &cb_reply)
+                  .IsNodeDown());
+  EXPECT_TRUE(net_.UnlockNotice(1, 2, PageId{2, 0}).IsNodeDown());
+  EXPECT_TRUE(net_.PageShip(1, 2, page).IsNodeDown());
+  EXPECT_TRUE(net_.FlushRequest(1, 2, PageId{2, 0}).IsNodeDown());
+  EXPECT_TRUE(net_.FlushNotify(1, 2, PageId{2, 0}, 1).IsNodeDown());
+  EXPECT_TRUE(net_.LogShip(1, 2, recs, true).IsNodeDown());
+  EXPECT_TRUE(net_.RecoveryQuery(1, 2, &rq_reply).IsNodeDown());
+  EXPECT_TRUE(net_.FetchCachedPage(1, 2, PageId{2, 0}, &fetched)
+                  .IsNodeDown());
+  EXPECT_TRUE(net_.BuildPsnList(1, 2, {PageId{2, 0}}, false, &psn_reply)
+                  .IsNodeDown());
+  EXPECT_TRUE(net_.RecoverPage(1, 2, PageId{2, 0}, page, false, 0, &rec_reply)
+                  .IsNodeDown());
+  EXPECT_TRUE(net_.DptShip(1, 2, {}, {}).IsNodeDown());
+  EXPECT_TRUE(net_.NodeRecovered(1, 2, 1).IsNodeDown());
+
+  // No handler ever ran, and refused requests are not charged to the wire.
+  EXPECT_EQ(b_.lock_calls, 0);
+  EXPECT_EQ(b_.ships, 0);
+  EXPECT_EQ(b_.notifies, 0);
+  EXPECT_EQ(b_.shipped_records, 0u);
+  EXPECT_EQ(net_.metrics().CounterValue("msg.total"), msgs_before);
+  EXPECT_EQ(net_.metrics().CounterValue("bytes.total"), bytes_before);
+}
+
+TEST_F(NetworkTest, ReRegistrationResetsProcessAccountingKeepsWireCounters) {
+  LockPageReply reply;
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                          &reply));
+  std::uint64_t requests = net_.metrics().CounterValue("msg.lock_page_request");
+  std::uint64_t bytes = net_.metrics().CounterValue("bytes.total");
+  EXPECT_GT(net_.BusyNanos(2), 0u);
+
+  // Crash and restart: the node comes back by re-registering its endpoint.
+  net_.SetNodeUp(2, false);
+  EXPECT_TRUE(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                            &reply)
+                  .IsNodeDown());
+  net_.RegisterNode(2, &b_);
+  EXPECT_TRUE(net_.IsUp(2));
+
+  // The restarted process starts with fresh busy-time accounting, while
+  // cluster-lifetime per-type message/byte counters are neither cleared
+  // nor double-counted: the refused call added nothing, and traffic
+  // resumes exactly where it left off.
+  EXPECT_EQ(net_.BusyNanos(2), 0u);
+  EXPECT_EQ(net_.metrics().CounterValue("msg.lock_page_request"), requests);
+  EXPECT_EQ(net_.metrics().CounterValue("bytes.total"), bytes);
+  ASSERT_OK(net_.LockPage(1, 2, PageId{2, 0}, LockMode::kShared, false,
+                          &reply));
+  EXPECT_EQ(net_.metrics().CounterValue("msg.lock_page_request"),
+            requests + 1);
+  EXPECT_GT(net_.metrics().CounterValue("bytes.total"), bytes);
+  EXPECT_GT(net_.BusyNanos(2), 0u);
 }
 
 TEST(MsgTypeTest, AllNamesDistinct) {

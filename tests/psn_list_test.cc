@@ -42,7 +42,7 @@ TEST_F(PsnListBuildTest, OneEntryPerTransactionRun) {
   ASSERT_OK(client_->Commit(t2));
 
   PsnListReply reply;
-  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, false, &reply));
   ASSERT_EQ(reply.per_page.size(), 1u);
   ASSERT_EQ(reply.per_page[0].size(), 2u);  // Two runs, not four updates.
   EXPECT_EQ(reply.per_page[0][0].psn, 0u);  // First record of run 1.
@@ -75,7 +75,7 @@ TEST_F(PsnListBuildTest, InterleavedTransactionsAlternateRuns) {
   ASSERT_OK(worker->Commit(b));
 
   PsnListReply reply;
-  ASSERT_OK(worker->HandleBuildPsnList(owner->id(), {pid}, &reply));
+  ASSERT_OK(worker->HandleBuildPsnList(owner->id(), {pid}, false, &reply));
   ASSERT_EQ(reply.per_page.size(), 1u);
   // Runs: seed(0), a(2), b(3), a(4) — txn boundaries, per the paper's
   // "transaction that wrote the log record is not the same as the
@@ -93,7 +93,7 @@ TEST_F(PsnListBuildTest, PagesWithoutDptEntryContributeNothing) {
   ASSERT_OK(client_->Commit(txn));
 
   PsnListReply reply;
-  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid, untouched},
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid, untouched}, false,
                                         &reply));
   ASSERT_EQ(reply.per_page.size(), 2u);
   EXPECT_FALSE(reply.per_page[0].empty());
@@ -118,7 +118,7 @@ TEST_F(PsnListBuildTest, RecordsBeforeRedoLsnExcluded) {
   ASSERT_OK(client_->Commit(t2));
 
   PsnListReply reply;
-  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, false, &reply));
   ASSERT_EQ(reply.per_page[0].size(), 1u);
   EXPECT_EQ(reply.per_page[0][0].psn, 1u);  // Only the post-force run.
 }
@@ -135,7 +135,7 @@ TEST_F(PsnListBuildTest, ClrRecordsParticipateInRuns) {
   ASSERT_OK(client_->Abort(t2));                  // CLR: psn 2->3
 
   PsnListReply reply;
-  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, &reply));
+  ASSERT_OK(client_->HandleBuildPsnList(owner_->id(), {pid}, false, &reply));
   // Runs: t1(0), t2(1) — t2's CLR continues its own run.
   ASSERT_EQ(reply.per_page[0].size(), 2u);
   EXPECT_EQ(reply.per_page[0][0].psn, 0u);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.h"
 #include "tests/test_util.h"
 #include "wal/log_manager.h"
 #include "wal/log_reader.h"
@@ -225,6 +226,101 @@ TEST_F(LogManagerTest, BoundedCapacityAndReclaim) {
   // Reclaiming space re-enables appends.
   log.SetReclaimableLsn(log.end_lsn());
   EXPECT_EQ(log.LiveBytes(), 0u);
+  ASSERT_OK(log.Append(rec, &lsn));
+}
+
+TEST_F(LogManagerTest, ReopenAfterCrashWithTornFinalRecord) {
+  // An injected crash tears the buffered tail mid-record: the durable
+  // prefix must survive reopen, the torn record must vanish, and the log
+  // must accept appends again.
+  FaultConfig cfg;
+  cfg.torn_tail_p = 1.0;
+  cfg.torn_tail_corrupt_p = 1.0;
+  FaultInjector fault(/*seed=*/7, cfg);
+  Lsn durable, torn;
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(dir_.path() + "/log"));
+    log.set_fault_injector(&fault, /*node=*/0);
+    LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "keep", "");
+    ASSERT_OK(log.Append(rec, &durable));
+    ASSERT_OK(log.Flush(durable));
+    rec.redo_image = "torn-away";
+    ASSERT_OK(log.Append(rec, &torn));
+    log.Abandon();  // Crash: a garbled prefix of the tail hits the file.
+  }
+  EXPECT_GT(fault.counters().torn_tails, 0u);
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(durable, &got));
+  EXPECT_EQ(got.redo_image, "keep");
+  EXPECT_TRUE(log.ReadRecord(torn, &got).IsNotFound());
+  Lsn after = kNullLsn;
+  ASSERT_OK(log.Append(MakeUpdate(2, PageId{0, 0}, 1, kNullLsn, "next", ""),
+                       &after));
+  ASSERT_OK(log.Flush(after));
+  ASSERT_OK(log.ReadRecord(after, &got));
+  EXPECT_EQ(got.redo_image, "next");
+}
+
+TEST_F(LogManagerTest, AbandonWithEmptyBufferedTailIsCleanCrash) {
+  // When everything was flushed before the crash, Abandon has no tail to
+  // tear — even with tearing forced on — and reopen sees the full log.
+  FaultConfig cfg;
+  cfg.torn_tail_p = 1.0;
+  FaultInjector fault(/*seed=*/9, cfg);
+  Lsn l1, l2;
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(dir_.path() + "/log"));
+    log.set_fault_injector(&fault, /*node=*/0);
+    LogRecord rec = MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, "one", "");
+    ASSERT_OK(log.Append(rec, &l1));
+    rec.redo_image = "two";
+    ASSERT_OK(log.Append(rec, &l2));
+    ASSERT_OK(log.Flush(l2));
+    log.Abandon();
+  }
+  EXPECT_EQ(fault.counters().torn_tails, 0u);
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(l1, &got));
+  EXPECT_EQ(got.redo_image, "one");
+  ASSERT_OK(log.ReadRecord(l2, &got));
+  EXPECT_EQ(got.redo_image, "two");
+  EXPECT_GT(log.end_lsn(), l2);
+}
+
+TEST_F(LogManagerTest, UnenforcedAppendBypassesFullLog) {
+  // Rollback CLRs must always be appendable: a full log rejects normal
+  // appends but admits enforce_capacity=false ones.
+  LogManager log;
+  ASSERT_OK(log.Open(dir_.path() + "/log"));
+  log.set_capacity(1024);
+  LogRecord rec =
+      MakeUpdate(1, PageId{0, 0}, 0, kNullLsn, std::string(100, 'x'), "");
+  Lsn lsn = kNullLsn;
+  Status st;
+  while ((st = log.Append(rec, &lsn)).ok()) {
+  }
+  ASSERT_TRUE(st.IsLogFull());
+  LogRecord clr;
+  clr.type = LogRecordType::kClr;
+  clr.txn = 1;
+  clr.page = PageId{0, 0};
+  clr.op = RecordOp::kUpdate;
+  clr.redo_image = std::string(100, 'u');
+  Lsn clr_lsn = kNullLsn;
+  ASSERT_OK(log.Append(clr, &clr_lsn, /*enforce_capacity=*/false));
+  EXPECT_GT(clr_lsn, lsn);
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(clr_lsn, &got));
+  EXPECT_EQ(got.type, LogRecordType::kClr);
+  // Normal appends are still refused until space is reclaimed.
+  EXPECT_TRUE(log.Append(rec, &lsn).IsLogFull());
+  log.SetReclaimableLsn(log.end_lsn());
   ASSERT_OK(log.Append(rec, &lsn));
 }
 
