@@ -43,19 +43,32 @@ Result<Page*> BufferPool::Insert(PageId pid) {
 Status BufferPool::EvictOne() {
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     auto fit = frames_.find(*it);
-    if (fit != frames_.end() && fit->second.pins == 0) {
+    if (fit != frames_.end() && fit->second.pins == 0 &&
+        !fit->second.evicting) {
       return EvictFrame(*it);
     }
   }
-  return Status::Busy("buffer pool: all frames pinned");
+  return Status::Busy("buffer pool: all frames pinned or mid-eviction");
 }
 
 Status BufferPool::EvictFrame(PageId pid) {
   auto it = frames_.find(pid);
   if (it == frames_.end()) return Status::OK();
+  if (it->second.evicting) {
+    return Status::Busy("page mid-eviction: " + pid.ToString());
+  }
+  it->second.evicting = true;
+  Status st = Status::OK();
   if (handler_) {
-    CLOG_RETURN_IF_ERROR(
-        handler_(pid, it->second.page.get(), it->second.dirty));
+    st = handler_(pid, it->second.page.get(), it->second.dirty);
+  }
+  // The handler may have re-entered the pool: nested inserts rehash the
+  // map (invalidating `it`) and nested drops may have removed this frame.
+  it = frames_.find(pid);
+  if (it == frames_.end()) return st;
+  if (!st.ok()) {
+    it->second.evicting = false;
+    return st;
   }
   lru_.erase(it->second.lru_pos);
   frames_.erase(it);

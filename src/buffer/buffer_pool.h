@@ -94,6 +94,12 @@ class BufferPool {
     std::unique_ptr<Page> page;
     bool dirty = false;
     int pins = 0;
+    /// Set while the eviction handler runs. The handler can re-enter the
+    /// pool (shipping a dirty page installs the reply on the peer, whose
+    /// own eviction may ship a page back here); a frame mid-eviction must
+    /// not be picked as a victim again or two nodes bounce the same pages
+    /// in unbounded mutual recursion.
+    bool evicting = false;
     std::list<PageId>::iterator lru_pos;
   };
 

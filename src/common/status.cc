@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "failed precondition";
     case StatusCode::kNotSupported:
       return "not supported";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

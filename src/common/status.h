@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kNodeDown,            ///< Target node is crashed / unreachable.
   kFailedPrecondition,  ///< Operation illegal in the current state.
   kNotSupported,        ///< Feature not available in this configuration.
+  kUnavailable,         ///< Target is recovering; request parked, retry soon.
 };
 
 /// Returns the canonical lower-case name of a code ("ok", "io error", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status NotSupported(std::string msg = "") {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -80,6 +84,7 @@ class Status {
   bool IsLogFull() const { return code_ == StatusCode::kLogFull; }
   bool IsNodeDown() const { return code_ == StatusCode::kNodeDown; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

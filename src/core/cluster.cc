@@ -17,6 +17,7 @@ Status EnsureDir(const std::string& path) {
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), network_(&clock_, options_.cost) {
   network_.set_fault_injector(options_.fault_injector);
+  network_.set_retry_policy(options_.retry_policy);
 }
 
 Cluster::~Cluster() = default;
@@ -64,7 +65,12 @@ Status Cluster::RestartNode(NodeId id) {
 
 Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
   recovery_stats_.clear();
-  std::vector<std::unique_ptr<RestartRecovery>> recoveries;
+  struct Entry {
+    NodeId id = kInvalidNodeId;
+    std::unique_ptr<RestartRecovery> rec;
+    bool abandoned = false;
+  };
+  std::vector<Entry> entries;
   std::uint64_t t0 = clock_.NowNanos();
   for (NodeId id : ids) {
     Node* n = node(id);
@@ -72,19 +78,74 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
     if (n->state() != NodeState::kDown) {
       return Status::FailedPrecondition("node not crashed");
     }
-    recoveries.push_back(std::make_unique<RestartRecovery>(n));
+    entries.push_back(Entry{id, std::make_unique<RestartRecovery>(n), false});
   }
+
+  // Losing any participant voids the whole round: Section 2.4 recovery is
+  // only correct when every crashed node's analysis state (its DPT
+  // supersets, its exclusive-lock claims, its log's redo runs) is visible
+  // to the others, and a node that dies mid-round takes that state with
+  // it — survivors that kept going would finish recovery with pages
+  // silently missing the dead node's updates. So the first abandonment
+  // fail-stops every entry that has not already gone operational; the
+  // caller re-enters the full set in a later RestartNodes.
+  auto abandon_round = [&]() {
+    for (Entry& e : entries) {
+      if (e.abandoned) continue;
+      Node* n = node(e.id);
+      if (n->state() == NodeState::kUp) continue;  // Finished before the loss.
+      if (n->state() != NodeState::kDown) n->Crash();
+      e.abandoned = true;
+    }
+  };
+
+  // One phase across every node still in the round. Two ways a node drops
+  // out mid-restart, both fail-stop (crash back to kDown, partial restart
+  // discarded, a later RestartNodes re-enters from scratch):
+  //  - the phase itself hit NodeDown — a peer its recovery depended on
+  //    vanished mid-conversation;
+  //  - the phase hook crashed the node at this boundary
+  //    (crash-during-recovery torture).
+  auto run_phase = [&](Status (RestartRecovery::*phase)(),
+                       RecoveryPhase boundary) -> Status {
+    for (Entry& e : entries) {
+      if (e.abandoned) continue;
+      Node* n = node(e.id);
+      Status st = ((*e.rec).*phase)();
+      if (st.IsNodeDown()) {
+        if (n->state() != NodeState::kDown) n->Crash();
+        e.abandoned = true;
+        abandon_round();
+        continue;
+      }
+      CLOG_RETURN_IF_ERROR(st);
+      if (recovery_phase_hook_) recovery_phase_hook_(e.id, boundary);
+      if (n->state() == NodeState::kDown) {
+        e.abandoned = true;
+        abandon_round();
+      }
+    }
+    return Status::OK();
+  };
+
   // Section 2.4 staging: every crashed node rebuilds its superset DPT by
   // local analysis before any node exchanges recovery state, then all
-  // exchange/redo, then all undo and resume.
-  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->OpenAndAnalyze());
-  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->ExchangeAndRecover());
-  for (auto& r : recoveries) CLOG_RETURN_IF_ERROR(r->UndoLosersAndFinish());
+  // exchange, all redo, all undo and resume.
+  CLOG_RETURN_IF_ERROR(
+      run_phase(&RestartRecovery::OpenAndAnalyze, RecoveryPhase::kAnalyzed));
+  CLOG_RETURN_IF_ERROR(run_phase(&RestartRecovery::ExchangePeerState,
+                                 RecoveryPhase::kExchanged));
+  CLOG_RETURN_IF_ERROR(
+      run_phase(&RestartRecovery::RedoPages, RecoveryPhase::kRedone));
+  CLOG_RETURN_IF_ERROR(run_phase(&RestartRecovery::UndoLosersAndFinish,
+                                 RecoveryPhase::kFinished));
+
   std::uint64_t elapsed = clock_.NowNanos() - t0;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    RestartRecovery::Stats stats = recoveries[i]->stats();
+  for (Entry& e : entries) {
+    if (e.abandoned) continue;
+    RestartRecovery::Stats stats = e.rec->stats();
     if (stats.sim_ns == 0) stats.sim_ns = elapsed;
-    recovery_stats_[ids[i]] = stats;
+    recovery_stats_[e.id] = stats;
   }
   return Status::OK();
 }

@@ -39,6 +39,20 @@ struct ClusterOptions {
   /// Optional fault injector (not owned; must outlive the cluster). Wired
   /// into the network and every node; see src/fault/fault_injector.h.
   FaultInjector* fault_injector = nullptr;
+  /// Availability layer (docs/availability.md): retry envelope, heartbeat
+  /// failure detector, and request parking. Disabled by default so
+  /// fail-fast crash semantics stay exactly as before unless opted in.
+  RetryPolicy retry_policy;
+};
+
+/// Phase boundaries of a node's restart recovery, in execution order.
+/// RestartNodes reports each one through the recovery phase hook; a hook
+/// that crashes the node there exercises crash-during-recovery restart.
+enum class RecoveryPhase : int {
+  kAnalyzed = 0,   ///< Local log analysis done; node now kRecovering.
+  kExchanged = 1,  ///< Peer state queried, lock tables reconstructed.
+  kRedone = 2,     ///< Redo pass over its pages complete.
+  kFinished = 3,   ///< Losers undone; node is up.
 };
 
 /// The distributed system under test. Deterministic and single-threaded:
@@ -72,7 +86,24 @@ class Cluster {
 
   /// Restarts several crashed nodes together (Section 2.4): every node
   /// completes log analysis before any exchanges recovery state.
+  ///
+  /// Crash-during-recovery (docs/availability.md): a node that crashes at
+  /// a phase boundary — the phase hook fired, or a peer it depended on
+  /// vanished mid-phase (NodeDown) — is *abandoned*, not an error, and the
+  /// loss voids the whole round: every entry that has not yet gone
+  /// operational is fail-stopped back to kDown (Section 2.4 recovery is
+  /// only sound when all participants' exchanged state survives to the
+  /// end) and a later RestartNodes re-enters the set from scratch.
+  /// Callers that need every node up loop until no node remains down.
   Status RestartNodes(const std::vector<NodeId>& ids);
+
+  /// Installs (or clears, with nullptr) the per-phase recovery callback.
+  /// Called as hook(node, phase) after each node completes each phase; the
+  /// hook may CrashNode(node) to simulate dying at that boundary.
+  void set_recovery_phase_hook(
+      std::function<void(NodeId, RecoveryPhase)> hook) {
+    recovery_phase_hook_ = std::move(hook);
+  }
 
   /// Takes a node off the network WITHOUT crashing it (paper Section 1.2:
   /// orderly disconnection, "a rare event [that] can be handled in an
@@ -128,6 +159,7 @@ class Cluster {
   std::map<NodeId, std::unique_ptr<Node>> nodes_;
   NodeId next_id_ = 0;
   std::map<NodeId, RestartRecovery::Stats> recovery_stats_;
+  std::function<void(NodeId, RecoveryPhase)> recovery_phase_hook_;
 };
 
 /// Ergonomic wrapper binding (node, transaction id); used by examples and

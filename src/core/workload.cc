@@ -54,13 +54,41 @@ Status WorkloadDriver::AbortAndRetry(Session* s, bool count_deadlock) {
   n->Abort(s->txn).ok();
   s->txn = kInvalidTxnId;
   s->ops_done = 0;
-  if (count_deadlock) ++stats_.aborted_deadlock;
+  if (count_deadlock) {
+    ++stats_.aborted_deadlock;
+    n->metrics().GetCounter("workload.aborted_contention").Add(1);
+  }
   ++s->attempts;
   if (s->attempts > config_.max_txn_attempts) {
     // Give up on this transaction; move to the next one so the run always
     // terminates.
     ++s->txns_done;
+    ++stats_.gave_up;
     s->attempts = 0;
+    s->availability_retries = 0;
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::AvailabilityAbort(Session* s, bool txn_lost) {
+  Node* n = cluster_->node(s->node);
+  if (s->txn != kInvalidTxnId) {
+    cluster_->detector().RemoveTxn(s->txn);
+    // A transaction that died with its own node cannot be aborted — its
+    // volatile state is already gone; recovery undoes it from the log.
+    if (!txn_lost) n->Abort(s->txn).ok();
+    s->txn = kInvalidTxnId;
+  }
+  s->ops_done = 0;
+  ++stats_.aborted_availability;
+  n->metrics().GetCounter("workload.aborted_availability").Add(1);
+  ++s->availability_retries;
+  if (s->availability_retries > config_.max_availability_retries) {
+    // Clean abort: the cluster never came back for this transaction.
+    ++s->txns_done;
+    ++stats_.gave_up;
+    s->attempts = 0;
+    s->availability_retries = 0;
   }
   return Status::OK();
 }
@@ -73,6 +101,25 @@ Status WorkloadDriver::Step(Session* s) {
   }
   Node* n = cluster_->node(s->node);
 
+  // The session's own node is down or mid-recovery: any in-flight
+  // transaction died with it. Wait out the restart instead of failing the
+  // run — a crash is a wait, not an error (docs/availability.md) — but
+  // bound the wait so Run terminates even if nobody restarts the node.
+  if (n->state() != NodeState::kUp) {
+    if (s->txn != kInvalidTxnId) {
+      CLOG_RETURN_IF_ERROR(AvailabilityAbort(s, /*txn_lost=*/true));
+    }
+    ++stats_.down_waits;
+    if (++s->down_polls > config_.max_down_polls) {
+      stats_.gave_up += config_.txns_per_session - s->txns_done;
+      s->finished = true;
+      return Status::OK();
+    }
+    cluster_->clock().Advance(config_.down_poll_ns);
+    return Status::OK();
+  }
+  s->down_polls = 0;
+
   if (s->txn == kInvalidTxnId) {
     Result<TxnId> txn = n->Begin();
     if (!txn.ok()) return txn.status();
@@ -83,10 +130,16 @@ Status WorkloadDriver::Step(Session* s) {
 
   if (s->ops_done >= config_.ops_per_txn) {
     Status st = n->Commit(s->txn);
+    if (st.IsNodeDown() || st.IsUnavailable()) {
+      // Commit-time communication (ship-to-owner baselines) hit a crashed
+      // or recovering peer: re-run the transaction.
+      return AvailabilityAbort(s, /*txn_lost=*/false);
+    }
     if (!st.ok()) return st;
     cluster_->detector().RemoveTxn(s->txn);
     s->txn = kInvalidTxnId;
     s->attempts = 0;
+    s->availability_retries = 0;
     ++s->txns_done;
     ++stats_.committed;
     return Status::OK();
@@ -121,8 +174,14 @@ Status WorkloadDriver::Step(Session* s) {
     }
     return Status::OK();
   }
-  if (st.IsDeadlock() || st.IsNodeDown()) {
-    return AbortAndRetry(s, st.IsDeadlock());
+  if (st.IsDeadlock()) {
+    return AbortAndRetry(s, /*count_deadlock=*/true);
+  }
+  if (st.IsNodeDown() || st.IsUnavailable()) {
+    // Availability, not contention: a page owner is crashed or recovering.
+    // Formerly conflated with deadlock aborts; they answer a different
+    // question (how the cluster rides through failures, not how it locks).
+    return AvailabilityAbort(s, /*txn_lost=*/false);
   }
   return st;
 }
@@ -130,10 +189,13 @@ Status WorkloadDriver::Step(Session* s) {
 Status WorkloadDriver::Run() {
   std::uint64_t t0 = cluster_->clock().NowNanos();
   bool all_done = false;
+  std::uint64_t round = 0;
   // Round-robin until every session completes. Each full round with no
   // progress at all would mean a livelock; the attempt caps guarantee
   // termination regardless.
   while (!all_done) {
+    if (round_hook_) round_hook_(round);
+    ++round;
     all_done = true;
     for (Session& s : sessions_) {
       CLOG_RETURN_IF_ERROR(Step(&s));

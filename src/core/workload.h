@@ -1,6 +1,7 @@
 #ifndef CLOG_CORE_WORKLOAD_H_
 #define CLOG_CORE_WORKLOAD_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -41,13 +42,28 @@ struct WorkloadConfig {
   std::size_t records_per_page = 8;    ///< Slots assumed populated.
   bool skewed = false;                 ///< 80/20 page choice if true.
   int max_txn_attempts = 32;           ///< Busy/deadlock retries per txn.
+
+  // Availability (crashes are waits, not failures; docs/availability.md).
+  /// Re-runs of a transaction killed by a crash/recovering node before the
+  /// driver gives it up as a clean abort. Separate from max_txn_attempts:
+  /// an unavailable owner is nobody's contention.
+  int max_availability_retries = 64;
+  /// Simulated wait per round while the session's own node is down.
+  std::uint64_t down_poll_ns = 1'000'000;
+  /// Rounds a session waits for its own node to come back before
+  /// abandoning its remaining work (keeps Run terminating when a node is
+  /// never restarted).
+  std::size_t max_down_polls = 10'000;
 };
 
 /// Aggregate outcome of a driver run.
 struct WorkloadStats {
   std::uint64_t committed = 0;
-  std::uint64_t aborted_deadlock = 0;
+  std::uint64_t aborted_deadlock = 0;      ///< Contention: waits-for cycle.
+  std::uint64_t aborted_availability = 0;  ///< Crash/recovery killed a run.
+  std::uint64_t gave_up = 0;      ///< Txns abandoned after budget exhaustion.
   std::uint64_t busy_waits = 0;   ///< Steps postponed on Busy.
+  std::uint64_t down_waits = 0;   ///< Rounds waited on the session's node.
   std::uint64_t ops = 0;
   std::uint64_t sim_ns = 0;       ///< Simulated time the run consumed.
 };
@@ -67,6 +83,13 @@ class WorkloadDriver {
 
   const WorkloadStats& stats() const { return stats_; }
 
+  /// Called at the top of every round-robin round with the round number.
+  /// Tests use it to crash/restart nodes mid-workload and assert the
+  /// driver rides through (liveness).
+  void set_round_hook(std::function<void(std::uint64_t)> hook) {
+    round_hook_ = std::move(hook);
+  }
+
  private:
   struct Session {
     NodeId node = kInvalidNodeId;
@@ -77,19 +100,29 @@ class WorkloadDriver {
     TxnId txn = kInvalidTxnId;
     std::size_t ops_done = 0;
     int attempts = 0;
+    int availability_retries = 0;
+    std::size_t down_polls = 0;
     bool finished = false;
   };
 
   /// Advances one session by one step; returns false if it just finished.
   Status Step(Session* s);
 
-  /// Aborts the session's transaction and schedules a retry.
+  /// Contention path: aborts the transaction and schedules a re-run,
+  /// charged against max_txn_attempts.
   Status AbortAndRetry(Session* s, bool count_deadlock);
+
+  /// Availability path: the transaction was killed by a crash or a
+  /// recovering owner, not by contention. Re-run it transparently under
+  /// its own (larger) budget. `txn_lost` means the session's node itself
+  /// went down, taking the transaction's volatile state with it.
+  Status AvailabilityAbort(Session* s, bool txn_lost);
 
   Cluster* cluster_;
   WorkloadConfig config_;
   std::vector<Session> sessions_;
   WorkloadStats stats_;
+  std::function<void(std::uint64_t)> round_hook_;
 };
 
 }  // namespace clog

@@ -108,6 +108,13 @@ class TortureRun {
     report_.failure = failure_;
     report_.schedule_hash = hash_;
     report_.faults = injector_.counters();
+    if (cluster_ != nullptr) {
+      const Metrics& m = cluster_->network().metrics();
+      report_.rpc_retries = m.CounterValue("rpc.retries");
+      report_.rpc_retry_success = m.CounterValue("rpc.retry_success");
+      report_.rpc_retry_exhausted = m.CounterValue("rpc.retry_exhausted");
+      report_.hb_probes = m.CounterValue("hb.probes");
+    }
   }
 
   std::string NextValue() { return "v" + std::to_string(++value_seq_); }
@@ -195,6 +202,12 @@ class TortureRun {
     // eviction/ship/force paths, where most of the interesting fault
     // interactions (torn and failed page writes included) live.
     copts.node_defaults.buffer_frames = 4;
+    // The availability envelope runs hot in every schedule: transient drops
+    // get retried behind the admission layer, and recovering owners park
+    // requests instead of bouncing them. The jitter stream is derived from
+    // the schedule seed so replays stay bit-identical.
+    copts.retry_policy.enabled = true;
+    copts.retry_policy.jitter_seed = options_.seed ^ 0xC10CBEEFull;
     cluster_ = std::make_unique<Cluster>(copts);
 
     for (int i = 0; i < options_.num_nodes; ++i) {
@@ -552,21 +565,59 @@ class TortureRun {
     // runs on honest hardware (fail-stop, not byzantine).
     injector_.set_enabled(false);
     injector_.HealAllLinks();
-    std::vector<NodeId> down;
-    for (NodeId id : cluster_->NodeIds()) {
-      if (cluster_->node(id)->state() == NodeState::kDown) down.push_back(id);
-    }
-    if (!down.empty()) {
+
+    // At most one crash-during-recovery event is armed per repair pass: a
+    // seeded victim dies at a seeded phase boundary, its partial restart is
+    // abandoned (fail-stop), and a later round must re-enter recovery from
+    // scratch. The loop doubles as the liveness check — repair has to
+    // converge to every node up within a bounded number of rounds.
+    bool arm = options_.crash_during_recovery ||
+               rng_.Uniform(100) < 10;
+    int round = 0;
+    for (;;) {
+      std::vector<NodeId> down;
+      for (NodeId id : cluster_->NodeIds()) {
+        if (cluster_->node(id)->state() == NodeState::kDown) {
+          down.push_back(id);
+        }
+      }
+      if (down.empty()) break;
+      if (++round > 8) {
+        Fail("restart did not converge after 8 rounds");
+        return;
+      }
+      if (arm) {
+        arm = false;
+        NodeId victim = down[rng_.Uniform(down.size())];
+        // kFinished is excluded: by then the node is up and this would be
+        // an ordinary crash, not a crash *during* recovery.
+        int boundary = static_cast<int>(rng_.Uniform(3));
+        cluster_->set_recovery_phase_hook(
+            [this, victim, boundary](NodeId id, RecoveryPhase phase) {
+              if (id != victim || static_cast<int>(phase) != boundary) return;
+              if (cluster_->CrashNode(id).ok()) {
+                ++report_.crashes;
+                ++report_.recovery_crashes;
+                Event("recovery-crash node=" + std::to_string(id) +
+                      " phase=" + std::to_string(boundary));
+              }
+            });
+      }
       Status st = cluster_->RestartNodes(down);
+      cluster_->set_recovery_phase_hook(nullptr);
       if (!st.ok()) {
         Fail("RestartNodes: " + st.ToString());
         return;
       }
-      report_.restarts += down.size();
       std::string who;
-      for (NodeId id : down) who += (who.empty() ? "" : ",") +
-          std::to_string(id);
-      Event("restart nodes=" + who);
+      std::size_t recovered = 0;
+      for (NodeId id : down) {
+        who += (who.empty() ? "" : ",") + std::to_string(id);
+        if (cluster_->node(id)->state() == NodeState::kUp) ++recovered;
+      }
+      report_.restarts += recovered;
+      Event("restart round=" + std::to_string(round) + " nodes=" + who +
+            " recovered=" + std::to_string(recovered));
     }
     ResolvePending();
     if (failure_.empty()) CheckPsnConsistency("post-restart");
@@ -926,8 +977,12 @@ std::string TortureReport::Summary() const {
       << " hash=" << std::hex << schedule_hash << std::dec
       << " committed=" << txns_committed << " aborted=" << txns_aborted
       << " indeterminate=" << txns_indeterminate << " crashes=" << crashes
-      << " restarts=" << restarts << " partitions=" << partitions
-      << " reads=" << reads_checked << " faults{drop=" << faults.dropped_msgs
+      << " restarts=" << restarts << " recovery_crashes=" << recovery_crashes
+      << " partitions=" << partitions
+      << " reads=" << reads_checked
+      << " rpc{retries=" << rpc_retries << " ok=" << rpc_retry_success
+      << " exhausted=" << rpc_retry_exhausted << " probes=" << hb_probes
+      << "} faults{drop=" << faults.dropped_msgs
       << " delay=" << faults.delayed_msgs << " dup=" << faults.duplicated_msgs
       << " blocked=" << faults.blocked_msgs << " torn_tail=" << faults.torn_tails
       << " torn_page=" << faults.torn_page_writes

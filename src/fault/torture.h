@@ -33,6 +33,11 @@ struct TortureOptions {
   int steps = 40;
   /// Retain the full event trace in the report (CLI --verbose replay).
   bool keep_events = true;
+  /// Force a crash-during-recovery event in every repair pass: one
+  /// restarting node dies at a seeded phase boundary and must be recovered
+  /// from scratch in a later round (docs/availability.md). When false the
+  /// schedule still injects these with a small seeded probability.
+  bool crash_during_recovery = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
 };
@@ -51,9 +56,18 @@ struct TortureReport {
   std::uint64_t txns_indeterminate = 0;  ///< Commit interrupted by a fault.
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t recovery_crashes = 0;    ///< Crashes at a recovery phase boundary.
   std::uint64_t partitions = 0;
   std::uint64_t reads_checked = 0;       ///< Reads compared to the model.
   FaultInjector::Counters faults;
+
+  // Availability-envelope counters (mirrored from the network's metrics):
+  // admission retries issued, retries that eventually got through, budgets
+  // that ran dry, and heartbeat probes sent.
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_retry_success = 0;
+  std::uint64_t rpc_retry_exhausted = 0;
+  std::uint64_t hb_probes = 0;
 
   /// One-line "seed=… verdict=… hash=…" summary for reports and logs.
   std::string Summary() const;

@@ -1,0 +1,50 @@
+#include "net/failure_detector.h"
+
+#include <algorithm>
+
+namespace clog {
+
+std::uint64_t BackoffNanos(const RetryPolicy& policy, int attempt,
+                           Random* rng) {
+  if (attempt < 1) attempt = 1;
+  // Cap the shift well below 64 bits; the cap clamp below dominates anyway.
+  int shift = std::min(attempt - 1, 40);
+  std::uint64_t base = policy.backoff_base_ns;
+  std::uint64_t raw = base << shift;
+  if (shift > 0 && (raw >> shift) != base) raw = policy.backoff_cap_ns;
+  std::uint64_t ns = std::min(raw, policy.backoff_cap_ns);
+  if (rng != nullptr && policy.jitter > 0.0 && ns > 0) {
+    // Stretch by a uniform factor in [1, 1 + jitter]. Integer arithmetic
+    // keeps the schedule exactly reproducible across platforms.
+    std::uint64_t span =
+        static_cast<std::uint64_t>(static_cast<double>(ns) * policy.jitter);
+    if (span > 0) ns += rng->Uniform(span + 1);
+  }
+  return ns;
+}
+
+void FailureDetector::Record(NodeId observer, NodeId peer, PeerHealth health,
+                             std::uint64_t now) {
+  views_[{observer, peer}] = View{health, now};
+}
+
+std::optional<PeerHealth> FailureDetector::Fresh(
+    NodeId observer, NodeId peer, std::uint64_t now,
+    std::uint64_t max_age_ns) const {
+  auto it = views_.find({observer, peer});
+  if (it == views_.end()) return std::nullopt;
+  if (now - it->second.checked_at > max_age_ns) return std::nullopt;
+  return it->second.health;
+}
+
+void FailureDetector::Invalidate(NodeId peer) {
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (it->first.second == peer) {
+      it = views_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace clog

@@ -1,0 +1,96 @@
+#ifndef CLOG_NET_FAILURE_DETECTOR_H_
+#define CLOG_NET_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "net/message.h"
+
+/// \file
+/// Availability-layer policy knobs and the passive failure-detector view
+/// table (docs/availability.md). The detector never sends anything itself:
+/// Network::ProbePeer feeds it ping results and event-driven facts
+/// (NodeRecovered broadcasts, registration changes), and it answers "what
+/// did `observer` last learn about `peer`, and is that knowledge fresh?".
+
+namespace clog {
+
+/// Tuning for the idempotent RPC envelope and the heartbeat detector.
+/// All durations are simulated nanoseconds. Defaults are sized against
+/// CostModel's ~20us per message so a full retry budget costs roughly one
+/// disk write, not a whole workload.
+struct RetryPolicy {
+  /// Master switch. Disabled (the default) preserves the fail-fast
+  /// semantics every pre-availability test was written against; Cluster
+  /// turns it on.
+  bool enabled = false;
+
+  /// Total send attempts per message, including the first.
+  int max_attempts = 4;
+
+  /// Backoff before retry k (k >= 1) is
+  ///   min(backoff_base_ns << (k-1), backoff_cap_ns)
+  /// plus up to `jitter` of itself, drawn from a seeded PRNG.
+  std::uint64_t backoff_base_ns = 200'000;
+  std::uint64_t backoff_cap_ns = 5'000'000;
+
+  /// Per-message deadline: once this much simulated time has elapsed since
+  /// the first attempt, no further retries are made.
+  std::uint64_t deadline_ns = 20'000'000;
+
+  /// Jitter fraction in [0, 1]: each backoff is stretched by a uniform
+  /// factor in [1, 1 + jitter].
+  double jitter = 0.5;
+
+  /// Seed for the jitter PRNG. Same seed => identical backoff schedule.
+  std::uint64_t jitter_seed = 0xC10CBEEFull;
+
+  /// A probe result younger than this is served from the view table
+  /// instead of sending a fresh ping.
+  std::uint64_t heartbeat_interval_ns = 1'000'000;
+
+  /// How long a client keeps an owner parked without hearing NodeRecovered
+  /// before it probes again (guards against a lost broadcast).
+  std::uint64_t park_ttl_ns = 50'000'000;
+};
+
+/// Backoff duration before retry `attempt` (1-based), jittered from `rng`.
+/// Exposed as a free function so the schedule is unit-testable.
+std::uint64_t BackoffNanos(const RetryPolicy& policy, int attempt,
+                           Random* rng);
+
+/// Per-(observer, peer) cache of the last probe verdict. Purely passive
+/// bookkeeping; freshness is judged against the simulated clock.
+class FailureDetector {
+ public:
+  /// Records that `observer` learned `peer` is `health` at time `now`.
+  void Record(NodeId observer, NodeId peer, PeerHealth health,
+              std::uint64_t now);
+
+  /// Returns the cached verdict if `observer` probed `peer` within
+  /// `max_age_ns` of `now`; otherwise nullopt (caller must ping).
+  std::optional<PeerHealth> Fresh(NodeId observer, NodeId peer,
+                                  std::uint64_t now,
+                                  std::uint64_t max_age_ns) const;
+
+  /// Drops every observer's cached view of `peer`. Called when `peer`
+  /// crashes, restarts, or re-registers: old verdicts are meaningless.
+  void Invalidate(NodeId peer);
+
+  void Clear() { views_.clear(); }
+
+ private:
+  struct View {
+    PeerHealth health = PeerHealth::kDown;
+    std::uint64_t checked_at = 0;
+  };
+  std::map<std::pair<NodeId, NodeId>, View> views_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_NET_FAILURE_DETECTOR_H_

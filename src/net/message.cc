@@ -42,6 +42,22 @@ std::string_view MsgTypeName(MsgType t) {
       return "dpt_ship";
     case MsgType::kNodeRecovered:
       return "node_recovered";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPingReply:
+      return "ping_reply";
+  }
+  return "unknown";
+}
+
+std::string_view PeerHealthName(PeerHealth h) {
+  switch (h) {
+    case PeerHealth::kDown:
+      return "down";
+    case PeerHealth::kRecovering:
+      return "recovering";
+    case PeerHealth::kUp:
+      return "up";
   }
   return "unknown";
 }

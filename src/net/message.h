@@ -47,10 +47,26 @@ enum class MsgType : std::uint8_t {
   kRecoverPageReply,    ///< Peer -> coordinator: page after redo.
   kDptShip,             ///< Multi-crash: DPT entries for pages you own.
   kNodeRecovered,       ///< Broadcast: node back online.
+
+  // Availability layer (failure detection).
+  kPing,                ///< Prober -> peer: are you up, recovering, or gone?
+  kPingReply,           ///< Peer -> prober: liveness verdict.
 };
 
 /// Canonical name used as the metrics key suffix ("msg.lock_page_request").
 std::string_view MsgTypeName(MsgType t);
+
+/// What a heartbeat probe learns about a peer. A *recovering* peer answers
+/// pings (its process is alive and serving recovery RPCs) but refuses
+/// ordinary page traffic; a *down* peer answers nothing.
+enum class PeerHealth : std::uint8_t {
+  kDown = 0,
+  kRecovering = 1,
+  kUp = 2,
+};
+
+/// Canonical lower-case name ("down", "recovering", "up").
+std::string_view PeerHealthName(PeerHealth h);
 
 /// Reply to kLockPageRequest.
 struct LockPageReply {

@@ -31,11 +31,14 @@ void Network::RegisterNode(NodeId id, NodeService* svc) {
   // starts over. Cluster-lifetime traffic counters (msg.*, bytes.*) are
   // deliberately left alone — they describe the wire, not the process.
   busy_ns_.erase(id);
+  detector_.Invalidate(id);
 }
 
 void Network::SetNodeUp(NodeId id, bool up) {
   auto it = peers_.find(id);
   if (it != peers_.end()) it->second.up = up;
+  // Any liveness transition makes every cached view of this node stale.
+  detector_.Invalidate(id);
 }
 
 bool Network::IsUp(NodeId id) const {
@@ -102,6 +105,76 @@ Result<NodeService*> Network::Route(NodeId from, NodeId to) {
   return endpoint;
 }
 
+PeerHealth Network::ProbePeer(NodeId from, NodeId to) {
+  std::uint64_t now = clock_ != nullptr ? clock_->NowNanos() : 0;
+  auto it = peers_.find(to);
+  if (it == peers_.end() || !it->second.up) {
+    // Connection refused: authoritative and free, so no caching needed.
+    return PeerHealth::kDown;
+  }
+  if (auto cached = detector_.Fresh(from, to, now,
+                                    retry_policy_.heartbeat_interval_ns)) {
+    metrics_.GetCounter("hb.probe_cached").Add(1);
+    return *cached;
+  }
+  metrics_.GetCounter("hb.probes").Add(1);
+  if (fault_ != nullptr && from != to && fault_->LinkBlocked(from, to)) {
+    // The probe is lost in the partition. Like a dropped request, a lost
+    // probe costs the sender nothing the simulation models.
+    detector_.Record(from, to, PeerHealth::kDown, now);
+    return PeerHealth::kDown;
+  }
+  Charge(MsgType::kPing, 0, from, to);
+  PeerHealth health = it->second.svc->HandlePing();
+  Charge(MsgType::kPingReply, 1, from, to);
+  // The view is as fresh as the reply, not the request: the charges above
+  // advanced the clock by the round trip, and stamping the earlier time
+  // would age the entry by a full round trip before anyone reads it.
+  detector_.Record(from, to, health,
+                   clock_ != nullptr ? clock_->NowNanos() : 0);
+  return health;
+}
+
+Result<NodeService*> Network::AdmitWithRetry(NodeId from, NodeId to) {
+  Result<NodeService*> first = Route(from, to);
+  if (first.ok() || !retry_policy_.enabled || !first.status().IsNodeDown()) {
+    return first;
+  }
+  // A disconnected sender cannot reach anyone; retrying is pointless.
+  if (!CheckSenderUp(from).ok()) return first;
+  std::uint64_t start = clock_ != nullptr ? clock_->NowNanos() : 0;
+  Status original = first.status();
+  for (int attempt = 1; attempt < retry_policy_.max_attempts; ++attempt) {
+    if (ProbePeer(from, to) != PeerHealth::kUp) {
+      // Down, recovering, or partitioned: not a transient loss, and the
+      // caller has crash-handling for exactly this error. Fail fast.
+      return original;
+    }
+    // The target is alive and reachable, so the admission failure was a
+    // random drop. Wait out the backoff on the sender and resend.
+    std::uint64_t backoff = BackoffNanos(retry_policy_, attempt,
+                                         &backoff_rng_);
+    if (clock_ != nullptr) clock_->Advance(backoff);
+    AddBusy(from, backoff);
+    metrics_.GetCounter("rpc.retries").Add(1);
+    metrics_.GetCounter("rpc.backoff_ns").Add(backoff);
+    Result<NodeService*> again = Route(from, to);
+    if (again.ok()) {
+      metrics_.GetCounter("rpc.retry_success").Add(1);
+      return again;
+    }
+    if (!again.status().IsNodeDown()) return again;
+    if (clock_ != nullptr &&
+        clock_->NowNanos() - start >= retry_policy_.deadline_ns) {
+      break;
+    }
+  }
+  // Budget or deadline exhausted: surface the *original* admission error,
+  // not whatever the last probe/resend happened to see.
+  metrics_.GetCounter("rpc.retry_exhausted").Add(1);
+  return original;
+}
+
 std::uint64_t Network::MaxBusyNanos() const {
   std::uint64_t max = 0;
   for (const auto& [_, ns] : busy_ns_) max = std::max(max, ns);
@@ -124,7 +197,7 @@ void Network::Charge(MsgType type, std::uint64_t bytes, NodeId from,
 
 Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
                          bool want_page, LockPageReply* reply) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLockPageRequest, 0, from, to);
   Status st = svc->HandleLockPage(from, pid, mode, want_page, reply);
   Charge(MsgType::kLockPageReply, reply->page ? kPageSize : 0, from, to);
@@ -133,7 +206,7 @@ Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
 
 Status Network::Callback(NodeId from, NodeId to, PageId pid,
                          LockMode downgrade_to, CallbackReply* reply) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kCallback, 0, from, to);
   Status st = svc->HandleCallback(from, pid, downgrade_to, reply);
   Charge(MsgType::kCallbackReply, reply->page ? kPageSize : 0, from, to);
@@ -141,26 +214,26 @@ Status Network::Callback(NodeId from, NodeId to, PageId pid,
 }
 
 Status Network::UnlockNotice(NodeId from, NodeId to, PageId pid) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kUnlockNotice, 0, from, to);
   return svc->HandleUnlockNotice(from, pid);
 }
 
 Status Network::PageShip(NodeId from, NodeId to, const Page& page) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kPageShip, kPageSize, from, to);
   return svc->HandlePageShip(from, page);
 }
 
 Status Network::FlushRequest(NodeId from, NodeId to, PageId pid) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushRequest, 0, from, to);
   return svc->HandleFlushRequest(from, pid);
 }
 
 Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
                             Psn flushed_psn) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushNotify, 0, from, to);
   svc->HandleFlushNotify(from, pid, flushed_psn);
   // FlushNotify is a one-way idempotent notice: re-delivery just re-asserts
@@ -174,14 +247,14 @@ Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
 
 Status Network::LogShip(NodeId from, NodeId to,
                         const std::vector<LogRecord>& records, bool force) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLogShip, EncodedSize(records), from, to);
   return svc->HandleLogShip(from, records, force);
 }
 
 Status Network::RecoveryQuery(NodeId from, NodeId to,
                               RecoveryQueryReply* reply) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoveryQuery, 0, from, to);
   Status st = svc->HandleRecoveryQuery(from, reply);
   std::uint64_t bytes = reply->cached_pages_of_crashed.size() * 8 +
@@ -194,7 +267,7 @@ Status Network::RecoveryQuery(NodeId from, NodeId to,
 
 Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
                                 std::shared_ptr<Page>* page) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFetchCachedPage, 0, from, to);
   Status st = svc->HandleFetchCachedPage(from, pid, page);
   Charge(MsgType::kFetchCachedPageReply, *page ? kPageSize : 0, from, to);
@@ -204,7 +277,7 @@ Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
 Status Network::BuildPsnList(NodeId from, NodeId to,
                              const std::vector<PageId>& pages,
                              bool full_history, PsnListReply* reply) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kBuildPsnList, pages.size() * 8 + 1, from, to);
   Status st = svc->HandleBuildPsnList(from, pages, full_history, reply);
   std::uint64_t entries = 0;
@@ -216,7 +289,7 @@ Status Network::BuildPsnList(NodeId from, NodeId to,
 Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
                             const Page& page_in, bool has_bound, Psn bound,
                             RecoverPageReply* reply) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoverPage, kPageSize, from, to);
   Status st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
                                      reply);
@@ -227,15 +300,19 @@ Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
 Status Network::DptShip(NodeId from, NodeId to,
                         const std::vector<DptEntry>& entries,
                         const std::vector<PageId>& cached_pages) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kDptShip, entries.size() * 32 + cached_pages.size() * 8, from, to);
   return svc->HandleDptShip(from, entries, cached_pages);
 }
 
 Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
-  CLOG_ASSIGN_OR_RETURN(NodeService * svc, Route(from, to));
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kNodeRecovered, 4, from, to);
   svc->HandleNodeRecovered(who);
+  // The broadcast doubles as an event-driven heartbeat: the receiver now
+  // knows `who` is up without ever probing it.
+  detector_.Record(to, who, PeerHealth::kUp,
+                   clock_ != nullptr ? clock_->NowNanos() : 0);
   // NodeRecovered is likewise idempotent: it clears crash-recovery state
   // for `who`, and clearing twice is a no-op.
   if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {

@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "net/failure_detector.h"
 #include "net/message.h"
 
 /// \file
@@ -23,6 +25,16 @@
 /// dropped before dispatch, delayed, or refused by a link partition (all
 /// surfacing as NodeDown, the condition every caller already tolerates),
 /// and idempotent one-way notices can be duplicated.
+///
+/// When a RetryPolicy is enabled, every RPC runs inside an idempotent
+/// envelope (docs/availability.md): an admission failure — drop, partition,
+/// endpoint down — happens strictly *before* dispatch, so the handler never
+/// ran and resending is always safe regardless of handler idempotency. The
+/// envelope probes the target (heartbeat), and only while the target looks
+/// *up* (i.e. the loss was a transient drop) does it back off — capped
+/// exponential with seeded jitter, charged to the simulated clock — and
+/// resend, up to a retry budget and per-message deadline. Down, recovering,
+/// and partitioned targets fail fast, preserving crash semantics.
 
 namespace clog {
 
@@ -101,6 +113,14 @@ class NodeService {
 
   /// Any-side: `who` finished restart recovery and is operational again.
   virtual void HandleNodeRecovered(NodeId who) = 0;
+
+  // --- Availability layer ---
+
+  /// Heartbeat probe: how alive is this process? Only reachable while the
+  /// endpoint is registered as up, so the default covers every service that
+  /// has no recovering state; node::Node reports kRecovering while its
+  /// restart recovery is in flight.
+  virtual PeerHealth HandlePing() { return PeerHealth::kUp; }
 };
 
 /// Routes calls between nodes and accounts for them.
@@ -112,6 +132,21 @@ class Network {
   /// the network while attached.
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
   FaultInjector* fault_injector() { return fault_; }
+
+  /// Installs the availability policy. Reseeds the jitter PRNG so the
+  /// retry schedule is a pure function of the policy seed.
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    backoff_rng_ = Random(policy.jitter_seed);
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Heartbeat probe from `from`'s point of view: answers from the view
+  /// table when fresh (within heartbeat_interval_ns), otherwise charges a
+  /// ping round-trip. Down endpoints and partitioned links answer kDown for
+  /// free — the probe is lost, and a lost probe costs the sender nothing
+  /// the simulation models (same rule as dropped requests).
+  PeerHealth ProbePeer(NodeId from, NodeId to);
 
   /// Registers (or re-registers) a node's service endpoint; nodes start up.
   void RegisterNode(NodeId id, NodeService* svc);
@@ -179,8 +214,14 @@ class Network {
 
   /// Full per-request admission path: sender up, endpoint live, link not
   /// partitioned, request not dropped by the fault injector (both surface
-  /// as NodeDown), injected delay charged. Every RPC wrapper routes here.
+  /// as NodeDown), injected delay charged.
   Result<NodeService*> Route(NodeId from, NodeId to);
+
+  /// The idempotent RPC envelope: Route, and on a transient admission
+  /// failure (target probes as *up*, so the loss was a random drop) back
+  /// off and resend within the retry budget and deadline. Every RPC
+  /// wrapper routes here; with the policy disabled it is exactly Route.
+  Result<NodeService*> AdmitWithRetry(NodeId from, NodeId to);
 
   /// Accounts one wire message of `bytes` payload between two endpoints.
   void Charge(MsgType type, std::uint64_t bytes, NodeId from, NodeId to);
@@ -196,6 +237,9 @@ class Network {
   std::map<NodeId, Peer> peers_;
   std::map<NodeId, std::uint64_t> busy_ns_;
   Metrics metrics_;
+  RetryPolicy retry_policy_;
+  Random backoff_rng_{0xC10CBEEFull};
+  FailureDetector detector_;
 };
 
 }  // namespace clog

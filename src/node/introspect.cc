@@ -138,6 +138,15 @@ std::string Node::DebugString() const {
   for (const LockListEntry& l : lock_cache_.NodeLocks()) {
     out << " " << l.pid.ToString() << "=" << LockModeName(l.mode);
   }
+  out << "\n  availability: parked=" << metrics_.CounterValue("avail.parked")
+      << " resumed=" << metrics_.CounterValue("avail.resumed")
+      << " aborted_contention="
+      << metrics_.CounterValue("workload.aborted_contention")
+      << " aborted_availability="
+      << metrics_.CounterValue("workload.aborted_availability");
+  for (const auto& [owner, since_ns] : parked_owners_) {
+    out << " parked_owner=" << owner << "@" << since_ns;
+  }
   out << "\n  active txns: " << txns_.ActiveCount() << "\n";
   return out.str();
 }

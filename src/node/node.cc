@@ -62,6 +62,7 @@ void Node::Crash() {
   disk_.Close().ok();
   state_ = NodeState::kDown;
   recovery_redo_done_ = false;
+  parked_owners_.clear();
   network_->SetNodeUp(id_, false);
   metrics_.GetCounter("node.crashes").Add(1);
 }
@@ -155,6 +156,34 @@ Result<Psn> Node::DiskPsn(PageId pid) {
 // Page access: locks, fetches, callbacks (Section 2.2 requester side)
 // ---------------------------------------------------------------------------
 
+Status Node::CheckOwnerAvailable(NodeId owner) {
+  auto it = parked_owners_.find(owner);
+  if (it == parked_owners_.end()) return Status::OK();
+  std::uint64_t now = network_->clock()->NowNanos();
+  if (now - it->second >= network_->retry_policy().park_ttl_ns) {
+    // TTL expired without a NodeRecovered broadcast (it may have been
+    // lost): stop assuming and let the request probe reality again.
+    parked_owners_.erase(it);
+    return Status::OK();
+  }
+  return Status::Unavailable("owner " + std::to_string(owner) +
+                             " recovering; request parked");
+}
+
+Status Node::NoteOwnerFailure(NodeId owner, Status st) {
+  if (!st.IsNodeDown() || !network_->retry_policy().enabled) return st;
+  if (network_->ProbePeer(id_, owner) == PeerHealth::kRecovering) {
+    // The owner's process is alive and working through restart recovery:
+    // this is a wait, not a failure. Park every request for it until its
+    // NodeRecovered broadcast instead of bouncing transactions.
+    parked_owners_.emplace(owner, network_->clock()->NowNanos());
+    metrics_.GetCounter("avail.parked").Add(1);
+    return Status::Unavailable("owner " + std::to_string(owner) +
+                               " recovering; request parked");
+  }
+  return st;
+}
+
 Result<Page*> Node::FetchPage(PageId pid) {
   if (Page* hit = pool_.Lookup(pid)) return hit;
   if (pid.owner == id_) {
@@ -177,9 +206,11 @@ Result<Page*> Node::FetchPage(PageId pid) {
     return Status::FailedPrecondition("fetch without a cached lock on " +
                                       pid.ToString());
   }
+  CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(pid.owner));
   LockPageReply reply;
-  CLOG_RETURN_IF_ERROR(network_->LockPage(id_, pid.owner, pid, mode,
-                                          /*want_page=*/true, &reply));
+  Status fetch_st = network_->LockPage(id_, pid.owner, pid, mode,
+                                       /*want_page=*/true, &reply);
+  if (!fetch_st.ok()) return NoteOwnerFailure(pid.owner, fetch_st);
   if (!reply.granted || !reply.page) {
     return Status::Busy("owner could not supply page " + pid.ToString());
   }
@@ -194,10 +225,12 @@ Status Node::EnsureNodeLock(Transaction* txn, PageId pid, LockMode mode) {
   if (pid.owner == id_) {
     st = HandleLockPage(id_, pid, mode, /*want_page=*/false, &reply);
   } else {
+    CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(pid.owner));
     st = network_->LockPage(id_, pid.owner, pid, mode,
                             /*want_page=*/!pool_.Contains(pid), &reply);
+    if (st.IsNodeDown()) st = NoteOwnerFailure(pid.owner, st);
   }
-  if (!st.ok()) return st;  // e.g. owner down
+  if (!st.ok()) return st;  // e.g. owner down or parked
   if (!reply.granted) {
     txn->last_blockers = reply.blocking_txns;
     return Status::Busy("node lock on " + pid.ToString() + " held elsewhere");

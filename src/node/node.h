@@ -175,6 +175,7 @@ class Node : public NodeService {
   Status HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
                        const std::vector<PageId>& cached_pages) override;
   void HandleNodeRecovered(NodeId who) override;
+  PeerHealth HandlePing() override;
 
   // ---------------------------------------------------------------------
   // Introspection (tests, benchmarks, recovery)
@@ -229,6 +230,16 @@ class Node : public NodeService {
   /// callback protocol there) without granting any transaction-level lock.
   /// Busy fills txn->last_blockers.
   Status EnsureNodeLock(Transaction* txn, PageId pid, LockMode mode);
+
+  /// Availability layer: Unavailable while `owner` is parked (recovering
+  /// and not yet heard NodeRecovered from), OK otherwise. Parks expire
+  /// after the policy's park TTL in case the broadcast was lost.
+  Status CheckOwnerAvailable(NodeId owner);
+
+  /// Availability layer: on a NodeDown from `owner`, probe it; a
+  /// *recovering* owner parks the request (Unavailable — retry after
+  /// NodeRecovered) instead of bouncing NodeDown to the transaction.
+  Status NoteOwnerFailure(NodeId owner, Status st);
 
   /// EnsureNodeLock + page fetch (used by Insert, which must examine the
   /// page to pick a slot before it can take a record lock).
@@ -329,6 +340,12 @@ class Node : public NodeService {
   std::map<PageId, std::vector<std::pair<NodeId, DptEntry>>>
       foreign_dpt_entries_;
   std::map<PageId, std::set<NodeId>> foreign_cached_;
+
+  /// Availability layer: owners known to be mid-recovery, with the
+  /// simulated time each was parked. Requests to a parked owner return
+  /// Unavailable until its NodeRecovered broadcast (or the park TTL)
+  /// clears the entry. Volatile: cleared on crash.
+  std::map<NodeId, std::uint64_t> parked_owners_;
 
   /// B1 only: client log records land here at the owner.
   std::uint64_t b1_received_records_ = 0;

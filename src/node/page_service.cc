@@ -349,6 +349,18 @@ Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
   // acknowledged must be replayed again — so the whole log is scanned.
   std::map<PageId, std::size_t> index;
   for (std::size_t i = 0; i < pages.size(); ++i) index[pages[i]] = i;
+
+  // Re-entrancy (Section 2.4 + crash-during-recovery): a previous recovery
+  // conversation for these pages may have died mid-flight — the requester
+  // crashed between BuildPsnList and its final RecoverPage round — leaving
+  // a stale resume cursor behind. A fresh BuildPsnList starts a fresh
+  // conversation, so any leftover per-page scan state must go: the
+  // try_emplace below would otherwise keep the stale cursor and make the
+  // next redo pass resume at the wrong log position.
+  for (const PageId& pid : pages) {
+    recovery_cursor_.erase(pid);
+    recovery_applied_.erase(pid);
+  }
   Lsn start = kNullLsn;
   if (full_history) {
     start = LogManager::first_lsn();
@@ -491,6 +503,24 @@ Status Node::HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
 
 void Node::HandleNodeRecovered(NodeId who) {
   metrics_.GetCounter("recovery.peer_recovered_notices").Add(1);
+  // Resume parked traffic: requests for `who` stopped at the door with
+  // Unavailable while it was recovering; the next attempt goes through.
+  if (parked_owners_.erase(who) > 0) {
+    metrics_.GetCounter("avail.resumed").Add(1);
+  }
+}
+
+PeerHealth Node::HandlePing() {
+  switch (state_) {
+    case NodeState::kUp:
+      return PeerHealth::kUp;
+    case NodeState::kRecovering:
+      return PeerHealth::kRecovering;
+    case NodeState::kDown:
+      break;
+  }
+  // Unreachable in practice: the network refuses dispatch to down nodes.
+  return PeerHealth::kDown;
 }
 
 }  // namespace clog

@@ -351,11 +351,24 @@ Status RestartRecovery::RecoverRemotePages() {
 }
 
 Status RestartRecovery::ExchangeAndRecover() {
+  CLOG_RETURN_IF_ERROR(ExchangePeerState());
+  return RedoPages();
+}
+
+Status RestartRecovery::ExchangePeerState() {
   if (node_->state_ != NodeState::kRecovering) {
     return Status::FailedPrecondition("analysis has not run");
   }
   CLOG_RETURN_IF_ERROR(QueryPeers());
   CLOG_RETURN_IF_ERROR(ReconstructLocks());
+  exchange_done_ = true;
+  return Status::OK();
+}
+
+Status RestartRecovery::RedoPages() {
+  if (node_->state_ != NodeState::kRecovering || !exchange_done_) {
+    return Status::FailedPrecondition("peer exchange has not run");
+  }
   CLOG_RETURN_IF_ERROR(RecoverOwnPages());
   CLOG_RETURN_IF_ERROR(RecoverRemotePages());
   node_->recovery_redo_done_ = true;

@@ -66,10 +66,26 @@ class RestartRecovery {
 
   /// Phase B: query peers, reconstruct locks, determine pages, coordinate
   /// redo. Requires every other crashed node to have finished phase A.
+  /// Equivalent to ExchangePeerState + RedoPages.
   Status ExchangeAndRecover();
+
+  /// Phase B1: query peers and reconstruct lock state (2.3.1/2.3.3).
+  Status ExchangePeerState();
+
+  /// Phase B2: determine and redo the pages needing recovery (2.3.4).
+  /// Requires ExchangePeerState.
+  Status RedoPages();
 
   /// Phase C: undo losers, checkpoint, go operational, notify peers.
   Status UndoLosersAndFinish();
+
+  /// Every phase boundary is a safe crash point: a node that dies anywhere
+  /// in this sequence is simply restarted from OpenAndAnalyze. Analysis is
+  /// read-only; peers' recovery handlers are idempotent per conversation
+  /// (HandleRecoveryQuery re-releases released locks, HandleBuildPsnList
+  /// resets any stale per-page scan state); redo work re-derives from logs
+  /// and disk; undo re-entry is covered by CLR undo_next chains. See
+  /// docs/availability.md.
 
   const Stats& stats() const { return stats_; }
 
@@ -108,6 +124,7 @@ class RestartRecovery {
   Node* node_;
   AnalysisResult analysis_;
   std::map<NodeId, RecoveryQueryReply> peer_replies_;
+  bool exchange_done_ = false;
   Stats stats_;
 };
 

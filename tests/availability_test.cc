@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "core/workload.h"
+#include "fault/fault_injector.h"
+#include "net/failure_detector.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// The availability layer (docs/availability.md): the retry envelope's
+/// backoff schedule, the heartbeat failure detector's three peer states,
+/// request parking against recovering owners, crash-during-recovery
+/// restartability, and the end-to-end liveness guarantee — a seeded
+/// crash/restart of the owner mid-workload ends with zero NodeDown-caused
+/// permanent aborts.
+
+// --- Backoff schedule --------------------------------------------------
+
+TEST(BackoffTest, DeterministicFromSeed) {
+  RetryPolicy policy;
+  Random a(42), b(42);
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    EXPECT_EQ(BackoffNanos(policy, attempt, &a),
+              BackoffNanos(policy, attempt, &b))
+        << "attempt " << attempt;
+  }
+  // A different jitter seed diverges somewhere in the schedule.
+  Random c(43);
+  bool diverged = false;
+  Random a2(42);
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    if (BackoffNanos(policy, attempt, &a2) !=
+        BackoffNanos(policy, attempt, &c)) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ExponentialUntilCapWithoutJitter) {
+  RetryPolicy policy;
+  policy.backoff_base_ns = 100;
+  policy.backoff_cap_ns = 1'000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(BackoffNanos(policy, 1, nullptr), 100u);
+  EXPECT_EQ(BackoffNanos(policy, 2, nullptr), 200u);
+  EXPECT_EQ(BackoffNanos(policy, 3, nullptr), 400u);
+  EXPECT_EQ(BackoffNanos(policy, 4, nullptr), 800u);
+  EXPECT_EQ(BackoffNanos(policy, 5, nullptr), 1'000u);  // Capped.
+  EXPECT_EQ(BackoffNanos(policy, 12, nullptr), 1'000u);
+  // Shift overflow collapses to the cap instead of wrapping.
+  EXPECT_EQ(BackoffNanos(policy, 200, nullptr), 1'000u);
+}
+
+TEST(BackoffTest, JitterBoundedByCapTimesJitterFraction) {
+  RetryPolicy policy;
+  Random rng(7);
+  std::uint64_t bound = policy.backoff_cap_ns +
+      static_cast<std::uint64_t>(static_cast<double>(policy.backoff_cap_ns) *
+                                 policy.jitter);
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    std::uint64_t ns = BackoffNanos(policy, attempt, &rng);
+    EXPECT_GE(ns, policy.backoff_base_ns);
+    EXPECT_LE(ns, bound) << "attempt " << attempt;
+  }
+}
+
+// --- Shared fixture helpers --------------------------------------------
+
+struct TestCluster {
+  explicit TestCluster(const std::string& dir, FaultInjector* injector,
+                       bool retries_on = true) {
+    ClusterOptions opts;
+    opts.dir = dir;
+    opts.fault_injector = injector;
+    opts.retry_policy.enabled = retries_on;
+    cluster = std::make_unique<Cluster>(opts);
+    owner = *cluster->AddNode();
+    client = *cluster->AddNode();
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  Node* owner = nullptr;
+  Node* client = nullptr;
+};
+
+Result<RecordId> SeedRecord(TestCluster* tc, PageId* out_pid) {
+  CLOG_ASSIGN_OR_RETURN(PageId pid, tc->owner->AllocatePage());
+  CLOG_ASSIGN_OR_RETURN(TxnId txn, tc->owner->Begin());
+  CLOG_ASSIGN_OR_RETURN(RecordId rid, tc->owner->Insert(txn, pid, "seed"));
+  CLOG_RETURN_IF_ERROR(tc->owner->Commit(txn));
+  if (out_pid != nullptr) *out_pid = pid;
+  return rid;
+}
+
+Status ReadOnce(Node* n, RecordId rid) {
+  CLOG_ASSIGN_OR_RETURN(TxnId txn, n->Begin());
+  Result<std::string> got = n->Read(txn, rid);
+  if (!got.ok()) {
+    (void)n->Abort(txn);
+    return got.status();
+  }
+  return n->Commit(txn);
+}
+
+Status UpdateOnce(Node* n, RecordId rid, const std::string& val) {
+  CLOG_ASSIGN_OR_RETURN(TxnId txn, n->Begin());
+  Status st = n->Update(txn, rid, val);
+  if (!st.ok()) {
+    (void)n->Abort(txn);
+    return st;
+  }
+  return n->Commit(txn);
+}
+
+// --- Retry envelope ----------------------------------------------------
+
+TEST(RetryEnvelopeTest, ExhaustionSurfacesTheOriginalError) {
+  TempDir dir;
+  FaultInjector injector(11);
+  FaultConfig cfg;
+  cfg.net_drop_p = 1.0;  // Every remote admission fails.
+  injector.set_config(cfg);
+  injector.set_enabled(false);
+  TestCluster tc(dir.path(), &injector);
+  ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+
+  injector.set_enabled(true);
+  Status st = ReadOnce(tc.client, rid);
+  injector.set_enabled(false);
+
+  // The budget ran dry and the caller sees the original admission error,
+  // not a retry-layer artifact.
+  ASSERT_TRUE(st.IsNodeDown()) << st.ToString();
+  EXPECT_NE(st.ToString().find("dropped"), std::string::npos)
+      << st.ToString();
+  const Metrics& m = tc.cluster->network().metrics();
+  EXPECT_GE(m.CounterValue("rpc.retry_exhausted"), 1u);
+  EXPECT_GE(m.CounterValue("rpc.retries"),
+            static_cast<std::uint64_t>(
+                tc.cluster->network().retry_policy().max_attempts - 1));
+  EXPECT_GT(m.CounterValue("rpc.backoff_ns"), 0u);
+}
+
+TEST(RetryEnvelopeTest, TransientDropsAreAbsorbed) {
+  TempDir dir;
+  FaultInjector injector(23);
+  FaultConfig cfg;
+  cfg.net_drop_p = 0.3;
+  injector.set_config(cfg);
+  injector.set_enabled(false);
+  TestCluster tc(dir.path(), &injector);
+  ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+
+  // Alternating writers keep the page bouncing between nodes, so every
+  // iteration crosses the lossy wire (locks, callbacks, page ships).
+  injector.set_enabled(true);
+  int successes = 0;
+  for (int i = 0; i < 40; ++i) {
+    Node* writer = (i % 2 == 0) ? tc.client : tc.owner;
+    if (UpdateOnce(writer, rid, "v" + std::to_string(i)).ok()) ++successes;
+  }
+  injector.set_enabled(false);
+
+  // With a 0.3 drop rate and a 4-attempt budget almost every operation
+  // rides through; the envelope must have absorbed real drops.
+  EXPECT_GE(successes, 35);
+  const Metrics& m = tc.cluster->network().metrics();
+  EXPECT_GE(m.CounterValue("rpc.retry_success"), 1u);
+  EXPECT_GT(m.CounterValue("rpc.retries"), 0u);
+}
+
+TEST(RetryEnvelopeTest, DisabledPolicyFailsFast) {
+  TempDir dir;
+  FaultInjector injector(31);
+  FaultConfig cfg;
+  cfg.net_drop_p = 1.0;
+  injector.set_config(cfg);
+  injector.set_enabled(false);
+  TestCluster tc(dir.path(), &injector, /*retries_on=*/false);
+  ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+
+  injector.set_enabled(true);
+  Status st = ReadOnce(tc.client, rid);
+  injector.set_enabled(false);
+
+  ASSERT_TRUE(st.IsNodeDown()) << st.ToString();
+  EXPECT_EQ(tc.cluster->network().metrics().CounterValue("rpc.retries"), 0u);
+}
+
+// --- Failure detector ---------------------------------------------------
+
+TEST(FailureDetectorTest, ProbeReportsUpDownAndRecovering) {
+  TempDir dir;
+  TestCluster tc(dir.path(), nullptr);
+  ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+  (void)rid;
+  Network& net = tc.cluster->network();
+  NodeId owner_id = tc.owner->id();
+  NodeId client_id = tc.client->id();
+
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kUp);
+
+  ASSERT_OK(tc.cluster->CrashNode(owner_id));
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kDown);
+
+  // Observe the recovering state from inside restart, at a phase boundary.
+  std::vector<PeerHealth> seen;
+  tc.cluster->set_recovery_phase_hook(
+      [&](NodeId id, RecoveryPhase phase) {
+        if (id == owner_id && phase == RecoveryPhase::kAnalyzed) {
+          seen.push_back(net.ProbePeer(client_id, owner_id));
+        }
+      });
+  ASSERT_OK(tc.cluster->RestartNode(owner_id));
+  tc.cluster->set_recovery_phase_hook(nullptr);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], PeerHealth::kRecovering);
+
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kUp);
+}
+
+TEST(FailureDetectorTest, FreshProbesAreCached) {
+  TempDir dir;
+  TestCluster tc(dir.path(), nullptr);
+  Network& net = tc.cluster->network();
+  NodeId owner_id = tc.owner->id();
+  NodeId client_id = tc.client->id();
+
+  std::uint64_t probes0 = net.metrics().CounterValue("hb.probes");
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kUp);
+  std::uint64_t probes1 = net.metrics().CounterValue("hb.probes");
+  EXPECT_EQ(probes1, probes0 + 1);
+
+  // Same simulated instant: the cached view answers, no wire traffic.
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kUp);
+  EXPECT_EQ(net.metrics().CounterValue("hb.probes"), probes1);
+  EXPECT_GE(net.metrics().CounterValue("hb.probe_cached"), 1u);
+
+  // Past the heartbeat interval the view is stale and re-probed.
+  tc.cluster->clock().Advance(net.retry_policy().heartbeat_interval_ns + 1);
+  EXPECT_EQ(net.ProbePeer(client_id, owner_id), PeerHealth::kUp);
+  EXPECT_EQ(net.metrics().CounterValue("hb.probes"), probes1 + 1);
+}
+
+// --- Parking against a recovering owner ---------------------------------
+
+TEST(ParkingTest, RecoveringOwnerParksThenResumes) {
+  TempDir dir;
+  TestCluster tc(dir.path(), nullptr);
+  ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+  NodeId owner_id = tc.owner->id();
+
+  ASSERT_OK(tc.cluster->CrashNode(owner_id));
+
+  // A request issued while the owner is mid-recovery is parked: the caller
+  // gets Unavailable (not NodeDown) and the owner is remembered.
+  std::vector<Status> during;
+  tc.cluster->set_recovery_phase_hook(
+      [&](NodeId id, RecoveryPhase phase) {
+        if (id == owner_id && phase == RecoveryPhase::kExchanged) {
+          during.push_back(ReadOnce(tc.client, rid));
+        }
+      });
+  ASSERT_OK(tc.cluster->RestartNode(owner_id));
+  tc.cluster->set_recovery_phase_hook(nullptr);
+
+  ASSERT_EQ(during.size(), 1u);
+  EXPECT_TRUE(during[0].IsUnavailable()) << during[0].ToString();
+  EXPECT_GE(tc.client->metrics().CounterValue("avail.parked"), 1u);
+
+  // The NodeRecovered broadcast unparked the owner; traffic flows again.
+  EXPECT_GE(tc.client->metrics().CounterValue("avail.resumed"), 1u);
+  EXPECT_OK(ReadOnce(tc.client, rid));
+}
+
+// --- Crash during recovery ----------------------------------------------
+
+TEST(CrashDuringRecoveryTest, EveryPhaseBoundaryIsRestartable) {
+  for (int boundary = 0; boundary <= 2; ++boundary) {
+    TempDir dir;
+    TestCluster tc(dir.path(), nullptr);
+    ASSERT_OK_AND_ASSIGN(RecordId rid, SeedRecord(&tc, nullptr));
+    NodeId owner_id = tc.owner->id();
+
+    // Make the client hold the page so recovery has real peer state.
+    ASSERT_OK(ReadOnce(tc.client, rid));
+    ASSERT_OK(tc.cluster->CrashNode(owner_id));
+
+    int fired = 0;
+    tc.cluster->set_recovery_phase_hook(
+        [&](NodeId id, RecoveryPhase phase) {
+          if (id == owner_id && static_cast<int>(phase) == boundary) {
+            ++fired;
+            ASSERT_OK(tc.cluster->CrashNode(id));
+          }
+        });
+    // The phase-boundary crash abandons this round (fail-stop, not error).
+    ASSERT_OK(tc.cluster->RestartNode(owner_id));
+    tc.cluster->set_recovery_phase_hook(nullptr);
+    ASSERT_EQ(fired, 1) << "boundary " << boundary;
+    ASSERT_EQ(tc.owner->state(), NodeState::kDown) << "boundary " << boundary;
+
+    // Re-entry from scratch completes and the data is intact.
+    ASSERT_OK(tc.cluster->RestartNode(owner_id));
+    ASSERT_EQ(tc.owner->state(), NodeState::kUp) << "boundary " << boundary;
+    ASSERT_OK(tc.owner->CheckInvariants(/*deep=*/true));
+    EXPECT_OK(ReadOnce(tc.client, rid));
+    EXPECT_OK(ReadOnce(tc.owner, rid));
+  }
+}
+
+// --- End-to-end liveness ------------------------------------------------
+
+TEST(AvailabilityLivenessTest, WorkloadRidesThroughOwnerCrashAndRestart) {
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  opts.retry_policy.enabled = true;
+  opts.node_defaults.buffer_frames = 10;
+  Cluster cluster(opts);
+  Node* owner = *cluster.AddNode();
+  Node* client = *cluster.AddNode();
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<PageId> pages,
+      AllocatePopulatedPages(&cluster, owner->id(), 4, 6, 40, 99));
+
+  WorkloadConfig config;
+  config.seed = 99;
+  config.txns_per_session = 12;
+  config.ops_per_txn = 4;
+  config.records_per_page = 6;
+  config.payload_bytes = 40;
+  WorkloadDriver driver(&cluster, config,
+                        {{owner->id(), pages}, {client->id(), pages}});
+
+  // Kill the owner mid-workload, restart it a stretch later: the driver
+  // must treat the outage as waiting, not failure.
+  NodeId owner_id = owner->id();
+  driver.set_round_hook([&](std::uint64_t round) {
+    if (round == 20) ASSERT_OK(cluster.CrashNode(owner_id));
+    if (round == 45) ASSERT_OK(cluster.RestartNode(owner_id));
+  });
+  ASSERT_OK(driver.Run());
+
+  const WorkloadStats& stats = driver.stats();
+  // Liveness: every transaction eventually committed; the crash caused
+  // transparent re-runs, never a permanent NodeDown abort.
+  EXPECT_EQ(stats.committed, 2 * config.txns_per_session);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_GT(stats.aborted_availability, 0u);
+  EXPECT_GT(stats.down_waits, 0u);
+  EXPECT_EQ(cluster.SumCounter("workload.aborted_availability"),
+            stats.aborted_availability);
+
+  // Everything still consistent after the dust settles.
+  for (NodeId id : cluster.NodeIds()) {
+    ASSERT_OK(cluster.node(id)->CheckInvariants(/*deep=*/false));
+  }
+}
+
+TEST(AvailabilityLivenessTest, ContentionAndAvailabilityCountedSeparately) {
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  opts.retry_policy.enabled = true;
+  Cluster cluster(opts);
+  Node* owner = *cluster.AddNode();
+  Node* client = *cluster.AddNode();
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<PageId> pages,
+      AllocatePopulatedPages(&cluster, owner->id(), 2, 8, 60, 5));
+
+  WorkloadConfig config;
+  config.seed = 5;
+  config.txns_per_session = 10;
+  config.ops_per_txn = 6;
+  config.records_per_page = 8;
+  config.payload_bytes = 60;
+  WorkloadDriver driver(&cluster, config,
+                        {{owner->id(), pages}, {client->id(), pages}});
+  ASSERT_OK(driver.Run());
+
+  // No crash happened: every abort in this run is contention, none is
+  // availability — the two counters must not bleed into each other.
+  EXPECT_EQ(driver.stats().aborted_availability, 0u);
+  EXPECT_EQ(cluster.SumCounter("workload.aborted_availability"), 0u);
+  EXPECT_EQ(cluster.SumCounter("workload.aborted_contention"),
+            driver.stats().aborted_deadlock);
+}
+
+}  // namespace
+}  // namespace clog

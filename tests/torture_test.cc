@@ -35,6 +35,38 @@ TEST_P(TortureShardTest, SixtyFourSeeds) {
 
 INSTANTIATE_TEST_SUITE_P(Torture, TortureShardTest, ::testing::Range(0, 8));
 
+/// Crash-during-recovery corpus: every repair pass is forced to kill one
+/// restarting node at a seeded phase boundary (docs/availability.md), so
+/// each schedule exercises recovery re-entry on top of the usual fault
+/// mix. Two 32-seed shards under the `torture` ctest label.
+constexpr std::uint64_t kRecoveryCorpusBase = 9000;
+constexpr int kRecoverySeedsPerShard = 32;
+
+class CrashDuringRecoveryShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashDuringRecoveryShardTest, ThirtyTwoSeeds) {
+  const int shard = GetParam();
+  std::uint64_t total_recovery_crashes = 0;
+  for (int i = 0; i < kRecoverySeedsPerShard; ++i) {
+    TortureOptions opts;
+    opts.seed = kRecoveryCorpusBase + static_cast<std::uint64_t>(shard) *
+        kRecoverySeedsPerShard + i;
+    opts.crash_during_recovery = true;
+    opts.keep_events = false;
+    TortureReport report = RunTortureSchedule(opts);
+    ASSERT_TRUE(report.ok)
+        << report.Summary() << "\nreplay: tools/torture --seed=" << report.seed
+        << " --crash-during-recovery --verbose";
+    total_recovery_crashes += report.recovery_crashes;
+  }
+  // The mode is not allowed to degenerate: across a whole shard, forced
+  // arming must actually have killed nodes mid-recovery.
+  EXPECT_GT(total_recovery_crashes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Torture, CrashDuringRecoveryShardTest,
+                         ::testing::Range(0, 2));
+
 TEST(TortureSmoke, AFewSeedsPass) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
     TortureOptions opts;

@@ -27,11 +27,14 @@ bool ParseU64(const char* arg, const char* name, std::uint64_t* out) {
 void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
-               "          [--pages=P] [--records=R] [--verbose]\n"
+               "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
+               "          [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
                "and checks the four torture invariants. --verbose prints the\n"
-               "full event trace of every schedule.\n",
+               "full event trace of every schedule. --crash-during-recovery\n"
+               "forces a mid-recovery crash into every repair pass (a node\n"
+               "dies at a seeded phase boundary and must be re-recovered).\n",
                prog);
 }
 
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   std::uint64_t records = 4;
   bool have_seed = false;
   bool verbose = false;
+  bool crash_during_recovery = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       // Parsed into its variable.
     } else if (std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(arg, "--crash-during-recovery") == 0) {
+      crash_during_recovery = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
     opts.pages_per_node = static_cast<int>(pages);
     opts.records_per_page = static_cast<int>(records);
     opts.keep_events = verbose;
+    opts.crash_during_recovery = crash_during_recovery;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
     if (verbose) {
       for (const std::string& e : report.events) {
