@@ -27,6 +27,18 @@ void BM_Crc32c(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
 
+// The slice-by-8 software path, pinned regardless of what the runtime
+// dispatcher picked — the denominator of the hardware-CRC speedup.
+void BM_Crc32cPortable(benchmark::State& state) {
+  std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::ValuePortable(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cPortable)->Arg(64)->Arg(4096)->Arg(65536);
+
 void BM_VarintRoundTrip(benchmark::State& state) {
   Random rng(1);
   std::vector<std::uint64_t> values(1024);

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh bench JSON against a baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CANDIDATE.json [--threshold=0.2]
+    check_bench_regression.py --validate-only CANDIDATE.json [...]
+
+Two input formats are understood:
+
+  * google-benchmark ``--benchmark_format=json`` output: every benchmark
+    entry carrying ``bytes_per_second`` or ``items_per_second`` becomes a
+    higher-is-better throughput metric.
+  * The flat ``{"name": value, ...}`` maps written by the experiment
+    binaries (e.g. ``bench_e1_commit_cost --json=...``). Direction is
+    derived from the metric name suffix:
+      higher is better:  _tps, _mbps, _per_sec
+      lower is better:   _ms, _ns, _per_commit, _msgs, _bytes
+    Metrics with an unrecognized suffix are reported but not gated.
+
+A metric regresses when it moves more than ``threshold`` (default 20%) in
+the bad direction relative to the baseline. Improvements never fail.
+Metrics present in the baseline but missing from the candidate fail (a
+silently dropped benchmark is not a pass); new metrics are informational.
+
+Exit status: 0 = no regression, 1 = regression or missing metric,
+2 = bad invocation / unreadable input.
+"""
+
+import json
+import sys
+
+HIGHER_SUFFIXES = ("_tps", "_mbps", "_per_sec")
+LOWER_SUFFIXES = ("_ms", "_ns", "_per_commit", "_msgs", "_bytes")
+
+
+def load_metrics(path):
+    """Returns {name: (value, direction)}; direction is +1 (higher better),
+    -1 (lower better), or 0 (informational)."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = {}
+    if isinstance(doc, dict) and isinstance(doc.get("benchmarks"), list):
+        for b in doc["benchmarks"]:
+            name = b.get("name")
+            if not name or b.get("error_occurred"):
+                continue
+            if "bytes_per_second" in b:
+                metrics[name + ":bytes_per_second"] = (
+                    float(b["bytes_per_second"]), +1)
+            elif "items_per_second" in b:
+                metrics[name + ":items_per_second"] = (
+                    float(b["items_per_second"]), +1)
+    elif isinstance(doc, dict):
+        for name, value in doc.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if name.endswith(HIGHER_SUFFIXES):
+                direction = +1
+            elif name.endswith(LOWER_SUFFIXES):
+                direction = -1
+            else:
+                direction = 0
+            metrics[name] = (float(value), direction)
+    if not metrics:
+        raise ValueError(f"{path}: no recognizable metrics")
+    return metrics
+
+
+def main(argv):
+    threshold = 0.2
+    validate_only = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--validate-only":
+            validate_only = True
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+
+    if validate_only:
+        if not paths:
+            print(__doc__, file=sys.stderr)
+            return 2
+        for path in paths:
+            try:
+                metrics = load_metrics(path)
+            except (OSError, ValueError, json.JSONDecodeError) as e:
+                print(f"INVALID {path}: {e}", file=sys.stderr)
+                return 1
+            print(f"ok {path}: {len(metrics)} metrics")
+        return 0
+
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, candidate_path = paths
+    try:
+        baseline = load_metrics(baseline_path)
+        candidate = load_metrics(candidate_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, (base, direction) in sorted(baseline.items()):
+        if name not in candidate:
+            failures.append(f"MISSING  {name} (baseline {base:.4g})")
+            continue
+        new = candidate[name][0]
+        if direction == 0 or base == 0:
+            print(f"info     {name}: {base:.4g} -> {new:.4g}")
+            continue
+        change = (new - base) / abs(base)
+        regressed = (direction > 0 and change < -threshold) or (
+            direction < 0 and change > threshold)
+        tag = "REGRESS " if regressed else ("improve " if
+                                            change * direction > 0 else "ok      ")
+        print(f"{tag} {name}: {base:.4g} -> {new:.4g} ({change:+.1%})")
+        if regressed:
+            failures.append(
+                f"REGRESS  {name}: {base:.4g} -> {new:.4g} ({change:+.1%}, "
+                f"limit {threshold:.0%})")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"new      {name}: {candidate[name][0]:.4g}")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nno bench regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

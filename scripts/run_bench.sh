@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Bench-regression harness (docs/performance.md).
+#
+# Runs the gated perf benches and writes their results as
+#   BENCH_micro.json   google-benchmark JSON: CRC32C + log-append throughput
+#   BENCH_e1.json      simulated commit-cost + group-commit metrics
+# at the repo root, then compares them against the committed baselines
+# (the versions of those files at git HEAD) with
+# scripts/check_bench_regression.py. A >20% throughput regression fails.
+#
+# Usage: scripts/run_bench.sh [--build-dir=DIR] [--out=DIR] [--smoke]
+#                             [--no-check]
+#   --smoke     quick pass: tiny micro filter, results to a temp dir,
+#               JSON schema validated but not compared (wall-clock noise
+#               has no place in a smoke gate). Used by `ctest -L bench_smoke`.
+#   --no-check  produce the JSON but skip the baseline comparison — use
+#               this when refreshing the committed baselines.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+OUT_DIR="$ROOT"
+SMOKE=0
+CHECK=1
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    --out=*) OUT_DIR="${arg#--out=}" ;;
+    --smoke) SMOKE=1 ;;
+    --no-check) CHECK=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+MICRO="$BUILD_DIR/bench/bench_micro_ops"
+E1="$BUILD_DIR/bench/bench_e1_commit_cost"
+if [ ! -x "$MICRO" ] || [ ! -x "$E1" ]; then
+  echo "error: bench binaries not found under $BUILD_DIR/bench; build first:" >&2
+  echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+# Only throughput-counter benches are gated: they carry bytes_per_second,
+# which the checker compares. Wall-clock-only benches stay out of the gate.
+FILTER='BM_Crc32c|BM_Crc32cPortable|BM_LogAppend/'
+if [ "$SMOKE" -eq 1 ]; then
+  FILTER='BM_Crc32c/4096|BM_Crc32cPortable/4096'
+fi
+
+echo "== micro benches -> $OUT_DIR/BENCH_micro.json"
+"$MICRO" --benchmark_filter="$FILTER" --benchmark_format=json \
+  > "$OUT_DIR/BENCH_micro.json"
+
+echo "== e1 commit cost -> $OUT_DIR/BENCH_e1.json"
+"$E1" --json="$OUT_DIR/BENCH_e1.json"
+
+if [ "$SMOKE" -eq 1 ]; then
+  python3 "$ROOT/scripts/check_bench_regression.py" --validate-only \
+    "$OUT_DIR/BENCH_micro.json" "$OUT_DIR/BENCH_e1.json"
+  echo "bench smoke OK"
+  exit 0
+fi
+
+if [ "$CHECK" -eq 0 ]; then
+  echo "baseline check skipped (--no-check)"
+  exit 0
+fi
+
+# Baselines are whatever is committed at HEAD; a dirty working copy of the
+# BENCH files never masks a regression.
+STATUS=0
+for name in BENCH_micro BENCH_e1; do
+  if ! git -C "$ROOT" show "HEAD:${name}.json" > "/tmp/${name}_baseline.json" \
+      2>/dev/null; then
+    echo "no committed baseline for ${name}.json; skipping comparison"
+    continue
+  fi
+  echo "== checking ${name}.json against HEAD baseline"
+  python3 "$ROOT/scripts/check_bench_regression.py" \
+    "/tmp/${name}_baseline.json" "$OUT_DIR/${name}.json" || STATUS=1
+done
+exit $STATUS

@@ -2,7 +2,12 @@
 
 namespace clog {
 
-BufferPool::BufferPool(std::size_t capacity) : capacity_(capacity) {}
+BufferPool::BufferPool(std::size_t capacity) : capacity_(capacity) {
+  // The pool holds at most `capacity` frames (plus one transiently while a
+  // victim is mid-eviction); sizing the table up front means the hot
+  // Lookup/Insert path never pays a rehash storm as the pool warms.
+  frames_.reserve(capacity_ + 1);
+}
 
 void BufferPool::SetEvictionHandler(EvictionHandler handler) {
   handler_ = std::move(handler);

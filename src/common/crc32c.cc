@@ -1,42 +1,182 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__)
+#define CLOG_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define CLOG_CRC32C_ARM 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
 
 namespace clog::crc32c {
 namespace {
 
 constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
 
-std::array<std::uint32_t, 256> MakeTable() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: table[0] is the classic byte table; table[k][b] advances byte
+// b through k additional zero bytes, so eight table lookups consume eight
+// input bytes per iteration instead of one.
+using SliceTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+SliceTables MakeTables() {
+  SliceTables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int k = 0; k < 8; ++k) {
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
-const std::array<std::uint32_t, 256>& Table() {
-  static const std::array<std::uint32_t, 256> table = MakeTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = MakeTables();
+  return tables;
+}
+
+#if defined(CLOG_CRC32C_X86)
+__attribute__((target("sse4.2"))) std::uint32_t ExtendSse42(std::uint32_t crc,
+                                                            const char* data,
+                                                            std::size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  std::uint64_t c64 = c;
+  while (n >= 32) {
+    std::uint64_t v0, v1, v2, v3;
+    std::memcpy(&v0, p, 8);
+    std::memcpy(&v1, p + 8, 8);
+    std::memcpy(&v2, p + 16, 8);
+    std::memcpy(&v3, p + 24, 8);
+    c64 = _mm_crc32_u64(c64, v0);
+    c64 = _mm_crc32_u64(c64, v1);
+    c64 = _mm_crc32_u64(c64, v2);
+    c64 = _mm_crc32_u64(c64, v3);
+    p += 32;
+    n -= 32;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<std::uint32_t>(c64);
+  while (n > 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+#endif  // CLOG_CRC32C_X86
+
+#if defined(CLOG_CRC32C_ARM)
+std::uint32_t ExtendArmv8(std::uint32_t crc, const char* data, std::size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __crc32cd(c, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+#endif  // CLOG_CRC32C_ARM
+
+using ExtendFn = std::uint32_t (*)(std::uint32_t, const char*, std::size_t);
+
+struct Dispatch {
+  ExtendFn fn;
+  std::string_view name;
+};
+
+Dispatch Choose() {
+#if defined(CLOG_CRC32C_X86)
+  if (__builtin_cpu_supports("sse4.2")) return {ExtendSse42, "sse4.2"};
+#elif defined(CLOG_CRC32C_ARM)
+#if defined(__linux__)
+  if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) return {ExtendArmv8, "armv8"};
+#else
+  return {ExtendArmv8, "armv8"};
+#endif
+#endif
+  return {ExtendPortable, "sw"};
+}
+
+const Dispatch& Impl() {
+  static const Dispatch dispatch = Choose();
+  return dispatch;
 }
 
 }  // namespace
 
-std::uint32_t Extend(std::uint32_t crc, const char* data, std::size_t n) {
-  const auto& table = Table();
-  crc = ~crc;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFF] ^ (crc >> 8);
+std::uint32_t ExtendPortable(std::uint32_t crc, const char* data,
+                             std::size_t n) {
+  const SliceTables& t = Tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
   }
-  return ~crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    v ^= c;
+    c = t[7][v & 0xFF] ^ t[6][(v >> 8) & 0xFF] ^ t[5][(v >> 16) & 0xFF] ^
+        t[4][(v >> 24) & 0xFF] ^ t[3][(v >> 32) & 0xFF] ^
+        t[2][(v >> 40) & 0xFF] ^ t[1][(v >> 48) & 0xFF] ^ t[0][v >> 56];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n > 0) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
+  }
+  return ~c;
+}
+
+std::uint32_t Extend(std::uint32_t crc, const char* data, std::size_t n) {
+  return Impl().fn(crc, data, n);
 }
 
 std::uint32_t Value(const char* data, std::size_t n) {
-  return Extend(0, data, n);
+  return Impl().fn(0, data, n);
 }
+
+bool IsHardwareAccelerated() { return Impl().name != "sw"; }
+
+std::string_view ImplName() { return Impl().name; }
 
 }  // namespace clog::crc32c

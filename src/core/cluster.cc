@@ -29,6 +29,9 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   if (opts.fault_injector == nullptr) {
     opts.fault_injector = options_.fault_injector;
   }
+  if (!opts.group_commit.enabled) {
+    opts.group_commit = options_.group_commit;
+  }
   CLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
   CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
   auto node = std::make_unique<Node>(id, opts, &network_, &detector_);

@@ -43,6 +43,10 @@ struct ClusterOptions {
   /// failure detector, and request parking. Disabled by default so
   /// fail-fast crash semantics stay exactly as before unless opted in.
   RetryPolicy retry_policy;
+  /// Commit-time force coalescing applied to every node (unless a node's
+  /// AddNode override already enables its own policy). Off by default:
+  /// each commit forces its own log synchronously.
+  GroupCommitPolicy group_commit;
 };
 
 /// Phase boundaries of a node's restart recovery, in execution order.

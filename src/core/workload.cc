@@ -54,6 +54,7 @@ Status WorkloadDriver::AbortAndRetry(Session* s, bool count_deadlock) {
   n->Abort(s->txn).ok();
   s->txn = kInvalidTxnId;
   s->ops_done = 0;
+  s->commit_parked = false;
   if (count_deadlock) {
     ++stats_.aborted_deadlock;
     n->metrics().GetCounter("workload.aborted_contention").Add(1);
@@ -80,6 +81,7 @@ Status WorkloadDriver::AvailabilityAbort(Session* s, bool txn_lost) {
     s->txn = kInvalidTxnId;
   }
   s->ops_done = 0;
+  s->commit_parked = false;
   ++stats_.aborted_availability;
   n->metrics().GetCounter("workload.aborted_availability").Add(1);
   ++s->availability_retries;
@@ -129,13 +131,30 @@ Status WorkloadDriver::Step(Session* s) {
   }
 
   if (s->ops_done >= config_.ops_per_txn) {
-    Status st = n->Commit(s->txn);
+    // CommitRequest is plain Commit when group commit is off (returns
+    // durable=true); with the policy on, the first call parks the
+    // transaction and later rounds poll until the shared force lands.
+    Result<bool> r =
+        s->commit_parked ? n->PollCommit(s->txn) : n->CommitRequest(s->txn);
+    Status st = r.status();
     if (st.IsNodeDown() || st.IsUnavailable()) {
       // Commit-time communication (ship-to-owner baselines) hit a crashed
       // or recovering peer: re-run the transaction.
       return AvailabilityAbort(s, /*txn_lost=*/false);
     }
     if (!st.ok()) return st;
+    if (!*r) {
+      if (!s->commit_parked) {
+        s->commit_parked = true;
+        ++stats_.commit_parks;
+      }
+      // Waiting in the commit group is simulated time: charge a poll tick
+      // so the coalescing window expires even when every session is parked.
+      ++stats_.group_waits;
+      cluster_->clock().Advance(config_.group_poll_ns);
+      return Status::OK();
+    }
+    s->commit_parked = false;
     cluster_->detector().RemoveTxn(s->txn);
     s->txn = kInvalidTxnId;
     s->attempts = 0;

@@ -54,6 +54,11 @@ struct WorkloadConfig {
   /// abandoning its remaining work (keeps Run terminating when a node is
   /// never restarted).
   std::size_t max_down_polls = 10'000;
+
+  /// Group commit: simulated wait charged per poll of a parked commit, so
+  /// a round of all-parked sessions still advances the clock and the
+  /// coalescing window deterministically expires.
+  std::uint64_t group_poll_ns = 100'000;
 };
 
 /// Aggregate outcome of a driver run.
@@ -64,6 +69,8 @@ struct WorkloadStats {
   std::uint64_t gave_up = 0;      ///< Txns abandoned after budget exhaustion.
   std::uint64_t busy_waits = 0;   ///< Steps postponed on Busy.
   std::uint64_t down_waits = 0;   ///< Rounds waited on the session's node.
+  std::uint64_t commit_parks = 0; ///< Commits parked by group commit.
+  std::uint64_t group_waits = 0;  ///< Poll rounds spent parked.
   std::uint64_t ops = 0;
   std::uint64_t sim_ns = 0;       ///< Simulated time the run consumed.
 };
@@ -103,6 +110,9 @@ class WorkloadDriver {
     int availability_retries = 0;
     std::size_t down_polls = 0;
     bool finished = false;
+    /// Group commit: the commit record is appended and the transaction is
+    /// parked; poll until the shared force completes it.
+    bool commit_parked = false;
   };
 
   /// Advances one session by one step; returns false if it just finished.

@@ -60,6 +60,17 @@ struct PendingTxn {
   std::vector<StagedWrite> writes;
 };
 
+/// Group commit: a transaction whose CommitRequest parked. Not yet
+/// acknowledged — the model treats its records as indeterminate until the
+/// node's shared force completes it (ack) or its node crashes while it is
+/// parked (becomes a PendingTxn, resolved at restart like any commit
+/// interrupted mid-force).
+struct ParkedTxn {
+  NodeId node = kInvalidNodeId;
+  TxnId txn = kInvalidTxnId;
+  std::vector<StagedWrite> writes;
+};
+
 // ---------------------------------------------------------------------------
 // TortureRun: one seeded schedule, start to verdict.
 // ---------------------------------------------------------------------------
@@ -126,6 +137,14 @@ class TortureRun {
 
   bool InPending(RecordId rid) const {
     for (const PendingTxn& p : pending_) {
+      for (const StagedWrite& w : p.writes) {
+        if (w.rid == rid) return true;
+      }
+    }
+    // Parked group commits are indeterminate too: an absorbed force on
+    // their node can complete them at any moment between our polls, so
+    // the model cannot pin their records' values until the ack.
+    for (const ParkedTxn& p : parked_) {
       for (const StagedWrite& w : p.writes) {
         if (w.rid == rid) return true;
       }
@@ -208,6 +227,12 @@ class TortureRun {
     // the schedule seed so replays stay bit-identical.
     copts.retry_policy.enabled = true;
     copts.retry_policy.jitter_seed = options_.seed ^ 0xC10CBEEFull;
+    if (options_.group_commit) {
+      copts.group_commit.enabled = true;
+      copts.group_commit.window_ns = 2'000'000;
+      copts.group_commit.max_group_size = 4;
+      Event("group-commit on");
+    }
     cluster_ = std::make_unique<Cluster>(copts);
 
     for (int i = 0; i < options_.num_nodes; ++i) {
@@ -267,6 +292,8 @@ class TortureRun {
       CrashActor(id, "io-fault-fired");
       if (!failure_.empty()) return;
     }
+    PollParked();
+    if (!failure_.empty()) return;
     if (UpNodes().empty()) {
       Event("step=" + std::to_string(step) + " all-down");
       DoRestartAll();
@@ -440,7 +467,29 @@ class TortureRun {
       return;
     }
 
-    Status cs = n->Commit(txn);
+    Status cs;
+    if (options_.group_commit) {
+      Result<bool> durable = n->CommitRequest(txn);
+      cs = durable.status();
+      if (cs.ok() && !*durable) {
+        // Parked: not yet acknowledged. The model holds its records
+        // indeterminate (InPending) until PollParked sees the ack.
+        ParkedTxn parked;
+        parked.node = actor;
+        parked.txn = txn;
+        for (const auto& [rid, vals] : staged) {
+          parked.writes.push_back(StagedWrite{rid, vals.first, vals.second});
+        }
+        parked_.push_back(std::move(parked));
+        ++report_.txns_parked;
+        Event("txn step=" + std::to_string(step) +
+              " node=" + std::to_string(actor) + " parked ops=" +
+              std::to_string(done));
+        return;
+      }
+    } else {
+      cs = n->Commit(txn);
+    }
     if (cs.ok()) {
       for (const auto& [rid, vals] : staged) {
         model_[rid] = vals.second;
@@ -558,9 +607,95 @@ class TortureRun {
     if (!st.ok()) CrashActor(actor, "checkpoint-failed");
   }
 
+  // --- Group commit bookkeeping -----------------------------------------
+
+  /// The ack: the node confirmed the parked commit durable and finished, so
+  /// its staged writes become committed model state.
+  void AckParked(const ParkedTxn& p) {
+    for (const StagedWrite& w : p.writes) {
+      model_[w.rid] = w.staged;
+      if (known_.insert(w.rid).second) rids_.push_back(w.rid);
+    }
+    ++report_.txns_committed;
+    Event("gc-ack node=" + std::to_string(p.node));
+  }
+
+  /// The parked commit's fate is unknowable from here (its node crashed
+  /// while it waited, or the group force failed): same contract as a commit
+  /// interrupted mid-force — the commit record may sit in the torn tail.
+  void MoveToPending(ParkedTxn& p, const char* why) {
+    PendingTxn pending;
+    pending.node = p.node;
+    pending.writes = std::move(p.writes);
+    pending_.push_back(std::move(pending));
+    ++report_.txns_indeterminate;
+    Event("gc-indeterminate node=" + std::to_string(p.node) + " why=" + why);
+  }
+
+  /// Once per step: check on every parked commit. Completed ones are acked
+  /// into the model; ones whose node died became indeterminate; a failed
+  /// group force fail-stops the node (the device lied about durability).
+  void PollParked() {
+    if (parked_.empty()) return;
+    std::vector<ParkedTxn> keep;
+    for (ParkedTxn& p : parked_) {
+      Node* n = cluster_->node(p.node);
+      if (n == nullptr || n->state() != NodeState::kUp) {
+        MoveToPending(p, "crashed-while-parked");
+        continue;
+      }
+      Result<bool> durable = n->PollCommit(p.txn);
+      if (!durable.ok()) {
+        MoveToPending(p, "group-force-failed");
+        CrashActor(p.node, "group-force-failed");
+        continue;
+      }
+      if (*durable) {
+        AckParked(p);
+      } else {
+        keep.push_back(std::move(p));
+      }
+    }
+    parked_ = std::move(keep);
+  }
+
+  /// Settles every parked commit before a verification phase: leads the
+  /// group force on live nodes, hands crashed nodes' parked commits to the
+  /// pending (indeterminate) machinery. Leaves nothing parked.
+  void DrainParked(const char* why) {
+    if (parked_.empty()) return;
+    std::vector<ParkedTxn> parked = std::move(parked_);
+    parked_.clear();
+    for (ParkedTxn& p : parked) {
+      Node* n = cluster_->node(p.node);
+      if (n == nullptr || n->state() != NodeState::kUp) {
+        MoveToPending(p, why);
+        continue;
+      }
+      Status st = n->FlushCommitGroup();
+      if (!st.ok()) {
+        MoveToPending(p, "group-force-failed");
+        CrashActor(p.node, "group-force-failed");
+        continue;
+      }
+      Result<bool> durable = n->PollCommit(p.txn);
+      if (durable.ok() && *durable) {
+        AckParked(p);
+      } else {
+        MoveToPending(p, why);
+        CrashActor(p.node, "group-commit-stuck");
+      }
+    }
+  }
+
   // --- Restart + the four invariants ------------------------------------
 
   void DoRestartAll() {
+    // Group commits still parked on live nodes are forced through now;
+    // ones on crashed nodes become indeterminate and are resolved after
+    // the restart below. Verification needs a settled model.
+    DrainParked("restart-while-parked");
+    if (!failure_.empty()) return;
     // Faults quiesce during repair: the torture contract is that recovery
     // runs on honest hardware (fail-stop, not byzantine).
     injector_.set_enabled(false);
@@ -903,6 +1038,8 @@ class TortureRun {
       CrashActor(id, "io-fault-fired");
       if (!failure_.empty()) return;
     }
+    DrainParked("final-drain");
+    if (!failure_.empty()) return;
     // Bring stragglers back and settle indeterminate commits while the
     // survivors' caches are still warm.
     DoRestartAll();
@@ -958,6 +1095,7 @@ class TortureRun {
   std::set<RecordId> known_;
   std::vector<PageId> pages_;
   std::vector<PendingTxn> pending_;
+  std::vector<ParkedTxn> parked_;  ///< Group commits awaiting their ack.
   std::map<PageId, Psn> watermark_;  ///< Invariant 3: PSNs never regress.
 
   std::uint64_t value_seq_ = 0;
@@ -976,7 +1114,8 @@ std::string TortureReport::Summary() const {
   out << "seed=" << seed << " verdict=" << (ok ? "PASS" : "FAIL")
       << " hash=" << std::hex << schedule_hash << std::dec
       << " committed=" << txns_committed << " aborted=" << txns_aborted
-      << " indeterminate=" << txns_indeterminate << " crashes=" << crashes
+      << " indeterminate=" << txns_indeterminate
+      << " parked=" << txns_parked << " crashes=" << crashes
       << " restarts=" << restarts << " recovery_crashes=" << recovery_crashes
       << " partitions=" << partitions
       << " reads=" << reads_checked

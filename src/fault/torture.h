@@ -38,6 +38,11 @@ struct TortureOptions {
   /// from scratch in a later round (docs/availability.md). When false the
   /// schedule still injects these with a small seeded probability.
   bool crash_during_recovery = false;
+  /// Run every node with GroupCommitPolicy enabled: commits park and
+  /// coalesce forces. The harness polls parked commits each step, never
+  /// counts one as committed before its ACK, and treats a crash while
+  /// parked as an indeterminate commit (resolved at the next restart).
+  bool group_commit = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
 };
@@ -54,6 +59,7 @@ struct TortureReport {
   std::uint64_t txns_committed = 0;
   std::uint64_t txns_aborted = 0;
   std::uint64_t txns_indeterminate = 0;  ///< Commit interrupted by a fault.
+  std::uint64_t txns_parked = 0;         ///< Group commit: commits that parked.
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
   std::uint64_t recovery_crashes = 0;    ///< Crashes at a recovery phase boundary.

@@ -49,6 +49,8 @@ bool Network::IsUp(NodeId id) const {
 std::vector<NodeId> Network::AllNodes() const {
   std::vector<NodeId> out;
   for (const auto& [id, _] : peers_) out.push_back(id);
+  // peers_ is a hash map; callers (and determinism) expect id order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -57,6 +59,7 @@ std::vector<NodeId> Network::OperationalNodes(NodeId except) const {
   for (const auto& [id, peer] : peers_) {
     if (peer.up && id != except) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,8 +1,8 @@
 #ifndef CLOG_NET_NETWORK_H_
 #define CLOG_NET_NETWORK_H_
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -234,8 +234,13 @@ class Network {
   SimClock* clock_;
   CostModel cost_;
   FaultInjector* fault_ = nullptr;
-  std::map<NodeId, Peer> peers_;
-  std::map<NodeId, std::uint64_t> busy_ns_;
+  // Hash maps: Endpoint/Route and AddBusy sit on the per-message dispatch
+  // path, where the O(log n) red-black walk was pure overhead. Everything
+  // that *iterates* (AllNodes, OperationalNodes) sorts its output so node
+  // orderings — and with them, recovery and schedule determinism — are
+  // unchanged.
+  std::unordered_map<NodeId, Peer> peers_;
+  std::unordered_map<NodeId, std::uint64_t> busy_ns_;
   Metrics metrics_;
   RetryPolicy retry_policy_;
   Random backoff_rng_{0xC10CBEEFull};

@@ -15,6 +15,15 @@ Status Node::Checkpoint() {
     return Status::OK();  // Nothing to checkpoint without a local log.
   }
 
+  // Settle the commit group before snapshotting the ATT. A parked commit's
+  // COMMIT record lies *before* the checkpoint-begin record this checkpoint
+  // installs as the analysis start: if the transaction were checkpointed as
+  // live and its END (appended when a later force completes it) did not
+  // survive the crash, analysis would miss the commit record entirely and
+  // undo an acknowledged commit. Draining first keeps kCommitting
+  // transactions out of every durable ATT.
+  CLOG_RETURN_IF_ERROR(FlushCommitGroup());
+
   // Checkpoints bypass the capacity check: they are how a full log gets
   // its reclaim horizon moved, so refusing them would wedge the node.
   LogRecord begin;
@@ -32,8 +41,7 @@ Status Node::Checkpoint() {
   CLOG_RETURN_IF_ERROR(
       log_.Append(end, &end_lsn, /*enforce_capacity=*/false));
 
-  CLOG_RETURN_IF_ERROR(log_.Flush(end_lsn));
-  ChargeLogForce();
+  CLOG_RETURN_IF_ERROR(ForceLog(end_lsn));
   CLOG_RETURN_IF_ERROR(log_.StoreMaster(end_lsn));
 
   last_ckpt_begin_ = begin_lsn;

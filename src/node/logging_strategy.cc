@@ -69,8 +69,7 @@ Status Node::ShipPendingRecords(Transaction* txn, bool force,
       }
       if (force || only_page != nullptr) {
         // Commit force, or WAL before the page leaves the cache.
-        CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
-        ChargeLogForce();
+        CLOG_RETURN_IF_ERROR(ForceLog(lsn));
       }
       logged_locally = true;
     } else {

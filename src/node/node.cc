@@ -58,6 +58,10 @@ void Node::Crash() {
   txns_.Clear();
   replacers_.clear();
   last_ckpt_begin_ = kNullLsn;
+  // Parked commits die with the crash: they were never ACKed, their COMMIT
+  // records ride the unforced tail, and recovery decides their fate.
+  commit_group_.clear();
+  completing_group_ = false;
   log_.Abandon();   // Unforced log tail is lost with the crash.
   disk_.Close().ok();
   state_ = NodeState::kDown;
@@ -504,6 +508,18 @@ Result<TxnId> Node::Begin() {
 }
 
 Status Node::Commit(TxnId txn_id) {
+  if (GroupCommitEnabled()) {
+    // Synchronous commit under the coalescing policy: request, and if that
+    // parked us (group not yet full), lead the group force ourselves. The
+    // force completes every parked committer — us included — so the caller
+    // still gets the never-ACK-before-durable guarantee, and concurrent
+    // parked committers ride along on our one force.
+    Result<bool> done = CommitRequest(txn_id);
+    if (!done.ok()) return done.status();
+    if (!*done) return FlushCommitGroup();
+    return Status::OK();
+  }
+
   Transaction* txn = txns_.Find(txn_id);
   if (txn == nullptr || txn->state != TxnState::kActive) {
     return Status::NotFound("no active transaction");
@@ -520,8 +536,7 @@ Status Node::Commit(TxnId txn_id) {
       commit.prev_lsn = txn->last_lsn;
       Lsn commit_lsn = kNullLsn;
       CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
-      CLOG_RETURN_IF_ERROR(log_.Flush(commit_lsn));
-      ChargeLogForce();
+      CLOG_RETURN_IF_ERROR(ForceLog(commit_lsn));
       LogRecord end;
       end.type = LogRecordType::kEnd;
       end.txn = txn_id;
@@ -560,8 +575,7 @@ Status Node::Commit(TxnId txn_id) {
       commit.prev_lsn = txn->last_lsn;
       Lsn commit_lsn = kNullLsn;
       CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
-      CLOG_RETURN_IF_ERROR(log_.Flush(commit_lsn));
-      ChargeLogForce();
+      CLOG_RETURN_IF_ERROR(ForceLog(commit_lsn));
       break;
     }
   }
@@ -572,6 +586,126 @@ Status Node::Commit(TxnId txn_id) {
   txns_.Remove(txn_id);
   metrics_.GetCounter("txn.commits").Add(1);
   AdvanceReclaimHorizon();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Group commit (GroupCommitPolicy): park committers, coalesce their forces
+// ---------------------------------------------------------------------------
+
+bool Node::GroupCommitEnabled() const {
+  // Coalescing only makes sense where the commit force is purely local —
+  // the paper's protocol. B1 forces at the owner, B2 forces pages.
+  return options_.group_commit.enabled &&
+         options_.logging_mode == LoggingMode::kClientLocal;
+}
+
+Result<bool> Node::CommitRequest(TxnId txn_id) {
+  if (!GroupCommitEnabled()) {
+    CLOG_RETURN_IF_ERROR(Commit(txn_id));
+    return true;
+  }
+  Transaction* txn = txns_.Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kActive) {
+    return Status::NotFound("no active transaction");
+  }
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = txn_id;
+  commit.prev_lsn = txn->last_lsn;
+  Lsn commit_lsn = kNullLsn;
+  CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
+  // Past this point the transaction can no longer abort: its fate is tied
+  // to whether the commit record reaches the disk. It is not ACKed either —
+  // it parks until a force covers commit_lsn.
+  txn->state = TxnState::kCommitting;
+  txn->last_lsn = commit_lsn;
+  commit_group_.push_back(
+      {txn_id, commit_lsn, network_->clock()->NowNanos()});
+  metrics_.GetCounter("gc.parked").Add(1);
+  if (commit_group_.size() >= options_.group_commit.max_group_size) {
+    CLOG_RETURN_IF_ERROR(FlushCommitGroup());
+    return true;
+  }
+  return false;
+}
+
+Result<bool> Node::PollCommit(TxnId txn_id) {
+  for (const ParkedCommit& p : commit_group_) {
+    if (p.txn != txn_id) continue;
+    if (network_->clock()->NowNanos() <
+        p.parked_at_ns + options_.group_commit.window_ns) {
+      return false;  // Still inside the coalescing window.
+    }
+    CLOG_RETURN_IF_ERROR(FlushCommitGroup());
+    return true;
+  }
+  // Not parked: either it already completed via someone else's force, or it
+  // never requested commit here.
+  if (txns_.Find(txn_id) == nullptr) return true;
+  return Status::FailedPrecondition("PollCommit: transaction not committing");
+}
+
+Status Node::FlushCommitGroup() {
+  if (commit_group_.empty()) return Status::OK();
+  Lsn max_lsn = kNullLsn;
+  for (const ParkedCommit& p : commit_group_) {
+    max_lsn = std::max(max_lsn, p.commit_lsn);
+  }
+  metrics_.GetCounter("gc.group_forces").Add(1);
+  metrics_.GetCounter("gc.group_size_sum").Add(commit_group_.size());
+  // One force covers every parked commit record; ForceLog completes them.
+  return ForceLog(max_lsn);
+}
+
+Status Node::CompleteCoveredCommits() {
+  if (completing_group_ || commit_group_.empty()) return Status::OK();
+  completing_group_ = true;
+  const Lsn durable = log_.flushed_lsn();
+  std::vector<ParkedCommit> still_parked;
+  Status failed = Status::OK();
+  for (const ParkedCommit& p : commit_group_) {
+    if (!failed.ok() || p.commit_lsn >= durable) {
+      still_parked.push_back(p);
+      continue;
+    }
+    Transaction* txn = txns_.Find(p.txn);
+    if (txn == nullptr) continue;
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn = p.txn;
+    end.prev_lsn = p.commit_lsn;
+    Lsn end_lsn = kNullLsn;
+    // END records bypass the capacity check, like rollback records: going
+    // through reclamation here could force and re-enter completion.
+    Status st = log_.Append(end, &end_lsn, /*enforce_capacity=*/false);
+    if (!st.ok()) {
+      failed = st;
+      still_parked.push_back(p);
+      continue;
+    }
+    txn->state = TxnState::kCommitted;
+    lock_cache_.ReleaseTxnLocks(p.txn);
+    detector_->RemoveTxn(p.txn);
+    txns_.Remove(p.txn);
+    metrics_.GetCounter("txn.commits").Add(1);
+    metrics_.GetCounter("gc.completed").Add(1);
+  }
+  commit_group_ = std::move(still_parked);
+  completing_group_ = false;
+  AdvanceReclaimHorizon();
+  return failed;
+}
+
+Status Node::ForceLog(Lsn lsn) {
+  const std::uint64_t forces_before = log_.forces();
+  CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
+  if (log_.forces() != forces_before) {
+    ChargeLogForce();
+    // The force just made everything up to `lsn` durable; any parked group
+    // commits at or below the new horizon ride along for free.
+    CLOG_RETURN_IF_ERROR(CompleteCoveredCommits());
+  }
   return Status::OK();
 }
 
@@ -796,8 +930,7 @@ Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
     // WAL: all records describing the page must be durable before the page
     // leaves the cache (Section 2.1).
     if (page->page_lsn() >= log_.flushed_lsn()) {
-      CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
-      ChargeLogForce();
+      CLOG_RETURN_IF_ERROR(ForceLog(page->page_lsn()));
     }
   }
   if (pid.owner == id_) {
@@ -841,8 +974,7 @@ Status Node::ForceOwnPage(PageId pid) {
   if (cached != nullptr && pool_.IsDirty(pid)) {
     if (options_.logging_mode != LoggingMode::kShipToOwner &&
         cached->page_lsn() >= log_.flushed_lsn()) {
-      CLOG_RETURN_IF_ERROR(log_.Flush(cached->page_lsn()));
-      ChargeLogForce();
+      CLOG_RETURN_IF_ERROR(ForceLog(cached->page_lsn()));
     }
     CLOG_RETURN_IF_ERROR(disk_.WritePage(pid.page_no, cached, /*sync=*/true));
     ChargeDiskWrite();
@@ -876,8 +1008,7 @@ Status Node::ShipDirtyCopy(PageId pid) {
   if (page == nullptr || !pool_.IsDirty(pid)) return Status::OK();
   if (options_.logging_mode != LoggingMode::kShipToOwner &&
       page->page_lsn() >= log_.flushed_lsn()) {
-    CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
-    ChargeLogForce();
+    CLOG_RETURN_IF_ERROR(ForceLog(page->page_lsn()));
   }
   page->SealChecksum();
   CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));

@@ -100,7 +100,30 @@ class Node : public NodeService {
 
   /// Commits. In kClientLocal this forces the local log only — the paper's
   /// headline: zero messages, no page forces. Baselines pay their protocol.
+  /// With GroupCommitPolicy enabled this is the synchronous form: the
+  /// caller leads a group force that also completes every other parked
+  /// committer (CommitRequest + FlushCommitGroup).
   Status Commit(TxnId txn);
+
+  // --- Group commit (GroupCommitPolicy; docs/PROTOCOLS.md) ---
+
+  /// Asynchronous commit entry: appends the commit record and *parks* the
+  /// transaction until a shared force covers its commit LSN. Returns true
+  /// when the transaction is already durable and finished (policy off —
+  /// plain Commit ran — or this request filled the group and led the
+  /// force); false when parked (caller must PollCommit until true).
+  Result<bool> CommitRequest(TxnId txn);
+
+  /// Checks on a parked commit. Still inside the coalescing window: returns
+  /// false (nothing charged). Window expired: leads the group force and
+  /// returns true. Also true when the transaction already completed via
+  /// someone else's force.
+  Result<bool> PollCommit(TxnId txn);
+
+  /// Forces the log up to the highest parked commit LSN (one force, one
+  /// charge) and completes every covered committer. No-op when nothing is
+  /// parked.
+  Status FlushCommitGroup();
 
   /// Rolls the transaction back entirely and ends it.
   Status Abort(TxnId txn);
@@ -290,6 +313,21 @@ class Node : public NodeService {
   /// Appends to the local log, retrying once after log-space reclamation.
   Status AppendWithReclaim(const LogRecord& rec, Lsn* lsn);
 
+  /// The one gate every log force goes through: flushes up to `lsn`,
+  /// charges the force cost only if the log actually hit the disk (the
+  /// LogManager no-ops when `lsn` is already durable), and lets any parked
+  /// group commits covered by the new durable horizon complete for free —
+  /// the absorbed-force half of group commit.
+  Status ForceLog(Lsn lsn);
+
+  /// True when commits on this node coalesce (policy on + kClientLocal).
+  bool GroupCommitEnabled() const;
+
+  /// Finishes every parked committer whose commit record is now durable:
+  /// END record, lock release, commit acknowledged. Called after every
+  /// force (ForceLog) — group-led or absorbed.
+  Status CompleteCoveredCommits();
+
   /// Charges simulated time for local disk/log work.
   void ChargeDiskRead();
   void ChargeDiskWrite();
@@ -349,6 +387,22 @@ class Node : public NodeService {
 
   /// B1 only: client log records land here at the owner.
   std::uint64_t b1_received_records_ = 0;
+
+  /// Group commit: committers whose commit record is appended but not yet
+  /// durable, in park order. Volatile — a crash loses the group, and each
+  /// member becomes indeterminate exactly like a crash mid-force (the
+  /// commit record may or may not survive in the torn tail). Cleared in
+  /// Crash().
+  struct ParkedCommit {
+    TxnId txn = kInvalidTxnId;
+    Lsn commit_lsn = kNullLsn;
+    std::uint64_t parked_at_ns = 0;
+  };
+  std::vector<ParkedCommit> commit_group_;
+
+  /// Reentrancy guard: completion appends END records, and an append can
+  /// reclaim log space, which forces, which would re-enter completion.
+  bool completing_group_ = false;
 };
 
 }  // namespace clog

@@ -29,6 +29,24 @@ enum class LoggingMode : std::uint8_t {
 
 std::string_view LoggingModeName(LoggingMode m);
 
+/// Commit-time force coalescing (group commit — the force discipline ARIES
+/// and ARIES/CSA assume as their baseline). When enabled, a committing
+/// transaction appends its commit record and *parks* instead of forcing
+/// immediately; one shared force — triggered by the group filling, the
+/// coalescing window expiring, or any other force on the same log — covers
+/// every parked commit LSN at once. A transaction is never acknowledged
+/// before its commit record is durable; the only thing traded away is
+/// latency inside the window. Applies to LoggingMode::kClientLocal (the
+/// paper's protocol — the one whose commit force is purely local).
+struct GroupCommitPolicy {
+  bool enabled = false;
+  /// Longest a committer parks (simulated time) before the group forces
+  /// anyway. 0 = force immediately (coalescing only via group size).
+  std::uint64_t window_ns = 1'000'000;
+  /// Force as soon as this many committers are parked.
+  std::size_t max_group_size = 8;
+};
+
 /// Static configuration of one node.
 struct NodeOptions {
   /// Directory for this node's database, log, and side files.
@@ -60,6 +78,9 @@ struct NodeOptions {
   /// Optional fault injector shared by the whole cluster (not owned); wired
   /// into this node's DiskManager and LogManager on open. nullptr = off.
   FaultInjector* fault_injector = nullptr;
+  /// Commit-time force coalescing; disabled by default so every commit
+  /// forces its own log exactly as before unless opted in.
+  GroupCommitPolicy group_commit;
 };
 
 }  // namespace clog

@@ -170,8 +170,7 @@ Status Node::WalBeforePageLeaves(PageId pid, const Page* page) {
     return Status::OK();
   }
   if (page->page_lsn() >= log_.flushed_lsn()) {
-    CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
-    ChargeLogForce();
+    CLOG_RETURN_IF_ERROR(ForceLog(page->page_lsn()));
   }
   return Status::OK();
 }
@@ -211,8 +210,7 @@ Status Node::HandleCallback(NodeId from, PageId pid, LockMode downgrade_to,
                                                 /*force=*/false, &pid));
       }
     } else if (cached->page_lsn() >= log_.flushed_lsn()) {
-      CLOG_RETURN_IF_ERROR(log_.Flush(cached->page_lsn()));
-      ChargeLogForce();
+      CLOG_RETURN_IF_ERROR(ForceLog(cached->page_lsn()));
     }
     auto copy = std::make_shared<Page>();
     copy->CopyFrom(*cached);
@@ -276,8 +274,7 @@ Status Node::HandleLogShip(NodeId from, const std::vector<LogRecord>& records,
     CLOG_RETURN_IF_ERROR(AppendWithReclaim(rec, &lsn));
   }
   if (force) {
-    CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
-    ChargeLogForce();
+    CLOG_RETURN_IF_ERROR(ForceLog(lsn));
   }
   b1_received_records_ += records.size();
   metrics_.GetCounter("b1.records_received").Add(records.size());

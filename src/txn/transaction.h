@@ -20,6 +20,11 @@ enum class TxnState : std::uint8_t {
   kActive = 0,
   kCommitted,
   kAborted,
+  /// Group commit: the commit record is appended (and the transaction can
+  /// no longer be aborted) but not yet durable; the transaction is parked
+  /// until a shared log force covers its commit LSN. Never acknowledged to
+  /// the caller while in this state.
+  kCommitting,
 };
 
 /// A savepoint a partial rollback can return to (paper Section 2.2).

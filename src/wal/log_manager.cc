@@ -133,20 +133,25 @@ void LogManager::Abandon() {
 Status LogManager::Append(const LogRecord& rec, Lsn* lsn,
                           bool enforce_capacity) {
   if (fd_ < 0) return Status::FailedPrecondition("log not open");
-  std::string body;
-  rec.EncodeTo(&body);
-  std::uint64_t frame_size = body.size() + kFrameOverhead;
+  // Zero-copy append: reserve the 8-byte frame header, encode the body
+  // directly into the tail buffer, then backfill len + crc. No per-record
+  // temporary string, no second memcpy; the on-disk frame format is
+  // byte-for-byte what the old encode-then-copy path produced.
+  const std::size_t base = buffer_.size();
+  buffer_.append(kFrameOverhead, '\0');
+  rec.EncodeTo(&buffer_);
+  const std::size_t body_size = buffer_.size() - base - kFrameOverhead;
+  const std::uint64_t frame_size = body_size + kFrameOverhead;
   if (enforce_capacity && WouldOverflow(frame_size)) {
+    buffer_.resize(base);  // The refused record leaves no trace.
     return Status::LogFull("log capacity " + std::to_string(capacity_) +
                            " bytes exhausted");
   }
-  std::uint32_t len = static_cast<std::uint32_t>(body.size());
-  std::uint32_t crc = crc32c::Value(body.data(), body.size());
-  char frame_hdr[kFrameOverhead];
-  std::memcpy(frame_hdr, &len, 4);
-  std::memcpy(frame_hdr + 4, &crc, 4);
-  buffer_.append(frame_hdr, kFrameOverhead);
-  buffer_.append(body);
+  std::uint32_t len = static_cast<std::uint32_t>(body_size);
+  std::uint32_t crc =
+      crc32c::Value(buffer_.data() + base + kFrameOverhead, body_size);
+  std::memcpy(buffer_.data() + base, &len, 4);
+  std::memcpy(buffer_.data() + base + 4, &crc, 4);
   *lsn = end_lsn_;
   end_lsn_ += frame_size;
   ++appended_records_;
@@ -238,15 +243,43 @@ Status LogManager::StoreMaster(Lsn checkpoint_end_lsn) {
   enc.PutU32(crc);
   std::string master = path_ + ".master";
   std::string tmp = master + ".tmp";
+  // The full crash-atomic side-file dance: write + fsync the temp file
+  // (rename must never publish a name whose *contents* are still in the
+  // page cache), rename over the old master, then fsync the directory so
+  // the rename itself survives a crash. Recovery trusts this pointer; a
+  // torn or vanished master would silently discard the checkpoint.
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return Status::IOError("open " + tmp);
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out.good()) return Status::IOError("write " + tmp);
+    int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) return Status::IOError(Errno("open " + tmp));
+    if (::pwrite(tfd, blob.data(), blob.size(), 0) !=
+        static_cast<ssize_t>(blob.size())) {
+      Status st = Status::IOError(Errno("write " + tmp));
+      ::close(tfd);
+      return st;
+    }
+    if (::fsync(tfd) != 0) {
+      Status st = Status::IOError(Errno("fsync " + tmp));
+      ::close(tfd);
+      return st;
+    }
+    ::close(tfd);
   }
   if (std::rename(tmp.c_str(), master.c_str()) != 0) {
     return Status::IOError(Errno("rename master"));
   }
+  std::string dir = ".";
+  if (std::size_t slash = master.find_last_of('/');
+      slash != std::string::npos) {
+    dir = master.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Status::IOError(Errno("open dir " + dir));
+  if (::fsync(dfd) != 0) {
+    Status st = Status::IOError(Errno("fsync dir " + dir));
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
   return Status::OK();
 }
 

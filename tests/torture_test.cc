@@ -67,6 +67,37 @@ TEST_P(CrashDuringRecoveryShardTest, ThirtyTwoSeeds) {
 INSTANTIATE_TEST_SUITE_P(Torture, CrashDuringRecoveryShardTest,
                          ::testing::Range(0, 2));
 
+/// Group-commit corpus: every node coalesces commit forces, so each
+/// schedule exercises commit parking, absorbed forces, crash-while-parked
+/// indeterminacy, and ATT draining at checkpoints. Two 32-seed shards.
+constexpr std::uint64_t kGroupCommitCorpusBase = 17000;
+constexpr int kGroupCommitSeedsPerShard = 32;
+
+class GroupCommitShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupCommitShardTest, ThirtyTwoSeeds) {
+  const int shard = GetParam();
+  std::uint64_t total_parked = 0;
+  for (int i = 0; i < kGroupCommitSeedsPerShard; ++i) {
+    TortureOptions opts;
+    opts.seed = kGroupCommitCorpusBase + static_cast<std::uint64_t>(shard) *
+        kGroupCommitSeedsPerShard + i;
+    opts.group_commit = true;
+    opts.keep_events = false;
+    TortureReport report = RunTortureSchedule(opts);
+    ASSERT_TRUE(report.ok)
+        << report.Summary() << "\nreplay: tools/torture --seed=" << report.seed
+        << " --group-commit --verbose";
+    total_parked += report.txns_parked;
+  }
+  // The mode is not allowed to degenerate: across a whole shard, commits
+  // must actually have parked (the coalescing path must have run).
+  EXPECT_GT(total_parked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Torture, GroupCommitShardTest,
+                         ::testing::Range(0, 2));
+
 TEST(TortureSmoke, AFewSeedsPass) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
     TortureOptions opts;
@@ -93,6 +124,24 @@ TEST(TortureSmoke, SameSeedReplaysIdentically) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.Summary(), b.Summary());
   ASSERT_TRUE(a.ok) << a.Summary();
+}
+
+TEST(TortureSmoke, GroupCommitSeedsPassAndReplayIdentically) {
+  // A couple of group-commit schedules ride in tier1 so the coalescing
+  // path is torture-covered in every build, and the replay contract holds
+  // with the policy on.
+  for (std::uint64_t seed : {1ull, 5ull, 10ull}) {
+    TortureOptions opts;
+    opts.seed = seed;
+    opts.group_commit = true;
+    TortureReport a = RunTortureSchedule(opts);
+    TortureReport b = RunTortureSchedule(opts);
+    ASSERT_TRUE(a.ok) << a.Summary()
+                      << "\nreplay: tools/torture --seed=" << a.seed
+                      << " --group-commit --verbose";
+    EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+    EXPECT_EQ(a.Summary(), b.Summary());
+  }
 }
 
 TEST(TortureSmoke, DifferentSeedsDiverge) {

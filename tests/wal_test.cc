@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32c.h"
 #include "fault/fault_injector.h"
 #include "tests/test_util.h"
 #include "wal/log_manager.h"
@@ -358,6 +364,124 @@ TEST_F(LogManagerTest, ForwardCursorScansAll) {
   ASSERT_OK(st);
   EXPECT_EQ(count, 10);
   EXPECT_EQ(cursor.records_read(), 10u);
+}
+
+// Reference framing: encode the body on its own, then prepend the frame
+// header exactly as the format doc specifies — u32 body_len | u32
+// crc32c(body) | body, native u32 layout. The append path builds frames
+// in place in the tail buffer; these tests pin it to this reference.
+std::string ReferenceFrame(const LogRecord& rec) {
+  std::string body;
+  rec.EncodeTo(&body);
+  std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  std::uint32_t crc = crc32c::Value(body.data(), body.size());
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame += body;
+  return frame;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<LogRecord> GoldenRecords() {
+  std::vector<LogRecord> recs;
+  recs.push_back(MakeUpdate(MakeTxnId(1, 7), PageId{2, 5}, 42, kNullLsn,
+                            "redo-bytes", "undo-bytes"));
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = MakeTxnId(1, 7);
+  commit.prev_lsn = LogManager::first_lsn();
+  recs.push_back(commit);
+  LogRecord ckpt;
+  ckpt.type = LogRecordType::kCheckpointEnd;
+  ckpt.checkpoint_begin_lsn = 128;
+  ckpt.dpt = {DptEntry{PageId{1, 2}, 3, 9, 500}};
+  ckpt.att = {AttEntry{MakeTxnId(1, 3), 450}};
+  recs.push_back(ckpt);
+  recs.push_back(MakeUpdate(MakeTxnId(0, 2), PageId{0, 1}, 7, kNullLsn,
+                            std::string(200, 'R'), std::string(90, 'U')));
+  return recs;
+}
+
+TEST_F(LogManagerTest, AppendIsByteIdenticalToReferenceFraming) {
+  // On-disk format golden test. The zero-copy append path reserves the
+  // 8-byte frame header, encodes the body directly into the tail buffer,
+  // and backfills len/crc; the file it produces must be byte-identical to
+  // the reference framing. Any drift here orphans every existing log.
+  const std::string path = dir_.path() + "/log";
+  std::string expect;
+  Lsn expect_lsn = LogManager::first_lsn();
+  {
+    LogManager log;
+    ASSERT_OK(log.Open(path));
+    Lsn lsn = kNullLsn;
+    for (const LogRecord& rec : GoldenRecords()) {
+      ASSERT_OK(log.Append(rec, &lsn));
+      EXPECT_EQ(lsn, expect_lsn);  // LSNs are byte offsets of the frame.
+      std::string frame = ReferenceFrame(rec);
+      expect += frame;
+      expect_lsn += frame.size();
+    }
+    ASSERT_OK(log.Flush(lsn));
+    EXPECT_EQ(log.end_lsn(), expect_lsn);
+    ASSERT_OK(log.Close());
+  }
+  std::string file = ReadWholeFile(path);
+  ASSERT_EQ(file.size(), static_cast<std::size_t>(expect_lsn));
+  EXPECT_EQ(file.substr(LogManager::first_lsn()), expect);
+}
+
+TEST_F(LogManagerTest, ReferenceFramedFileReplaysOnOpen) {
+  // The converse direction: a log written frame-by-frame by the reference
+  // encoder (i.e. by the pre-zero-copy implementation) must recover and
+  // read back unchanged, and must accept new appends after its tail.
+  const std::string path = dir_.path() + "/log";
+  {
+    LogManager log;  // Produces just the 64-byte file header.
+    ASSERT_OK(log.Open(path));
+    ASSERT_OK(log.Close());
+  }
+  std::vector<LogRecord> recs = GoldenRecords();
+  std::vector<Lsn> lsns;
+  Lsn at = LogManager::first_lsn();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    for (const LogRecord& rec : recs) {
+      std::string frame = ReferenceFrame(rec);
+      lsns.push_back(at);
+      at += frame.size();
+      out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    }
+  }
+  LogManager log;
+  ASSERT_OK(log.Open(path));
+  EXPECT_EQ(log.end_lsn(), at);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    LogRecord got;
+    ASSERT_OK(log.ReadRecord(lsns[i], &got));
+    EXPECT_EQ(got.type, recs[i].type) << "record " << i;
+    std::string want_body, got_body;
+    recs[i].EncodeTo(&want_body);
+    got.EncodeTo(&got_body);
+    EXPECT_EQ(got_body, want_body) << "record " << i;
+  }
+  // The reopened log continues with zero-copy appends where the old
+  // encoder left off.
+  Lsn more = kNullLsn;
+  ASSERT_OK(log.Append(
+      MakeUpdate(MakeTxnId(2, 1), PageId{0, 0}, 1, kNullLsn, "new", ""),
+      &more));
+  EXPECT_EQ(more, at);
+  ASSERT_OK(log.Flush(more));
+  LogRecord got;
+  ASSERT_OK(log.ReadRecord(more, &got));
+  EXPECT_EQ(got.redo_image, "new");
 }
 
 TEST_F(LogManagerTest, BackwardCursorFollowsTxnChainAndClrSkips) {

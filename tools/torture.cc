@@ -28,13 +28,15 @@ void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
                "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
-               "          [--verbose]\n"
+               "          [--group-commit] [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
                "and checks the four torture invariants. --verbose prints the\n"
                "full event trace of every schedule. --crash-during-recovery\n"
                "forces a mid-recovery crash into every repair pass (a node\n"
-               "dies at a seeded phase boundary and must be re-recovered).\n",
+               "dies at a seeded phase boundary and must be re-recovered).\n"
+               "--group-commit runs every node with commit-force coalescing\n"
+               "on; commits park and the harness polls for their acks.\n",
                prog);
 }
 
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   bool have_seed = false;
   bool verbose = false;
   bool crash_during_recovery = false;
+  bool group_commit = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (std::strcmp(arg, "--crash-during-recovery") == 0) {
       crash_during_recovery = true;
+    } else if (std::strcmp(arg, "--group-commit") == 0) {
+      group_commit = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
     opts.records_per_page = static_cast<int>(records);
     opts.keep_events = verbose;
     opts.crash_during_recovery = crash_during_recovery;
+    opts.group_commit = group_commit;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
     if (verbose) {
       for (const std::string& e : report.events) {
