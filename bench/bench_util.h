@@ -65,6 +65,8 @@ inline void Banner(const char* id, const char* claim) {
 
 /// Simulated nanoseconds -> milliseconds for printing.
 inline double Ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+/// Same, for interpolated histogram quantiles (HistogramStat::p50 etc.).
+inline double Ms(double ns) { return ns / 1e6; }
 
 /// Transactions per simulated second.
 inline double Tps(std::uint64_t txns, std::uint64_t sim_ns) {

@@ -20,6 +20,11 @@ struct Row {
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   std::uint64_t sim_ns = 0;
+  // Commit-latency quantiles (ns) from the client's commit.latency_ns
+  // histogram, covering only the measured loop.
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
 };
 
 Row MeasureCommit(LoggingMode mode, std::size_t updates_per_txn,
@@ -34,23 +39,27 @@ Row MeasureCommit(LoggingMode mode, std::size_t updates_per_txn,
   // Warm the client's cache and locks so the measured loop isolates
   // commit-protocol cost, not cold fetches.
   Random rng(7);
-  TxnId warm = Value(client->Begin(), "warm");
+  TxnHandle warm = Value(TxnHandle::Begin(client), "warm");
   for (PageId pid : pages) {
-    Check(client->Update(warm, RecordId{pid, 0}, rng.Bytes(64)), "warm op");
+    Check(warm.Update(RecordId{pid, 0}, rng.Bytes(64)), "warm op");
   }
-  Check(client->Commit(warm), "warm commit");
+  Check(warm.Commit(), "warm commit");
+  // Drop the warm-up from the histograms so the quantiles below cover only
+  // the measured commits. Reset keeps entries in place, so any cached
+  // handles inside the node stay valid.
+  client->metrics().Reset();
 
   std::uint64_t msgs0 = bc->network().metrics().CounterValue("msg.total");
   std::uint64_t bytes0 = bc->network().metrics().CounterValue("bytes.total");
   std::uint64_t t0 = bc->clock().NowNanos();
   for (std::size_t i = 0; i < txns; ++i) {
-    TxnId txn = Value(client->Begin(), "begin");
+    TxnHandle txn = Value(TxnHandle::Begin(client), "begin");
     for (std::size_t u = 0; u < updates_per_txn; ++u) {
       RecordId rid{pages[u % pages.size()],
                    static_cast<SlotId>(u / pages.size() % 8)};
-      Check(client->Update(txn, rid, rng.Bytes(64)), "update");
+      Check(txn.Update(rid, rng.Bytes(64)), "update");
     }
-    Check(client->Commit(txn), "commit");
+    Check(txn.Commit(), "commit");
   }
   Row row;
   row.msgs = bc->network().metrics().CounterValue("msg.total") - msgs0;
@@ -59,6 +68,10 @@ Row MeasureCommit(LoggingMode mode, std::size_t updates_per_txn,
   row.msgs /= txns;
   row.bytes /= txns;
   row.sim_ns /= txns;
+  HistogramStat lat = client->metrics().HistogramValue("commit.latency_ns");
+  row.p50_ns = lat.p50;
+  row.p95_ns = lat.p95;
+  row.p99_ns = lat.p99;
   return row;
 }
 
@@ -177,6 +190,22 @@ int main(int argc, char** argv) {
       "\nexpected shape: client-local stays at 0 msgs / flat latency; B1 "
       "grows with log volume; B2 grows with touched pages.\n");
 
+  // Commit-latency quantiles (commit.latency_ns histogram, measured loop
+  // only) for the updates=8 point of each protocol.
+  std::printf(
+      "\n--- commit latency quantiles at updates=8 (ms, simulated) ---\n");
+  std::printf("%-24s | %8s %8s %8s\n", "mode", "p50", "p95", "p99");
+  struct {
+    const char* name;
+    const Row* row;
+  } qrows[] = {{"client-local", &local8},
+               {"ship-to-owner (B1)", &ship8},
+               {"force-at-transfer (B2)", &force8}};
+  for (const auto& q : qrows) {
+    std::printf("%-24s | %8.3f %8.3f %8.3f\n", q.name, Ms(q.row->p50_ns),
+                Ms(q.row->p95_ns), Ms(q.row->p99_ns));
+  }
+
   std::printf(
       "\n--- group commit: 4 concurrent committers, disjoint pages ---\n");
   GroupRow off = MeasureGroupCommit(false);
@@ -198,6 +227,9 @@ int main(int argc, char** argv) {
               {{"e1_local_commit_ms", Ms(local8.sim_ns)},
                {"e1_b1_commit_ms", Ms(ship8.sim_ns)},
                {"e1_b2_commit_ms", Ms(force8.sim_ns)},
+               {"e1_local_commit_p50_ms", Ms(local8.p50_ns)},
+               {"e1_local_commit_p95_ms", Ms(local8.p95_ns)},
+               {"e1_local_commit_p99_ms", Ms(local8.p99_ns)},
                {"e1_local_msgs", static_cast<double>(local8.msgs)},
                {"e1_group_off_forces_per_commit", off.forces_per_commit},
                {"e1_group_on_forces_per_commit", on.forces_per_commit},

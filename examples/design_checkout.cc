@@ -40,34 +40,34 @@ int main() {
   PageId motor = *vault->AllocatePage();
   PageId panel = *vault->AllocatePage();
 
-  TxnId setup = *vault->Begin();
-  RecordId chassis_rev = *vault->Insert(setup, chassis, "chassis rev A");
-  RecordId motor_rev = *vault->Insert(setup, motor, "motor rev A");
-  RecordId panel_rev = *vault->Insert(setup, panel, "panel rev A");
-  Check(vault->Commit(setup), "vault setup");
+  TxnHandle setup = *TxnHandle::Begin(vault);
+  RecordId chassis_rev = *setup.Insert(chassis, "chassis rev A");
+  RecordId motor_rev = *setup.Insert(motor, "motor rev A");
+  RecordId panel_rev = *setup.Insert(panel, "panel rev A");
+  Check(setup.Commit(), "vault setup");
 
   // Alice iterates on the chassis: after the first fetch, every edit is
   // local (cached page + cached lock + local log).
   for (int rev = 0; rev < 3; ++rev) {
-    TxnId txn = *alice->Begin();
-    Check(alice->Update(txn, chassis_rev,
-                        "chassis rev B" + std::to_string(rev) + " by alice"),
+    TxnHandle txn = *TxnHandle::Begin(alice);
+    Check(txn.Update(chassis_rev,
+                     "chassis rev B" + std::to_string(rev) + " by alice"),
           "alice edit");
-    Check(alice->Commit(txn), "alice commit");
+    Check(txn.Commit(), "alice commit");
   }
   std::printf("alice made 3 chassis revisions (locally logged)\n");
 
   // Bob works on the motor concurrently — disjoint pages, zero
   // interference.
-  TxnId bob_txn = *bob->Begin();
-  Check(bob->Update(bob_txn, motor_rev, "motor rev B by bob"), "bob edit");
-  Check(bob->Commit(bob_txn), "bob commit");
+  TxnHandle bob_txn = *TxnHandle::Begin(bob);
+  Check(bob_txn.Update(motor_rev, "motor rev B by bob"), "bob edit");
+  Check(bob_txn.Commit(), "bob commit");
 
   // Bob now needs the chassis too: the vault calls Alice's exclusive lock
   // back, her latest revision travels with the callback, and Bob sees it.
-  TxnId bob_read = *bob->Begin();
-  std::string latest = *bob->Read(bob_read, chassis_rev);
-  Check(bob->Commit(bob_read), "bob read");
+  TxnHandle bob_read = *TxnHandle::Begin(bob);
+  std::string latest = *bob_read.Read(chassis_rev);
+  Check(bob_read.Commit(), "bob read");
   std::printf("bob reads alice's work via callback: \"%s\"\n",
               latest.c_str());
 
@@ -83,10 +83,10 @@ int main() {
         "bob panel");
 
   // Alice takes the chassis back (exclusive again) before the outage.
-  TxnId retake = *alice->Begin();
-  Check(alice->Update(retake, chassis_rev, "chassis rev C by alice"),
+  TxnHandle retake = *TxnHandle::Begin(alice);
+  Check(retake.Update(chassis_rev, "chassis rev C by alice"),
         "alice retake");
-  Check(alice->Commit(retake), "alice retake commit");
+  Check(retake.Commit(), "alice retake commit");
 
   // The vault crashes. Its disk version of the chassis is stale — the
   // committed revisions live in Alice's and Bob's logs/caches only. Alice
@@ -96,10 +96,10 @@ int main() {
   // logs.
   Check(cluster.CrashNode(vault->id()), "vault crash");
   std::printf("vault crashed; engineers keep working on cached pages...\n");
-  TxnId offline = *alice->Begin();
-  Check(alice->Update(offline, chassis_rev, "chassis rev D by alice"),
+  TxnHandle offline = *TxnHandle::Begin(alice);
+  Check(offline.Update(chassis_rev, "chassis rev D by alice"),
         "alice offline edit");
-  Check(alice->Commit(offline), "alice offline commit");
+  Check(offline.Commit(), "alice offline commit");
 
   Check(cluster.RestartNode(vault->id()), "vault restart");
   const auto& stats = cluster.recovery_stats().at(vault->id());
@@ -110,15 +110,15 @@ int main() {
       static_cast<unsigned long long>(stats.own_pages_recovered),
       static_cast<unsigned long long>(stats.redo_applied));
 
-  TxnId audit = *vault->Begin();
+  TxnHandle audit = *TxnHandle::Begin(vault);
   std::printf("final design state:\n");
   for (PageId pid : {chassis, motor, panel}) {
-    std::vector<std::string> records = *vault->ScanPage(audit, pid);
+    std::vector<std::string> records = *audit.ScanPage(pid);
     for (const std::string& r : records) {
       std::printf("  %s\n", r.c_str());
     }
   }
-  Check(vault->Commit(audit), "audit");
+  Check(audit.Commit(), "audit");
 
   std::printf("OK\n");
   return 0;

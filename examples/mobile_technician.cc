@@ -35,16 +35,16 @@ int main() {
 
   // The office database: one page per customer.
   PageId customer_page = *office->AllocatePage();
-  TxnId setup = *office->Begin();
+  TxnHandle setup = *TxnHandle::Begin(office);
   RecordId complaint =
-      *office->Insert(setup, customer_page, "ticket#871: water heater noise");
-  Check(office->Commit(setup), "office setup");
+      *setup.Insert(customer_page, "ticket#871: water heater noise");
+  Check(setup.Commit(), "office setup");
 
   // Morning: the technician checks the customer's page out to the
   // notebook (one page fetch — the last office contact of the day).
-  TxnId checkout = *notebook->Begin();
-  std::string ticket = *notebook->Read(checkout, complaint);
-  Check(notebook->Commit(checkout), "checkout");
+  TxnHandle checkout = *TxnHandle::Begin(notebook);
+  std::string ticket = *checkout.Read(complaint);
+  Check(checkout.Commit(), "checkout");
   std::printf("technician checked out: %s\n", ticket.c_str());
 
   // On site: several durable work orders, each a local transaction. Count
@@ -58,9 +58,9 @@ int main() {
       "ticket#871: tested 30min, noise gone, customer signed",
   };
   for (const char* note : notes) {
-    TxnId txn = *notebook->Begin();
-    work_orders.push_back(*notebook->Insert(txn, customer_page, note));
-    Check(notebook->Commit(txn), "work order commit");
+    TxnHandle txn = *TxnHandle::Begin(notebook);
+    work_orders.push_back(*txn.Insert(customer_page, note));
+    Check(txn.Commit(), "work order commit");
   }
   std::uint64_t field_msgs =
       cluster.network().metrics().CounterValue("msg.total") - msgs_before;
@@ -75,9 +75,9 @@ int main() {
 
   // Back at the office: the office reads the customer page; the callback
   // pulls the technician's updates home.
-  TxnId review = *office->Begin();
-  auto records = *office->ScanPage(review, customer_page);
-  Check(office->Commit(review), "office review");
+  TxnHandle review = *TxnHandle::Begin(office);
+  auto records = *review.ScanPage(customer_page);
+  Check(review.Commit(), "office review");
   std::printf("office now sees %zu records:\n", records.size());
   for (const std::string& r : records) std::printf("  %s\n", r.c_str());
 

@@ -37,11 +37,11 @@ int main() {
 
   // The client runs a transaction against the server's page. Log records
   // go to the client's local log; commit forces that log only.
-  TxnId txn = *client->Begin();
-  RecordId customer = *client->Insert(txn, page, "alice: 3 widgets");
+  TxnHandle txn = *TxnHandle::Begin(client);
+  RecordId customer = *txn.Insert(page, "alice: 3 widgets");
   std::uint64_t msgs_before =
       cluster.network().metrics().CounterValue("msg.total");
-  Check(client->Commit(txn), "commit");
+  Check(txn.Commit(), "commit");
   std::uint64_t commit_msgs =
       cluster.network().metrics().CounterValue("msg.total") - msgs_before;
   std::printf("commit sent %llu messages (client-based logging: zero)\n",
@@ -58,9 +58,9 @@ int main() {
               static_cast<unsigned long long>(stats.redo_applied));
 
   // The committed record survived.
-  TxnId check = *client->Begin();
-  std::string value = *client->Read(check, customer);
-  Check(client->Commit(check), "read-back commit");
+  TxnHandle check = *TxnHandle::Begin(client);
+  std::string value = *check.Read(customer);
+  Check(check.Commit(), "read-back commit");
   std::printf("read back after crash: \"%s\"\n", value.c_str());
 
   std::printf("OK\n");

@@ -50,7 +50,10 @@ def load_metrics(path):
             elif "items_per_second" in b:
                 metrics[name + ":items_per_second"] = (
                     float(b["items_per_second"]), +1)
-    elif isinstance(doc, dict):
+    # Flat top-level numeric keys are gated too, even in a google-benchmark
+    # document: run_bench.sh folds the commit-latency quantiles from
+    # BENCH_e1.json into BENCH_micro.json as top-level "<name>_ms" keys.
+    if isinstance(doc, dict):
         for name, value in doc.items():
             if not isinstance(value, (int, float)):
                 continue

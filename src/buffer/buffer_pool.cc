@@ -1,5 +1,7 @@
 #include "buffer/buffer_pool.h"
 
+#include "trace/trace_sink.h"
+
 namespace clog {
 
 BufferPool::BufferPool(std::size_t capacity) : capacity_(capacity) {
@@ -74,6 +76,10 @@ Status BufferPool::EvictFrame(PageId pid) {
   if (!st.ok()) {
     it->second.evicting = false;
     return st;
+  }
+  if (trace_ != nullptr) {
+    trace_->Emit(trace_node_, TraceEventType::kPageEvict, pid.Pack(), 0,
+                 it->second.dirty ? 1 : 0);
   }
   lru_.erase(it->second.lru_pos);
   frames_.erase(it);

@@ -21,6 +21,8 @@
 
 namespace clog {
 
+class TraceSink;
+
 /// Fixed-capacity page cache with LRU replacement and pin counts.
 class BufferPool {
  public:
@@ -89,6 +91,13 @@ class BufferPool {
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
 
+  /// Attaches a trace sink emitting PAGE_EVICT events as `node` (nullptr
+  /// detaches). Not owned.
+  void set_trace_sink(TraceSink* trace, NodeId node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
   struct Frame {
     std::unique_ptr<Page> page;
@@ -115,6 +124,9 @@ class BufferPool {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+
+  TraceSink* trace_ = nullptr;
+  NodeId trace_node_ = kInvalidNodeId;
 };
 
 }  // namespace clog

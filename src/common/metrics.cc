@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace clog {
 namespace {
@@ -15,6 +16,18 @@ int BucketFor(std::uint64_t v) {
 
 std::uint64_t BucketLow(int b) { return b == 0 ? 0 : (1ull << b); }
 std::uint64_t BucketHigh(int b) { return b >= 63 ? ~0ull : (1ull << (b + 1)); }
+
+HistogramStat StatOf(const std::string& name, const Histogram& h) {
+  HistogramStat s;
+  s.name = name;
+  s.count = h.count();
+  s.mean = h.Mean();
+  s.p50 = h.Quantile(0.50);
+  s.p95 = h.Quantile(0.95);
+  s.p99 = h.Quantile(0.99);
+  s.max = h.max();
+  return s;
+}
 
 }  // namespace
 
@@ -61,25 +74,58 @@ std::uint64_t Metrics::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+HistogramStat Metrics::HistogramValue(const std::string& name) const {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramStat s;
+    s.name = name;
+    return s;
+  }
+  return StatOf(name, it->second);
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Metrics::Snapshot() const {
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<HistogramStat> Metrics::HistogramSnapshot() const {
+  std::vector<HistogramStat> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back(StatOf(name, h));
+  std::sort(out.begin(), out.end(),
+            [](const HistogramStat& a, const HistogramStat& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
 void Metrics::Reset() {
+  // Values reset in place; entries (and cached element pointers) survive.
   for (auto& [_, c] : counters_) c.Reset();
   for (auto& [_, h] : histograms_) h.Reset();
 }
 
 std::string Metrics::ToString() const {
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, value] : Snapshot()) {
     out += name;
     out += " = ";
-    out += std::to_string(c.value());
+    out += std::to_string(value);
     out += "\n";
+  }
+  for (const HistogramStat& s : HistogramSnapshot()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ": count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                  "max=%llu\n",
+                  static_cast<unsigned long long>(s.count), s.mean, s.p50,
+                  s.p95, s.p99, static_cast<unsigned long long>(s.max));
+    out += s.name;
+    out += buf;
   }
   return out;
 }

@@ -2,8 +2,8 @@
 #define CLOG_COMMON_METRICS_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace clog {
@@ -43,29 +43,57 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+/// Point-in-time summary of one named histogram. Quantiles come from
+/// bucket interpolation (deterministic for deterministic inputs), so bench
+/// harnesses can gate on them directly.
+struct HistogramStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  std::uint64_t max = 0;
+};
+
 /// Named metrics registry. Each node and the network own one; benchmark
 /// harnesses snapshot and diff them across phases.
+///
+/// Storage is unordered_map — emit paths pay one string hash, no ordered
+/// tree walk — and element references are stable across rehash, so hot
+/// call sites may cache `&GetCounter(...)` / `&GetHistogram(...)` once and
+/// bump through the pointer (Node does this for its steady-state metrics).
+/// All snapshot/dump output is sorted by name for stable diffs.
 class Metrics {
  public:
   /// Returns the counter with the given name, creating it on first use.
+  /// The reference stays valid for the life of this registry.
   Counter& GetCounter(const std::string& name);
   /// Returns the histogram with the given name, creating it on first use.
+  /// The reference stays valid for the life of this registry.
   Histogram& GetHistogram(const std::string& name);
 
   /// Counter value or 0 if never touched.
   std::uint64_t CounterValue(const std::string& name) const;
 
+  /// Histogram summary, or a zeroed stat (count == 0) if never touched.
+  HistogramStat HistogramValue(const std::string& name) const;
+
   /// All counters, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
 
+  /// All histograms, sorted by name.
+  std::vector<HistogramStat> HistogramSnapshot() const;
+
   void Reset();
 
-  /// Multi-line "name = value" dump (counters only).
+  /// Multi-line dump: "name = value" for counters, then
+  /// "name: count=… mean=… p50=… p95=… p99=… max=…" per histogram.
   std::string ToString() const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::unordered_map<std::string, Counter> counters_;
+  std::unordered_map<std::string, Histogram> histograms_;
 };
 
 }  // namespace clog

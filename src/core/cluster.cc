@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include "trace/trace_sink.h"
+
 namespace clog {
 namespace {
 
@@ -18,6 +20,10 @@ Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), network_(&clock_, options_.cost) {
   network_.set_fault_injector(options_.fault_injector);
   network_.set_retry_policy(options_.retry_policy);
+  if (options_.trace_sink != nullptr) {
+    options_.trace_sink->BindClock(&clock_);
+    network_.set_trace_sink(options_.trace_sink);
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -31,6 +37,9 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   }
   if (!opts.group_commit.enabled) {
     opts.group_commit = options_.group_commit;
+  }
+  if (opts.trace_sink == nullptr) {
+    opts.trace_sink = options_.trace_sink;
   }
   CLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
   CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
@@ -196,7 +205,7 @@ Status Cluster::RunTransaction(NodeId node_id,
     TxnHandle handle(n, txn);
     Status st = body(handle);
     if (st.ok()) {
-      st = n->Commit(txn);
+      st = handle.Commit();
       if (st.ok()) {
         detector_.RemoveTxn(txn);
         return Status::OK();
@@ -207,7 +216,7 @@ Status Cluster::RunTransaction(NodeId node_id,
       NoteBusyAndCheckDeadlock(txn, n->LastBlockers(txn));
     }
     detector_.RemoveTxn(txn);
-    n->Abort(txn).ok();  // Best effort; the txn may be gone already.
+    handle.Abort().ok();  // Best effort; the txn may be gone already.
     last = st;
     if (!st.IsBusy() && !st.IsDeadlock()) return st;
   }
@@ -219,6 +228,10 @@ bool Cluster::NoteBusyAndCheckDeadlock(TxnId waiter,
   detector_.AddWaits(waiter, blockers);
   if (detector_.CyclesThrough(waiter)) {
     detector_.ClearWaits(waiter);
+    if (options_.trace_sink != nullptr) {
+      options_.trace_sink->Emit(TxnNode(waiter), TraceEventType::kDeadlock,
+                                waiter);
+    }
     return true;
   }
   return false;

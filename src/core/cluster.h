@@ -47,6 +47,11 @@ struct ClusterOptions {
   /// AddNode override already enables its own policy). Off by default:
   /// each commit forces its own log synchronously.
   GroupCommitPolicy group_commit;
+  /// Optional structured-event trace sink (not owned; must outlive the
+  /// cluster). The cluster binds its SimClock to the sink and wires it
+  /// into the network and every node; see docs/observability.md. nullptr
+  /// (the default) disables tracing at zero cost.
+  TraceSink* trace_sink = nullptr;
 };
 
 /// Phase boundaries of a node's restart recovery, in execution order.
@@ -137,6 +142,12 @@ class Cluster {
   /// Runs `body` as a transaction on `node_id` with automatic retry on
   /// Busy and abort-and-retry on deadlock (at most `max_attempts`). The
   /// body returning non-OK aborts the transaction and stops.
+  ///
+  /// Commit/abort are driven by the cluster through the handle; bodies
+  /// should use the TxnHandle lifecycle API (`Commit()`, `Abort()`,
+  /// `CommitRequest()`/`PollCommit()`) for any manual control. Reaching
+  /// through the handle (`handle.node()->Commit(handle.id())`) is
+  /// deprecated: it bypasses the handle's own lifecycle surface.
   Status RunTransaction(NodeId node_id,
                         const std::function<Status(TxnHandle&)>& body,
                         int max_attempts = 8);
@@ -172,8 +183,35 @@ class TxnHandle {
  public:
   TxnHandle(Node* node, TxnId id) : node_(node), id_(id) {}
 
+  /// Begins a new transaction on `node` and wraps it in a handle — the
+  /// usual way to obtain one outside RunTransaction.
+  static Result<TxnHandle> Begin(Node* node) {
+    CLOG_ASSIGN_OR_RETURN(TxnId id, node->Begin());
+    return TxnHandle(node, id);
+  }
+
   TxnId id() const { return id_; }
   Node* node() { return node_; }
+
+  // --- Lifecycle ---------------------------------------------------------
+
+  /// Commits this transaction (forces the log per the node's LoggingMode;
+  /// with group commit enabled, parks until a covering force completes).
+  Status Commit() { return node_->Commit(id_); }
+
+  /// Aborts this transaction, undoing all of its updates.
+  Status Abort() { return node_->Abort(id_); }
+
+  /// Group-commit split commit: appends the commit record and parks.
+  /// Returns true if already durable (covered immediately), false if
+  /// parked — drive with PollCommit() until it reports durable.
+  Result<bool> CommitRequest() { return node_->CommitRequest(id_); }
+
+  /// Polls a parked commit; forces the group when the coalescing window
+  /// has expired. Returns true once the commit is durable.
+  Result<bool> PollCommit() { return node_->PollCommit(id_); }
+
+  // --- Data operations ---------------------------------------------------
 
   Result<RecordId> Insert(PageId pid, Slice payload) {
     return node_->Insert(id_, pid, payload);

@@ -51,7 +51,7 @@ WorkloadDriver::WorkloadDriver(
 Status WorkloadDriver::AbortAndRetry(Session* s, bool count_deadlock) {
   Node* n = cluster_->node(s->node);
   cluster_->detector().RemoveTxn(s->txn);
-  n->Abort(s->txn).ok();
+  TxnHandle(n, s->txn).Abort().ok();
   s->txn = kInvalidTxnId;
   s->ops_done = 0;
   s->commit_parked = false;
@@ -77,7 +77,7 @@ Status WorkloadDriver::AvailabilityAbort(Session* s, bool txn_lost) {
     cluster_->detector().RemoveTxn(s->txn);
     // A transaction that died with its own node cannot be aborted — its
     // volatile state is already gone; recovery undoes it from the log.
-    if (!txn_lost) n->Abort(s->txn).ok();
+    if (!txn_lost) TxnHandle(n, s->txn).Abort().ok();
     s->txn = kInvalidTxnId;
   }
   s->ops_done = 0;
@@ -123,19 +123,20 @@ Status WorkloadDriver::Step(Session* s) {
   s->down_polls = 0;
 
   if (s->txn == kInvalidTxnId) {
-    Result<TxnId> txn = n->Begin();
+    Result<TxnHandle> txn = TxnHandle::Begin(n);
     if (!txn.ok()) return txn.status();
-    s->txn = *txn;
+    s->txn = txn->id();
     s->ops_done = 0;
     return Status::OK();
   }
 
+  TxnHandle handle(n, s->txn);
   if (s->ops_done >= config_.ops_per_txn) {
     // CommitRequest is plain Commit when group commit is off (returns
     // durable=true); with the policy on, the first call parks the
     // transaction and later rounds poll until the shared force lands.
     Result<bool> r =
-        s->commit_parked ? n->PollCommit(s->txn) : n->CommitRequest(s->txn);
+        s->commit_parked ? handle.PollCommit() : handle.CommitRequest();
     Status st = r.status();
     if (st.IsNodeDown() || st.IsUnavailable()) {
       // Commit-time communication (ship-to-owner baselines) hit a crashed
@@ -172,9 +173,9 @@ Status WorkloadDriver::Step(Session* s) {
                static_cast<SlotId>(s->rng.Uniform(config_.records_per_page))};
   Status st;
   if (s->rng.Bernoulli(config_.update_fraction)) {
-    st = n->Update(s->txn, rid, s->rng.Bytes(config_.payload_bytes));
+    st = handle.Update(rid, s->rng.Bytes(config_.payload_bytes));
   } else {
-    st = n->Read(s->txn, rid).status();
+    st = handle.Read(rid).status();
   }
   if (st.ok()) {
     ++s->ops_done;

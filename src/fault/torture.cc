@@ -14,7 +14,10 @@
 
 #include "common/random.h"
 #include "core/cluster.h"
+#include "net/message.h"
 #include "recovery/node_psn_list.h"
+#include "trace/trace_export.h"
+#include "trace/trace_sink.h"
 #include "wal/log_reader.h"
 
 namespace clog {
@@ -78,7 +81,10 @@ struct ParkedTxn {
 class TortureRun {
  public:
   explicit TortureRun(const TortureOptions& options)
-      : options_(options), rng_(options.seed), injector_(options.seed) {}
+      : options_(options),
+        rng_(options.seed),
+        injector_(options.seed),
+        trace_(options.trace_events_per_node) {}
 
   ~TortureRun() {
     cluster_.reset();  // Close files before removing the directory.
@@ -118,6 +124,14 @@ class TortureRun {
     report_.ok = failure_.empty();
     report_.failure = failure_;
     report_.schedule_hash = hash_;
+    report_.trace_hash = trace_.Hash();
+    if (!failure_.empty()) {
+      TraceFormatOptions fmt;
+      fmt.msg_name = [](std::uint32_t t) {
+        return MsgTypeName(static_cast<MsgType>(t));
+      };
+      report_.trace_tail = FormatTrace(trace_, /*tail=*/32, fmt);
+    }
     report_.faults = injector_.counters();
     if (cluster_ != nullptr) {
       const Metrics& m = cluster_->network().metrics();
@@ -217,6 +231,7 @@ class TortureRun {
     ClusterOptions copts;
     copts.dir = dir_;
     copts.fault_injector = &injector_;
+    copts.trace_sink = &trace_;
     // A pool smaller than the working set keeps pages bouncing through the
     // eviction/ship/force paths, where most of the interesting fault
     // interactions (torn and failed page writes included) live.
@@ -1082,6 +1097,7 @@ class TortureRun {
   TortureOptions options_;
   Random rng_;
   FaultInjector injector_;
+  TraceSink trace_;  ///< Outlives cluster_; every node emits into it.
   bool use_partitions_ = false;
   bool use_io_faults_ = false;
 
@@ -1112,7 +1128,8 @@ namespace clog {
 std::string TortureReport::Summary() const {
   std::ostringstream out;
   out << "seed=" << seed << " verdict=" << (ok ? "PASS" : "FAIL")
-      << " hash=" << std::hex << schedule_hash << std::dec
+      << " hash=" << std::hex << schedule_hash << " trace=" << trace_hash
+      << std::dec
       << " committed=" << txns_committed << " aborted=" << txns_aborted
       << " indeterminate=" << txns_indeterminate
       << " parked=" << txns_parked << " crashes=" << crashes

@@ -45,6 +45,9 @@ struct TortureOptions {
   bool group_commit = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
+  /// Per-node capacity of the structured trace ring (newest events win).
+  /// The trace hash covers every event ever emitted, not just the ring.
+  std::size_t trace_events_per_node = 512;
 };
 
 struct TortureReport {
@@ -54,6 +57,12 @@ struct TortureReport {
   std::string failure;
   /// FNV-1a64 over the event trace; equal hashes = identical schedules.
   std::uint64_t schedule_hash = 0;
+  /// Combined TraceSink hash over every node's structured event stream.
+  /// Like schedule_hash, equal seeds must produce equal trace hashes.
+  std::uint64_t trace_hash = 0;
+  /// On failure: the newest structured trace events per node, formatted
+  /// for humans. Empty when the run passed.
+  std::string trace_tail;
   std::vector<std::string> events;
 
   std::uint64_t txns_committed = 0;

@@ -1,5 +1,7 @@
 #include "lock/lock_manager.h"
 
+#include "trace/trace_sink.h"
+
 namespace clog {
 
 GrantOutcome GlobalLockTable::TryGrant(PageId pid, NodeId node,
@@ -11,6 +13,10 @@ GrantOutcome GlobalLockTable::TryGrant(PageId pid, NodeId node,
     if (!Compatible(held, mode)) out.conflicting.push_back(holder);
   }
   if (!out.conflicting.empty()) {
+    if (trace_ != nullptr) {
+      trace_->Emit(trace_node_, TraceEventType::kLockWait, pid.Pack(), node,
+                   static_cast<std::uint32_t>(mode));
+    }
     if (holders.empty()) table_.erase(pid);
     return out;
   }

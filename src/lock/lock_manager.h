@@ -19,6 +19,8 @@
 
 namespace clog {
 
+class TraceSink;
+
 /// Outcome of a node-level lock request on the owner.
 struct GrantOutcome {
   bool granted = false;
@@ -69,11 +71,20 @@ class GlobalLockTable {
 
   std::size_t PageCount() const { return table_.size(); }
 
+  /// Attaches a trace sink emitting LOCK_WAIT events as owner `node`
+  /// whenever TryGrant reports a conflict (nullptr detaches). Not owned.
+  void set_trace_sink(TraceSink* trace, NodeId node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
   /// node -> mode for one page. std::map keeps iteration deterministic.
   using Holders = std::map<NodeId, LockMode>;
 
   std::unordered_map<PageId, Holders> table_;
+  TraceSink* trace_ = nullptr;
+  NodeId trace_node_ = kInvalidNodeId;
 };
 
 }  // namespace clog

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fault/fault_injector.h"
+#include "trace/trace_sink.h"
 
 namespace clog {
 namespace {
@@ -161,6 +162,10 @@ Result<NodeService*> Network::AdmitWithRetry(NodeId from, NodeId to) {
     AddBusy(from, backoff);
     metrics_.GetCounter("rpc.retries").Add(1);
     metrics_.GetCounter("rpc.backoff_ns").Add(backoff);
+    if (trace_ != nullptr) {
+      trace_->Emit(from, TraceEventType::kRpcRetry, to, backoff,
+                   static_cast<std::uint32_t>(attempt));
+    }
     Result<NodeService*> again = Route(from, to);
     if (again.ok()) {
       metrics_.GetCounter("rpc.retry_success").Add(1);
@@ -196,49 +201,69 @@ void Network::Charge(MsgType type, std::uint64_t bytes, NodeId from,
   // Both endpoints spend the wire time (send + receive handling).
   AddBusy(from, ns);
   AddBusy(to, ns);
+  if (trace_ != nullptr) {
+    const std::uint32_t mt = static_cast<std::uint32_t>(type);
+    trace_->Emit(from, TraceEventType::kRpcSend, to, bytes, mt);
+    trace_->Emit(to, TraceEventType::kRpcRecv, from, bytes, mt);
+  }
 }
 
 Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
                          bool want_page, LockPageReply* reply) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLockPageRequest, 0, from, to);
   Status st = svc->HandleLockPage(from, pid, mode, want_page, reply);
   Charge(MsgType::kLockPageReply, reply->page ? kPageSize : 0, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::Callback(NodeId from, NodeId to, PageId pid,
                          LockMode downgrade_to, CallbackReply* reply) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kCallback, 0, from, to);
   Status st = svc->HandleCallback(from, pid, downgrade_to, reply);
   Charge(MsgType::kCallbackReply, reply->page ? kPageSize : 0, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::UnlockNotice(NodeId from, NodeId to, PageId pid) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kUnlockNotice, 0, from, to);
-  return svc->HandleUnlockNotice(from, pid);
+  Status st = svc->HandleUnlockNotice(from, pid);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::PageShip(NodeId from, NodeId to, const Page& page) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kPageShip, kPageSize, from, to);
-  return svc->HandlePageShip(from, page);
+  Status st = svc->HandlePageShip(from, page);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::FlushRequest(NodeId from, NodeId to, PageId pid) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushRequest, 0, from, to);
-  return svc->HandleFlushRequest(from, pid);
+  Status st = svc->HandleFlushRequest(from, pid);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
                             Psn flushed_psn) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushNotify, 0, from, to);
   svc->HandleFlushNotify(from, pid, flushed_psn);
+  RecordRtt(t0);
   // FlushNotify is a one-way idempotent notice: re-delivery just re-asserts
   // a durability watermark the replacer already recorded.
   if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {
@@ -250,13 +275,17 @@ Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
 
 Status Network::LogShip(NodeId from, NodeId to,
                         const std::vector<LogRecord>& records, bool force) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLogShip, EncodedSize(records), from, to);
-  return svc->HandleLogShip(from, records, force);
+  Status st = svc->HandleLogShip(from, records, force);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::RecoveryQuery(NodeId from, NodeId to,
                               RecoveryQueryReply* reply) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoveryQuery, 0, from, to);
   Status st = svc->HandleRecoveryQuery(from, reply);
@@ -265,53 +294,65 @@ Status Network::RecoveryQuery(NodeId from, NodeId to,
                         reply->locks_i_hold_on_crashed.size() * 9 +
                         reply->x_locks_crashed_held_here.size() * 9;
   Charge(MsgType::kRecoveryQueryReply, bytes, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
                                 std::shared_ptr<Page>* page) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFetchCachedPage, 0, from, to);
   Status st = svc->HandleFetchCachedPage(from, pid, page);
   Charge(MsgType::kFetchCachedPageReply, *page ? kPageSize : 0, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::BuildPsnList(NodeId from, NodeId to,
                              const std::vector<PageId>& pages,
                              bool full_history, PsnListReply* reply) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kBuildPsnList, pages.size() * 8 + 1, from, to);
   Status st = svc->HandleBuildPsnList(from, pages, full_history, reply);
   std::uint64_t entries = 0;
   for (const auto& v : reply->per_page) entries += v.size();
   Charge(MsgType::kBuildPsnListReply, entries * 16, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
                             const Page& page_in, bool has_bound, Psn bound,
                             RecoverPageReply* reply) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoverPage, kPageSize, from, to);
   Status st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
                                      reply);
   Charge(MsgType::kRecoverPageReply, reply->page ? kPageSize : 0, from, to);
+  RecordRtt(t0);
   return st;
 }
 
 Status Network::DptShip(NodeId from, NodeId to,
                         const std::vector<DptEntry>& entries,
                         const std::vector<PageId>& cached_pages) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kDptShip, entries.size() * 32 + cached_pages.size() * 8, from, to);
-  return svc->HandleDptShip(from, entries, cached_pages);
+  Status st = svc->HandleDptShip(from, entries, cached_pages);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
+  const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kNodeRecovered, 4, from, to);
   svc->HandleNodeRecovered(who);
+  RecordRtt(t0);
   // The broadcast doubles as an event-driven heartbeat: the receiver now
   // knows `who` is up without ever probing it.
   detector_.Record(to, who, PeerHealth::kUp,

@@ -39,6 +39,7 @@
 namespace clog {
 
 class FaultInjector;
+class TraceSink;
 
 /// The RPC surface a node exposes to its peers. One method per request
 /// MsgType; replies are out-parameters. Implemented by node::Node.
@@ -133,6 +134,11 @@ class Network {
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
   FaultInjector* fault_injector() { return fault_; }
 
+  /// Attaches a trace sink emitting RPC_SEND/RPC_RECV per accounted wire
+  /// message and RPC_RETRY per envelope resend (nullptr detaches). Not
+  /// owned; must outlive the network while attached.
+  void set_trace_sink(TraceSink* trace) { trace_ = trace; }
+
   /// Installs the availability policy. Reseeds the jitter PRNG so the
   /// retry schedule is a pure function of the policy seed.
   void set_retry_policy(const RetryPolicy& policy) {
@@ -183,7 +189,9 @@ class Network {
                  const std::vector<PageId>& cached_pages);
   Status NodeRecovered(NodeId from, NodeId to, NodeId who);
 
-  /// Traffic metrics ("msg.<type>", "msg.total", "bytes.total").
+  /// Traffic metrics ("msg.<type>", "msg.total", "bytes.total") and the
+  /// "rpc.rtt_ns" round-trip histogram (one sample per RPC wrapper call,
+  /// measured on the simulated clock from admission to reply).
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
@@ -226,6 +234,14 @@ class Network {
   /// Accounts one wire message of `bytes` payload between two endpoints.
   void Charge(MsgType type, std::uint64_t bytes, NodeId from, NodeId to);
 
+  /// Records one "rpc.rtt_ns" sample: simulated time elapsed since `t0`.
+  void RecordRtt(std::uint64_t t0) {
+    if (clock_ != nullptr) rtt_hist_->Record(clock_->NowNanos() - t0);
+  }
+
+  /// Simulated now, for RecordRtt start stamps.
+  std::uint64_t Now() const { return clock_ != nullptr ? clock_->NowNanos() : 0; }
+
   struct Peer {
     NodeService* svc = nullptr;
     bool up = false;
@@ -242,6 +258,10 @@ class Network {
   std::unordered_map<NodeId, Peer> peers_;
   std::unordered_map<NodeId, std::uint64_t> busy_ns_;
   Metrics metrics_;
+  /// Pre-registered "rpc.rtt_ns" handle: Metrics elements are
+  /// reference-stable, so the hot wrappers record without a string hash.
+  Histogram* rtt_hist_ = &metrics_.GetHistogram("rpc.rtt_ns");
+  TraceSink* trace_ = nullptr;
   RetryPolicy retry_policy_;
   Random backoff_rng_{0xC10CBEEFull};
   FailureDetector detector_;

@@ -1,4 +1,5 @@
 #include "node/node.h"
+#include "trace/trace_sink.h"
 
 /// \file
 /// Fuzzy checkpointing (paper Section 2.2). Checkpoints are entirely local:
@@ -31,6 +32,9 @@ Status Node::Checkpoint() {
   Lsn begin_lsn = kNullLsn;
   CLOG_RETURN_IF_ERROR(
       log_.Append(begin, &begin_lsn, /*enforce_capacity=*/false));
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kCheckpointBegin, begin_lsn);
+  }
 
   LogRecord end;
   end.type = LogRecordType::kCheckpointEnd;
@@ -47,6 +51,11 @@ Status Node::Checkpoint() {
   last_ckpt_begin_ = begin_lsn;
   AdvanceReclaimHorizon();
   metrics_.GetCounter("checkpoints").Add(1);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kCheckpointEnd, end_lsn,
+                 static_cast<std::uint64_t>(end.dpt.size()),
+                 static_cast<std::uint32_t>(end.att.size()));
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace_sink.h"
+
 namespace clog {
 
 Node::Node(NodeId id, NodeOptions options, Network* network,
@@ -12,10 +14,23 @@ Node::Node(NodeId id, NodeOptions options, Network* network,
       network_(network),
       detector_(detector),
       pool_(options_.buffer_frames),
-      txns_(id) {
+      txns_(id),
+      trace_(options_.trace_sink),
+      ctr_txn_begins_(&metrics_.GetCounter("txn.begins")),
+      ctr_txn_commits_(&metrics_.GetCounter("txn.commits")),
+      ctr_txn_aborts_(&metrics_.GetCounter("txn.aborts")),
+      ctr_txn_updates_(&metrics_.GetCounter("txn.updates")),
+      ctr_txn_reads_(&metrics_.GetCounter("txn.reads")),
+      ctr_disk_page_reads_(&metrics_.GetCounter("disk.page_reads")),
+      ctr_disk_page_writes_(&metrics_.GetCounter("disk.page_writes")),
+      ctr_log_forces_(&metrics_.GetCounter("log.forces")),
+      hist_commit_ns_(&metrics_.GetHistogram("commit.latency_ns")),
+      hist_force_ns_(&metrics_.GetHistogram("force.latency_ns")) {
   pool_.SetEvictionHandler([this](PageId pid, Page* page, bool dirty) {
     return OnEviction(pid, page, dirty);
   });
+  pool_.set_trace_sink(trace_, id_);
+  global_locks_.set_trace_sink(trace_, id_);
 }
 
 Node::~Node() = default;
@@ -23,6 +38,7 @@ Node::~Node() = default;
 Status Node::OpenStorage() {
   disk_.set_fault_injector(options_.fault_injector, id_);
   log_.set_fault_injector(options_.fault_injector, id_);
+  log_.set_trace_sink(trace_, id_);
   CLOG_RETURN_IF_ERROR(disk_.Open(options_.dir + "/node.db"));
   CLOG_RETURN_IF_ERROR(space_map_.Open(options_.dir + "/node.map"));
   if (options_.has_local_log) {
@@ -69,6 +85,7 @@ void Node::Crash() {
   parked_owners_.clear();
   network_->SetNodeUp(id_, false);
   metrics_.GetCounter("node.crashes").Add(1);
+  if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kNodeCrash);
 }
 
 // ---------------------------------------------------------------------------
@@ -78,13 +95,13 @@ void Node::Crash() {
 void Node::ChargeDiskRead() {
   network_->clock()->Advance(network_->cost_model().disk_read_ns);
   network_->AddBusy(id_, network_->cost_model().disk_read_ns);
-  metrics_.GetCounter("disk.page_reads").Add(1);
+  ctr_disk_page_reads_->Add(1);
 }
 
 void Node::ChargeDiskWrite() {
   network_->clock()->Advance(network_->cost_model().disk_write_ns);
   network_->AddBusy(id_, network_->cost_model().disk_write_ns);
-  metrics_.GetCounter("disk.page_writes").Add(1);
+  ctr_disk_page_writes_->Add(1);
 }
 
 void Node::ChargeLogForce() {
@@ -93,7 +110,7 @@ void Node::ChargeLogForce() {
                          : network_->cost_model().log_force_ns;
   network_->clock()->Advance(ns);
   network_->AddBusy(id_, ns);
-  metrics_.GetCounter("log.forces").Add(1);
+  ctr_log_forces_->Add(1);
 }
 
 void Node::ChargeCpuOp() {
@@ -182,6 +199,7 @@ Status Node::NoteOwnerFailure(NodeId owner, Status st) {
     // NodeRecovered broadcast instead of bouncing transactions.
     parked_owners_.emplace(owner, network_->clock()->NowNanos());
     metrics_.GetCounter("avail.parked").Add(1);
+    if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kRpcPark, owner);
     return Status::Unavailable("owner " + std::to_string(owner) +
                                " recovering; request parked");
   }
@@ -200,6 +218,10 @@ Result<Page*> Node::FetchPage(PageId pid) {
       return st;
     }
     ChargeDiskRead();
+    if (trace_ != nullptr) {
+      trace_->Emit(id_, TraceEventType::kPageFetch, pid.Pack(), frame->psn(),
+                   id_);
+    }
     return frame;
   }
   // Remote page, lock already cached: re-request the image from the owner
@@ -220,6 +242,10 @@ Result<Page*> Node::FetchPage(PageId pid) {
   }
   CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
   frame->CopyFrom(*reply.page);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kPageFetch, pid.Pack(), frame->psn(),
+                 pid.owner);
+  }
   return frame;
 }
 
@@ -412,7 +438,7 @@ Status Node::LoggedUpdate(Transaction* txn, Page* page, RecordOp op,
   dpt_.OnUpdate(pid, page->psn());
   txn->updated_pages.insert(pid);
   ++txn->updates;
-  metrics_.GetCounter("txn.updates").Add(1);
+  ctr_txn_updates_->Add(1);
   ChargeCpuOp();
   return Status::OK();
 }
@@ -503,7 +529,8 @@ Result<TxnId> Node::Begin() {
     txn->first_lsn = lsn;
     txn->last_lsn = lsn;
   }
-  metrics_.GetCounter("txn.begins").Add(1);
+  ctr_txn_begins_->Add(1);
+  if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kTxnBegin, txn->id);
   return txn->id;
 }
 
@@ -524,6 +551,7 @@ Status Node::Commit(TxnId txn_id) {
   if (txn == nullptr || txn->state != TxnState::kActive) {
     return Status::NotFound("no active transaction");
   }
+  const std::uint64_t commit_start_ns = network_->clock()->NowNanos();
 
   switch (options_.logging_mode) {
     case LoggingMode::kClientLocal: {
@@ -584,7 +612,9 @@ Status Node::Commit(TxnId txn_id) {
   lock_cache_.ReleaseTxnLocks(txn_id);
   detector_->RemoveTxn(txn_id);
   txns_.Remove(txn_id);
-  metrics_.GetCounter("txn.commits").Add(1);
+  ctr_txn_commits_->Add(1);
+  hist_commit_ns_->Record(network_->clock()->NowNanos() - commit_start_ns);
+  if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kTxnCommit, txn_id);
   AdvanceReclaimHorizon();
   return Status::OK();
 }
@@ -623,6 +653,10 @@ Result<bool> Node::CommitRequest(TxnId txn_id) {
   commit_group_.push_back(
       {txn_id, commit_lsn, network_->clock()->NowNanos()});
   metrics_.GetCounter("gc.parked").Add(1);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kGroupCommitPark, txn_id, commit_lsn,
+                 static_cast<std::uint32_t>(commit_group_.size()));
+  }
   if (commit_group_.size() >= options_.group_commit.max_group_size) {
     CLOG_RETURN_IF_ERROR(FlushCommitGroup());
     return true;
@@ -688,8 +722,13 @@ Status Node::CompleteCoveredCommits() {
     lock_cache_.ReleaseTxnLocks(p.txn);
     detector_->RemoveTxn(p.txn);
     txns_.Remove(p.txn);
-    metrics_.GetCounter("txn.commits").Add(1);
+    ctr_txn_commits_->Add(1);
     metrics_.GetCounter("gc.completed").Add(1);
+    hist_commit_ns_->Record(network_->clock()->NowNanos() - p.parked_at_ns);
+    if (trace_ != nullptr) {
+      trace_->Emit(id_, TraceEventType::kGroupCommitCover, p.txn,
+                   p.commit_lsn);
+    }
   }
   commit_group_ = std::move(still_parked);
   completing_group_ = false;
@@ -699,9 +738,11 @@ Status Node::CompleteCoveredCommits() {
 
 Status Node::ForceLog(Lsn lsn) {
   const std::uint64_t forces_before = log_.forces();
+  const std::uint64_t force_start_ns = network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(log_.Flush(lsn));
   if (log_.forces() != forces_before) {
     ChargeLogForce();
+    hist_force_ns_->Record(network_->clock()->NowNanos() - force_start_ns);
     // The force just made everything up to `lsn` durable; any parked group
     // commits at or below the new horizon ride along for free.
     CLOG_RETURN_IF_ERROR(CompleteCoveredCommits());
@@ -775,7 +816,8 @@ Status Node::Abort(TxnId txn_id) {
   lock_cache_.ReleaseTxnLocks(txn_id);
   detector_->RemoveTxn(txn_id);
   txns_.Remove(txn_id);
-  metrics_.GetCounter("txn.aborts").Add(1);
+  ctr_txn_aborts_->Add(1);
+  if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kTxnAbort, txn_id);
   AdvanceReclaimHorizon();
   return Status::OK();
 }
@@ -859,7 +901,7 @@ Result<std::string> Node::Read(TxnId txn_id, RecordId rid) {
   SlottedPage sp(page);
   CLOG_ASSIGN_OR_RETURN(Slice value, sp.Read(rid.slot));
   ChargeCpuOp();
-  metrics_.GetCounter("txn.reads").Add(1);
+  ctr_txn_reads_->Add(1);
   return value.ToString();
 }
 
@@ -959,6 +1001,10 @@ Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
   CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
   dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
   metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kPageShip, pid.Pack(), page->psn(),
+                 pid.owner);
+  }
   if (options_.logging_mode == LoggingMode::kForceAtTransfer) {
     CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, pid.owner, pid));
   }
@@ -1015,6 +1061,10 @@ Status Node::ShipDirtyCopy(PageId pid) {
   dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
   pool_.MarkClean(pid);
   metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kPageShip, pid.Pack(), page->psn(),
+                 pid.owner);
+  }
   return Status::OK();
 }
 
@@ -1023,6 +1073,10 @@ Status Node::InstallShippedCopy(const Page& page, NodeId from) {
   if (pid.owner != id_) {
     return Status::InvalidArgument("shipped page not owned here: " +
                                    pid.ToString());
+  }
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kPageShip, pid.Pack(), page.psn(),
+                 from);
   }
   Page* cached = pool_.Lookup(pid);
   if (cached == nullptr) {

@@ -213,6 +213,7 @@ class Node : public NodeService {
   DiskManager& disk() { return disk_; }
   Metrics& metrics() { return metrics_; }
   Network* network() { return network_; }
+  TraceSink* trace() { return trace_; }
 
   /// PSN of the disk version of an owned page (recovery comparisons).
   Result<Psn> DiskPsn(PageId pid);
@@ -357,6 +358,24 @@ class Node : public NodeService {
   GlobalLockTable global_locks_;
   TxnTable txns_;
   Metrics metrics_;
+
+  /// Structured-event tracing (docs/observability.md); nullptr = off, and
+  /// every emit is guarded by a branch on this pointer.
+  TraceSink* trace_ = nullptr;
+
+  /// Pre-registered handles for the steady-state metrics so the hot paths
+  /// do no string hashing. Metrics elements are reference-stable and
+  /// Reset() clears values in place, so these never dangle.
+  Counter* ctr_txn_begins_ = nullptr;
+  Counter* ctr_txn_commits_ = nullptr;
+  Counter* ctr_txn_aborts_ = nullptr;
+  Counter* ctr_txn_updates_ = nullptr;
+  Counter* ctr_txn_reads_ = nullptr;
+  Counter* ctr_disk_page_reads_ = nullptr;
+  Counter* ctr_disk_page_writes_ = nullptr;
+  Counter* ctr_log_forces_ = nullptr;
+  Histogram* hist_commit_ns_ = nullptr;
+  Histogram* hist_force_ns_ = nullptr;
 
   /// Owner-side flush bookkeeping: for each own page, the peers that
   /// shipped dirty copies (or contributed recovery redo) and await a flush

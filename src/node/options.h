@@ -9,6 +9,7 @@
 namespace clog {
 
 class FaultInjector;
+class TraceSink;
 
 /// Which logging protocol a node runs. kClientLocal is the paper's
 /// contribution; the other two are the related-work baselines the benchmark
@@ -81,6 +82,10 @@ struct NodeOptions {
   /// Commit-time force coalescing; disabled by default so every commit
   /// forces its own log exactly as before unless opted in.
   GroupCommitPolicy group_commit;
+  /// Optional structured-event trace sink shared by the whole cluster (not
+  /// owned). nullptr = tracing off: every emit point is guarded by one
+  /// branch on this pointer, so the default costs nothing.
+  TraceSink* trace_sink = nullptr;
 };
 
 }  // namespace clog

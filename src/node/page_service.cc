@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "node/node.h"
+#include "trace/trace_sink.h"
 
 /// \file
 /// NodeService handlers: the owner-side page/lock service of Section 2.2
@@ -251,6 +252,10 @@ Status Node::HandleFlushRequest(NodeId from, PageId pid) {
 }
 
 void Node::HandleFlushNotify(NodeId from, PageId pid, Psn flushed_psn) {
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kFlushNotify, pid.Pack(), flushed_psn,
+                 from);
+  }
   dpt_.OnOwnerFlushed(pid, flushed_psn);
   // PSNs order every update to a page globally, so a flushed version at
   // PSN >= ours subsumes our cached copy: everything in it is on the

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "storage/slotted_page.h"
+#include "trace/trace_sink.h"
 #include "wal/log_reader.h"
 
 namespace clog {
@@ -17,10 +18,22 @@ Status RestartRecovery::Run() {
   return Status::OK();
 }
 
+void RestartRecovery::FinishPhase(std::uint32_t phase, const char* hist_name,
+                                  std::uint64_t start_ns) {
+  const std::uint64_t dur =
+      node_->network_->clock()->NowNanos() - start_ns;
+  node_->metrics_.GetHistogram(hist_name).Record(dur);
+  if (node_->trace_ != nullptr) {
+    node_->trace_->Emit(node_->id_, TraceEventType::kRecoveryPhase, phase,
+                        dur);
+  }
+}
+
 Status RestartRecovery::OpenAndAnalyze() {
   if (node_->state_ != NodeState::kDown) {
     return Status::FailedPrecondition("node is not crashed");
   }
+  const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(node_->OpenStorage());
   if (node_->options_.has_local_log) {
     CLOG_RETURN_IF_ERROR(AnalyzeLog(&node_->log_, &analysis_));
@@ -36,6 +49,7 @@ Status RestartRecovery::OpenAndAnalyze() {
   node_->state_ = NodeState::kRecovering;
   node_->network_->RegisterNode(node_->id_, node_);
   node_->network_->SetNodeUp(node_->id_, true);
+  FinishPhase(0, "recovery.analyze_ns", t0);
   return Status::OK();
 }
 
@@ -359,9 +373,11 @@ Status RestartRecovery::ExchangePeerState() {
   if (node_->state_ != NodeState::kRecovering) {
     return Status::FailedPrecondition("analysis has not run");
   }
+  const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(QueryPeers());
   CLOG_RETURN_IF_ERROR(ReconstructLocks());
   exchange_done_ = true;
+  FinishPhase(1, "recovery.exchange_ns", t0);
   return Status::OK();
 }
 
@@ -369,9 +385,11 @@ Status RestartRecovery::RedoPages() {
   if (node_->state_ != NodeState::kRecovering || !exchange_done_) {
     return Status::FailedPrecondition("peer exchange has not run");
   }
+  const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(RecoverOwnPages());
   CLOG_RETURN_IF_ERROR(RecoverRemotePages());
   node_->recovery_redo_done_ = true;
+  FinishPhase(2, "recovery.redo_ns", t0);
   return Status::OK();
 }
 
@@ -379,6 +397,7 @@ Status RestartRecovery::UndoLosersAndFinish() {
   if (node_->state_ != NodeState::kRecovering) {
     return Status::FailedPrecondition("recovery phases out of order");
   }
+  const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   // Roll back every loser (ARIES undo over the local log only — no log
   // merging, the paper's key property). Exclusive locks reconstructed in
   // Section 2.3.3 fence these pages until the undo completes.
@@ -408,6 +427,7 @@ Status RestartRecovery::UndoLosersAndFinish() {
     node_->network_->NodeRecovered(node_->id_, peer, node_->id_).ok();
   }
   node_->metrics_.GetCounter("recovery.restarts").Add(1);
+  FinishPhase(3, "recovery.undo_ns", t0);
   return Status::OK();
 }
 

@@ -121,6 +121,13 @@ class RestartRecovery {
       bool full_history,
       std::map<PageId, std::map<NodeId, std::vector<PsnListEntry>>>* out);
 
+  /// Records one phase's duration into the node's `hist_name` histogram and
+  /// emits a RECOVERY_PHASE trace event (a=phase index, b=duration ns).
+  /// Phase indices match the trace exporter: 0=analyze, 1=exchange, 2=redo,
+  /// 3=undo+finish.
+  void FinishPhase(std::uint32_t phase, const char* hist_name,
+                   std::uint64_t start_ns);
+
   Node* node_;
   AnalysisResult analysis_;
   std::map<NodeId, RecoveryQueryReply> peer_replies_;

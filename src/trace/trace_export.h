@@ -1,0 +1,38 @@
+#ifndef CLOG_TRACE_TRACE_EXPORT_H_
+#define CLOG_TRACE_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "trace/trace_event.h"
+#include "trace/trace_sink.h"
+
+namespace clog {
+
+/// Formatting hooks. The trace library sits below the network layer, so it
+/// cannot name RPC message types itself; callers that link the full stack
+/// (tracedump, torture) pass `MsgTypeName` through `msg_name`.
+struct TraceFormatOptions {
+  std::function<std::string_view(std::uint32_t)> msg_name;
+};
+
+/// One event as a human-readable line (no trailing newline), e.g.
+///   `t=12.345ms seq=42 TXN_COMMIT txn=0:7`.
+std::string FormatTraceEvent(const TraceEvent& e,
+                             const TraceFormatOptions& opts = {});
+
+/// Whole sink as text: per node (ascending), retained events oldest first.
+/// `tail` > 0 limits output to the newest `tail` events per node.
+std::string FormatTrace(const TraceSink& sink, std::size_t tail = 0,
+                        const TraceFormatOptions& opts = {});
+
+/// Chrome `trace_event` JSON (load via chrome://tracing or Perfetto).
+/// One pid per node; transactions and recovery phases become spans,
+/// everything else instant events.
+std::string ChromeTraceJson(const TraceSink& sink,
+                            const TraceFormatOptions& opts = {});
+
+}  // namespace clog
+
+#endif  // CLOG_TRACE_TRACE_EXPORT_H_

@@ -1,0 +1,276 @@
+#include "trace/trace_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace clog {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t MixEvent(std::uint64_t h, const TraceEvent& e) {
+  // Field by field — struct padding is not part of the hash.
+  h = FnvMix64(h, e.time_ns);
+  h = FnvMix64(h, e.seq);
+  h = FnvMix64(h, e.a);
+  h = FnvMix64(h, e.b);
+  h = FnvMix64(h, e.c);
+  h = FnvMix64(h, e.node);
+  h = FnvMix64(h, static_cast<std::uint64_t>(e.type));
+  return h;
+}
+
+// Trace file layout (all little-endian):
+//   u32 magic "CLTR", u32 version, u64 capacity_per_node, u32 node_count
+//   per node: u32 node, u64 emitted, u64 hash, u64 retained,
+//             retained * { u64 time_ns, seq, a, b; u32 c, node; u16 type,
+//             reserved }
+constexpr std::uint32_t kTraceMagic = 0x52544C43u;  // "CLTR"
+constexpr std::uint32_t kTraceVersion = 1;
+
+void Put32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (i * 8)));
+}
+
+void Put64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (i * 8)));
+}
+
+bool Get32(const std::string& in, std::size_t* pos, std::uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(
+              static_cast<unsigned char>(in[*pos + i]))
+          << (i * 8);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool Get64(const std::string& in, std::size_t* pos, std::uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<std::uint64_t>(
+              static_cast<unsigned char>(in[*pos + i]))
+          << (i * 8);
+  }
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kNone: return "NONE";
+    case TraceEventType::kTxnBegin: return "TXN_BEGIN";
+    case TraceEventType::kTxnCommit: return "TXN_COMMIT";
+    case TraceEventType::kTxnAbort: return "TXN_ABORT";
+    case TraceEventType::kLogAppend: return "LOG_APPEND";
+    case TraceEventType::kLogForce: return "LOG_FORCE";
+    case TraceEventType::kGroupCommitPark: return "GC_PARK";
+    case TraceEventType::kGroupCommitCover: return "GC_COVER";
+    case TraceEventType::kPageFetch: return "PAGE_FETCH";
+    case TraceEventType::kPageShip: return "PAGE_SHIP";
+    case TraceEventType::kPageEvict: return "PAGE_EVICT";
+    case TraceEventType::kFlushNotify: return "FLUSH_NOTIFY";
+    case TraceEventType::kLockWait: return "LOCK_WAIT";
+    case TraceEventType::kDeadlock: return "DEADLOCK";
+    case TraceEventType::kRpcSend: return "RPC_SEND";
+    case TraceEventType::kRpcRecv: return "RPC_RECV";
+    case TraceEventType::kRpcRetry: return "RPC_RETRY";
+    case TraceEventType::kRpcPark: return "RPC_PARK";
+    case TraceEventType::kRecoveryPhase: return "RECOVERY_PHASE";
+    case TraceEventType::kCheckpointBegin: return "CKPT_BEGIN";
+    case TraceEventType::kCheckpointEnd: return "CKPT_END";
+    case TraceEventType::kNodeCrash: return "NODE_CRASH";
+  }
+  return "UNKNOWN";
+}
+
+TraceSink::TraceSink(std::size_t capacity_per_node)
+    : capacity_(capacity_per_node == 0 ? 1 : capacity_per_node) {}
+
+void TraceSink::Emit(NodeId node, TraceEventType type, std::uint64_t a,
+                     std::uint64_t b, std::uint32_t c) {
+  Ring& ring = rings_[node];
+  if (ring.emitted == 0) {
+    ring.hash = kFnvOffset;
+    ring.buf.reserve(std::min<std::size_t>(capacity_, 64));
+  }
+  TraceEvent e;
+  e.time_ns = clock_ != nullptr ? clock_->NowNanos() : 0;
+  e.seq = ring.emitted;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.node = node;
+  e.type = type;
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(e);
+  } else {
+    ring.buf[ring.emitted % capacity_] = e;
+  }
+  ++ring.emitted;
+  ring.hash = MixEvent(ring.hash, e);
+}
+
+std::vector<NodeId> TraceSink::Nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(rings_.size());
+  for (const auto& [node, ring] : rings_) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::Events(NodeId node) const {
+  std::vector<TraceEvent> out;
+  auto it = rings_.find(node);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  out.reserve(ring.buf.size());
+  if (ring.emitted <= capacity_) {
+    out = ring.buf;
+  } else {
+    const std::size_t start = ring.emitted % capacity_;
+    out.insert(out.end(), ring.buf.begin() + start, ring.buf.end());
+    out.insert(out.end(), ring.buf.begin(), ring.buf.begin() + start);
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::emitted(NodeId node) const {
+  auto it = rings_.find(node);
+  return it == rings_.end() ? 0 : it->second.emitted;
+}
+
+std::uint64_t TraceSink::total_emitted() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, ring] : rings_) total += ring.emitted;
+  return total;
+}
+
+std::uint64_t TraceSink::Hash(NodeId node) const {
+  auto it = rings_.find(node);
+  return it == rings_.end() ? 0 : it->second.hash;
+}
+
+std::uint64_t TraceSink::Hash() const {
+  if (rings_.empty()) return 0;  // Nothing emitted anywhere.
+  std::uint64_t h = kFnvOffset;
+  for (NodeId node : Nodes()) {
+    h = FnvMix64(h, node);
+    h = FnvMix64(h, Hash(node));
+  }
+  return h;
+}
+
+Status TraceSink::WriteBinaryFile(const std::string& path) const {
+  std::string out;
+  Put32(&out, kTraceMagic);
+  Put32(&out, kTraceVersion);
+  Put64(&out, capacity_);
+  const std::vector<NodeId> nodes = Nodes();
+  Put32(&out, static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId node : nodes) {
+    const Ring& ring = rings_.at(node);
+    const std::vector<TraceEvent> events = Events(node);
+    Put32(&out, node);
+    Put64(&out, ring.emitted);
+    Put64(&out, ring.hash);
+    Put64(&out, events.size());
+    for (const TraceEvent& e : events) {
+      Put64(&out, e.time_ns);
+      Put64(&out, e.seq);
+      Put64(&out, e.a);
+      Put64(&out, e.b);
+      Put32(&out, e.c);
+      Put32(&out, e.node);
+      Put32(&out, static_cast<std::uint32_t>(e.type));
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open " + path);
+  const bool ok =
+      std::fwrite(out.data(), 1, out.size(), f) == out.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) return Status::IOError("write " + path);
+  return Status::OK();
+}
+
+Status TraceSink::ReadBinaryFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open " + path);
+  std::string in;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) in.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, version = 0, node_count = 0;
+  std::uint64_t capacity = 0;
+  if (!Get32(in, &pos, &magic) || magic != kTraceMagic) {
+    return Status::Corruption("not a clog trace file: " + path);
+  }
+  if (!Get32(in, &pos, &version) || version != kTraceVersion) {
+    return Status::Corruption("unsupported trace version");
+  }
+  if (!Get64(in, &pos, &capacity) || !Get32(in, &pos, &node_count)) {
+    return Status::Corruption("truncated trace header");
+  }
+  capacity_ = capacity == 0 ? 1 : static_cast<std::size_t>(capacity);
+  rings_.clear();
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    std::uint32_t node = 0;
+    std::uint64_t emitted = 0, hash = 0, retained = 0;
+    if (!Get32(in, &pos, &node) || !Get64(in, &pos, &emitted) ||
+        !Get64(in, &pos, &hash) || !Get64(in, &pos, &retained)) {
+      return Status::Corruption("truncated trace node header");
+    }
+    Ring& ring = rings_[node];
+    ring.emitted = emitted;
+    ring.hash = hash;
+    ring.buf.reserve(static_cast<std::size_t>(retained));
+    for (std::uint64_t j = 0; j < retained; ++j) {
+      TraceEvent e;
+      std::uint32_t c = 0, enode = 0, type = 0;
+      if (!Get64(in, &pos, &e.time_ns) || !Get64(in, &pos, &e.seq) ||
+          !Get64(in, &pos, &e.a) || !Get64(in, &pos, &e.b) ||
+          !Get32(in, &pos, &c) || !Get32(in, &pos, &enode) ||
+          !Get32(in, &pos, &type)) {
+        return Status::Corruption("truncated trace event");
+      }
+      e.c = c;
+      e.node = enode;
+      e.type = static_cast<TraceEventType>(type);
+      ring.buf.push_back(e);
+    }
+    // Events() reconstructs oldest-first from the wrap position, so store
+    // the retained window back in ring order.
+    if (ring.emitted > capacity_ && ring.buf.size() == capacity_) {
+      std::rotate(ring.buf.begin(),
+                  ring.buf.begin() + static_cast<std::ptrdiff_t>(
+                                         ring.buf.size() -
+                                         ring.emitted % capacity_),
+                  ring.buf.end());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace clog

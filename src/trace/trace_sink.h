@@ -1,0 +1,84 @@
+#ifndef CLOG_TRACE_TRACE_SINK_H_
+#define CLOG_TRACE_TRACE_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "trace/trace_event.h"
+
+namespace clog {
+
+/// Deterministic structured-event trace: one fixed-capacity ring buffer of
+/// TraceEvents per node, stamped with the simulated clock and a per-node
+/// monotonic sequence number. Identical seeds produce byte-identical event
+/// streams; `Hash()` folds the *entire* stream (not just the retained
+/// window) through FNV-1a so tests can assert trace determinism even after
+/// the ring has wrapped.
+///
+/// Wiring: set `ClusterOptions::trace_sink` (or per-node
+/// `NodeOptions::trace_sink`) to a sink owned by the caller. The Cluster
+/// binds its SimClock; every subsystem emit point is guarded by a branch on
+/// the raw pointer, so a null sink (the default) costs nothing.
+///
+/// Emitting never touches the clock or any RNG — attaching a sink cannot
+/// perturb a deterministic schedule.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerNode = 4096;
+
+  explicit TraceSink(std::size_t capacity_per_node = kDefaultCapacityPerNode);
+
+  /// Clock used to stamp events. Unbound (events stamped 0) until the
+  /// owning Cluster calls this from its constructor.
+  void BindClock(const SimClock* clock) { clock_ = clock; }
+
+  /// Records one event in `node`'s ring. The newest events win: once a
+  /// ring holds `capacity_per_node` events the oldest is overwritten.
+  void Emit(NodeId node, TraceEventType type, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint32_t c = 0);
+
+  /// Nodes that have emitted at least one event, ascending.
+  std::vector<NodeId> Nodes() const;
+
+  /// Retained events for `node`, oldest first.
+  std::vector<TraceEvent> Events(NodeId node) const;
+
+  /// Total events ever emitted by `node` (>= Events(node).size()).
+  std::uint64_t emitted(NodeId node) const;
+  std::uint64_t total_emitted() const;
+  std::size_t capacity_per_node() const { return capacity_; }
+
+  /// FNV-1a over every event `node` ever emitted (including overwritten
+  /// ones), field by field. 0 only for a node that never emitted.
+  std::uint64_t Hash(NodeId node) const;
+
+  /// Combined hash over all nodes in ascending id order.
+  std::uint64_t Hash() const;
+
+  /// Drops all events and hashes; keeps the clock binding.
+  void Clear() { rings_.clear(); }
+
+  /// Binary trace file I/O, for `tools/tracedump`. The format is
+  /// little-endian, fixed-width fields (docs/observability.md).
+  Status WriteBinaryFile(const std::string& path) const;
+  Status ReadBinaryFile(const std::string& path);
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;  // grows to capacity_, then wraps
+    std::uint64_t emitted = 0;
+    std::uint64_t hash = 0;  // running FNV-1a, seeded at first emit
+  };
+
+  const SimClock* clock_ = nullptr;
+  std::size_t capacity_;
+  std::unordered_map<NodeId, Ring> rings_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_TRACE_TRACE_SINK_H_

@@ -11,6 +11,7 @@
 
 #include "common/codec.h"
 #include "common/crc32c.h"
+#include "trace/trace_sink.h"
 #include "fault/fault_injector.h"
 
 namespace clog {
@@ -156,6 +157,10 @@ Status LogManager::Append(const LogRecord& rec, Lsn* lsn,
   end_lsn_ += frame_size;
   ++appended_records_;
   appended_bytes_ += frame_size;
+  if (trace_ != nullptr) {
+    trace_->Emit(trace_node_, TraceEventType::kLogAppend, *lsn, frame_size,
+                 static_cast<std::uint32_t>(rec.type));
+  }
   return Status::OK();
 }
 
@@ -178,6 +183,10 @@ Status LogManager::Flush(Lsn up_to) {
     return Status::IOError(Errno("pwrite log"));
   }
   if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync log"));
+  if (trace_ != nullptr) {
+    trace_->Emit(trace_node_, TraceEventType::kLogForce, end_lsn_,
+                 buffer_.size());
+  }
   buffer_start_ = end_lsn_;
   flushed_lsn_ = end_lsn_;
   buffer_.clear();

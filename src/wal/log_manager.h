@@ -19,6 +19,7 @@
 namespace clog {
 
 class FaultInjector;
+class TraceSink;
 
 /// Append/flush interface over one log file.
 ///
@@ -119,6 +120,13 @@ class LogManager {
     node_ = node;
   }
 
+  /// Attaches a trace sink emitting LOG_APPEND/LOG_FORCE events as `node`
+  /// (nullptr detaches). Not owned.
+  void set_trace_sink(TraceSink* trace, NodeId node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
   static constexpr std::uint64_t kHeaderSize = 64;
   static constexpr std::uint32_t kLogMagic = 0x434C4F4C;  // "CLOL"
@@ -142,6 +150,8 @@ class LogManager {
 
   FaultInjector* fault_ = nullptr;
   NodeId node_ = kInvalidNodeId;
+  TraceSink* trace_ = nullptr;
+  NodeId trace_node_ = kInvalidNodeId;
 };
 
 }  // namespace clog

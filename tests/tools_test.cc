@@ -6,6 +6,7 @@
 
 #include "core/cluster.h"
 #include "tests/test_util.h"
+#include "trace/trace_sink.h"
 
 #ifndef CLOG_BINDIR
 #define CLOG_BINDIR "."
@@ -102,6 +103,48 @@ TEST_F(ToolsTest, ToolsRejectMissingFiles) {
   EXPECT_NE(rc1, 0);
   auto [rc2, out2] = Run(Tool("clog_pagedump"));
   EXPECT_EQ(rc2, 2);  // Usage error.
+  auto [rc3, out3] = Run(Tool("tracedump"));
+  EXPECT_EQ(rc3, 2);  // Usage error.
+  auto [rc4, out4] = Run(Tool("tracedump") + " /nonexistent/trace.bin");
+  EXPECT_NE(rc4, 0);
+}
+
+TEST_F(ToolsTest, TracedumpShowsEvents) {
+  // Capture a real trace: a second cluster with a sink attached, one
+  // committed transaction, then dump the binary file with the tool.
+  TempDir tdir;
+  TraceSink sink;
+  {
+    ClusterOptions opts;
+    opts.dir = tdir.path();
+    opts.trace_sink = &sink;
+    Cluster traced(opts);
+    Node* n = *traced.AddNode();
+    PageId pid = *n->AllocatePage();
+    TxnHandle txn = *TxnHandle::Begin(n);
+    ASSERT_OK(txn.Insert(pid, "traced").status());
+    ASSERT_OK(txn.Commit());
+  }
+  ASSERT_GT(sink.total_emitted(), 0u);
+  std::string path = tdir.path() + "/trace.bin";
+  ASSERT_OK(sink.WriteBinaryFile(path));
+
+  auto [rc, out] = Run(Tool("tracedump") + " " + path);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("TXN_BEGIN"), std::string::npos);
+  EXPECT_NE(out.find("TXN_COMMIT"), std::string::npos);
+  EXPECT_NE(out.find("LOG_FORCE"), std::string::npos);
+  EXPECT_NE(out.find("node 0:"), std::string::npos);
+  EXPECT_NE(out.find("total events="), std::string::npos);
+
+  auto [rc_tail, out_tail] = Run(Tool("tracedump") + " " + path + " --tail=1");
+  EXPECT_EQ(rc_tail, 0) << out_tail;
+  EXPECT_EQ(out_tail.find("TXN_BEGIN"), std::string::npos);
+
+  auto [rc_json, json] = Run(Tool("tracedump") + " " + path + " --chrome");
+  EXPECT_EQ(rc_json, 0) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
 }
 
 }  // namespace

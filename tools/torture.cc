@@ -100,7 +100,13 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%s\n", report.Summary().c_str());
-    if (!report.ok) ++failures;
+    if (!report.ok) {
+      if (!report.trace_tail.empty()) {
+        std::printf("--- trace tail (newest events per node) ---\n%s",
+                    report.trace_tail.c_str());
+      }
+      ++failures;
+    }
   }
   if (failures > 0) {
     std::fprintf(stderr, "%d of %llu schedule(s) FAILED\n", failures,

@@ -1,0 +1,81 @@
+// Structured-trace dump tool (see docs/observability.md).
+//
+//   tools/tracedump FILE [--chrome] [--tail=K]
+//
+// FILE is a binary trace written by TraceSink::WriteBinaryFile (the torture
+// harness and tests write these for failing runs). Default output is the
+// human-readable per-node listing; --chrome emits Chrome trace_event JSON
+// for chrome://tracing / Perfetto; --tail=K limits text output to the
+// newest K events per node.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/message.h"
+#include "trace/trace_export.h"
+#include "trace/trace_sink.h"
+
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s FILE [--chrome] [--tail=K]\n"
+               "\n"
+               "Dumps a binary TraceSink file. Default: human-readable\n"
+               "per-node event listing. --chrome: Chrome trace_event JSON\n"
+               "(open in chrome://tracing or Perfetto). --tail=K: newest K\n"
+               "events per node only (text mode).\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool chrome = false;
+  std::size_t tail = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--chrome") == 0) {
+      chrome = true;
+    } else if (std::strncmp(arg, "--tail=", 7) == 0) {
+      tail = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else if (arg[0] == '-') {
+      Usage(argv[0]);
+      return 2;
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  clog::TraceSink sink;
+  clog::Status st = sink.ReadBinaryFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tracedump: %s: %s\n", path, st.ToString().c_str());
+    return 1;
+  }
+
+  clog::TraceFormatOptions fmt;
+  fmt.msg_name = [](std::uint32_t t) {
+    return clog::MsgTypeName(static_cast<clog::MsgType>(t));
+  };
+
+  std::string out = chrome ? clog::ChromeTraceJson(sink, fmt)
+                           : clog::FormatTrace(sink, tail, fmt);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (!chrome) {
+    std::printf("total events=%llu hash=%llx\n",
+                static_cast<unsigned long long>(sink.total_emitted()),
+                static_cast<unsigned long long>(sink.Hash()));
+  }
+  return 0;
+}
