@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree under ASan+UBSan (-DCLOG_SANITIZE=ON) in a separate
 # build directory and runs one torture shard plus the crash-during-
-# recovery and group-commit shards through it. Memory errors in the
-# recovery/retry/commit-coalescing paths show up here long before they
-# corrupt a schedule.
+# recovery, group-commit, and media-failure shards through it. Memory
+# errors in the recovery/retry/commit-coalescing/media-rebuild paths show
+# up here long before they corrupt a schedule.
 #
 # Usage: scripts/run_sanitized_torture.sh [build-dir] [shard]
 set -euo pipefail
@@ -15,4 +15,4 @@ cmake -B "$BUILD_DIR" -S . -DCLOG_SANITIZE=ON
 cmake --build "$BUILD_DIR" --target torture_test -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0)\$"
+  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0|torture_media_shard_0)\$"

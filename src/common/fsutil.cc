@@ -1,0 +1,72 @@
+#include "common/fsutil.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+namespace clog {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& blob) {
+  std::string tmp = path + ".tmp";
+  {
+    int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) return Status::IOError(Errno("open " + tmp));
+    if (::pwrite(tfd, blob.data(), blob.size(), 0) !=
+        static_cast<ssize_t>(blob.size())) {
+      Status st = Status::IOError(Errno("write " + tmp));
+      ::close(tfd);
+      return st;
+    }
+    if (::fsync(tfd) != 0) {
+      Status st = Status::IOError(Errno("fsync " + tmp));
+      ::close(tfd);
+      return st;
+    }
+    ::close(tfd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(Errno("rename " + path));
+  }
+  std::string dir = ".";
+  if (std::size_t slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Status::IOError(Errno("open dir " + dir));
+  if (::fsync(dfd) != 0) {
+    Status st = Status::IOError(Errno("fsync dir " + dir));
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("no such file: " + path);
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(Errno("unlink " + path));
+  }
+  return Status::OK();
+}
+
+}  // namespace clog

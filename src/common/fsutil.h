@@ -1,0 +1,31 @@
+#ifndef CLOG_COMMON_FSUTIL_H_
+#define CLOG_COMMON_FSUTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+/// \file
+/// Small durable-file helpers shared by every side file the system keeps
+/// next to its database (log master pointer, archive metadata, poison
+/// ledger). They all follow the same crash-atomic discipline, so the dance
+/// lives in one place.
+
+namespace clog {
+
+/// Crash-atomically replaces `path` with `blob`: write + fsync a temp file
+/// (rename must never publish a name whose *contents* are still in the page
+/// cache), rename it over `path`, then fsync the directory so the rename
+/// itself survives a crash. After OK the old or the new contents are on
+/// disk — never a mix, never a torn file.
+Status AtomicWriteFile(const std::string& path, const std::string& blob);
+
+/// Reads all of `path` into `*out`. NotFound if the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Removes `path` if it exists; absence is not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_FSUTIL_H_

@@ -78,6 +78,7 @@ class Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }

@@ -76,6 +76,15 @@ IoFault FaultInjector::OnPageWrite(NodeId node) {
   return f;
 }
 
+bool FaultInjector::OnPageRead(NodeId node) {
+  if (!enabled_) return false;
+  auto it = armed_.find(node);
+  if (it == armed_.end() || it->second != IoFault::kFailPageRead) return false;
+  armed_.erase(it);
+  ++counters_.failed_page_reads;
+  return true;
+}
+
 bool FaultInjector::OnDiskSync(NodeId node) {
   if (!enabled_) return false;
   auto it = armed_.find(node);
@@ -113,6 +122,27 @@ FaultInjector::TornTail FaultInjector::OnAbandon(NodeId node,
       out.keep_bytes > 0 && rng_.Bernoulli(config_.torn_tail_corrupt_p);
   if (out.keep_bytes > 0) ++counters_.torn_tails;
   return out;
+}
+
+void FaultInjector::ArmDeviceFault(NodeId node, DeviceFault fault) {
+  if (fault == DeviceFault::kNone) {
+    armed_device_.erase(node);
+  } else {
+    armed_device_[node] = fault;
+  }
+}
+
+DeviceFault FaultInjector::OnCrash(NodeId node) {
+  auto it = armed_device_.find(node);
+  if (it == armed_device_.end()) return DeviceFault::kNone;
+  DeviceFault f = it->second;
+  armed_device_.erase(it);
+  if (f == DeviceFault::kDestroyDataFile) {
+    ++counters_.data_devices_lost;
+  } else {
+    ++counters_.log_devices_lost;
+  }
+  return f;
 }
 
 std::vector<NodeId> FaultInjector::TakeFiredNodes() {

@@ -66,6 +66,17 @@ enum class IoFault : std::uint8_t {
   kTornPageWrite,  ///< Only the first half of the page reaches the file.
   kFailDiskSync,   ///< DiskManager::Sync fails.
   kFailLogSync,    ///< LogManager::Flush fails before writing anything.
+  kFailPageRead,   ///< pread fails once, transiently; a retry succeeds.
+};
+
+/// Whole-device loss, consumed at the next crash of the armed node (media
+/// failure happens *with* the crash: a live process never observes its own
+/// device vanishing mid-operation under the fail-stop model). The harness
+/// arms one, crashes the node, and restart recovery finds the file gone.
+enum class DeviceFault : std::uint8_t {
+  kNone = 0,
+  kDestroyDataFile,  ///< node.db truncated to nothing at the crash point.
+  kDestroyLogFile,   ///< node.log (and its master pointer) destroyed.
 };
 
 class FaultInjector {
@@ -114,6 +125,12 @@ class FaultInjector {
   /// armed write fault for `node`.
   IoFault OnPageWrite(NodeId node);
 
+  /// Called by DiskManager before a page read; true = fail this read
+  /// (clears the arm, so the caller's single retry succeeds). Transient by
+  /// design: the node is NOT recorded as fired — a retried read is not a
+  /// lying device, so fail-stop does not apply.
+  bool OnPageRead(NodeId node);
+
   /// Called by DiskManager before fdatasync; true = fail (clears the arm).
   bool OnDiskSync(NodeId node);
 
@@ -130,6 +147,18 @@ class FaultInjector {
     bool corrupt_last = false;    ///< Flip a byte at the end of the prefix.
   };
   TornTail OnAbandon(NodeId node, std::size_t buffered_bytes);
+
+  // --- Media failure (device loss) --------------------------------------
+
+  /// Arms a device loss on `node`, consumed at its next crash.
+  void ArmDeviceFault(NodeId node, DeviceFault fault);
+
+  /// Called by Node::Crash after volatile state is dropped and files are
+  /// closed; returns and clears the armed device fault for `node`. Fires
+  /// even while the injector is disabled: a device armed during the fault
+  /// window is already doomed, quiescing faults for recovery must not
+  /// un-destroy it.
+  DeviceFault OnCrash(NodeId node);
 
   // --- Fail-stop bookkeeping --------------------------------------------
 
@@ -149,6 +178,9 @@ class FaultInjector {
     std::uint64_t torn_page_writes = 0;
     std::uint64_t failed_page_writes = 0;
     std::uint64_t failed_syncs = 0;   ///< Disk and log syncs combined.
+    std::uint64_t failed_page_reads = 0;  ///< Transient read faults fired.
+    std::uint64_t data_devices_lost = 0;  ///< kDestroyDataFile consumed.
+    std::uint64_t log_devices_lost = 0;   ///< kDestroyLogFile consumed.
   };
   const Counters& counters() const { return counters_; }
 
@@ -160,6 +192,7 @@ class FaultInjector {
 
   std::set<std::pair<NodeId, NodeId>> blocked_links_;  ///< Normalized pairs.
   std::map<NodeId, IoFault> armed_;
+  std::map<NodeId, DeviceFault> armed_device_;
   std::set<NodeId> fired_nodes_;
   Counters counters_;
 };

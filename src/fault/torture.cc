@@ -166,6 +166,38 @@ class TortureRun {
     return false;
   }
 
+  /// The model cannot pin this record's value: its commit is in flight
+  /// (pending/parked), its page is currently fenced as unrecoverable, or a
+  /// media failure swallowed the only evidence of an indeterminate commit
+  /// touching it (cursed — unverifiable forever). Healthy-mode schedules
+  /// never populate the latter two sets, so this reduces to InPending.
+  bool Unverifiable(RecordId rid) const {
+    return InPending(rid) || poisoned_.contains(rid.page) ||
+           cursed_.contains(rid);
+  }
+
+  /// Re-reads every up node's poison ledger into the harness's view of the
+  /// fenced-page set. Call only when all nodes are up (post-restart), so a
+  /// down node's ledger can't silently drop out. Emits a deterministic
+  /// event per transition so poison verdicts are part of the schedule hash.
+  void HarvestPoison() {
+    if (!options_.media_failure) return;
+    std::set<PageId> now;
+    for (NodeId id : cluster_->NodeIds()) {
+      Node* n = cluster_->node(id);
+      if (n == nullptr || n->state() != NodeState::kUp) continue;
+      for (PageId pid : n->PoisonedPages()) now.insert(pid);
+    }
+    for (PageId pid : now) {
+      if (!poisoned_.contains(pid)) Event("poison " + pid.ToString());
+    }
+    for (PageId pid : poisoned_) {
+      if (!now.contains(pid)) Event("unpoison " + pid.ToString());
+    }
+    poisoned_ = std::move(now);
+    report_.pages_poisoned = poisoned_.size();
+  }
+
   std::vector<NodeId> UpNodes() const {
     std::vector<NodeId> up;
     for (NodeId id : cluster_->NodeIds()) {
@@ -248,6 +280,13 @@ class TortureRun {
       copts.group_commit.max_group_size = 4;
       Event("group-commit on");
     }
+    if (options_.media_failure) {
+      // Media schedules run with the archive at its most aggressive
+      // cadence so device losses land on pages with fresh base images.
+      copts.node_defaults.archive.enabled = true;
+      copts.node_defaults.archive.every_checkpoints = 1;
+      Event("media-failure on");
+    }
     cluster_ = std::make_unique<Cluster>(copts);
 
     for (int i = 0; i < options_.num_nodes; ++i) {
@@ -288,6 +327,18 @@ class TortureRun {
         Status st = n->Commit(*txn);
         if (!st.ok()) {
           Fail("seed Commit: " + st.ToString());
+          return;
+        }
+      }
+    }
+    // Media mode: checkpoint every node once before faults go live, so a
+    // durable log mark and a first sealed archive pass exist before any
+    // device can be lost.
+    if (options_.media_failure) {
+      for (NodeId id : cluster_->NodeIds()) {
+        Status st = cluster_->node(id)->Checkpoint();
+        if (!st.ok()) {
+          Fail("seed Checkpoint: " + st.ToString());
           return;
         }
       }
@@ -386,7 +437,7 @@ class TortureRun {
         Status st = n->Update(txn, rid, val);
         if (st.IsNotFound()) {
           // Deleted record; a legal no-op pick unless the model disagrees.
-          if (expected_of(rid).has_value() && !InPending(rid)) {
+          if (expected_of(rid).has_value() && !Unverifiable(rid)) {
             Fail("update lost record " + rid.ToString() + " expected " +
                  OptStr(expected_of(rid)));
             break;
@@ -417,7 +468,7 @@ class TortureRun {
         RecordId rid = RandomRid();
         Status st = n->Delete(txn, rid);
         if (st.IsNotFound()) {
-          if (expected_of(rid).has_value() && !InPending(rid)) {
+          if (expected_of(rid).has_value() && !Unverifiable(rid)) {
             Fail("delete lost record " + rid.ToString());
             break;
           }
@@ -435,7 +486,7 @@ class TortureRun {
         ++done;
       } else {  // Read (checked against the model + this txn's writes).
         RecordId rid = RandomRid();
-        if (InPending(rid)) continue;  // Indeterminate until next restart.
+        if (Unverifiable(rid)) continue;  // Indeterminate until next restart.
         Result<std::string> got = n->Read(txn, rid);
         std::optional<std::string> expected = expected_of(rid);
         if (got.ok()) {
@@ -539,7 +590,7 @@ class TortureRun {
     TxnId txn = *begun;
     Result<std::string> got = n->Read(txn, rid);
     bool checked = false;
-    if (!InPending(rid)) {
+    if (!Unverifiable(rid)) {
       std::optional<std::string> expected = ModelValue(rid);
       if (got.ok()) {
         if (!expected || *expected != *got) {
@@ -566,8 +617,39 @@ class TortureRun {
 
   void DoCrash(int step) {
     NodeId victim = RandomUpNode();
+    if (options_.media_failure && rng_.Uniform(100) < 35) {
+      DoDeviceLoss(step, victim);
+      return;
+    }
     Event("sched-crash step=" + std::to_string(step));
     CrashActor(victim, "scheduled");
+  }
+
+  /// Media mode: arm a whole-device loss and crash the victim so the fault
+  /// is consumed at the crash point (a live process never observes its own
+  /// device vanish under fail-stop). Data-device loss composes freely with
+  /// whatever else the schedule has in flight — restart recovery rebuilds
+  /// the device from the archive plus every client's log. Log-device loss
+  /// is armed only when the victim will be the sole crashed node and is
+  /// followed by an immediate full restart: the loss notices it must send
+  /// (docs/RECOVERY_WALKTHROUGH.md) need reachable owners, and the model's
+  /// poison bookkeeping needs the verdict before the schedule moves on.
+  void DoDeviceLoss(int step, NodeId victim) {
+    bool lose_log = rng_.Uniform(100) < 30;
+    if (UpNodes().size() != cluster_->NodeIds().size()) lose_log = false;
+    injector_.ArmDeviceFault(victim, lose_log ? DeviceFault::kDestroyLogFile
+                                              : DeviceFault::kDestroyDataFile);
+    ++report_.device_losses;
+    if (lose_log) {
+      ++report_.log_losses;
+      log_loss_occurred_ = true;
+    }
+    Event("device-loss step=" + std::to_string(step) +
+          " node=" + std::to_string(victim) +
+          " dev=" + (lose_log ? "log" : "data"));
+    CrashActor(victim, lose_log ? "log-device-lost" : "data-device-lost");
+    if (!failure_.empty()) return;
+    if (lose_log) DoRestartAll();
   }
 
   void DoPartition(int step) {
@@ -589,7 +671,11 @@ class TortureRun {
 
   void DoArmIoFault(int step) {
     NodeId victim = RandomUpNode();
-    IoFault fault = static_cast<IoFault>(1 + rng_.Uniform(4));
+    // Media mode widens the mix with kFailPageRead (transient read-path
+    // failure); healthy schedules keep the original four-fault modulus so
+    // their RNG streams — and hashes — are untouched.
+    IoFault fault = static_cast<IoFault>(
+        1 + rng_.Uniform(options_.media_failure ? 5 : 4));
     injector_.ArmIoFault(victim, fault);
     Event("arm step=" + std::to_string(step) +
           " node=" + std::to_string(victim) +
@@ -607,6 +693,11 @@ class TortureRun {
     }
     if (own.empty()) return;
     PageId pid = own[rng_.Uniform(own.size())];
+    if (poisoned_.contains(pid)) {
+      // Fenced page: flushing it is refused by design, not a node fault.
+      Event("flush step=" + std::to_string(step) + " poisoned-skip");
+      return;
+    }
     Status st = n->HandleFlushRequest(actor, pid);
     Event("flush step=" + std::to_string(step) +
           " node=" + std::to_string(actor) + (st.ok() ? " ok" : " failed"));
@@ -769,6 +860,7 @@ class TortureRun {
       Event("restart round=" + std::to_string(round) + " nodes=" + who +
             " recovered=" + std::to_string(recovered));
     }
+    HarvestPoison();
     ResolvePending();
     if (failure_.empty()) CheckPsnConsistency("post-restart");
     if (failure_.empty() && !rids_.empty()) {
@@ -818,23 +910,40 @@ class TortureRun {
         Fail("resolve: node " + std::to_string(p.node) + " not up");
         return;
       }
+      // A media failure may have fenced some (or all) of the touched pages:
+      // those records cannot be read back, so the verdict must come from a
+      // record on a healthy page. If none exists the transaction's fate is
+      // unknowable forever — its records are cursed (never verified again),
+      // which is exactly the contract: a fenced page refuses service rather
+      // than pick a side.
+      const StagedWrite* first = nullptr;
+      for (const StagedWrite& w : p.writes) {
+        if (!poisoned_.contains(w.rid.page)) {
+          first = &w;
+          break;
+        }
+      }
+      if (first == nullptr) {
+        for (const StagedWrite& w : p.writes) cursed_.insert(w.rid);
+        Event("resolve node=" + std::to_string(p.node) + " cursed");
+        continue;
+      }
       bool ok = false;
-      const StagedWrite& first = p.writes.front();
-      std::optional<std::string> got = ReadCommitted(n, first.rid, &ok);
+      std::optional<std::string> got = ReadCommitted(n, first->rid, &ok);
       if (!ok) return;
       bool committed;
-      if (got == first.staged) {
+      if (got == first->staged) {
         committed = true;
-      } else if (got == first.prior) {
+      } else if (got == first->prior) {
         committed = false;
       } else {
-        Fail("resolve " + first.rid.ToString() + ": got " + OptStr(got) +
-             ", neither staged " + OptStr(first.staged) + " nor prior " +
-             OptStr(first.prior));
+        Fail("resolve " + first->rid.ToString() + ": got " + OptStr(got) +
+             ", neither staged " + OptStr(first->staged) + " nor prior " +
+             OptStr(first->prior));
         return;
       }
-      for (std::size_t i = 1; i < p.writes.size(); ++i) {
-        const StagedWrite& w = p.writes[i];
+      for (const StagedWrite& w : p.writes) {
+        if (&w == first || poisoned_.contains(w.rid.page)) continue;
         std::optional<std::string> expect = committed ? w.staged : w.prior;
         std::optional<std::string> val = ReadCommitted(n, w.rid, &ok);
         if (!ok) return;
@@ -868,7 +977,7 @@ class TortureRun {
     }
     TxnId txn = *begun;
     for (RecordId rid : rids_) {
-      if (InPending(rid)) continue;
+      if (Unverifiable(rid)) continue;
       std::optional<std::string> expected = ModelValue(rid);
       Result<std::string> got = n->Read(txn, rid);
       if (got.ok()) {
@@ -908,6 +1017,10 @@ class TortureRun {
   /// advance one copy past the others until the next transfer.
   void CheckPsnConsistency(const char* tag) {
     for (PageId pid : pages_) {
+      // A fenced page legitimately sits at a pre-loss PSN (the base image
+      // media recovery could not replay forward); its watermark resumes if
+      // a later rebuild un-poisons it.
+      if (poisoned_.contains(pid)) continue;
       Psn max_psn = 0;
       bool any_copy = false;
       bool any_dirty = false;
@@ -1033,7 +1146,10 @@ class TortureRun {
                " not strictly ascending at run " + std::to_string(k));
           return;
         }
-        if (merged[k].node == merged[k + 1].node) {
+        // After a log-device loss one node's runs are missing from the
+        // middle of the history, so two surviving runs of one node can
+        // legitimately sit adjacent; only the ascending check still holds.
+        if (!log_loss_occurred_ && merged[k].node == merged[k + 1].node) {
           Fail("merged schedule for " + pages_[i].ToString() +
                " has uncoalesced adjacent runs of node " +
                std::to_string(merged[k].node));
@@ -1074,6 +1190,7 @@ class TortureRun {
     }
     report_.restarts += cluster_->NodeIds().size();
     Event("final restart");
+    HarvestPoison();
 
     for (NodeId id : cluster_->NodeIds()) {
       VerifyModel(id, "final");
@@ -1090,6 +1207,56 @@ class TortureRun {
     CheckPsnConsistency("final");
     if (!failure_.empty()) return;
     CheckPsnListReconstruction();
+    if (!failure_.empty()) return;
+
+    // Invariant 5 (media mode): the archive pair must be self-consistent
+    // on every node, and every record on a fenced page must refuse to read
+    // — Corruption, never silent stale data.
+    if (options_.media_failure) {
+      for (NodeId id : cluster_->NodeIds()) {
+        Status ar = cluster_->node(id)->CheckArchiveConsistency();
+        if (!ar.ok()) {
+          Fail("archive consistency node " + std::to_string(id) + ": " +
+               ar.ToString());
+          return;
+        }
+      }
+      Event("archive-check ok");
+      VerifyPoisonFencing();
+    }
+  }
+
+  /// Every known record on a currently fenced page must read back an error
+  /// (the fence), with all caches cold after the final full restart — a
+  /// successful read here would be silent stale data, the one outcome media
+  /// recovery may never produce.
+  void VerifyPoisonFencing() {
+    if (poisoned_.empty()) return;
+    NodeId reader = RandomUpNode();
+    Node* n = cluster_->node(reader);
+    Result<TxnId> begun = n->Begin();
+    if (!begun.ok()) {
+      Fail("fence Begin: " + begun.status().ToString());
+      return;
+    }
+    std::uint64_t fenced = 0;
+    for (RecordId rid : rids_) {
+      if (!poisoned_.contains(rid.page)) continue;
+      Result<std::string> got = n->Read(*begun, rid);
+      if (got.ok()) {
+        Fail("poison fence: " + rid.ToString() + " read \"" + *got +
+             "\" from a page fenced as unrecoverable");
+        break;
+      }
+      if (!got.status().IsCorruption()) {
+        Fail("poison fence: " + rid.ToString() + " failed with " +
+             got.status().ToString() + ", expected Corruption");
+        break;
+      }
+      ++fenced;
+    }
+    (void)n->Abort(*begun);
+    if (failure_.empty()) Event("poison-fence ok=" + std::to_string(fenced));
   }
 
   // --- State ------------------------------------------------------------
@@ -1113,6 +1280,11 @@ class TortureRun {
   std::vector<PendingTxn> pending_;
   std::vector<ParkedTxn> parked_;  ///< Group commits awaiting their ack.
   std::map<PageId, Psn> watermark_;  ///< Invariant 3: PSNs never regress.
+
+  // Media mode (empty/false in healthy schedules):
+  std::set<PageId> poisoned_;  ///< Pages currently fenced as unrecoverable.
+  std::set<RecordId> cursed_;  ///< Records whose pending fate was fenced off.
+  bool log_loss_occurred_ = false;  ///< Any log device destroyed this run.
 
   std::uint64_t value_seq_ = 0;
   std::uint64_t hash_ = kFnvOffset;
@@ -1144,6 +1316,11 @@ std::string TortureReport::Summary() const {
       << " torn_page=" << faults.torn_page_writes
       << " failed_write=" << faults.failed_page_writes
       << " failed_sync=" << faults.failed_syncs << "}";
+  if (device_losses != 0 || pages_poisoned != 0) {
+    out << " media{losses=" << device_losses << " log=" << log_losses
+        << " read_faults=" << faults.failed_page_reads
+        << " poisoned=" << pages_poisoned << "}";
+  }
   if (!ok) out << " failure=\"" << failure << "\"";
   return out.str();
 }

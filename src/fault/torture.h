@@ -43,6 +43,15 @@ struct TortureOptions {
   /// counts one as committed before its ACK, and treats a crash while
   /// parked as an indeterminate commit (resolved at the next restart).
   bool group_commit = false;
+  /// Media-failure mode: every node runs with fuzzy page archives enabled
+  /// (a pass per checkpoint), the scheduled-crash branch sometimes arms a
+  /// whole-device loss (data or log) consumed at the crash point, and the
+  /// armed I/O fault mix gains transient page-read failures. The harness
+  /// then tracks the poison ledger: records on pages fenced as
+  /// unrecoverable must read back Corruption — never silent stale data —
+  /// and a fifth invariant (archive self-consistency) is checked at the
+  /// end. Off by default; healthy-mode schedules are unchanged.
+  bool media_failure = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
   /// Per-node capacity of the structured trace ring (newest events win).
@@ -74,6 +83,9 @@ struct TortureReport {
   std::uint64_t recovery_crashes = 0;    ///< Crashes at a recovery phase boundary.
   std::uint64_t partitions = 0;
   std::uint64_t reads_checked = 0;       ///< Reads compared to the model.
+  std::uint64_t device_losses = 0;       ///< Device faults armed (media mode).
+  std::uint64_t log_losses = 0;          ///< Of which destroyed a log device.
+  std::uint64_t pages_poisoned = 0;      ///< Pages fenced unrecoverable at the end.
   FaultInjector::Counters faults;
 
   // Availability-envelope counters (mirrored from the network's metrics):

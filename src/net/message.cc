@@ -42,6 +42,8 @@ std::string_view MsgTypeName(MsgType t) {
       return "dpt_ship";
     case MsgType::kNodeRecovered:
       return "node_recovered";
+    case MsgType::kLogLossNotice:
+      return "log_loss_notice";
     case MsgType::kPing:
       return "ping";
     case MsgType::kPingReply:

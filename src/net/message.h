@@ -47,6 +47,8 @@ enum class MsgType : std::uint8_t {
   kRecoverPageReply,    ///< Peer -> coordinator: page after redo.
   kDptShip,             ///< Multi-crash: DPT entries for pages you own.
   kNodeRecovered,       ///< Broadcast: node back online.
+  kLogLossNotice,       ///< Restarting node -> owner: my log was destroyed;
+                        ///< these pages of yours held updates only I logged.
 
   // Availability layer (failure detection).
   kPing,                ///< Prober -> peer: are you up, recovering, or gone?
@@ -110,6 +112,11 @@ struct RecoveryQueryReply {
   std::vector<LockListEntry> locks_i_hold_on_crashed;
   /// Exclusive locks the crashed node held on pages this node owns.
   std::vector<LockListEntry> x_locks_crashed_held_here;
+  /// Pages owned by N that *this* node's destroyed log left unrecoverable
+  /// (log-loss debts, docs/RECOVERY_WALKTHROUGH.md): recorded durably when
+  /// this node lost its log while holding X on N's pages and N was
+  /// unreachable. N poisons these on receipt.
+  std::vector<PageId> log_loss_pages_of_crashed;
 };
 
 /// One entry of a NodePSNList (Section 2.3.4): the PSN stored in the first

@@ -366,4 +366,21 @@ Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
   return Status::OK();
 }
 
+Status Network::LogLossNotice(NodeId from, NodeId to,
+                              const std::vector<PageId>& pages) {
+  const std::uint64_t t0 = Now();
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
+  Charge(MsgType::kLogLossNotice, pages.size() * 8, from, to);
+  Status st = svc->HandleLogLossNotice(from, pages);
+  RecordRtt(t0);
+  // Idempotent one-way notice: poisoning an already-poisoned page is a
+  // no-op, so duplication is safe.
+  if (st.ok() && fault_ != nullptr && from != to &&
+      fault_->DuplicateNotice(from, to)) {
+    Charge(MsgType::kLogLossNotice, pages.size() * 8, from, to);
+    (void)svc->HandleLogLossNotice(from, pages);
+  }
+  return st;
+}
+
 }  // namespace clog

@@ -115,6 +115,14 @@ class NodeService {
   /// Any-side: `who` finished restart recovery and is operational again.
   virtual void HandleNodeRecovered(NodeId who) = 0;
 
+  /// Owner-side (media failure): restarting node `from` lost its log
+  /// device; `pages` are pages I own on which `from` held exclusive locks,
+  /// so their newest committed versions existed only in `from`'s destroyed
+  /// log. I must poison them — refusing service beats serving stale data.
+  /// Idempotent one-way notice.
+  virtual Status HandleLogLossNotice(NodeId from,
+                                     const std::vector<PageId>& pages) = 0;
+
   // --- Availability layer ---
 
   /// Heartbeat probe: how alive is this process? Only reachable while the
@@ -188,6 +196,8 @@ class Network {
   Status DptShip(NodeId from, NodeId to, const std::vector<DptEntry>& entries,
                  const std::vector<PageId>& cached_pages);
   Status NodeRecovered(NodeId from, NodeId to, NodeId who);
+  Status LogLossNotice(NodeId from, NodeId to,
+                       const std::vector<PageId>& pages);
 
   /// Traffic metrics ("msg.<type>", "msg.total", "bytes.total") and the
   /// "rpc.rtt_ns" round-trip histogram (one sample per RPC wrapper call,

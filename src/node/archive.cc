@@ -1,0 +1,187 @@
+#include "node/archive.h"
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/fsutil.h"
+
+namespace clog {
+namespace {
+
+/// "CARC" — archive meta blob magic.
+constexpr std::uint32_t kArchiveMagic = 0x43415243u;
+/// "CPSN" — poison ledger blob magic.
+constexpr std::uint32_t kPoisonMagic = 0x4350534Eu;
+
+}  // namespace
+
+// --- PageArchive -----------------------------------------------------------
+
+Status PageArchive::Open(const std::string& dir) {
+  if (file_.is_open()) return Status::FailedPrecondition("archive open");
+  CLOG_RETURN_IF_ERROR(file_.Open(dir + "/node.archive"));
+  meta_path_ = dir + "/node.archive.meta";
+  seq_ = 0;
+  entries_.clear();
+  staged_.clear();
+  Status st = LoadMeta();
+  if (!st.ok() && !st.IsNotFound()) {
+    // A torn or corrupt meta file means the last sealed pass is lost, not
+    // that the node is broken: start the archive empty and let media
+    // recovery fall back to seed rebuild.
+    seq_ = 0;
+    entries_.clear();
+  }
+  return Status::OK();
+}
+
+Status PageArchive::Close() {
+  if (!file_.is_open()) return Status::OK();
+  staged_.clear();
+  return file_.Close();
+}
+
+Psn PageArchive::ArchivedPsn(std::uint32_t page_no) const {
+  if (auto it = staged_.find(page_no); it != staged_.end()) return it->second;
+  if (auto it = entries_.find(page_no); it != entries_.end()) return it->second;
+  return 0;
+}
+
+Status PageArchive::ArchivePage(std::uint32_t page_no, const Page& src) {
+  if (!file_.is_open()) return Status::FailedPrecondition("archive not open");
+  // Copy before writing: WritePage seals the checksum in place, and the
+  // source is a live (possibly dirty) buffer-pool frame.
+  Page scratch;
+  scratch.CopyFrom(src);
+  CLOG_RETURN_IF_ERROR(file_.WritePage(page_no, &scratch, /*sync=*/false));
+  staged_[page_no] = src.psn();
+  return Status::OK();
+}
+
+Status PageArchive::SealPass() {
+  if (!file_.is_open()) return Status::FailedPrecondition("archive not open");
+  if (staged_.empty()) return Status::OK();  // Nothing moved; keep the seal.
+  CLOG_RETURN_IF_ERROR(file_.Sync());
+  CLOG_RETURN_IF_ERROR(StoreMeta(seq_ + 1));
+  ++seq_;
+  for (const auto& [page_no, psn] : staged_) entries_[page_no] = psn;
+  staged_.clear();
+  return Status::OK();
+}
+
+Status PageArchive::Restore(std::uint32_t page_no, Page* out) {
+  if (!file_.is_open()) return Status::FailedPrecondition("archive not open");
+  return file_.ReadPage(page_no, out);
+}
+
+Status PageArchive::LoadMeta() {
+  std::string blob;
+  CLOG_RETURN_IF_ERROR(ReadFileToString(meta_path_, &blob));
+  if (blob.size() < 4) return Status::Corruption("archive meta truncated");
+  Decoder dec(blob);
+  std::uint32_t magic = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kArchiveMagic) return Status::Corruption("bad archive magic");
+  std::uint64_t seq = 0, count = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&seq));
+  CLOG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  std::map<std::uint32_t, Psn> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t page_no = 0;
+    std::uint64_t psn = 0;
+    CLOG_RETURN_IF_ERROR(dec.GetU32(&page_no));
+    CLOG_RETURN_IF_ERROR(dec.GetU64(&psn));
+    entries[page_no] = psn;
+  }
+  std::uint32_t crc = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&crc));
+  if (crc32c::Value(blob.data(), blob.size() - 4) != crc) {
+    return Status::Corruption("archive meta crc mismatch");
+  }
+  seq_ = seq;
+  entries_ = std::move(entries);
+  return Status::OK();
+}
+
+Status PageArchive::StoreMeta(std::uint64_t seq) const {
+  std::string blob;
+  Encoder enc(&blob);
+  enc.PutU32(kArchiveMagic);
+  enc.PutU64(seq);
+  // Sealed entries merged with the pass being sealed.
+  std::map<std::uint32_t, Psn> merged = entries_;
+  for (const auto& [page_no, psn] : staged_) merged[page_no] = psn;
+  enc.PutVarint64(merged.size());
+  for (const auto& [page_no, psn] : merged) {
+    enc.PutU32(page_no);
+    enc.PutU64(psn);
+  }
+  enc.PutU32(crc32c::Value(blob.data(), blob.size()));
+  return AtomicWriteFile(meta_path_, blob);
+}
+
+// --- PoisonLedger ----------------------------------------------------------
+
+Status PoisonLedger::Open(const std::string& dir) {
+  path_ = dir + "/node.poison";
+  entries_.clear();
+  std::string blob;
+  Status st = ReadFileToString(path_, &blob);
+  if (st.IsNotFound()) return Status::OK();  // Healthy node: no ledger file.
+  CLOG_RETURN_IF_ERROR(st);
+  if (blob.size() < 4) return Status::Corruption("poison ledger truncated");
+  Decoder dec(blob);
+  std::uint32_t magic = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kPoisonMagic) return Status::Corruption("bad poison magic");
+  std::uint64_t count = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t pid = 0, needed = 0;
+    CLOG_RETURN_IF_ERROR(dec.GetU64(&pid));
+    CLOG_RETURN_IF_ERROR(dec.GetU64(&needed));
+    entries_[pid] = needed;
+  }
+  std::uint32_t crc = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&crc));
+  if (crc32c::Value(blob.data(), blob.size() - 4) != crc) {
+    return Status::Corruption("poison ledger crc mismatch");
+  }
+  return Status::OK();
+}
+
+Psn PoisonLedger::NeededPsn(PageId pid) const {
+  auto it = entries_.find(pid.Pack());
+  return it == entries_.end() ? 0 : it->second;
+}
+
+Status PoisonLedger::Add(PageId pid, Psn needed_psn) {
+  auto [it, inserted] = entries_.try_emplace(pid.Pack(), needed_psn);
+  if (!inserted) {
+    // Independent verdicts compose as the stricter one: a page both missing
+    // a finite PSN range and cursed by a destroyed log stays cursed.
+    if (it->second >= needed_psn) return Status::OK();
+    it->second = needed_psn;
+  }
+  return Persist();
+}
+
+Status PoisonLedger::Remove(PageId pid) {
+  if (entries_.erase(pid.Pack()) == 0) return Status::OK();
+  return Persist();
+}
+
+Status PoisonLedger::Persist() const {
+  if (entries_.empty()) return RemoveFileIfExists(path_);
+  std::string blob;
+  Encoder enc(&blob);
+  enc.PutU32(kPoisonMagic);
+  enc.PutVarint64(entries_.size());
+  for (const auto& [pid, needed] : entries_) {
+    enc.PutU64(pid);
+    enc.PutU64(needed);
+  }
+  enc.PutU32(crc32c::Value(blob.data(), blob.size()));
+  return AtomicWriteFile(path_, blob);
+}
+
+}  // namespace clog

@@ -1,0 +1,149 @@
+#ifndef CLOG_NODE_ARCHIVE_H_
+#define CLOG_NODE_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+/// \file
+/// Media-recovery side state: the fuzzy page archive and the poison ledger.
+///
+/// The archive is the per-node answer to data-device loss. Because a page's
+/// log records live only in the clients that updated it (the paper's core
+/// design), losing the owner's database file is not a local restore — it is
+/// a *distributed* redo collection over every client's log. The archive
+/// bounds how far back that collection must reach: restart recovery restores
+/// each lost page from its newest archived image and replays the cross-node
+/// PSN schedule forward from exactly that PSN. With no archive the same
+/// protocol still works from freshly formatted pages; it just replays the
+/// page's entire life.
+///
+/// Archiving is *fuzzy* (ARIES terminology): pages are copied online at
+/// whatever PSN they currently carry — dirty or clean, mid-transaction or
+/// not — with no quiescing. This is sound because redo is PSN-conditional
+/// (a record applies only when the page is at exactly its psn_before) and
+/// rollbacks are logged as CLRs that bump the PSN like any other update, so
+/// an archived uncommitted state replays forward into the correct one. The
+/// one ordering requirement is WAL's: an image must never contain an update
+/// whose log record is not yet durable. The caller guarantees it by running
+/// archive passes at the end of Checkpoint(), after the log force.
+///
+/// The poison ledger records pages whose current committed state is
+/// *unrecoverable* — a client's log was destroyed, or redo collection found
+/// a hole in the PSN schedule. Poisoned pages refuse service with
+/// Corruption instead of ever serving stale data silently; the entry is
+/// durable (it must survive further crashes) and carries the PSN the page
+/// was missing, so a later rebuild that does reach that PSN (say, a
+/// previously-down client came back with its log) clears it.
+
+namespace clog {
+
+/// "Needed PSN" sentinel for pages poisoned by a destroyed client log: the
+/// lost records were at the top of the page's history, so no finite rebuild
+/// can prove it caught up, and the poison is permanent.
+inline constexpr Psn kPsnUnrecoverable = ~static_cast<Psn>(0);
+
+/// Incremental online snapshot of one node's owned pages, stored beside the
+/// database as "node.archive" (page images, slot = page_no) plus
+/// "node.archive.meta" (sealed pass metadata). Both are modeled as living
+/// on a separate archive device: losing the data device does not lose them.
+///
+/// A pass writes only pages whose PSN advanced since they were last
+/// archived, then seals: fsync the image file, then atomically publish the
+/// meta file with the next pass sequence number. A crash mid-pass leaves
+/// the previous sealed meta authoritative; image slots newer than the meta
+/// are either checksum-valid (usable) or torn (detected and ignored).
+class PageArchive {
+ public:
+  /// Opens (creating if needed) the archive pair under `dir`. A missing or
+  /// unreadable meta file starts the archive empty — media recovery then
+  /// falls back to formatted-seed rebuild; it is never an error.
+  Status Open(const std::string& dir);
+
+  /// Syncs and closes the image file.
+  Status Close();
+
+  bool is_open() const { return file_.is_open(); }
+
+  /// Sequence number of the last sealed pass (0 = none yet).
+  std::uint64_t seq() const { return seq_; }
+
+  /// PSN at which `page_no` was last archived (staged or sealed); 0 = never.
+  Psn ArchivedPsn(std::uint32_t page_no) const;
+
+  /// Copies `src` into the page's archive slot and stages its PSN for the
+  /// next SealPass. The source may be dirty and unsealed; the slot gets its
+  /// own checksum.
+  Status ArchivePage(std::uint32_t page_no, const Page& src);
+
+  /// Fsyncs the image file and atomically publishes the staged metadata
+  /// under the next sequence number.
+  Status SealPass();
+
+  /// Reads the archived image of `page_no` into `*out`, verifying its
+  /// checksum. NotFound if never archived; Corruption if the slot is torn.
+  Status Restore(std::uint32_t page_no, Page* out);
+
+  /// Sealed metadata: page_no -> PSN at last sealed archive time.
+  const std::map<std::uint32_t, Psn>& entries() const { return entries_; }
+
+ private:
+  Status LoadMeta();
+  Status StoreMeta(std::uint64_t seq) const;
+
+  DiskManager file_;
+  std::string meta_path_;
+  std::uint64_t seq_ = 0;
+  std::map<std::uint32_t, Psn> entries_;  ///< Sealed.
+  std::map<std::uint32_t, Psn> staged_;   ///< Written since last seal.
+};
+
+/// Durable set of pages this node owns whose committed state is known to be
+/// unrecoverable. Kept in "node.poison" (same metadata device as the space
+/// map; absent when empty, so a healthy node never creates it). Every
+/// mutation is crash-atomic before it returns: a poison verdict must not be
+/// forgotten by the next crash.
+///
+/// Entries whose PageId this node does NOT own are *debts*: pages of a peer
+/// that this node's destroyed log left unrecoverable, recorded durably in
+/// case the owner was unreachable when the loss was detected. They are
+/// retired once a LogLossNotice reaches the owner.
+class PoisonLedger {
+ public:
+  /// Loads `dir`/node.poison if present. A corrupt ledger is an error (an
+  /// unreadable poison set must not silently un-poison pages).
+  Status Open(const std::string& dir);
+
+  bool Contains(PageId pid) const { return entries_.contains(pid.Pack()); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// PSN the page needs to reach to be considered recovered;
+  /// kPsnUnrecoverable for permanent (log-loss) poison. 0 = not poisoned.
+  Psn NeededPsn(PageId pid) const;
+
+  /// Adds (or escalates: keeps the larger needed PSN of) an entry, durably.
+  Status Add(PageId pid, Psn needed_psn);
+
+  /// Removes an entry, durably. No-op if absent.
+  Status Remove(PageId pid);
+
+  /// Packed-PageId -> needed PSN, for introspection and recovery sweeps.
+  const std::map<std::uint64_t, Psn>& entries() const { return entries_; }
+
+ private:
+  Status Persist() const;
+
+  std::string path_;
+  std::map<std::uint64_t, Psn> entries_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_NODE_ARCHIVE_H_

@@ -41,12 +41,20 @@ Status Node::Checkpoint() {
   end.checkpoint_begin_lsn = begin_lsn;
   end.dpt = dpt_.ToEntries();
   end.att = txns_.Snapshot();
+  // The seq of the last pass *sealed before this record is written*: the
+  // pass below runs after the force, so it cannot be named here. Zero when
+  // archiving is off, keeping the record's bytes unchanged.
+  end.archive_seq = archive_.is_open() ? archive_.seq() : 0;
   Lsn end_lsn = kNullLsn;
   CLOG_RETURN_IF_ERROR(
       log_.Append(end, &end_lsn, /*enforce_capacity=*/false));
 
   CLOG_RETURN_IF_ERROR(ForceLog(end_lsn));
   CLOG_RETURN_IF_ERROR(log_.StoreMaster(end_lsn));
+  // Durable log-extent mark, on the metadata device: a later restart that
+  // finds the log shorter than this knows the log *device* was destroyed,
+  // not merely an unforced tail lost (media failure detection).
+  CLOG_RETURN_IF_ERROR(log_.StoreMark());
 
   last_ckpt_begin_ = begin_lsn;
   AdvanceReclaimHorizon();
@@ -55,6 +63,16 @@ Status Node::Checkpoint() {
     trace_->Emit(id_, TraceEventType::kCheckpointEnd, end_lsn,
                  static_cast<std::uint64_t>(end.dpt.size()),
                  static_cast<std::uint32_t>(end.att.size()));
+  }
+
+  // Fuzzy archive pass, strictly after the force: every update in any page
+  // image copied below is covered by a durable log record — locally because
+  // the force just ran, remotely because WalBeforePageLeaves held when the
+  // page was shipped here. That ordering is the archive's WAL rule.
+  if (archive_.is_open() &&
+      ++ckpts_since_archive_ >= options_.archive.every_checkpoints) {
+    ckpts_since_archive_ = 0;
+    CLOG_RETURN_IF_ERROR(ArchivePass());
   }
   return Status::OK();
 }

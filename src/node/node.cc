@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fsutil.h"
+#include "fault/fault_injector.h"
 #include "trace/trace_sink.h"
 
 namespace clog {
@@ -45,6 +47,12 @@ Status Node::OpenStorage() {
     CLOG_RETURN_IF_ERROR(log_.Open(options_.dir + "/node.log"));
     log_.set_capacity(options_.log_capacity_bytes);
   }
+  // Media-recovery side state. The poison ledger is on the metadata device
+  // (with the space map); it keeps no file while empty.
+  CLOG_RETURN_IF_ERROR(poison_.Open(options_.dir));
+  if (options_.archive.enabled) {
+    CLOG_RETURN_IF_ERROR(archive_.Open(options_.dir));
+  }
   return Status::OK();
 }
 
@@ -80,6 +88,28 @@ void Node::Crash() {
   completing_group_ = false;
   log_.Abandon();   // Unforced log tail is lost with the crash.
   disk_.Close().ok();
+  archive_.Close().ok();
+  ckpts_since_archive_ = 0;
+  // Media failure: an armed device loss takes effect at the crash point.
+  // The data device is node.db alone; the log device is node.log plus its
+  // master pointer (which points into the log and must die with it). The
+  // space map, poison ledger, log mark, and archive are modeled as living
+  // on separate metadata/archive devices and survive.
+  if (options_.fault_injector != nullptr) {
+    switch (options_.fault_injector->OnCrash(id_)) {
+      case DeviceFault::kNone:
+        break;
+      case DeviceFault::kDestroyDataFile:
+        RemoveFileIfExists(options_.dir + "/node.db").ok();
+        metrics_.GetCounter("media.data_device_lost").Add(1);
+        break;
+      case DeviceFault::kDestroyLogFile:
+        RemoveFileIfExists(options_.dir + "/node.log").ok();
+        RemoveFileIfExists(options_.dir + "/node.log.master").ok();
+        metrics_.GetCounter("media.log_device_lost").Add(1);
+        break;
+    }
+  }
   state_ = NodeState::kDown;
   recovery_redo_done_ = false;
   parked_owners_.clear();
@@ -141,6 +171,12 @@ Status Node::FreePage(PageId pid) {
   if (pid.owner != id_) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
+  if (poison_.Contains(pid)) {
+    // The page's true final PSN is unknowable, so the space map could not
+    // seed a reallocation safely past it.
+    return Status::Corruption("page unrecoverable after media failure: " +
+                              pid.ToString());
+  }
   for (NodeId holder : global_locks_.HoldersOf(pid)) {
     if (holder != id_) {
       return Status::Busy("page still locked remotely: " + pid.ToString());
@@ -168,9 +204,18 @@ Result<Psn> Node::DiskPsn(PageId pid) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   Page tmp;
-  CLOG_RETURN_IF_ERROR(disk_.ReadPage(pid.page_no, &tmp));
+  CLOG_RETURN_IF_ERROR(ReadOwnPage(pid.page_no, &tmp));
   ChargeDiskRead();
   return tmp.psn();
+}
+
+Status Node::ReadOwnPage(std::uint32_t page_no, Page* out) {
+  Status st = disk_.ReadPage(page_no, out);
+  if (st.IsIOError()) {
+    metrics_.GetCounter("disk.page_read_retries").Add(1);
+    st = disk_.ReadPage(page_no, out);
+  }
+  return st;
 }
 
 // ---------------------------------------------------------------------------
@@ -209,10 +254,14 @@ Status Node::NoteOwnerFailure(NodeId owner, Status st) {
 Result<Page*> Node::FetchPage(PageId pid) {
   if (Page* hit = pool_.Lookup(pid)) return hit;
   if (pid.owner == id_) {
+    if (poison_.Contains(pid)) {
+      return Status::Corruption("page unrecoverable after media failure: " +
+                                pid.ToString());
+    }
     // Own page: disk version is current (own-page evictions write in
     // place, so the cache-miss copy on disk is the newest local version).
     CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
-    Status st = disk_.ReadPage(pid.page_no, frame);
+    Status st = ReadOwnPage(pid.page_no, frame);
     if (!st.ok()) {
       pool_.Drop(pid);
       return st;
@@ -1028,6 +1077,12 @@ Status Node::ForceOwnPage(PageId pid) {
     dpt_.Remove(pid);
     flushed_psn = cached->psn();
   } else {
+    if (poison_.Contains(pid)) {
+      // No dirty copy to write and the disk version is unrecoverable:
+      // nothing can honestly be vouched for.
+      return Status::Corruption("page unrecoverable after media failure: " +
+                                pid.ToString());
+    }
     // Nothing newer here: the disk version is what we can vouch for.
     CLOG_ASSIGN_OR_RETURN(flushed_psn, DiskPsn(pid));
   }
@@ -1129,6 +1184,136 @@ void Node::AdvanceReclaimHorizon() {
     horizon = std::min(horizon, last_ckpt_begin_);
   }
   log_.SetReclaimableLsn(horizon);
+}
+
+// ---------------------------------------------------------------------------
+// Media failure: poison ledger and fuzzy archive
+// ---------------------------------------------------------------------------
+
+std::vector<PageId> Node::PoisonedPages() const {
+  std::vector<PageId> out;
+  out.reserve(poison_.entries().size());
+  for (const auto& [packed, needed] : poison_.entries()) {
+    PageId pid = PageId::Unpack(packed);
+    if (pid.owner == id_) out.push_back(pid);
+  }
+  return out;
+}
+
+Status Node::PoisonOwnPage(PageId pid, Psn needed_psn) {
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  CLOG_RETURN_IF_ERROR(poison_.Add(pid, needed_psn));
+  metrics_.GetCounter("media.pages_poisoned").Add(1);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kPagePoison, pid.Pack(), needed_psn);
+  }
+  return Status::OK();
+}
+
+Status Node::UnpoisonPage(PageId pid) { return poison_.Remove(pid); }
+
+Status Node::HandleLogLossNotice(NodeId from,
+                                 const std::vector<PageId>& pages) {
+  for (PageId pid : pages) {
+    if (pid.owner != id_) continue;
+    // The sender held X on this page when its log died, so the newest
+    // committed version existed only there — at the top of the page's
+    // history, where no surviving log can prove a rebuild caught up.
+    CLOG_RETURN_IF_ERROR(PoisonOwnPage(pid, kPsnUnrecoverable));
+  }
+  // Flush hygiene: the destroyed log may also have covered updates that
+  // live on only in current page images (shipped to their owners but not
+  // yet flushed — the Section 2.5 FlushNotify-horizon exposure). Pushing
+  // every dirty copy held here to its owner's disk now means no future
+  // media rebuild will go looking for the destroyed records.
+  for (PageId pid : pool_.DirtyPages()) {
+    if (pid.owner == id_) {
+      ForceOwnPage(pid).ok();
+    } else if (ShipDirtyCopy(pid).ok()) {
+      network_->FlushRequest(id_, pid.owner, pid).ok();
+    }
+  }
+  metrics_.GetCounter("media.log_loss_notices").Add(1);
+  return Status::OK();
+}
+
+Status Node::ArchivePass() {
+  if (!archive_.is_open()) return Status::OK();
+  std::uint64_t written = 0;
+  const std::vector<std::uint32_t> allocated = space_map_.AllocatedPages();
+  for (std::uint32_t page_no : allocated) {
+    PageId pid{id_, page_no};
+    if (poison_.Contains(pid)) continue;  // Nothing trustworthy to copy.
+    // Newest local version: the cached frame (possibly dirty — the archive
+    // is fuzzy) if present, else the disk version.
+    const Page* src = pool_.Peek(pid);
+    Page from_disk;
+    if (src == nullptr) {
+      Status rd = ReadOwnPage(page_no, &from_disk);
+      // Unreadable slots (torn write artifacts, lost device before
+      // recovery) simply don't advance their archive entry this pass.
+      if (!rd.ok()) continue;
+      ChargeDiskRead();
+      src = &from_disk;
+    }
+    if (src->psn() <= archive_.ArchivedPsn(page_no)) continue;
+    CLOG_RETURN_IF_ERROR(archive_.ArchivePage(page_no, *src));
+    ChargeDiskWrite();
+    ++written;
+  }
+  if (written == 0) return Status::OK();
+  CLOG_RETURN_IF_ERROR(archive_.SealPass());
+  metrics_.GetCounter("archive.passes").Add(1);
+  metrics_.GetCounter("archive.pages_written").Add(written);
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventType::kArchivePass, archive_.seq(), written,
+                 static_cast<std::uint32_t>(archive_.entries().size()));
+  }
+  return Status::OK();
+}
+
+Status Node::CheckArchiveConsistency() {
+  if (!archive_.is_open()) return Status::OK();
+  for (const auto& [page_no, archived_psn] : archive_.entries()) {
+    Page img;
+    Status rd = archive_.Restore(page_no, &img);
+    if (!rd.ok()) {
+      return Status::FailedPrecondition(
+          "archive entry for page " + std::to_string(page_no) +
+          " not restorable: " + rd.ToString());
+    }
+    // The image may be *newer* than the sealed entry (a later pass wrote
+    // the slot and crashed before sealing) but never older.
+    if (img.psn() < archived_psn) {
+      return Status::FailedPrecondition(
+          "archive image of page " + std::to_string(page_no) + " at psn " +
+          std::to_string(img.psn()) + " older than sealed entry " +
+          std::to_string(archived_psn));
+    }
+    PageId pid{id_, page_no};
+    // A poisoned page's live version is legitimately behind its archive:
+    // media recovery restored a base image it could not replay forward.
+    if (poison_.Contains(pid)) continue;
+    Psn current = 0;
+    bool known = false;
+    if (const Page* cached = pool_.Peek(pid); cached != nullptr) {
+      current = cached->psn();
+      known = true;
+    } else if (Page tmp; disk_.is_open() &&
+                         disk_.ReadPage(page_no, &tmp).ok()) {
+      current = tmp.psn();
+      known = true;
+    }
+    if (known && space_map_.IsAllocated(page_no) && archived_psn > current) {
+      return Status::FailedPrecondition(
+          "archive of page " + std::to_string(page_no) + " at psn " +
+          std::to_string(archived_psn) + " ahead of current version " +
+          std::to_string(current));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace clog

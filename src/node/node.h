@@ -17,6 +17,7 @@
 #include "lock/lock_cache.h"
 #include "lock/lock_manager.h"
 #include "net/network.h"
+#include "node/archive.h"
 #include "node/options.h"
 #include "storage/disk_manager.h"
 #include "storage/slotted_page.h"
@@ -198,6 +199,8 @@ class Node : public NodeService {
   Status HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
                        const std::vector<PageId>& cached_pages) override;
   void HandleNodeRecovered(NodeId who) override;
+  Status HandleLogLossNotice(NodeId from,
+                             const std::vector<PageId>& pages) override;
   PeerHealth HandlePing() override;
 
   // ---------------------------------------------------------------------
@@ -217,6 +220,40 @@ class Node : public NodeService {
 
   /// PSN of the disk version of an owned page (recovery comparisons).
   Result<Psn> DiskPsn(PageId pid);
+
+  // --- Media failure (docs/RECOVERY_WALKTHROUGH.md "Media recovery") ---
+
+  /// The fuzzy page archive (open iff options().archive.enabled).
+  const PageArchive& archive() const { return archive_; }
+
+  /// Owned pages whose committed state is unrecoverable; they refuse
+  /// service with Corruption until (if ever) a rebuild reaches the PSN the
+  /// ledger records as needed.
+  bool IsPoisoned(PageId pid) const { return poison_.Contains(pid); }
+  std::vector<PageId> PoisonedPages() const;
+
+  /// Durably marks own page `pid` unrecoverable: every service path
+  /// (lock grants, fetches, frees) fails with Corruption from now on.
+  /// `needed_psn` is the first PSN of the missing history — a later
+  /// rebuild that reaches it clears the entry; kPsnUnrecoverable never
+  /// clears. Idempotent (keeps the tighter needed PSN).
+  Status PoisonOwnPage(PageId pid, Psn needed_psn);
+
+  /// Clears the poison entry after a gap-free rebuild reached the needed
+  /// PSN (called by RestartRecovery only).
+  Status UnpoisonPage(PageId pid);
+
+  /// Runs one fuzzy archive pass over all owned pages: copies every page
+  /// whose PSN moved since it was last archived (newest cached version if
+  /// present, else the disk version) and seals the pass. Called from
+  /// Checkpoint() after the log force — that ordering is the archive's WAL
+  /// rule (see node/archive.h). Public so tests and tools can force one.
+  Status ArchivePass();
+
+  /// Archive self-check (torture invariant): every sealed entry must be
+  /// restorable with a valid checksum at exactly the recorded PSN, and no
+  /// recorded PSN may exceed the page's current PSN where that is known.
+  Status CheckArchiveConsistency();
 
   /// Validates the node's internal cross-structure invariants (dirty
   /// pages vs locks vs DPT, transaction-holder liveness, clean-page
@@ -271,6 +308,11 @@ class Node : public NodeService {
 
   /// Ensures the page image is in the pool (lock already held).
   Result<Page*> FetchPage(PageId pid);
+
+  /// Disk read of an own page with one retry on IOError: a transient read
+  /// fault (injected or a real device hiccup) is not fail-stop material the
+  /// way a lying write is, so every critical read path absorbs one.
+  Status ReadOwnPage(std::uint32_t page_no, Page* out);
 
   /// Owner-side: newest version of own page `pid` (cache, else disk).
   Result<Page*> OwnLatestPage(PageId pid);
@@ -352,6 +394,13 @@ class Node : public NodeService {
   DiskManager disk_;
   SpaceMap space_map_;
   LogManager log_;
+  /// Media-recovery side state (node/archive.h). The archive is open only
+  /// when options_.archive.enabled; the poison ledger is always loaded but
+  /// keeps no file while empty, so both cost nothing on healthy nodes.
+  PageArchive archive_;
+  PoisonLedger poison_;
+  /// Checkpoints completed since the last archive pass (pass cadence).
+  std::uint32_t ckpts_since_archive_ = 0;
   BufferPool pool_;
   DirtyPageTable dpt_;
   LockCache lock_cache_;

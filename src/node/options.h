@@ -48,6 +48,22 @@ struct GroupCommitPolicy {
   std::size_t max_group_size = 8;
 };
 
+/// Fuzzy online page archiving (media recovery, docs/RECOVERY_WALKTHROUGH.md).
+/// When enabled, the node incrementally snapshots its owned pages into a
+/// side archive file ("node.archive") — no quiescing: pages are copied at
+/// whatever PSN they currently have, dirty or clean, and the distributed
+/// redo collection replays them forward from exactly that PSN after a data
+/// device loss. Off by default: no archive file is created, no hot-path
+/// branch is taken, trace hashes and benchmarks are byte-identical to a
+/// build without the subsystem.
+struct ArchiveOptions {
+  bool enabled = false;
+  /// Take one incremental archive pass every N completed checkpoints
+  /// (1 = every checkpoint). The pass only rewrites pages whose PSN moved
+  /// since they were last archived.
+  std::uint32_t every_checkpoints = 1;
+};
+
 /// Static configuration of one node.
 struct NodeOptions {
   /// Directory for this node's database, log, and side files.
@@ -82,6 +98,9 @@ struct NodeOptions {
   /// Commit-time force coalescing; disabled by default so every commit
   /// forces its own log exactly as before unless opted in.
   GroupCommitPolicy group_commit;
+  /// Fuzzy page archiving for media recovery; disabled by default (no
+  /// archive file, zero hot-path overhead).
+  ArchiveOptions archive;
   /// Optional structured-event trace sink shared by the whole cluster (not
   /// owned). nullptr = tracing off: every emit point is guarded by one
   /// branch on this pointer, so the default costs nothing.

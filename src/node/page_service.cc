@@ -23,6 +23,13 @@ Status Node::HandleLockPage(NodeId from, PageId pid, LockMode mode,
   if (!space_map_.IsAllocated(pid.page_no)) {
     return Status::NotFound("page not allocated: " + pid.ToString());
   }
+  if (poison_.Contains(pid)) {
+    // Media recovery could not rebuild this page (a client log holding part
+    // of its history is gone). Serving it would hand out silently wrong
+    // data; refusing is the contract.
+    return Status::Corruption("page unrecoverable after media failure: " +
+                              pid.ToString());
+  }
   if (state_ == NodeState::kRecovering) {
     // During restart recovery only conflict-free grants are served (no
     // callbacks run in this state): enough for a recovering peer to fetch
@@ -178,8 +185,12 @@ Status Node::WalBeforePageLeaves(PageId pid, const Page* page) {
 
 Result<Page*> Node::OwnLatestPage(PageId pid) {
   if (Page* cached = pool_.Lookup(pid)) return cached;
+  if (poison_.Contains(pid)) {
+    return Status::Corruption("page unrecoverable after media failure: " +
+                              pid.ToString());
+  }
   CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
-  Status st = disk_.ReadPage(pid.page_no, frame);
+  Status st = ReadOwnPage(pid.page_no, frame);
   if (!st.ok()) {
     pool_.Drop(pid);
     return st;
@@ -318,6 +329,20 @@ Status Node::HandleRecoveryQuery(NodeId crashed, RecoveryQueryReply* reply) {
   // can rebuild its lock cache.
   global_locks_.ReleaseSharedOf(crashed);
   reply->x_locks_crashed_held_here = global_locks_.ExclusiveLocksOf(crashed);
+
+  // (d) Debts: pages of `crashed` whose history passed through a log we
+  // lost to a media failure. The direct LogLossNotice could not be
+  // delivered while it was down; the recovery query is the guaranteed
+  // rendezvous (every restart queries every peer).
+  for (const auto& [packed, needed] : poison_.entries()) {
+    (void)needed;
+    const PageId pid = PageId::Unpack(packed);
+    if (pid.owner == crashed) {
+      reply->log_loss_pages_of_crashed.push_back(pid);
+    }
+  }
+  std::sort(reply->log_loss_pages_of_crashed.begin(),
+            reply->log_loss_pages_of_crashed.end());
   return Status::OK();
 }
 

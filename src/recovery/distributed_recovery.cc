@@ -36,6 +36,16 @@ Status RestartRecovery::OpenAndAnalyze() {
   const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(node_->OpenStorage());
   if (node_->options_.has_local_log) {
+    // Media check before analysis: forced log bytes never shrink, so a log
+    // shorter than the durable extent mark written at the last checkpoint
+    // cannot be a lost unforced tail — the log device was destroyed and
+    // recreated empty. (The mark lives on the metadata device and survives.)
+    CLOG_ASSIGN_OR_RETURN(Lsn mark, node_->log_.LoadMark());
+    if (mark != kNullLsn && node_->log_.end_lsn() < mark) {
+      log_lost_ = true;
+      stats_.log_loss_detected = true;
+      node_->metrics_.GetCounter("media.log_loss_detected").Add(1);
+    }
     CLOG_RETURN_IF_ERROR(AnalyzeLog(&node_->log_, &analysis_));
     // The rebuilt superset DPT (Sections 2.3.1 / 2.4).
     for (const auto& [pid, entry] : analysis_.dpt) {
@@ -136,6 +146,22 @@ Status RestartRecovery::CoordinatePageRecovery(
   // Steps 2-4: bounce the page through the involved nodes. Each node
   // applies redo until the next run's PSN would be reached.
   for (std::size_t i = 0; i < runs.size(); ++i) {
+    // Runs wholly below the base image are already-reflected history: an
+    // archive or disk base subsumes them (full-history rebuilds ask every
+    // log for the page's whole life). No round needed.
+    if (i + 1 < runs.size() && runs[i + 1].psn <= base->psn()) continue;
+    if (runs[i].psn > base->psn()) {
+      // PSN density: every update bumped the PSN by exactly one, so the
+      // schedule must tile upward from the base without gaps. A run
+      // starting above the page's current PSN proves records existed that
+      // no surviving log holds (a destroyed client log). Serving the page
+      // would be silent data loss — fence it durably instead. The verdict
+      // records the PSN the rebuild needs to reach; a later restart that
+      // does reach it (say, that client came back) lifts the fence.
+      CLOG_RETURN_IF_ERROR(node_->PoisonOwnPage(pid, runs[i].psn));
+      ++stats_.pages_poisoned;
+      return Status::OK();
+    }
     bool has_bound = i + 1 < runs.size();
     Psn bound = has_bound ? runs[i + 1].psn - 1 : 0;
     RecoverPageReply reply;
@@ -158,6 +184,14 @@ Status RestartRecovery::CoordinatePageRecovery(
     if (peer != node_->id_) node_->replacers_[pid].insert(peer);
   }
   CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(pid));
+  const Psn needed = node_->poison_.NeededPsn(pid);
+  if (needed != 0 && needed != kPsnUnrecoverable && base->psn() >= needed) {
+    // A previous restart poisoned this page over a PSN hole; this rebuild
+    // got past it (a missing client's log came back). The image is durable
+    // as of the ForceOwnPage above, so the fence can lift.
+    CLOG_RETURN_IF_ERROR(node_->UnpoisonPage(pid));
+    node_->metrics_.GetCounter("media.pages_unpoisoned").Add(1);
+  }
   ++stats_.own_pages_recovered;
   node_->metrics_.GetCounter("recovery.pages_recovered").Add(1);
   return Status::OK();
@@ -195,6 +229,37 @@ Status RestartRecovery::RecoverOwnPages() {
   }
   node_->foreign_cached_.clear();
 
+  if (log_lost_) {
+    // Our log is gone: the DPT-driven redo below has nothing to stand on.
+    return RecoverOwnPagesAfterLogLoss(cached_at);
+  }
+
+  // Media scan (requires the archive subsystem): flushes only ever extend
+  // the database file, so a file shorter than the allocation horizon means
+  // the data device was lost and recreated. Every allocated page becomes a
+  // probe candidate — even ones with no DPT entry anywhere — and the
+  // unreadable ones rebuild below from their newest archived image.
+  std::set<PageId> media_probe;
+  if (node_->archive_.is_open()) {
+    std::uint32_t horizon = 0;
+    const std::vector<std::uint32_t> allocated =
+        node_->space_map_.AllocatedPages();
+    for (std::uint32_t p : allocated) horizon = std::max(horizon, p + 1);
+    if (horizon != 0) {
+      CLOG_ASSIGN_OR_RETURN(std::uint32_t have, node_->disk_.NumPages());
+      if (have < horizon) {
+        for (std::uint32_t p : allocated) {
+          media_probe.insert(PageId{me, p});
+          if (contributors.try_emplace(PageId{me, p}).second) {
+            ++stats_.media_candidates;
+          }
+        }
+        node_->metrics_.GetCounter("media.scan_candidates")
+            .Add(stats_.media_candidates);
+      }
+    }
+  }
+
   struct WorkItem {
     PageId pid;
     std::unique_ptr<Page> base;
@@ -225,9 +290,33 @@ Status RestartRecovery::RecoverOwnPages() {
         }
         ++stats_.own_pages_fetched;
         node_->metrics_.GetCounter("recovery.pages_fetched_from_cache").Add(1);
+        const bool device_rebuilding = media_probe.contains(pid);
+        if (node_->poison_.Contains(pid) &&
+            (device_rebuilding || node_->pool_.IsDirty(pid))) {
+          // A surviving cached copy carries every committed update — it
+          // supersedes any poison verdict, even a permanent one. Make it
+          // durable first, then lift the fence.
+          CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(pid));
+          CLOG_RETURN_IF_ERROR(node_->UnpoisonPage(pid));
+          node_->metrics_.GetCounter("media.pages_unpoisoned").Add(1);
+        } else if (device_rebuilding && node_->pool_.IsDirty(pid)) {
+          // The fetched copy may be the recreated data device's only image
+          // of this page. Force it home now: a fuzzy checkpoint never
+          // flushes it, so an ordinary crash later would otherwise find the
+          // rebuilt device still holding a hole here — with nothing left to
+          // flag the page for redo.
+          CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(pid));
+        }
         continue;
       }
       // Fall through to the redo path if every fetch failed.
+    }
+
+    if (node_->poison_.NeededPsn(pid) == kPsnUnrecoverable) {
+      // Permanently fenced with no surviving cache copy: the lost records
+      // were at the top of its history, so no redo collection can prove a
+      // rebuild complete. Leave the fence standing.
+      continue;
     }
 
     auto base = std::make_unique<Page>();
@@ -237,18 +326,31 @@ Status RestartRecovery::RecoverOwnPages() {
     WorkItem item;
     item.pid = pid;
     if (rd.IsCorruption() || rd.IsNotFound()) {
-      // Torn page write: the crash interrupted a flush mid-page (checksum
-      // mismatch), or half-extended the file (short read at EOF). The
-      // prior on-disk version is gone, so rebuild from the page's
-      // space-map PSN seed — the PSN this incarnation started from — and
-      // redo its *entire* history, including updates that were flushed
-      // and acknowledged long ago.
-      base->Format(pid, PageType::kData,
-                   node_->space_map_.PsnSeed(pid.page_no));
-      SlottedPage(base.get()).InitBody();
+      // Torn page write (the crash interrupted a flush mid-page or
+      // half-extended the file) or a lost data device. The on-disk version
+      // is gone; start from the newest archived image if one exists, else
+      // from the page's space-map PSN seed — the PSN this incarnation
+      // started at — and redo the whole history forward from that base.
+      bool from_archive = false;
+      if (node_->archive_.is_open()) {
+        Status ar = node_->archive_.Restore(pid.page_no, base.get());
+        if (ar.ok() &&
+            base->psn() >= node_->space_map_.PsnSeed(pid.page_no)) {
+          // (An image older than the seed is from a prior life of a freed
+          // and reallocated slot — useless for this incarnation.)
+          from_archive = true;
+          ++stats_.archive_restores;
+          node_->metrics_.GetCounter("media.archive_restores").Add(1);
+        }
+      }
+      if (!from_archive) {
+        base->Format(pid, PageType::kData,
+                     node_->space_map_.PsnSeed(pid.page_no));
+        SlottedPage(base.get()).InitBody();
+        node_->metrics_.GetCounter("recovery.pages_rebuilt_from_seed").Add(1);
+      }
       item.full_history = true;
       item.involved = contribs;
-      node_->metrics_.GetCounter("recovery.pages_rebuilt_from_seed").Add(1);
     } else {
       CLOG_RETURN_IF_ERROR(rd);
       Psn disk_psn = base->psn();
@@ -305,6 +407,54 @@ Status RestartRecovery::RecoverOwnPages() {
   return Status::OK();
 }
 
+Status RestartRecovery::RecoverOwnPagesAfterLogLoss(
+    const std::map<PageId, std::vector<NodeId>>& cached_at) {
+  const NodeId me = node_->id_;
+  // With the log destroyed there is no analysis DPT, no redo source, and —
+  // decisively — no way to bound which of our own pages had updates whose
+  // only trace was here (top of history: local updates to own pages leave
+  // no remote record). Exactly one rescue exists per page: a copy still
+  // cached at a peer carries every committed update (a cached copy implies
+  // a live lock, and any newer update would have called that lock back).
+  // Fetch those, flush them durable, and poison everything else.
+  std::uint64_t restored = 0;
+  for (std::uint32_t page_no : node_->space_map_.AllocatedPages()) {
+    const PageId pid{me, page_no};
+    bool fetched = false;
+    auto cit = cached_at.find(pid);
+    if (cit != cached_at.end()) {
+      for (NodeId holder : cit->second) {
+        std::shared_ptr<Page> copy;
+        Status st = node_->network_->FetchCachedPage(me, holder, pid, &copy);
+        if (st.ok() && copy) {
+          CLOG_RETURN_IF_ERROR(node_->InstallShippedCopy(*copy, holder));
+          fetched = true;
+          break;
+        }
+      }
+    }
+    if (fetched) {
+      if (node_->pool_.IsDirty(pid)) {
+        CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(pid));
+      }
+      // (Not dirty means the install bypassed a full pool and wrote the
+      // copy straight home, synced — durable either way.)
+      if (node_->poison_.Contains(pid)) {
+        CLOG_RETURN_IF_ERROR(node_->UnpoisonPage(pid));
+        node_->metrics_.GetCounter("media.pages_unpoisoned").Add(1);
+      }
+      ++restored;
+      ++stats_.own_pages_fetched;
+      node_->metrics_.GetCounter("recovery.pages_fetched_from_cache").Add(1);
+      continue;
+    }
+    CLOG_RETURN_IF_ERROR(node_->PoisonOwnPage(pid, kPsnUnrecoverable));
+    ++stats_.pages_poisoned;
+  }
+  node_->metrics_.GetCounter("media.log_loss_pages_restored").Add(restored);
+  return Status::OK();
+}
+
 Status RestartRecovery::RecoverRemotePages() {
   NodeId me = node_->id_;
   // Section 2.3.1 (b): remotely owned pages that were exclusively locked
@@ -323,6 +473,15 @@ Status RestartRecovery::RecoverRemotePages() {
                                           LockMode::kExclusive,
                                           /*want_page=*/true, &reply);
     if (st.IsNodeDown()) continue;
+    if (st.IsCorruption()) {
+      // The owner poisoned the page after a media failure: it refuses to
+      // hand out a base version, and our redo would change nothing. Drop
+      // our DPT entry — the records it guards redo a page that can never
+      // be served again — so the log is not pinned forever.
+      node_->dpt_.Remove(pid);
+      node_->AdvanceReclaimHorizon();
+      continue;
+    }
     CLOG_RETURN_IF_ERROR(st);
     if (!reply.granted || !reply.page) continue;
     if (reply.page->psn() >= e.curr_psn) {
@@ -376,8 +535,73 @@ Status RestartRecovery::ExchangePeerState() {
   const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(QueryPeers());
   CLOG_RETURN_IF_ERROR(ReconstructLocks());
+
+  // Debts owed to us: pages of ours that a peer's destroyed log left
+  // unrecoverable while we were unreachable. The verdict is permanent.
+  for (const auto& [peer, reply] : peer_replies_) {
+    (void)peer;
+    for (PageId pid : reply.log_loss_pages_of_crashed) {
+      if (pid.owner != node_->id_) continue;
+      CLOG_RETURN_IF_ERROR(node_->PoisonOwnPage(pid, kPsnUnrecoverable));
+      ++stats_.pages_poisoned;
+    }
+  }
+
+  // Debts we owe: verdicts from an earlier log loss whose owners were
+  // unreachable then. Retry delivery; the entry is retired once the owner
+  // has durably poisoned (its handler does so before replying OK).
+  std::map<NodeId, std::vector<PageId>> owed;
+  for (const auto& [packed, needed] : node_->poison_.entries()) {
+    (void)needed;
+    const PageId pid = PageId::Unpack(packed);
+    if (pid.owner != node_->id_) owed[pid.owner].push_back(pid);
+  }
+  for (const auto& [owner, pages] : owed) {
+    if (node_->network_->LogLossNotice(node_->id_, owner, pages).ok()) {
+      for (PageId pid : pages) {
+        CLOG_RETURN_IF_ERROR(node_->poison_.Remove(pid));
+      }
+    }
+  }
+
+  if (log_lost_) CLOG_RETURN_IF_ERROR(HandleLogLoss());
+
   exchange_done_ = true;
   FinishPhase(1, "recovery.exchange_ns", t0);
+  return Status::OK();
+}
+
+Status RestartRecovery::HandleLogLoss() {
+  const NodeId me = node_->id_;
+  // In ship-to-owner mode (B1) the destroyed log held records for OUR
+  // pages only; remote owners' histories live in their own logs and need
+  // no poisoning from us. In the paper's client-local mode, any remote
+  // page we held exclusively at the crash had the newest part of its
+  // history only in our log — at the very top, where no surviving log can
+  // prove a rebuild complete — so its owner must fence it permanently.
+  // Every reachable peer is notified even with an empty page list: the
+  // notice also triggers the receivers' flush hygiene, pushing surviving
+  // dirty copies to disk so no future rebuild needs the destroyed records.
+  for (const auto& [peer, reply] : peer_replies_) {
+    std::vector<PageId> pages;
+    if (node_->options_.logging_mode != LoggingMode::kShipToOwner) {
+      for (const LockListEntry& l : reply.x_locks_crashed_held_here) {
+        if (l.pid.owner == peer) pages.push_back(l.pid);
+      }
+      std::sort(pages.begin(), pages.end());
+      pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    }
+    Status st = node_->network_->LogLossNotice(me, peer, pages);
+    if (st.ok()) continue;
+    if (!st.IsNodeDown() && !st.IsUnavailable()) return st;
+    // Owner vanished before the verdict landed: record it as a durable
+    // debt, delivered when the owner's own restart queries us (or by the
+    // retry sweep above on our next restart).
+    for (PageId pid : pages) {
+      CLOG_RETURN_IF_ERROR(node_->poison_.Add(pid, kPsnUnrecoverable));
+    }
+    node_->metrics_.GetCounter("media.debts_recorded").Add(pages.size());
+  }
   return Status::OK();
 }
 
@@ -389,6 +613,13 @@ Status RestartRecovery::RedoPages() {
   CLOG_RETURN_IF_ERROR(RecoverOwnPages());
   CLOG_RETURN_IF_ERROR(RecoverRemotePages());
   node_->recovery_redo_done_ = true;
+  if (node_->trace_ != nullptr &&
+      (log_lost_ || stats_.media_candidates != 0 ||
+       stats_.archive_restores != 0 || stats_.pages_poisoned != 0)) {
+    node_->trace_->Emit(node_->id_, TraceEventType::kMediaRecovery,
+                        stats_.media_candidates, stats_.archive_restores,
+                        static_cast<std::uint32_t>(stats_.pages_poisoned));
+  }
   FinishPhase(2, "recovery.redo_ns", t0);
   return Status::OK();
 }

@@ -51,6 +51,11 @@ class RestartRecovery {
     std::uint64_t losers_undone = 0;
     std::uint64_t clean_candidates = 0;    ///< Candidates already on disk.
     std::uint64_t sim_ns = 0;              ///< Simulated time consumed.
+    // --- Media recovery (data/log device loss) ---
+    std::uint64_t media_candidates = 0;    ///< Probe candidates from device scan.
+    std::uint64_t archive_restores = 0;    ///< Bases restored from the archive.
+    std::uint64_t pages_poisoned = 0;      ///< Pages fenced as unrecoverable.
+    bool log_loss_detected = false;        ///< Log shorter than its durable mark.
   };
 
   explicit RestartRecovery(Node* node) : node_(node) {}
@@ -103,6 +108,19 @@ class RestartRecovery {
   /// Recovers remotely owned pages this node held exclusively (2.3.1 (b)).
   Status RecoverRemotePages();
 
+  /// Log-device loss: tells every reachable peer which of its pages this
+  /// node's destroyed log leaves unrecoverable (the pages it held X on, per
+  /// the peers' lock tables), recording durable debts for unreachable
+  /// owners, and retries debts owed from earlier losses.
+  Status HandleLogLoss();
+
+  /// Own-page recovery when this node's log was destroyed: pages still
+  /// cached at a peer are fetched and flushed (a cached copy carries every
+  /// committed update); everything else is conservatively poisoned — the
+  /// lost log may have held the top of their history.
+  Status RecoverOwnPagesAfterLogLoss(
+      const std::map<PageId, std::vector<NodeId>>& cached_at);
+
   /// Bounces `pid` between the involved nodes in ascending PSN order
   /// (2.3.4 steps 1-4); `base` is consumed and the final image returned
   /// into the node's pool.
@@ -132,6 +150,7 @@ class RestartRecovery {
   AnalysisResult analysis_;
   std::map<NodeId, RecoveryQueryReply> peer_replies_;
   bool exchange_done_ = false;
+  bool log_lost_ = false;  ///< Set by OpenAndAnalyze (log mark mismatch).
   Stats stats_;
 };
 

@@ -41,6 +41,10 @@ Status DiskManager::Close() {
 
 Status DiskManager::ReadPage(std::uint32_t page_no, Page* page) {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (fault_ != nullptr && fault_->OnPageRead(node_)) {
+    // Transient: the arm is cleared, so the caller's retry goes through.
+    return Status::IOError("fault injection: page read failed");
+  }
   ssize_t n = ::pread(fd_, page->data(), kPageSize,
                       static_cast<off_t>(page_no) * kPageSize);
   if (n < 0) return Status::IOError(Errno("pread " + path_));

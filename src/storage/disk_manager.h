@@ -56,8 +56,8 @@ class DiskManager {
   std::uint64_t writes() const { return writes_; }
   std::uint64_t syncs() const { return syncs_; }
 
-  /// Attaches a fault injector consulted before every write/sync as `node`
-  /// (nullptr detaches). Not owned.
+  /// Attaches a fault injector consulted before every read/write/sync as
+  /// `node` (nullptr detaches). Not owned.
   void set_fault_injector(FaultInjector* fault, NodeId node) {
     fault_ = fault;
     node_ = node;

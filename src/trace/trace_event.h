@@ -51,6 +51,15 @@ enum class TraceEventType : std::uint16_t {
   kCheckpointEnd = 20,
   // Node crash (fault injection or Cluster::CrashNode).
   kNodeCrash = 21,
+  // Fuzzy archive pass sealed. a = pass seq, b = pages written this pass,
+  // c = total pages in the archive.
+  kArchivePass = 22,
+  // Page poisoned: its committed state is unrecoverable (media failure).
+  // a = PageId::Pack(), b = needed PSN (max u64 = permanent).
+  kPagePoison = 23,
+  // Media recovery summary for one restart. a = lost-page candidates,
+  // b = pages restored from archive images, c = pages poisoned.
+  kMediaRecovery = 24,
 };
 
 /// Stable upper-case name, for tracedump and torture tails.

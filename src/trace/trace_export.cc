@@ -98,6 +98,21 @@ std::string Args(const TraceEvent& e, const TraceFormatOptions& opts) {
     case TraceEventType::kCheckpointEnd:
       std::snprintf(buf, sizeof(buf), "lsn=%" PRIu64, e.a);
       return buf;
+    case TraceEventType::kArchivePass:
+      std::snprintf(buf, sizeof(buf),
+                    "seq=%" PRIu64 " written=%" PRIu64 " total=%u", e.a, e.b,
+                    e.c);
+      return buf;
+    case TraceEventType::kPagePoison:
+      std::snprintf(buf, sizeof(buf), "page=%" PRIu64 " needed_psn=%" PRIu64,
+                    e.a, e.b);
+      return buf;
+    case TraceEventType::kMediaRecovery:
+      std::snprintf(buf, sizeof(buf),
+                    "candidates=%" PRIu64 " from_archive=%" PRIu64
+                    " poisoned=%u",
+                    e.a, e.b, e.c);
+      return buf;
     case TraceEventType::kNodeCrash:
     case TraceEventType::kNone:
       return "";

@@ -97,6 +97,9 @@ std::string_view TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kCheckpointBegin: return "CKPT_BEGIN";
     case TraceEventType::kCheckpointEnd: return "CKPT_END";
     case TraceEventType::kNodeCrash: return "NODE_CRASH";
+    case TraceEventType::kArchivePass: return "ARCHIVE_PASS";
+    case TraceEventType::kPagePoison: return "PAGE_POISON";
+    case TraceEventType::kMediaRecovery: return "MEDIA_RECOVERY";
   }
   return "UNKNOWN";
 }

@@ -11,6 +11,7 @@
 
 #include "common/codec.h"
 #include "common/crc32c.h"
+#include "common/fsutil.h"
 #include "trace/trace_sink.h"
 #include "fault/fault_injector.h"
 
@@ -250,46 +251,9 @@ Status LogManager::StoreMaster(Lsn checkpoint_end_lsn) {
   enc.PutU64(checkpoint_end_lsn);
   std::uint32_t crc = crc32c::Value(blob.data(), blob.size());
   enc.PutU32(crc);
-  std::string master = path_ + ".master";
-  std::string tmp = master + ".tmp";
-  // The full crash-atomic side-file dance: write + fsync the temp file
-  // (rename must never publish a name whose *contents* are still in the
-  // page cache), rename over the old master, then fsync the directory so
-  // the rename itself survives a crash. Recovery trusts this pointer; a
-  // torn or vanished master would silently discard the checkpoint.
-  {
-    int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (tfd < 0) return Status::IOError(Errno("open " + tmp));
-    if (::pwrite(tfd, blob.data(), blob.size(), 0) !=
-        static_cast<ssize_t>(blob.size())) {
-      Status st = Status::IOError(Errno("write " + tmp));
-      ::close(tfd);
-      return st;
-    }
-    if (::fsync(tfd) != 0) {
-      Status st = Status::IOError(Errno("fsync " + tmp));
-      ::close(tfd);
-      return st;
-    }
-    ::close(tfd);
-  }
-  if (std::rename(tmp.c_str(), master.c_str()) != 0) {
-    return Status::IOError(Errno("rename master"));
-  }
-  std::string dir = ".";
-  if (std::size_t slash = master.find_last_of('/');
-      slash != std::string::npos) {
-    dir = master.substr(0, slash);
-  }
-  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd < 0) return Status::IOError(Errno("open dir " + dir));
-  if (::fsync(dfd) != 0) {
-    Status st = Status::IOError(Errno("fsync dir " + dir));
-    ::close(dfd);
-    return st;
-  }
-  ::close(dfd);
-  return Status::OK();
+  // Crash-atomic replace: recovery trusts this pointer; a torn or vanished
+  // master would silently discard the checkpoint.
+  return AtomicWriteFile(path_ + ".master", blob);
 }
 
 Result<Lsn> LogManager::LoadMaster() const {
@@ -306,6 +270,34 @@ Result<Lsn> LogManager::LoadMaster() const {
   if (magic != kLogMagic ||
       crc32c::Value(blob.data(), blob.size() - 4) != crc) {
     return Status::Corruption("bad master record");
+  }
+  return lsn;
+}
+
+Status LogManager::StoreMark() {
+  std::string blob;
+  Encoder enc(&blob);
+  enc.PutU32(kLogMagic);
+  enc.PutU64(flushed_lsn_);
+  std::uint32_t crc = crc32c::Value(blob.data(), blob.size());
+  enc.PutU32(crc);
+  return AtomicWriteFile(path_ + ".mark", blob);
+}
+
+Result<Lsn> LogManager::LoadMark() const {
+  std::string blob;
+  Status st = ReadFileToString(path_ + ".mark", &blob);
+  if (st.IsNotFound()) return kNullLsn;  // Mark never written.
+  CLOG_RETURN_IF_ERROR(st);
+  Decoder dec(blob);
+  std::uint32_t magic = 0, crc = 0;
+  std::uint64_t lsn = 0;
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&magic));
+  CLOG_RETURN_IF_ERROR(dec.GetU64(&lsn));
+  CLOG_RETURN_IF_ERROR(dec.GetU32(&crc));
+  if (magic != kLogMagic ||
+      crc32c::Value(blob.data(), blob.size() - 4) != crc) {
+    return Status::Corruption("bad log mark");
   }
   return lsn;
 }

@@ -108,6 +108,19 @@ class LogManager {
   /// Reads the master pointer; kNullLsn if no checkpoint completed yet.
   Result<Lsn> LoadMaster() const;
 
+  // --- Durable log-extent mark (media failure detection) ---
+
+  /// Durably records the current flushed LSN in a side file that is modeled
+  /// as living on the node's *metadata* device (with the space map), not on
+  /// the log device. Written at every checkpoint. If a restart finds the
+  /// log shorter than this mark, the log device was destroyed — not merely
+  /// missing an unforced tail — and media recovery must treat every update
+  /// the log ever held as potentially lost.
+  Status StoreMark();
+
+  /// Reads the durable mark; kNullLsn if never written.
+  Result<Lsn> LoadMark() const;
+
   // --- Counters for benchmarks ---
   std::uint64_t appended_records() const { return appended_records_; }
   std::uint64_t appended_bytes() const { return appended_bytes_; }

@@ -59,6 +59,10 @@ void LogRecord::EncodeTo(std::string* out) const {
         enc.PutU64(e.txn);
         enc.PutU64(e.last_lsn);
       }
+      // Trailing optional field: present only when a sealed archive pass
+      // exists, so checkpoints written with archiving off (or by older
+      // builds) keep their exact bytes.
+      if (archive_seq != 0) enc.PutU64(archive_seq);
       break;
     default:
       break;
@@ -114,6 +118,9 @@ Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
       for (std::uint64_t i = 0; i < n; ++i) {
         CLOG_RETURN_IF_ERROR(dec.GetU64(&out->att[i].txn));
         CLOG_RETURN_IF_ERROR(dec.GetU64(&out->att[i].last_lsn));
+      }
+      if (!dec.Done()) {
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->archive_seq));
       }
       break;
     }

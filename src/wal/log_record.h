@@ -84,6 +84,11 @@ struct LogRecord {
   Lsn checkpoint_begin_lsn = kNullLsn;
   std::vector<DptEntry> dpt;
   std::vector<AttEntry> att;
+  /// Sequence number of the last *sealed* fuzzy archive pass at checkpoint
+  /// time (0 = archiving off or no pass yet). Informational horizon for
+  /// media recovery; encoded only when nonzero, so logs written with
+  /// archiving disabled stay byte-identical to pre-archive builds.
+  std::uint64_t archive_seq = 0;
 
   /// Serializes the record body (no framing; the log manager adds
   /// length + CRC framing).

@@ -63,8 +63,14 @@ class StubService : public NodeService {
     return Status::OK();
   }
   void HandleNodeRecovered(NodeId) override {}
+  Status HandleLogLossNotice(NodeId,
+                             const std::vector<PageId>& pages) override {
+    log_loss_pages += static_cast<int>(pages.size());
+    return Status::OK();
+  }
 
   int lock_calls = 0;
+  int log_loss_pages = 0;
   int ships = 0;
   int notifies = 0;
   std::size_t shipped_records = 0;

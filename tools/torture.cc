@@ -28,7 +28,7 @@ void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
                "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
-               "          [--group-commit] [--verbose]\n"
+               "          [--group-commit] [--media-failure] [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
                "and checks the four torture invariants. --verbose prints the\n"
@@ -36,7 +36,11 @@ void Usage(const char* prog) {
                "forces a mid-recovery crash into every repair pass (a node\n"
                "dies at a seeded phase boundary and must be re-recovered).\n"
                "--group-commit runs every node with commit-force coalescing\n"
-               "on; commits park and the harness polls for their acks.\n",
+               "on; commits park and the harness polls for their acks.\n"
+               "--media-failure mixes whole-device losses (data and log)\n"
+               "into the schedule, runs every node with fuzzy page archives,\n"
+               "and checks the archive-consistency and poison-fencing\n"
+               "invariants on top of the usual four.\n",
                prog);
 }
 
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool crash_during_recovery = false;
   bool group_commit = false;
+  bool media_failure = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       crash_during_recovery = true;
     } else if (std::strcmp(arg, "--group-commit") == 0) {
       group_commit = true;
+    } else if (std::strcmp(arg, "--media-failure") == 0) {
+      media_failure = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
     opts.keep_events = verbose;
     opts.crash_during_recovery = crash_during_recovery;
     opts.group_commit = group_commit;
+    opts.media_failure = media_failure;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
     if (verbose) {
       for (const std::string& e : report.events) {
