@@ -1,0 +1,250 @@
+// Real-threads wall-clock benchmarks (docs/architecture_modes.md).
+//
+// Everything in the other bench binaries runs on the deterministic
+// simulator and reports *simulated* time. This binary is the other half of
+// the dual-mode story: the same engine on real threads, a real clock, and
+// real fsyncs, reporting wall-clock latency distributions the way log
+// libraries (NanoLog, spdlog) report theirs — exact p50/p99.9 over raw
+// per-operation samples, not histogram interpolation.
+//
+//   BM_LogAppend   N producer threads (1/2/4) appending 64-byte update
+//                  records to ONE shared LogManager while a flusher thread
+//                  forces the tail — the multi-producer staging-buffer
+//                  shape from the CNanoLog pipeline. Measures the
+//                  per-append critical section under contention.
+//   BM_Commit      N client sessions (1/2/4), each a real thread on its
+//                  own node, committing update transactions against its
+//                  own pages (client-local logging: commit = one local
+//                  log force, zero messages). Measures end-to-end commit
+//                  latency including the real fsync.
+//
+// Results go to BENCH_real.json (scripts/run_bench.sh --real). They are
+// wall-clock and machine-dependent: recorded for eyeballing trends, never
+// gated (docs/performance.md).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "wal/log_manager.h"
+
+using namespace clog;
+using namespace clog::bench;
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct LatencyStats {
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p999_ns = 0;
+};
+
+/// Exact quantiles over the pooled raw samples (sorted, nearest-rank).
+LatencyStats Summarize(std::vector<std::uint64_t> samples,
+                       std::uint64_t wall_ns) {
+  LatencyStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    std::size_t rank = static_cast<std::size_t>(q * (samples.size() - 1));
+    return static_cast<double>(samples[rank]);
+  };
+  out.p50_ns = at(0.50);
+  out.p999_ns = at(0.999);
+  out.ops_per_sec = wall_ns == 0 ? 0
+                                 : static_cast<double>(samples.size()) * 1e9 /
+                                       static_cast<double>(wall_ns);
+  return out;
+}
+
+LatencyStats MeasureLogAppend(int producers, int appends_per_producer) {
+  std::string dir = "/tmp/clog_bench_real_log";
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  LogManager log;
+  Check(log.Open(dir + "/wal.log"), "log open");
+
+  std::vector<std::vector<std::uint64_t>> samples(producers);
+  std::atomic<bool> done{false};
+  std::uint64_t t0 = NowNs();
+
+  // Background flusher: forces the shared tail in a loop, like the commit
+  // path does under group commit. Producers measure only their append.
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Check(log.Flush(log.end_lsn()), "flush");
+      std::this_thread::yield();
+    }
+    Check(log.Flush(log.end_lsn()), "final flush");
+  });
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      LogRecord rec;
+      rec.type = LogRecordType::kUpdate;
+      rec.txn = static_cast<TxnId>(p + 1);
+      rec.page = PageId{0, static_cast<std::uint32_t>(p)};
+      rec.redo_image.assign(64, 'a' + static_cast<char>(p % 26));
+      std::vector<std::uint64_t>& mine = samples[p];
+      mine.reserve(appends_per_producer);
+      for (int i = 0; i < appends_per_producer; ++i) {
+        Lsn lsn = 0;
+        std::uint64_t s0 = NowNs();
+        Check(log.Append(rec, &lsn), "append");
+        mine.push_back(NowNs() - s0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::uint64_t wall = NowNs() - t0;
+  done.store(true, std::memory_order_release);
+  flusher.join();
+  Check(log.Close(), "log close");
+  std::system(("rm -rf " + dir).c_str());
+
+  std::vector<std::uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  return Summarize(std::move(all), wall);
+}
+
+LatencyStats MeasureCommit(int sessions, int txns_per_session) {
+  std::string dir = "/tmp/clog_bench_real_commit";
+  std::system(("rm -rf " + dir).c_str());
+  ClusterOptions options;
+  options.dir = dir;
+  options.execution_mode = ExecutionMode::kRealThreads;
+  options.node_defaults.buffer_frames = 256;
+  Cluster cluster(options);
+
+  // One node per session, each committing against its own pages: sessions
+  // contend on nothing but the machine (scheduler, disk), which is exactly
+  // the axis this bench sweeps.
+  std::vector<std::vector<RecordId>> records(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    Node* n = Value(cluster.AddNode(), "node");
+    auto pages = Value(AllocatePopulatedPages(&cluster, n->id(), 4, 8, 64,
+                                              /*seed=*/s + 1),
+                       "pages");
+    for (PageId pid : pages) {
+      for (SlotId slot = 0; slot < 8; ++slot) {
+        records[s].push_back(RecordId{pid, slot});
+      }
+    }
+  }
+
+  std::vector<std::vector<std::uint64_t>> samples(sessions);
+  std::uint64_t t0 = NowNs();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Random rng(static_cast<std::uint64_t>(s) + 99);
+      std::vector<std::uint64_t>& mine = samples[s];
+      mine.reserve(txns_per_session);
+      for (int i = 0; i < txns_per_session; ++i) {
+        std::uint64_t s0 = NowNs();
+        Status st = cluster.RunTransaction(
+            static_cast<NodeId>(s), [&](TxnHandle& txn) -> Status {
+              for (int u = 0; u < 4; ++u) {
+                const RecordId& rid =
+                    records[s][rng.Uniform(records[s].size())];
+                CLOG_RETURN_IF_ERROR(txn.Update(rid, rng.Bytes(64)));
+              }
+              return Status::OK();
+            });
+        Check(st, "commit txn");
+        mine.push_back(NowNs() - s0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::uint64_t wall = NowNs() - t0;
+
+  std::vector<std::uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  LatencyStats out = Summarize(std::move(all), wall);
+  std::system(("rm -rf " + dir).c_str());
+  return out;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<std::pair<std::string, double>>& kv) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH FATAL cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.3f%s\n", kv[i].first.c_str(), kv[i].second,
+                 i + 1 < kv.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg == "--quick") quick = true;
+  }
+  const int appends = quick ? 5'000 : 100'000;
+  const int txns = quick ? 20 : 200;
+
+  Banner("real mode (wall clock)",
+         "Multi-producer log append and end-to-end commit latency on the "
+         "real-threads engine. Raw-sample p50/p99.9 in microseconds; "
+         "machine-dependent, recorded but never gated.");
+
+  std::vector<std::pair<std::string, double>> kv;
+
+  std::printf("--- BM_LogAppend: shared log, %d appends/producer ---\n",
+              appends);
+  std::printf("%-10s | %12s %10s %10s\n", "producers", "appends/s", "p50_us",
+              "p99.9_us");
+  for (int producers : {1, 2, 4}) {
+    LatencyStats st = MeasureLogAppend(producers, appends);
+    std::printf("%-10d | %12.0f %10.2f %10.2f\n", producers, st.ops_per_sec,
+                st.p50_ns / 1e3, st.p999_ns / 1e3);
+    std::string key = "real_log_append_t" + std::to_string(producers);
+    kv.push_back({key + "_ops_per_sec", st.ops_per_sec});
+    kv.push_back({key + "_p50_ns", st.p50_ns});
+    kv.push_back({key + "_p999_ns", st.p999_ns});
+  }
+
+  std::printf("\n--- BM_Commit: 4 updates/txn, %d txns/session ---\n", txns);
+  std::printf("%-10s | %12s %10s %10s\n", "sessions", "commits/s", "p50_us",
+              "p99.9_us");
+  for (int sessions : {1, 2, 4}) {
+    LatencyStats st = MeasureCommit(sessions, txns);
+    std::printf("%-10d | %12.0f %10.2f %10.2f\n", sessions, st.ops_per_sec,
+                st.p50_ns / 1e3, st.p999_ns / 1e3);
+    std::string key = "real_commit_s" + std::to_string(sessions);
+    kv.push_back({key + "_per_sec", st.ops_per_sec});
+    kv.push_back({key + "_p50_ns", st.p50_ns});
+    kv.push_back({key + "_p999_ns", st.p999_ns});
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, kv);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

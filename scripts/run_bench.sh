@@ -9,12 +9,16 @@
 # scripts/check_bench_regression.py. A >20% throughput regression fails.
 #
 # Usage: scripts/run_bench.sh [--build-dir=DIR] [--out=DIR] [--smoke]
-#                             [--no-check]
+#                             [--no-check] [--real]
 #   --smoke     quick pass: tiny micro filter, results to a temp dir,
 #               JSON schema validated but not compared (wall-clock noise
 #               has no place in a smoke gate). Used by `ctest -L bench_smoke`.
 #   --no-check  produce the JSON but skip the baseline comparison — use
 #               this when refreshing the committed baselines.
+#   --real      also run the real-threads wall-clock benches
+#               (bench_real_mode) into BENCH_real.json. Recorded, never
+#               compared: wall clock is machine-dependent
+#               (docs/performance.md, docs/architecture_modes.md).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,12 +26,14 @@ BUILD_DIR="$ROOT/build"
 OUT_DIR="$ROOT"
 SMOKE=0
 CHECK=1
+REAL=0
 for arg in "$@"; do
   case "$arg" in
     --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
     --out=*) OUT_DIR="${arg#--out=}" ;;
     --smoke) SMOKE=1 ;;
     --no-check) CHECK=0 ;;
+    --real) REAL=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -54,6 +60,20 @@ echo "== micro benches -> $OUT_DIR/BENCH_micro.json"
 
 echo "== e1 commit cost -> $OUT_DIR/BENCH_e1.json"
 "$E1" --json="$OUT_DIR/BENCH_e1.json"
+
+# Real-threads wall-clock benches: recorded into BENCH_real.json, never
+# gated against a baseline (machine-dependent numbers).
+if [ "$REAL" -eq 1 ]; then
+  REAL_BIN="$BUILD_DIR/bench/bench_real_mode"
+  if [ ! -x "$REAL_BIN" ]; then
+    echo "error: $REAL_BIN not found; build first" >&2
+    exit 1
+  fi
+  QUICK_FLAG=""
+  if [ "$SMOKE" -eq 1 ]; then QUICK_FLAG="--quick"; fi
+  echo "== real-mode benches -> $OUT_DIR/BENCH_real.json"
+  "$REAL_BIN" $QUICK_FLAG --json="$OUT_DIR/BENCH_real.json"
+fi
 
 # Fold the commit-latency quantiles into BENCH_micro.json so one file
 # carries every gated latency metric (docs/performance.md). The checker

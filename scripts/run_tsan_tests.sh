@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the real-threads execution engine
+# (docs/architecture_modes.md, docs/fault_injection.md).
+#
+# Builds the tree under -DCLOG_TSAN=ON in its own build directory and runs
+# the `execution`-labelled ctest suite — the cross-mode equivalence tests,
+# the real-mode crash drill, and the determinism pin — the tests that
+# actually put multiple threads through the executor, the mailbox network,
+# and the shared-state seams (metrics, trace sink, log manager).
+#
+# Usage: scripts/run_tsan_tests.sh [--build-dir=DIR] [--repeat=N]
+#   --repeat=N  run the suite N times (default 3): scheduler-dependent
+#               interleavings need more than one roll of the dice.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-tsan"
+REPEAT=3
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    --repeat=*) REPEAT="${arg#--repeat=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configuring $BUILD_DIR with -DCLOG_TSAN=ON"
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCLOG_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: a race is a hard failure, not a log line.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+for i in $(seq 1 "$REPEAT"); do
+  echo "== ctest -L execution under TSan (pass $i/$REPEAT)"
+  ctest --test-dir "$BUILD_DIR" -L execution --output-on-failure
+done
+echo "TSan execution suite OK ($REPEAT passes)"

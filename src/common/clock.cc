@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace clog {
+
+std::uint64_t WallClock::SteadyNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+WallClock::WallClock() : origin_ns_(SteadyNanos()) {}
+
+std::uint64_t WallClock::NowNanos() const {
+  return SteadyNanos() - origin_ns_.load(std::memory_order_relaxed);
+}
+
+void WallClock::Reset() {
+  origin_ns_.store(SteadyNanos(), std::memory_order_relaxed);
+}
+
+}  // namespace clog

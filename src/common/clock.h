@@ -1,0 +1,58 @@
+#ifndef CLOG_COMMON_CLOCK_H_
+#define CLOG_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// Time source abstraction behind the dual-mode execution engine
+/// (docs/architecture_modes.md). The deterministic simulation advances a
+/// SimClock by charging modeled costs; the real-threads runtime reads a
+/// WallClock that nobody can advance — real time passes on its own. Every
+/// consumer (Network, Node charge helpers, TraceSink stamps, benchmarks)
+/// talks to this interface so the same code runs under both.
+
+namespace clog {
+
+/// Nanosecond clock. Advance() is the cost-charging hook: meaningful on the
+/// simulated clock, a no-op on the wall clock (the fsync the charge models
+/// already took real time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since cluster start.
+  virtual std::uint64_t NowNanos() const = 0;
+
+  /// Advances time by `ns` (simulation only; wall time ignores it).
+  virtual void Advance(std::uint64_t ns) = 0;
+
+  /// Resets to time zero.
+  virtual void Reset() = 0;
+
+  /// True for the deterministic simulated clock.
+  virtual bool is_simulated() const = 0;
+};
+
+/// Real monotonic time, reported relative to construction (or the last
+/// Reset) so readings look like the simulated clock's "nanoseconds since
+/// cluster start". Thread-safe: reads race only against Reset, and both
+/// sides go through one atomic origin.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+
+  std::uint64_t NowNanos() const override;
+  void Advance(std::uint64_t ns) override {}  // Real time is not chargeable.
+  void Reset() override;
+  bool is_simulated() const override { return false; }
+
+ private:
+  static std::uint64_t SteadyNanos();
+
+  std::atomic<std::uint64_t> origin_ns_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_COMMON_CLOCK_H_

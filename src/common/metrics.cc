@@ -34,6 +34,7 @@ HistogramStat StatOf(const std::string& name, const Histogram& h) {
 Histogram::Histogram() = default;
 
 void Histogram::Record(std::uint64_t v) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++buckets_[BucketFor(v)];
   ++count_;
   sum_ += v;
@@ -41,7 +42,37 @@ void Histogram::Record(std::uint64_t v) {
   max_ = std::max(max_, v);
 }
 
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sum_;
+}
+
+std::uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_ ? min_ : 0;
+}
+
+std::uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_ ? static_cast<double>(sum_) / count_ : 0;
+}
+
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
@@ -59,22 +90,33 @@ double Histogram::Quantile(double q) const {
   return static_cast<double>(max_);
 }
 
-void Histogram::Reset() { *this = Histogram(); }
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::uint64_t& b : buckets_) b = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
 
 Counter& Metrics::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return counters_[name];
 }
 
 Histogram& Metrics::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return histograms_[name];
 }
 
 std::uint64_t Metrics::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 HistogramStat Metrics::HistogramValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     HistogramStat s;
@@ -86,6 +128,7 @@ HistogramStat Metrics::HistogramValue(const std::string& name) const {
 
 std::vector<std::pair<std::string, std::uint64_t>> Metrics::Snapshot() const {
   std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard<std::mutex> lk(mu_);
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
   std::sort(out.begin(), out.end());
@@ -94,6 +137,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Metrics::Snapshot() const {
 
 std::vector<HistogramStat> Metrics::HistogramSnapshot() const {
   std::vector<HistogramStat> out;
+  std::lock_guard<std::mutex> lk(mu_);
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.push_back(StatOf(name, h));
   std::sort(out.begin(), out.end(),
@@ -105,6 +149,7 @@ std::vector<HistogramStat> Metrics::HistogramSnapshot() const {
 
 void Metrics::Reset() {
   // Values reset in place; entries (and cached element pointers) survive.
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [_, c] : counters_) c.Reset();
   for (auto& [_, h] : histograms_) h.Reset();
 }

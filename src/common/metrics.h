@@ -1,41 +1,54 @@
 #ifndef CLOG_COMMON_METRICS_H_
 #define CLOG_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace clog {
 
-/// Monotonic counter identified by name. Cheap to bump on hot paths.
+/// Monotonic counter identified by name. Cheap to bump on hot paths, and
+/// safe to bump from concurrent node threads in real-threads mode: one
+/// relaxed atomic add, no ordering anyone depends on (counters are read
+/// after quiesce).
 class Counter {
  public:
-  void Add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Fixed-boundary histogram for latency-like quantities.
+/// Fixed-boundary histogram for latency-like quantities. A Record updates
+/// five fields together, so unlike Counter it takes a real (per-histogram)
+/// mutex; the critical section is a handful of arithmetic ops.
 class Histogram {
  public:
   Histogram();
 
   void Record(std::uint64_t v);
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return max_; }
-  double Mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0; }
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double Mean() const;
   /// Approximate quantile in [0,1] from bucket interpolation.
   double Quantile(double q) const;
   void Reset();
 
  private:
   static constexpr int kNumBuckets = 64;
+
+  double QuantileLocked(double q) const;
+
+  mutable std::mutex mu_;
   std::uint64_t buckets_[kNumBuckets] = {};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -64,6 +77,10 @@ struct HistogramStat {
 /// call sites may cache `&GetCounter(...)` / `&GetHistogram(...)` once and
 /// bump through the pointer (Node does this for its steady-state metrics).
 /// All snapshot/dump output is sorted by name for stable diffs.
+///
+/// The registry maps are mutex-guarded (Get* may rehash under concurrent
+/// first-touches in real-threads mode); the returned references stay valid
+/// and lock-free to use, so cached handles keep their zero-lookup cost.
 class Metrics {
  public:
   /// Returns the counter with the given name, creating it on first use.
@@ -92,6 +109,7 @@ class Metrics {
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Counter> counters_;
   std::unordered_map<std::string, Histogram> histograms_;
 };

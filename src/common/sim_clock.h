@@ -3,23 +3,29 @@
 
 #include <cstdint>
 
+#include "common/clock.h"
+
 namespace clog {
 
-/// Simulated time, in nanoseconds. The cluster is a deterministic
-/// single-process simulation: instead of sleeping, components charge costs
-/// (network hops, disk I/O, log forces) to this clock. Benchmarks report
-/// simulated elapsed time alongside message/byte counters, which is what
-/// makes the 1996 paper's performance arguments reproducible on any host.
-class SimClock {
+/// Simulated time, in nanoseconds. The cluster in simulation mode is a
+/// deterministic single-process program: instead of sleeping, components
+/// charge costs (network hops, disk I/O, log forces) to this clock.
+/// Benchmarks report simulated elapsed time alongside message/byte
+/// counters, which is what makes the 1996 paper's performance arguments
+/// reproducible on any host. Single-threaded by design — the simulation
+/// never reads or advances it concurrently.
+class SimClock final : public Clock {
  public:
   /// Current simulated time in nanoseconds since cluster start.
-  std::uint64_t NowNanos() const { return now_ns_; }
+  std::uint64_t NowNanos() const override { return now_ns_; }
 
   /// Advances time by `ns` nanoseconds.
-  void Advance(std::uint64_t ns) { now_ns_ += ns; }
+  void Advance(std::uint64_t ns) override { now_ns_ += ns; }
 
   /// Resets to time zero.
-  void Reset() { now_ns_ = 0; }
+  void Reset() override { now_ns_ = 0; }
+
+  bool is_simulated() const override { return true; }
 
  private:
   std::uint64_t now_ns_ = 0;

@@ -17,16 +17,30 @@ Status EnsureDir(const std::string& path) {
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
-    : options_(std::move(options)), network_(&clock_, options_.cost) {
+    : options_(std::move(options)),
+      clock_(options_.execution_mode == ExecutionMode::kRealThreads
+                 ? std::unique_ptr<Clock>(std::make_unique<WallClock>())
+                 : std::unique_ptr<Clock>(std::make_unique<SimClock>())),
+      executor_(options_.execution_mode == ExecutionMode::kRealThreads
+                    ? std::unique_ptr<Executor>(
+                          std::make_unique<ThreadPerNodeExecutor>())
+                    : std::unique_ptr<Executor>(
+                          std::make_unique<InlineExecutor>())),
+      network_(clock_.get(), options_.cost) {
+  network_.set_executor(executor_.get());
   network_.set_fault_injector(options_.fault_injector);
   network_.set_retry_policy(options_.retry_policy);
   if (options_.trace_sink != nullptr) {
-    options_.trace_sink->BindClock(&clock_);
+    options_.trace_sink->BindClock(clock_.get());
     network_.set_trace_sink(options_.trace_sink);
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Join every node worker before nodes_ (and the network they message
+  // through) start destructing.
+  executor_->StopAll();
+}
 
 Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   NodeId id = next_id_++;
@@ -45,6 +59,7 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
   auto node = std::make_unique<Node>(id, opts, &network_, &detector_);
   CLOG_RETURN_IF_ERROR(node->Start());
+  executor_->StartNode(id);
   Node* raw = node.get();
   nodes_[id] = std::move(node);
   return raw;
@@ -67,8 +82,20 @@ Status Cluster::CrashNode(NodeId id) {
   if (n->state() == NodeState::kDown) {
     return Status::FailedPrecondition("node already down");
   }
-  n->Crash();
+  HaltNode(n);
   return Status::OK();
+}
+
+void Cluster::HaltNode(Node* n) {
+  if (n->state() == NodeState::kDown) return;
+  if (executor_->real_threads()) {
+    // Peers must stop routing to the victim before its worker is joined:
+    // StopNode waits for the in-flight handler, and a peer that kept
+    // enqueueing against a full mailbox would deadlock the join.
+    network_.SetNodeUp(n->id(), false);
+    executor_->StopNode(n->id());
+  }
+  n->Crash();
 }
 
 Status Cluster::RestartNode(NodeId id) {
@@ -83,7 +110,7 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
     bool abandoned = false;
   };
   std::vector<Entry> entries;
-  std::uint64_t t0 = clock_.NowNanos();
+  std::uint64_t t0 = clock_->NowNanos();
   for (NodeId id : ids) {
     Node* n = node(id);
     if (n == nullptr) return Status::NotFound("no such node");
@@ -92,6 +119,9 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
     }
     entries.push_back(Entry{id, std::make_unique<RestartRecovery>(n), false});
   }
+  // Real mode: each restarting node needs a live execution context before
+  // its recovery phases (and peer RPCs targeting it) can run.
+  for (const Entry& e : entries) executor_->StartNode(e.id);
 
   // Losing any participant voids the whole round: Section 2.4 recovery is
   // only correct when every crashed node's analysis state (its DPT
@@ -106,7 +136,7 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
       if (e.abandoned) continue;
       Node* n = node(e.id);
       if (n->state() == NodeState::kUp) continue;  // Finished before the loss.
-      if (n->state() != NodeState::kDown) n->Crash();
+      HaltNode(n);
       e.abandoned = true;
     }
   };
@@ -123,9 +153,12 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
     for (Entry& e : entries) {
       if (e.abandoned) continue;
       Node* n = node(e.id);
-      Status st = ((*e.rec).*phase)();
+      RestartRecovery* rec = e.rec.get();
+      Status st;
+      Status run = Execute(e.id, [rec, phase, &st] { st = ((*rec).*phase)(); });
+      if (!run.ok()) st = run;
       if (st.IsNodeDown()) {
-        if (n->state() != NodeState::kDown) n->Crash();
+        HaltNode(n);
         e.abandoned = true;
         abandon_round();
         continue;
@@ -152,7 +185,13 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
   CLOG_RETURN_IF_ERROR(run_phase(&RestartRecovery::UndoLosersAndFinish,
                                  RecoveryPhase::kFinished));
 
-  std::uint64_t elapsed = clock_.NowNanos() - t0;
+  // A node that abandoned mid-round is down again; its worker must not
+  // outlive the round.
+  for (Entry& e : entries) {
+    if (e.abandoned && executor_->real_threads()) executor_->StopNode(e.id);
+  }
+
+  std::uint64_t elapsed = clock_->NowNanos() - t0;
   for (Entry& e : entries) {
     if (e.abandoned) continue;
     RestartRecovery::Stats stats = e.rec->stats();
@@ -197,6 +236,30 @@ Status Cluster::ReplaceAndRestartNode(NodeId id) {
 Status Cluster::RunTransaction(NodeId node_id,
                                const std::function<Status(TxnHandle&)>& body,
                                int max_attempts) {
+  // The retry loop calls straight into Node, so in real-threads mode the
+  // whole attempt sequence hops onto the node's own worker; client threads
+  // block here until their transaction resolves.
+  Status out;
+  CLOG_RETURN_IF_ERROR(Execute(
+      node_id, [&] { out = RunTransactionImpl(node_id, body, max_attempts); }));
+  return out;
+}
+
+Status Cluster::Execute(NodeId id, const std::function<void()>& fn) {
+  if (!executor_->real_threads()) {
+    fn();
+    return Status::OK();
+  }
+  if (!executor_->Run(id, fn)) {
+    return Status::NodeDown("node " + std::to_string(id) +
+                            " execution context stopped");
+  }
+  return Status::OK();
+}
+
+Status Cluster::RunTransactionImpl(
+    NodeId node_id, const std::function<Status(TxnHandle&)>& body,
+    int max_attempts) {
   Node* n = node(node_id);
   if (n == nullptr) return Status::NotFound("no such node");
   Status last = Status::Busy("not attempted");

@@ -8,12 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/deadlock_detector.h"
+#include "net/executor.h"
 #include "net/network.h"
 #include "node/node.h"
 #include "recovery/distributed_recovery.h"
@@ -32,6 +34,12 @@ class TxnHandle;
 struct ClusterOptions {
   /// Base directory; node k lives in "<dir>/node<k>".
   std::string dir;
+  /// Execution backend (docs/architecture_modes.md). kSimulation (the
+  /// default) is the deterministic single-threaded engine on a SimClock —
+  /// every pre-existing test and bench runs unchanged. kRealThreads gives
+  /// each node a worker thread, a mutex-guarded mailbox network, a wall
+  /// clock, and real fsync latencies on log force.
+  ExecutionMode execution_mode = ExecutionMode::kSimulation;
   /// Simulated network/disk cost model (DESIGN.md Section 2).
   CostModel cost;
   /// Defaults applied to every node unless overridden in AddNode.
@@ -64,9 +72,12 @@ enum class RecoveryPhase : int {
   kFinished = 3,   ///< Losers undone; node is up.
 };
 
-/// The distributed system under test. Deterministic and single-threaded:
-/// identical seeds and call sequences reproduce identical histories,
-/// including crash/recovery interleavings.
+/// The distributed system under test. In simulation mode, deterministic
+/// and single-threaded: identical seeds and call sequences reproduce
+/// identical histories, including crash/recovery interleavings. In
+/// real-threads mode the same API runs on per-node worker threads: public
+/// entry points that touch node state route through the executor so node
+/// internals stay thread-confined.
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
@@ -157,18 +168,38 @@ class Cluster {
   bool NoteBusyAndCheckDeadlock(TxnId waiter,
                                 const std::vector<TxnId>& blockers);
 
+  /// Runs `fn` in `id`'s execution context: inline in simulation mode, on
+  /// the node's worker thread (blocking for completion) in real-threads
+  /// mode. The escape hatch for tests/benchmarks that poke node state
+  /// directly — direct Node method calls from foreign threads would race
+  /// with the node's worker. NodeDown if the worker is stopped.
+  Status Execute(NodeId id, const std::function<void()>& fn);
+
   // --- Infrastructure ----------------------------------------------------
 
   Network& network() { return network_; }
-  SimClock& clock() { return clock_; }
+  Clock& clock() { return *clock_; }
+  Executor& executor() { return *executor_; }
+  ExecutionMode execution_mode() const { return options_.execution_mode; }
   DeadlockDetector& detector() { return detector_; }
 
   /// Sum of a metrics counter across all nodes.
   std::uint64_t SumCounter(const std::string& name);
 
  private:
+  /// Fail-stops one node, real-threads aware: peers see it down, its
+  /// worker is stopped and joined, then Crash() drops volatile state.
+  /// No-op if already down.
+  void HaltNode(Node* n);
+
+  /// RunTransaction's retry loop; runs on the node's execution context.
+  Status RunTransactionImpl(NodeId node_id,
+                            const std::function<Status(TxnHandle&)>& body,
+                            int max_attempts);
+
   ClusterOptions options_;
-  SimClock clock_;
+  std::unique_ptr<Clock> clock_;
+  std::unique_ptr<Executor> executor_;
   Network network_;
   DeadlockDetector detector_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;

@@ -4,20 +4,30 @@ namespace clog {
 
 void DeadlockDetector::AddWaits(TxnId waiter,
                                 const std::vector<TxnId>& holders) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& out = waits_[waiter];
   for (TxnId h : holders) {
     if (h != waiter && h != kInvalidTxnId) out.insert(h);
   }
 }
 
-void DeadlockDetector::ClearWaits(TxnId waiter) { waits_.erase(waiter); }
+void DeadlockDetector::ClearWaits(TxnId waiter) {
+  std::lock_guard<std::mutex> lk(mu_);
+  waits_.erase(waiter);
+}
 
 void DeadlockDetector::RemoveTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
   waits_.erase(txn);
   for (auto& [_, targets] : waits_) targets.erase(txn);
 }
 
 bool DeadlockDetector::CyclesThrough(TxnId waiter) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return CyclesThroughLocked(waiter);
+}
+
+bool DeadlockDetector::CyclesThroughLocked(TxnId waiter) const {
   // Iterative DFS from waiter looking for a path back to waiter.
   std::set<TxnId> visited;
   std::vector<TxnId> stack;
@@ -37,6 +47,7 @@ bool DeadlockDetector::CyclesThrough(TxnId waiter) const {
 }
 
 std::size_t DeadlockDetector::EdgeCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t n = 0;
   for (const auto& [_, targets] : waits_) n += targets.size();
   return n;

@@ -1,6 +1,7 @@
 #ifndef CLOG_LOCK_DEADLOCK_DETECTOR_H_
 #define CLOG_LOCK_DEADLOCK_DETECTOR_H_
 
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -17,7 +18,10 @@
 
 namespace clog {
 
-/// Waits-for graph over transactions.
+/// Waits-for graph over transactions. Cluster-shared; in real-threads
+/// mode concurrent transaction drivers mutate it, so every method takes
+/// the internal mutex (the graph is tiny — edges live only while a
+/// request is actually blocked).
 class DeadlockDetector {
  public:
   /// Adds edges waiter -> each holder. Self-edges are ignored.
@@ -37,6 +41,9 @@ class DeadlockDetector {
   std::size_t EdgeCount() const;
 
  private:
+  bool CyclesThroughLocked(TxnId waiter) const;
+
+  mutable std::mutex mu_;
   std::unordered_map<TxnId, std::set<TxnId>> waits_;
 };
 

@@ -27,15 +27,20 @@ std::uint64_t EncodedSize(const std::vector<LogRecord>& records) {
 }  // namespace
 
 void Network::RegisterNode(NodeId id, NodeService* svc) {
+  std::lock_guard<std::mutex> lk(mu_);
   peers_[id] = Peer{svc, true};
   // A re-registration is a restarted process: its busy-time accounting
   // starts over. Cluster-lifetime traffic counters (msg.*, bytes.*) are
   // deliberately left alone — they describe the wire, not the process.
-  busy_ns_.erase(id);
+  {
+    std::lock_guard<std::mutex> blk(busy_mu_);
+    busy_ns_.erase(id);
+  }
   detector_.Invalidate(id);
 }
 
 void Network::SetNodeUp(NodeId id, bool up) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = peers_.find(id);
   if (it != peers_.end()) it->second.up = up;
   // Any liveness transition makes every cached view of this node stale.
@@ -43,13 +48,17 @@ void Network::SetNodeUp(NodeId id, bool up) {
 }
 
 bool Network::IsUp(NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = peers_.find(id);
   return it != peers_.end() && it->second.up;
 }
 
 std::vector<NodeId> Network::AllNodes() const {
   std::vector<NodeId> out;
-  for (const auto& [id, _] : peers_) out.push_back(id);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [id, _] : peers_) out.push_back(id);
+  }
   // peers_ is a hash map; callers (and determinism) expect id order.
   std::sort(out.begin(), out.end());
   return out;
@@ -57,14 +66,18 @@ std::vector<NodeId> Network::AllNodes() const {
 
 std::vector<NodeId> Network::OperationalNodes(NodeId except) const {
   std::vector<NodeId> out;
-  for (const auto& [id, peer] : peers_) {
-    if (peer.up && id != except) out.push_back(id);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [id, peer] : peers_) {
+      if (peer.up && id != except) out.push_back(id);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 Status Network::CheckSenderUp(NodeId from) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = peers_.find(from);
   if (it != peers_.end() && !it->second.up) {
     return Status::NodeDown("node " + std::to_string(from) +
@@ -74,6 +87,7 @@ Status Network::CheckSenderUp(NodeId from) const {
 }
 
 Result<NodeService*> Network::Endpoint(NodeId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = peers_.find(to);
   if (it == peers_.end()) {
     return Status::NotFound("unknown node " + std::to_string(to));
@@ -82,6 +96,18 @@ Result<NodeService*> Network::Endpoint(NodeId to) const {
     return Status::NodeDown("node " + std::to_string(to) + " is down");
   }
   return it->second.svc;
+}
+
+Status Network::Deliver(NodeId to, const std::function<void()>& fn) {
+  if (executor_ == nullptr) {
+    fn();
+    return Status::OK();
+  }
+  if (!executor_->Run(to, fn)) {
+    return Status::NodeDown("node " + std::to_string(to) +
+                            " execution context stopped");
+  }
+  return Status::OK();
 }
 
 Result<NodeService*> Network::Route(NodeId from, NodeId to) {
@@ -111,29 +137,38 @@ Result<NodeService*> Network::Route(NodeId from, NodeId to) {
 
 PeerHealth Network::ProbePeer(NodeId from, NodeId to) {
   std::uint64_t now = clock_ != nullptr ? clock_->NowNanos() : 0;
-  auto it = peers_.find(to);
-  if (it == peers_.end() || !it->second.up) {
-    // Connection refused: authoritative and free, so no caching needed.
-    return PeerHealth::kDown;
-  }
-  if (auto cached = detector_.Fresh(from, to, now,
-                                    retry_policy_.heartbeat_interval_ns)) {
-    metrics_.GetCounter("hb.probe_cached").Add(1);
-    return *cached;
+  NodeService* svc = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = peers_.find(to);
+    if (it == peers_.end() || !it->second.up) {
+      // Connection refused: authoritative and free, so no caching needed.
+      return PeerHealth::kDown;
+    }
+    if (auto cached = detector_.Fresh(from, to, now,
+                                      retry_policy_.heartbeat_interval_ns)) {
+      metrics_.GetCounter("hb.probe_cached").Add(1);
+      return *cached;
+    }
+    svc = it->second.svc;
   }
   metrics_.GetCounter("hb.probes").Add(1);
   if (fault_ != nullptr && from != to && fault_->LinkBlocked(from, to)) {
     // The probe is lost in the partition. Like a dropped request, a lost
     // probe costs the sender nothing the simulation models.
+    std::lock_guard<std::mutex> lk(mu_);
     detector_.Record(from, to, PeerHealth::kDown, now);
     return PeerHealth::kDown;
   }
   Charge(MsgType::kPing, 0, from, to);
-  PeerHealth health = it->second.svc->HandlePing();
+  // Pings bypass the mailbox: HandlePing reads one atomic state word, and
+  // a probe must answer even while the target's worker is wedged.
+  PeerHealth health = svc->HandlePing();
   Charge(MsgType::kPingReply, 1, from, to);
   // The view is as fresh as the reply, not the request: the charges above
   // advanced the clock by the round trip, and stamping the earlier time
   // would age the entry by a full round trip before anyone reads it.
+  std::lock_guard<std::mutex> lk(mu_);
   detector_.Record(from, to, health,
                    clock_ != nullptr ? clock_->NowNanos() : 0);
   return health;
@@ -156,8 +191,11 @@ Result<NodeService*> Network::AdmitWithRetry(NodeId from, NodeId to) {
     }
     // The target is alive and reachable, so the admission failure was a
     // random drop. Wait out the backoff on the sender and resend.
-    std::uint64_t backoff = BackoffNanos(retry_policy_, attempt,
-                                         &backoff_rng_);
+    std::uint64_t backoff;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      backoff = BackoffNanos(retry_policy_, attempt, &backoff_rng_);
+    }
     if (clock_ != nullptr) clock_->Advance(backoff);
     AddBusy(from, backoff);
     metrics_.GetCounter("rpc.retries").Add(1);
@@ -184,6 +222,7 @@ Result<NodeService*> Network::AdmitWithRetry(NodeId from, NodeId to) {
 }
 
 std::uint64_t Network::MaxBusyNanos() const {
+  std::lock_guard<std::mutex> lk(busy_mu_);
   std::uint64_t max = 0;
   for (const auto& [_, ns] : busy_ns_) max = std::max(max, ns);
   return max;
@@ -213,7 +252,9 @@ Status Network::LockPage(NodeId from, NodeId to, PageId pid, LockMode mode,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLockPageRequest, 0, from, to);
-  Status st = svc->HandleLockPage(from, pid, mode, want_page, reply);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleLockPage(from, pid, mode, want_page, reply); }));
   Charge(MsgType::kLockPageReply, reply->page ? kPageSize : 0, from, to);
   RecordRtt(t0);
   return st;
@@ -224,7 +265,9 @@ Status Network::Callback(NodeId from, NodeId to, PageId pid,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kCallback, 0, from, to);
-  Status st = svc->HandleCallback(from, pid, downgrade_to, reply);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleCallback(from, pid, downgrade_to, reply); }));
   Charge(MsgType::kCallbackReply, reply->page ? kPageSize : 0, from, to);
   RecordRtt(t0);
   return st;
@@ -234,7 +277,9 @@ Status Network::UnlockNotice(NodeId from, NodeId to, PageId pid) {
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kUnlockNotice, 0, from, to);
-  Status st = svc->HandleUnlockNotice(from, pid);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleUnlockNotice(from, pid); }));
   RecordRtt(t0);
   return st;
 }
@@ -243,7 +288,9 @@ Status Network::PageShip(NodeId from, NodeId to, const Page& page) {
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kPageShip, kPageSize, from, to);
-  Status st = svc->HandlePageShip(from, page);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandlePageShip(from, page); }));
   RecordRtt(t0);
   return st;
 }
@@ -252,7 +299,9 @@ Status Network::FlushRequest(NodeId from, NodeId to, PageId pid) {
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushRequest, 0, from, to);
-  Status st = svc->HandleFlushRequest(from, pid);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleFlushRequest(from, pid); }));
   RecordRtt(t0);
   return st;
 }
@@ -262,13 +311,14 @@ Status Network::FlushNotify(NodeId from, NodeId to, PageId pid,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFlushNotify, 0, from, to);
-  svc->HandleFlushNotify(from, pid, flushed_psn);
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { svc->HandleFlushNotify(from, pid, flushed_psn); }));
   RecordRtt(t0);
   // FlushNotify is a one-way idempotent notice: re-delivery just re-asserts
   // a durability watermark the replacer already recorded.
   if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {
     Charge(MsgType::kFlushNotify, 0, from, to);
-    svc->HandleFlushNotify(from, pid, flushed_psn);
+    (void)Deliver(to, [&] { svc->HandleFlushNotify(from, pid, flushed_psn); });
   }
   return Status::OK();
 }
@@ -278,7 +328,9 @@ Status Network::LogShip(NodeId from, NodeId to,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLogShip, EncodedSize(records), from, to);
-  Status st = svc->HandleLogShip(from, records, force);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleLogShip(from, records, force); }));
   RecordRtt(t0);
   return st;
 }
@@ -288,7 +340,9 @@ Status Network::RecoveryQuery(NodeId from, NodeId to,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoveryQuery, 0, from, to);
-  Status st = svc->HandleRecoveryQuery(from, reply);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleRecoveryQuery(from, reply); }));
   std::uint64_t bytes = reply->cached_pages_of_crashed.size() * 8 +
                         reply->dpt_entries_for_crashed.size() * 32 +
                         reply->locks_i_hold_on_crashed.size() * 9 +
@@ -303,7 +357,9 @@ Status Network::FetchCachedPage(NodeId from, NodeId to, PageId pid,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kFetchCachedPage, 0, from, to);
-  Status st = svc->HandleFetchCachedPage(from, pid, page);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleFetchCachedPage(from, pid, page); }));
   Charge(MsgType::kFetchCachedPageReply, *page ? kPageSize : 0, from, to);
   RecordRtt(t0);
   return st;
@@ -315,7 +371,9 @@ Status Network::BuildPsnList(NodeId from, NodeId to,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kBuildPsnList, pages.size() * 8 + 1, from, to);
-  Status st = svc->HandleBuildPsnList(from, pages, full_history, reply);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleBuildPsnList(from, pages, full_history, reply); }));
   std::uint64_t entries = 0;
   for (const auto& v : reply->per_page) entries += v.size();
   Charge(MsgType::kBuildPsnListReply, entries * 16, from, to);
@@ -329,8 +387,11 @@ Status Network::RecoverPage(NodeId from, NodeId to, PageId pid,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kRecoverPage, kPageSize, from, to);
-  Status st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
-                                     reply);
+  Status st;
+  CLOG_RETURN_IF_ERROR(Deliver(to, [&] {
+    st = svc->HandleRecoverPage(from, pid, page_in, has_bound, bound,
+                                reply);
+  }));
   Charge(MsgType::kRecoverPageReply, reply->page ? kPageSize : 0, from, to);
   RecordRtt(t0);
   return st;
@@ -342,7 +403,9 @@ Status Network::DptShip(NodeId from, NodeId to,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kDptShip, entries.size() * 32 + cached_pages.size() * 8, from, to);
-  Status st = svc->HandleDptShip(from, entries, cached_pages);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleDptShip(from, entries, cached_pages); }));
   RecordRtt(t0);
   return st;
 }
@@ -351,17 +414,20 @@ Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kNodeRecovered, 4, from, to);
-  svc->HandleNodeRecovered(who);
+  CLOG_RETURN_IF_ERROR(Deliver(to, [&] { svc->HandleNodeRecovered(who); }));
   RecordRtt(t0);
   // The broadcast doubles as an event-driven heartbeat: the receiver now
   // knows `who` is up without ever probing it.
-  detector_.Record(to, who, PeerHealth::kUp,
-                   clock_ != nullptr ? clock_->NowNanos() : 0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    detector_.Record(to, who, PeerHealth::kUp,
+                     clock_ != nullptr ? clock_->NowNanos() : 0);
+  }
   // NodeRecovered is likewise idempotent: it clears crash-recovery state
   // for `who`, and clearing twice is a no-op.
   if (fault_ != nullptr && from != to && fault_->DuplicateNotice(from, to)) {
     Charge(MsgType::kNodeRecovered, 4, from, to);
-    svc->HandleNodeRecovered(who);
+    (void)Deliver(to, [&] { svc->HandleNodeRecovered(who); });
   }
   return Status::OK();
 }
@@ -371,14 +437,16 @@ Status Network::LogLossNotice(NodeId from, NodeId to,
   const std::uint64_t t0 = Now();
   CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
   Charge(MsgType::kLogLossNotice, pages.size() * 8, from, to);
-  Status st = svc->HandleLogLossNotice(from, pages);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleLogLossNotice(from, pages); }));
   RecordRtt(t0);
   // Idempotent one-way notice: poisoning an already-poisoned page is a
   // no-op, so duplication is safe.
   if (st.ok() && fault_ != nullptr && from != to &&
       fault_->DuplicateNotice(from, to)) {
     Charge(MsgType::kLogLossNotice, pages.size() * 8, from, to);
-    (void)svc->HandleLogLossNotice(from, pages);
+    (void)Deliver(to, [&] { (void)svc->HandleLogLossNotice(from, pages); });
   }
   return st;
 }

@@ -1,16 +1,20 @@
 #ifndef CLOG_NET_NETWORK_H_
 #define CLOG_NET_NETWORK_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "net/executor.h"
 #include "net/failure_detector.h"
 #include "net/message.h"
 
@@ -133,9 +137,23 @@ class NodeService {
 };
 
 /// Routes calls between nodes and accounts for them.
+///
+/// Dual-mode delivery (docs/architecture_modes.md): with no executor
+/// attached (or the inline one), a handler runs synchronously on the
+/// calling thread — the deterministic simulation. With a real-threads
+/// executor attached, the handler is delivered to the target node's worker
+/// thread through its bounded mailbox and the caller blocks for the reply;
+/// registration, liveness, and busy-time state are mutex-guarded so
+/// concurrent node threads can route safely.
 class Network {
  public:
-  Network(SimClock* clock, CostModel cost) : clock_(clock), cost_(cost) {}
+  Network(Clock* clock, CostModel cost) : clock_(clock), cost_(cost) {}
+
+  /// Attaches the execution backend handlers are delivered through
+  /// (nullptr = inline, the default). Not owned; must outlive the network
+  /// while attached. Set once at cluster construction, before traffic.
+  void set_executor(Executor* executor) { executor_ = executor; }
+  Executor* executor() { return executor_; }
 
   /// Attaches a fault injector (nullptr detaches). Not owned; must outlive
   /// the network while attached.
@@ -205,7 +223,7 @@ class Network {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
-  SimClock* clock() { return clock_; }
+  Clock* clock() { return clock_; }
   const CostModel& cost_model() const { return cost_; }
 
   /// Per-node busy-time accounting: the simulation is single-threaded, so
@@ -214,14 +232,21 @@ class Network {
   /// (max over nodes) of a workload, which is what distinguishes "every
   /// node forces its own log" from "every commit funnels through the
   /// server" (DESIGN.md E2).
-  void AddBusy(NodeId node, std::uint64_t ns) { busy_ns_[node] += ns; }
+  void AddBusy(NodeId node, std::uint64_t ns) {
+    std::lock_guard<std::mutex> lk(busy_mu_);
+    busy_ns_[node] += ns;
+  }
   std::uint64_t BusyNanos(NodeId node) const {
+    std::lock_guard<std::mutex> lk(busy_mu_);
     auto it = busy_ns_.find(node);
     return it == busy_ns_.end() ? 0 : it->second;
   }
   /// Largest per-node busy time (the parallel makespan lower bound).
   std::uint64_t MaxBusyNanos() const;
-  void ResetBusy() { busy_ns_.clear(); }
+  void ResetBusy() {
+    std::lock_guard<std::mutex> lk(busy_mu_);
+    busy_ns_.clear();
+  }
 
  private:
   /// Looks up a live endpoint or returns NodeDown/NotFound.
@@ -229,6 +254,12 @@ class Network {
 
   /// A disconnected sender cannot reach anyone (links are bidirectional).
   Status CheckSenderUp(NodeId from) const;
+
+  /// Runs `fn` (one handler invocation) in `to`'s execution context:
+  /// inline without an executor, else through Executor::Run. A rejected
+  /// delivery (the target's worker stopped mid-flight) surfaces as
+  /// NodeDown — the same error a crashed endpoint produces at admission.
+  Status Deliver(NodeId to, const std::function<void()>& fn);
 
   /// Full per-request admission path: sender up, endpoint live, link not
   /// partitioned, request not dropped by the fault injector (both surface
@@ -257,9 +288,19 @@ class Network {
     bool up = false;
   };
 
-  SimClock* clock_;
+  Clock* clock_;
   CostModel cost_;
+  Executor* executor_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  /// Guards peers_, the failure-detector view table, and the backoff PRNG
+  /// against concurrent node threads in real mode. Never held across a
+  /// handler dispatch — only around the leaf map/table accesses — so the
+  /// locking cannot deadlock with reentrant RPC chains.
+  mutable std::mutex mu_;
+  /// Separate guard for busy_ns_: AddBusy is called from inside Charge
+  /// while callers may hold nothing, and keeping it off mu_ keeps the
+  /// accounting path contention-free.
+  mutable std::mutex busy_mu_;
   // Hash maps: Endpoint/Route and AddBusy sit on the per-message dispatch
   // path, where the O(log n) red-black walk was pure overhead. Everything
   // that *iterates* (AllNodes, OperationalNodes) sorts its output so node

@@ -1,6 +1,7 @@
 #ifndef CLOG_NODE_NODE_H_
 #define CLOG_NODE_NODE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -69,7 +70,7 @@ class Node : public NodeService {
   void Crash();
 
   NodeId id() const { return id_; }
-  NodeState state() const { return state_; }
+  NodeState state() const { return state_.load(std::memory_order_acquire); }
   const NodeOptions& options() const { return options_; }
 
   /// Runtime tweaks for benchmark ablations.
@@ -384,7 +385,10 @@ class Node : public NodeService {
   NodeOptions options_;
   Network* network_;
   DeadlockDetector* detector_;
-  NodeState state_ = NodeState::kDown;
+  /// Atomic: peers probe it from other threads (HandlePing answers off the
+  /// mailbox) and the cluster controller polls liveness while the node's
+  /// worker runs. All writes stay on the node's own execution context.
+  std::atomic<NodeState> state_{NodeState::kDown};
 
   /// Joint-restart sub-phase (Section 2.4): true once this node's redo pass
   /// (ExchangeAndRecover) has completed, at which point the recovery fences

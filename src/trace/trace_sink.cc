@@ -109,6 +109,7 @@ TraceSink::TraceSink(std::size_t capacity_per_node)
 
 void TraceSink::Emit(NodeId node, TraceEventType type, std::uint64_t a,
                      std::uint64_t b, std::uint32_t c) {
+  std::lock_guard<std::mutex> lk(mu_);
   Ring& ring = rings_[node];
   if (ring.emitted == 0) {
     ring.hash = kFnvOffset;
@@ -132,6 +133,11 @@ void TraceSink::Emit(NodeId node, TraceEventType type, std::uint64_t a,
 }
 
 std::vector<NodeId> TraceSink::Nodes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return NodesLocked();
+}
+
+std::vector<NodeId> TraceSink::NodesLocked() const {
   std::vector<NodeId> out;
   out.reserve(rings_.size());
   for (const auto& [node, ring] : rings_) out.push_back(node);
@@ -140,6 +146,11 @@ std::vector<NodeId> TraceSink::Nodes() const {
 }
 
 std::vector<TraceEvent> TraceSink::Events(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return EventsLocked(node);
+}
+
+std::vector<TraceEvent> TraceSink::EventsLocked(NodeId node) const {
   std::vector<TraceEvent> out;
   auto it = rings_.find(node);
   if (it == rings_.end()) return out;
@@ -156,27 +167,35 @@ std::vector<TraceEvent> TraceSink::Events(NodeId node) const {
 }
 
 std::uint64_t TraceSink::emitted(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(node);
   return it == rings_.end() ? 0 : it->second.emitted;
 }
 
 std::uint64_t TraceSink::total_emitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::uint64_t total = 0;
   for (const auto& [node, ring] : rings_) total += ring.emitted;
   return total;
 }
 
-std::uint64_t TraceSink::Hash(NodeId node) const {
+std::uint64_t TraceSink::HashLocked(NodeId node) const {
   auto it = rings_.find(node);
   return it == rings_.end() ? 0 : it->second.hash;
 }
 
+std::uint64_t TraceSink::Hash(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return HashLocked(node);
+}
+
 std::uint64_t TraceSink::Hash() const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (rings_.empty()) return 0;  // Nothing emitted anywhere.
   std::uint64_t h = kFnvOffset;
-  for (NodeId node : Nodes()) {
+  for (NodeId node : NodesLocked()) {
     h = FnvMix64(h, node);
-    h = FnvMix64(h, Hash(node));
+    h = FnvMix64(h, HashLocked(node));
   }
   return h;
 }
@@ -185,12 +204,13 @@ Status TraceSink::WriteBinaryFile(const std::string& path) const {
   std::string out;
   Put32(&out, kTraceMagic);
   Put32(&out, kTraceVersion);
+  std::lock_guard<std::mutex> lk(mu_);
   Put64(&out, capacity_);
-  const std::vector<NodeId> nodes = Nodes();
+  const std::vector<NodeId> nodes = NodesLocked();
   Put32(&out, static_cast<std::uint32_t>(nodes.size()));
   for (NodeId node : nodes) {
     const Ring& ring = rings_.at(node);
-    const std::vector<TraceEvent> events = Events(node);
+    const std::vector<TraceEvent> events = EventsLocked(node);
     Put32(&out, node);
     Put64(&out, ring.emitted);
     Put64(&out, ring.hash);
@@ -224,6 +244,7 @@ Status TraceSink::ReadBinaryFile(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) in.append(buf, n);
   std::fclose(f);
 
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t pos = 0;
   std::uint32_t magic = 0, version = 0, node_count = 0;
   std::uint64_t capacity = 0;

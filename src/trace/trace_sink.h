@@ -2,11 +2,12 @@
 #define CLOG_TRACE_TRACE_SINK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "common/sim_clock.h"
+#include "common/clock.h"
 #include "common/status.h"
 #include "trace/trace_event.h"
 
@@ -25,7 +26,10 @@ namespace clog {
 /// the raw pointer, so a null sink (the default) costs nothing.
 ///
 /// Emitting never touches the clock or any RNG — attaching a sink cannot
-/// perturb a deterministic schedule.
+/// perturb a deterministic schedule. In real-threads mode node threads
+/// emit concurrently, so the ring map is guarded by one internal mutex;
+/// the zero-overhead-when-off property is untouched because every emit
+/// call site still branches on the raw sink pointer before calling in.
 class TraceSink {
  public:
   static constexpr std::size_t kDefaultCapacityPerNode = 4096;
@@ -34,7 +38,7 @@ class TraceSink {
 
   /// Clock used to stamp events. Unbound (events stamped 0) until the
   /// owning Cluster calls this from its constructor.
-  void BindClock(const SimClock* clock) { clock_ = clock; }
+  void BindClock(const Clock* clock) { clock_ = clock; }
 
   /// Records one event in `node`'s ring. The newest events win: once a
   /// ring holds `capacity_per_node` events the oldest is overwritten.
@@ -60,7 +64,10 @@ class TraceSink {
   std::uint64_t Hash() const;
 
   /// Drops all events and hashes; keeps the clock binding.
-  void Clear() { rings_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings_.clear();
+  }
 
   /// Binary trace file I/O, for `tools/tracedump`. The format is
   /// little-endian, fixed-width fields (docs/observability.md).
@@ -74,8 +81,13 @@ class TraceSink {
     std::uint64_t hash = 0;  // running FNV-1a, seeded at first emit
   };
 
-  const SimClock* clock_ = nullptr;
+  std::vector<NodeId> NodesLocked() const;
+  std::vector<TraceEvent> EventsLocked(NodeId node) const;
+  std::uint64_t HashLocked(NodeId node) const;
+
+  const Clock* clock_ = nullptr;
   std::size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<NodeId, Ring> rings_;
 };
 

@@ -32,6 +32,7 @@ LogManager::~LogManager() {
 }
 
 Status LogManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ >= 0) return Status::FailedPrecondition("already open");
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) return Status::IOError(Errno("open " + path));
@@ -104,14 +105,16 @@ Status LogManager::RecoverTail() {
 }
 
 Status LogManager::Close() {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ < 0) return Status::OK();
-  Status st = Flush(end_lsn_);
+  Status st = FlushLocked(end_lsn_);
   ::close(fd_);
   fd_ = -1;
   return st;
 }
 
 void LogManager::Abandon() {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ < 0) return;
   if (fault_ != nullptr && !buffer_.empty()) {
     // A real crash can leave any prefix of the in-flight tail on the
@@ -134,6 +137,7 @@ void LogManager::Abandon() {
 
 Status LogManager::Append(const LogRecord& rec, Lsn* lsn,
                           bool enforce_capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("log not open");
   // Zero-copy append: reserve the 8-byte frame header, encode the body
   // directly into the tail buffer, then backfill len + crc. No per-record
@@ -166,6 +170,11 @@ Status LogManager::Append(const LogRecord& rec, Lsn* lsn,
 }
 
 Status LogManager::Flush(Lsn up_to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FlushLocked(up_to);
+}
+
+Status LogManager::FlushLocked(Lsn up_to) {
   if (fd_ < 0) return Status::FailedPrecondition("log not open");
   // flushed_lsn_ is the end of the durable prefix: a record is durable iff
   // its start LSN lies strictly before it.
@@ -188,14 +197,15 @@ Status LogManager::Flush(Lsn up_to) {
     trace_->Emit(trace_node_, TraceEventType::kLogForce, end_lsn_,
                  buffer_.size());
   }
-  buffer_start_ = end_lsn_;
-  flushed_lsn_ = end_lsn_;
+  buffer_start_ = end_lsn_.load(std::memory_order_relaxed);
+  flushed_lsn_.store(buffer_start_, std::memory_order_release);
   buffer_.clear();
   ++forces_;
   return Status::OK();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("log not open");
   if (lsn < kHeaderSize || lsn >= end_lsn_) {
     return Status::NotFound("lsn " + std::to_string(lsn) + " out of range");
@@ -241,7 +251,12 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
 }
 
 void LogManager::SetReclaimableLsn(Lsn lsn) {
-  if (lsn > reclaimable_lsn_) reclaimable_lsn_ = lsn;
+  // Monotonic max; the CAS loop makes concurrent advances keep the larger.
+  Lsn cur = reclaimable_lsn_.load(std::memory_order_relaxed);
+  while (lsn > cur && !reclaimable_lsn_.compare_exchange_weak(
+                          cur, lsn, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+  }
 }
 
 Status LogManager::StoreMaster(Lsn checkpoint_end_lsn) {

@@ -1,7 +1,9 @@
 #ifndef CLOG_WAL_LOG_MANAGER_H_
 #define CLOG_WAL_LOG_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -36,6 +38,13 @@ class TraceSink;
 /// triggering the node's log-space pressure protocol. The file itself is
 /// append-only; reclaimed prefixes simply stop counting against capacity,
 /// which preserves the paper-visible behaviour without wraparound framing.
+///
+/// Thread safety (real-threads mode): Append/Flush/ReadRecord and the
+/// lifecycle methods serialize on one internal mutex — the log tail is the
+/// shared-state hot spot the multi-producer bench measures — and the LSN
+/// watermarks are atomics so lock-free readers (space accounting, bench
+/// observers) see consistent values. Single-threaded simulation pays one
+/// uncontended lock per call.
 class LogManager {
  public:
   LogManager() = default;
@@ -49,7 +58,10 @@ class LogManager {
   Status Open(const std::string& path);
 
   Status Close();
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return fd_ >= 0;
+  }
 
   /// Closes without flushing the append buffer — simulates losing the
   /// volatile log tail in a crash (unforced records were never durable).
@@ -72,10 +84,12 @@ class LogManager {
   Status ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn = nullptr);
 
   /// LSN that the *next* appended record will get (current logical end).
-  Lsn end_lsn() const { return end_lsn_; }
+  Lsn end_lsn() const { return end_lsn_.load(std::memory_order_acquire); }
 
   /// Highest LSN known durable.
-  Lsn flushed_lsn() const { return flushed_lsn_; }
+  Lsn flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
 
   /// LSN of the first valid record (after the file header).
   static constexpr Lsn first_lsn() { return kHeaderSize; }
@@ -89,10 +103,12 @@ class LogManager {
   /// Advances the reclaim horizon: all records before `lsn` are no longer
   /// needed for crash recovery (min RedoLSN moved past them).
   void SetReclaimableLsn(Lsn lsn);
-  Lsn reclaimable_lsn() const { return reclaimable_lsn_; }
+  Lsn reclaimable_lsn() const {
+    return reclaimable_lsn_.load(std::memory_order_acquire);
+  }
 
   /// Bytes currently counted against capacity.
-  std::uint64_t LiveBytes() const { return end_lsn_ - reclaimable_lsn_; }
+  std::uint64_t LiveBytes() const { return end_lsn() - reclaimable_lsn(); }
 
   /// True if appending `bytes` more would exceed a bounded capacity.
   bool WouldOverflow(std::uint64_t bytes) const {
@@ -122,9 +138,15 @@ class LogManager {
   Result<Lsn> LoadMark() const;
 
   // --- Counters for benchmarks ---
-  std::uint64_t appended_records() const { return appended_records_; }
-  std::uint64_t appended_bytes() const { return appended_bytes_; }
-  std::uint64_t forces() const { return forces_; }
+  std::uint64_t appended_records() const {
+    return appended_records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t appended_bytes() const {
+    return appended_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forces() const {
+    return forces_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches a fault injector consulted on Flush (fsync failure) and
   /// Abandon (torn tail) as `node` (nullptr detaches). Not owned.
@@ -147,19 +169,27 @@ class LogManager {
   Status WriteHeader();
   Status RecoverTail();
 
+  /// Flush body with mu_ already held; Close() reuses it without
+  /// re-locking (std::mutex is not recursive).
+  Status FlushLocked(Lsn up_to);
+
+  /// Guards fd_, buffer_, buffer_start_, and every multi-field transition
+  /// of the watermarks below.
+  mutable std::mutex mu_;
+
   std::string path_;
   int fd_ = -1;
-  Lsn end_lsn_ = kHeaderSize;       ///< Next LSN to assign.
-  Lsn flushed_lsn_ = 0;             ///< All records < this are durable.
-  Lsn buffer_start_ = kHeaderSize;  ///< LSN of first byte in `buffer_`.
-  std::string buffer_;              ///< Appended-but-unflushed bytes.
+  std::atomic<Lsn> end_lsn_{kHeaderSize};  ///< Next LSN to assign.
+  std::atomic<Lsn> flushed_lsn_{0};  ///< All records < this are durable.
+  Lsn buffer_start_ = kHeaderSize;   ///< LSN of first byte in `buffer_`.
+  std::string buffer_;               ///< Appended-but-unflushed bytes.
 
   std::uint64_t capacity_ = 0;
-  Lsn reclaimable_lsn_ = kHeaderSize;
+  std::atomic<Lsn> reclaimable_lsn_{kHeaderSize};
 
-  std::uint64_t appended_records_ = 0;
-  std::uint64_t appended_bytes_ = 0;
-  std::uint64_t forces_ = 0;
+  std::atomic<std::uint64_t> appended_records_{0};
+  std::atomic<std::uint64_t> appended_bytes_{0};
+  std::atomic<std::uint64_t> forces_{0};
 
   FaultInjector* fault_ = nullptr;
   NodeId node_ = kInvalidNodeId;

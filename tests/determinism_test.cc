@@ -4,6 +4,7 @@
 #include "core/cluster.h"
 #include "core/workload.h"
 #include "fault/fault_injector.h"
+#include "fault/torture.h"
 #include "tests/test_util.h"
 
 namespace clog {
@@ -159,6 +160,41 @@ TEST(DeterminismTest, RetryHeavySeedsDiverge) {
   RetryTrace first = RunRetryHeavyScenario(a.path(), 101);
   RetryTrace second = RunRetryHeavyScenario(b.path(), 102);
   EXPECT_NE(first, second);
+}
+
+/// Pinned schedule/trace hashes for the reference torture seeds, captured
+/// before the executor-seam refactor (docs/architecture_modes.md). The
+/// simulation engine's contract is *byte-identical* behaviour across that
+/// refactor: a virtual clock, an inline executor, and leaf-level mutexes
+/// must not move a single event. If this test fails, simulation mode's
+/// history changed — that is a regression even if every invariant still
+/// holds, because recorded repro seeds and cross-run diffs stop lining up.
+/// Do not re-pin these constants without a deliberate, documented schedule
+/// change.
+TEST(DeterminismTest, TortureHashesMatchPreRefactorBaseline) {
+  struct Pin {
+    std::uint64_t seed;
+    std::uint64_t schedule_hash;
+    std::uint64_t trace_hash;
+  };
+  // Values from `tools/torture --seed=42 --count=3` at the pre-refactor
+  // commit (defaults: steps=40, nodes=3, pages=2, records=4).
+  const Pin kPins[] = {
+      {42, 0xd8d97f8d90e6c8a6ull, 0x5e4609dafd1a915dull},
+      {43, 0x3db5d038aa7e045eull, 0xd54a662eeaab320cull},
+      {44, 0x36678826b5c6b96bull, 0x47a643093800fba4ull},
+  };
+  for (const Pin& pin : kPins) {
+    TortureOptions opts;
+    opts.seed = pin.seed;
+    opts.keep_events = false;  // CLI default; hashes cover the full trace.
+    TortureReport report = RunTortureSchedule(opts);
+    EXPECT_TRUE(report.ok) << "seed " << pin.seed << ": " << report.failure;
+    EXPECT_EQ(report.schedule_hash, pin.schedule_hash)
+        << "seed " << pin.seed << " schedule hash drifted";
+    EXPECT_EQ(report.trace_hash, pin.trace_hash)
+        << "seed " << pin.seed << " trace hash drifted";
+  }
 }
 
 TEST(DeterminismTest, RecoveryItselfIsDeterministic) {

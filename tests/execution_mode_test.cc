@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Cross-mode contract (docs/architecture_modes.md): the simulation engine
+/// and the real-threads engine run the same protocol code, so a workload
+/// whose committed effects are order-independent must leave *identical*
+/// committed state in both modes — the same records in every page — even
+/// though real mode interleaves client threads nondeterministically. (PSNs
+/// are compared within each mode, owner disk vs cached copies, not across
+/// modes: a contended real-mode run aborts and retries, and undo bumps
+/// PSNs.) These tests are the seam's regression net, and
+/// scripts/run_tsan_tests.sh runs them under ThreadSanitizer (label
+/// `execution`).
+
+/// Keeps retrying transient outcomes (Busy, Deadlock) until the
+/// transaction commits. Terminal errors fail the test at the call site.
+Status CommitEventually(Cluster* cluster, NodeId node,
+                        const std::function<Status(TxnHandle&)>& body) {
+  for (int round = 0; round < 1000; ++round) {
+    Status st = cluster->RunTransaction(node, body, /*max_attempts=*/32);
+    if (!st.IsBusy() && !st.IsDeadlock()) return st;
+  }
+  return Status::Busy("CommitEventually: contention never cleared");
+}
+
+struct FixedWorkload {
+  int nodes = 3;
+  int txns_per_session = 8;
+};
+
+/// One session per node. Session s inserts one record per transaction into
+/// its own page and one into the next node's page, always locking pages in
+/// ascending PageId order (global lock order — no deadlock cycles across
+/// sessions). Payloads are unique per (session, txn, slot), so the final
+/// per-page record multiset is the same no matter how sessions interleave.
+struct WorkloadPlan {
+  std::vector<PageId> pages;  // pages[i] owned by node i.
+
+  Status RunSession(Cluster* cluster, int s, int txns) const {
+    const int n = static_cast<int>(pages.size());
+    for (int t = 0; t < txns; ++t) {
+      std::vector<std::pair<PageId, std::string>> writes = {
+          {pages[s], "s" + std::to_string(s) + "t" + std::to_string(t) + "a"},
+          {pages[(s + 1) % n],
+           "s" + std::to_string(s) + "t" + std::to_string(t) + "b"},
+      };
+      std::sort(writes.begin(), writes.end());
+      Status st = CommitEventually(cluster, s, [&](TxnHandle& txn) -> Status {
+        for (const auto& [pid, payload] : writes) {
+          CLOG_RETURN_IF_ERROR(txn.Insert(pid, payload).status());
+        }
+        return Status::OK();
+      });
+      CLOG_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+};
+
+/// Committed state after quiesce: sorted record payloads per page, read
+/// through fresh transactions on each owner. Insert multisets commute, so
+/// this is identical across modes and thread interleavings.
+std::map<PageId, std::vector<std::string>> CommittedState(
+    Cluster* cluster, const WorkloadPlan& plan) {
+  std::map<PageId, std::vector<std::string>> out;
+  for (int i = 0; i < static_cast<int>(plan.pages.size()); ++i) {
+    PageId pid = plan.pages[i];
+    std::vector<std::string> records;
+    Status st = cluster->RunTransaction(i, [&](TxnHandle& txn) -> Status {
+      CLOG_ASSIGN_OR_RETURN(records, txn.ScanPage(pid));
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    std::sort(records.begin(), records.end());
+    out[pid] = std::move(records);
+  }
+  return out;
+}
+
+std::map<PageId, std::vector<std::string>> RunFixedWorkload(
+    const std::string& dir, ExecutionMode mode, const FixedWorkload& w) {
+  ClusterOptions opts;
+  opts.dir = dir;
+  opts.execution_mode = mode;
+  Cluster cluster(opts);
+  WorkloadPlan plan;
+  for (int i = 0; i < w.nodes; ++i) {
+    Node* n = *cluster.AddNode();
+    PageId pid;
+    EXPECT_OK(cluster.Execute(n->id(), [&] {
+      Result<PageId> r = n->AllocatePage();
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (r.ok()) pid = *r;
+    }));
+    plan.pages.push_back(pid);
+  }
+
+  if (mode == ExecutionMode::kRealThreads) {
+    std::vector<std::thread> sessions;
+    std::mutex mu;
+    std::vector<Status> results;
+    for (int s = 0; s < w.nodes; ++s) {
+      sessions.emplace_back([&, s] {
+        Status st = plan.RunSession(&cluster, s, w.txns_per_session);
+        std::lock_guard<std::mutex> lk(mu);
+        results.push_back(st);
+      });
+    }
+    for (std::thread& t : sessions) t.join();
+    for (const Status& st : results) EXPECT_TRUE(st.ok()) << st.ToString();
+  } else {
+    for (int s = 0; s < w.nodes; ++s) {
+      EXPECT_OK(plan.RunSession(&cluster, s, w.txns_per_session));
+    }
+  }
+
+  // Quiesce, then crash-and-recover the whole cluster: recovery forces the
+  // committed version of every page to its owner's disk, in both modes, so
+  // the on-disk PSN is comparable afterwards.
+  std::vector<NodeId> ids = cluster.NodeIds();
+  for (NodeId id : ids) EXPECT_OK(cluster.CrashNode(id));
+  EXPECT_OK(cluster.RestartNodes(ids));
+
+  // In-mode PSN agreement after quiesce: deep invariants compare every
+  // clean cached copy against the owner's disk version, PSN included.
+  for (NodeId id : ids) {
+    EXPECT_OK(cluster.Execute(id, [&] {
+      EXPECT_OK(cluster.node(id)->CheckInvariants(/*deep=*/true));
+    }));
+  }
+  return CommittedState(&cluster, plan);
+}
+
+TEST(ExecutionModeTest, SimAndRealThreadsConvergeToIdenticalCommittedState) {
+  FixedWorkload w;
+  TempDir sim_dir, real_dir;
+  auto sim = RunFixedWorkload(sim_dir.path(), ExecutionMode::kSimulation, w);
+  auto real =
+      RunFixedWorkload(real_dir.path(), ExecutionMode::kRealThreads, w);
+
+  ASSERT_EQ(sim.size(), real.size());
+  std::size_t total_records = 0;
+  auto it = real.begin();
+  for (const auto& [pid, records] : sim) {
+    ASSERT_EQ(pid, it->first);
+    EXPECT_EQ(records, it->second) << "page " << pid.ToString() << " contents";
+    total_records += records.size();
+    ++it;
+  }
+  // Sanity: every transaction committed both of its inserts.
+  EXPECT_EQ(total_records,
+            static_cast<std::size_t>(w.nodes * w.txns_per_session * 2));
+}
+
+/// Real-threads crash drill: clients on nodes 1 and 2 hammer node 0's
+/// pages from their own threads (client-based logging — the redo for node
+/// 0's pages lives in the *clients'* logs, really fsync'd at each commit).
+/// Node 0 is then killed — worker thread stopped and joined, volatile
+/// state gone — and restarted. Every transaction that reported Commit OK
+/// before the crash must be readable afterwards. Two full cycles.
+TEST(ExecutionModeTest, RealModeCrashRestartConvergesOffFsyncedLogs) {
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  opts.execution_mode = ExecutionMode::kRealThreads;
+  Cluster cluster(opts);
+  Node* owner = *cluster.AddNode();
+  ASSERT_OK(cluster.AddNode().status());
+  ASSERT_OK(cluster.AddNode().status());
+
+  std::vector<PageId> pages(2);
+  ASSERT_OK(cluster.Execute(owner->id(), [&] {
+    for (PageId& pid : pages) {
+      Result<PageId> r = owner->AllocatePage();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      pid = *r;
+    }
+  }));
+
+  std::mutex mu;
+  std::set<std::string> durable;  // Payloads whose commit returned OK.
+
+  // One client session: inserts uniquely-tagged records into node 0's
+  // pages until the owner goes down (NodeDown ends the session).
+  auto client = [&](NodeId node, int cycle) {
+    for (int t = 0;; ++t) {
+      std::string payload = "c" + std::to_string(cycle) + "n" +
+                            std::to_string(node) + "t" + std::to_string(t);
+      PageId pid = pages[t % pages.size()];
+      Status st = CommitEventually(&cluster, node, [&](TxnHandle& txn) {
+        return txn.Insert(pid, payload).status();
+      });
+      if (!st.ok()) return;  // Owner crashed out from under us.
+      std::lock_guard<std::mutex> lk(mu);
+      durable.insert(payload);
+      if (durable.size() >= static_cast<std::size_t>(20 * (cycle + 1))) {
+        return;
+      }
+    }
+  };
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    std::thread c1([&] { client(1, cycle); });
+    std::thread c2([&] { client(2, cycle); });
+    c1.join();
+    c2.join();
+
+    // Kill the owner: its worker thread is stopped and joined, the cache
+    // and lock tables are gone; only its disk and the clients' logs
+    // survive.
+    ASSERT_OK(cluster.CrashNode(owner->id()));
+    ASSERT_OK(cluster.RestartNode(owner->id()));
+
+    // Every committed record must have been recovered into the owner's
+    // pages — the redo came from the clients' fsync'd logs.
+    std::set<std::string> recovered;
+    ASSERT_OK(cluster.RunTransaction(1, [&](TxnHandle& txn) -> Status {
+      for (PageId pid : pages) {
+        CLOG_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                              txn.ScanPage(pid));
+        recovered.insert(records.begin(), records.end());
+      }
+      return Status::OK();
+    }));
+    std::lock_guard<std::mutex> lk(mu);
+    for (const std::string& payload : durable) {
+      EXPECT_TRUE(recovered.count(payload))
+          << "cycle " << cycle << ": committed record '" << payload
+          << "' lost across crash/restart";
+    }
+    ASSERT_OK(cluster.Execute(owner->id(), [&] {
+      EXPECT_OK(owner->CheckInvariants(/*deep=*/true));
+    }));
+  }
+}
+
+/// The stop/start seam itself: a crashed node's execution context rejects
+/// work with NodeDown instead of hanging or racing, and restart brings a
+/// fresh worker up on the same id.
+TEST(ExecutionModeTest, StoppedWorkerRejectsWorkUntilRestart) {
+  TempDir dir;
+  ClusterOptions opts;
+  opts.dir = dir.path();
+  opts.execution_mode = ExecutionMode::kRealThreads;
+  Cluster cluster(opts);
+  Node* n = *cluster.AddNode();
+
+  ASSERT_OK(cluster.Execute(n->id(), [] {}));
+  ASSERT_OK(cluster.CrashNode(n->id()));
+  Status st = cluster.Execute(n->id(), [] {});
+  EXPECT_TRUE(st.IsNodeDown()) << st.ToString();
+  ASSERT_OK(cluster.RestartNode(n->id()));
+  ASSERT_OK(cluster.Execute(n->id(), [] {}));
+}
+
+}  // namespace
+}  // namespace clog
