@@ -4,6 +4,7 @@
 # Runs the gated perf benches and writes their results as
 #   BENCH_micro.json   google-benchmark JSON: CRC32C + log-append throughput
 #   BENCH_e1.json      simulated commit-cost + group-commit metrics
+#   BENCH_restore.json instant-restore availability metrics (recorded only)
 # at the repo root, then compares them against the committed baselines
 # (the versions of those files at git HEAD) with
 # scripts/check_bench_regression.py. A >20% throughput regression fails.
@@ -75,6 +76,20 @@ if [ "$REAL" -eq 1 ]; then
   "$REAL_BIN" $QUICK_FLAG --json="$OUT_DIR/BENCH_real.json"
 fi
 
+# Instant-restore availability bench (docs/RECOVERY_WALKTHROUGH.md,
+# "Instant restore"): time-to-first-commit after losing a data device and
+# the commit-latency tail while the backlog drains, eager vs instant.
+# Recorded into BENCH_restore.json, never compared against a baseline —
+# the signal worth eyeballing is the shape (instant opens far sooner and
+# shifts rebuild cost into the p99 tail), not the absolute numbers.
+E10="$BUILD_DIR/bench/bench_e10_instant_restore"
+if [ -x "$E10" ]; then
+  echo "== instant-restore bench -> $OUT_DIR/BENCH_restore.json"
+  "$E10" --json="$OUT_DIR/BENCH_restore.json"
+else
+  echo "note: $E10 not built; skipping BENCH_restore.json" >&2
+fi
+
 # Fold the commit-latency quantiles into BENCH_micro.json so one file
 # carries every gated latency metric (docs/performance.md). The checker
 # reads flat numeric keys alongside the google-benchmark entries.
@@ -97,7 +112,8 @@ EOF
 
 if [ "$SMOKE" -eq 1 ]; then
   python3 "$ROOT/scripts/check_bench_regression.py" --validate-only \
-    "$OUT_DIR/BENCH_micro.json" "$OUT_DIR/BENCH_e1.json"
+    "$OUT_DIR/BENCH_micro.json" "$OUT_DIR/BENCH_e1.json" \
+    "$OUT_DIR/BENCH_restore.json"
   echo "bench smoke OK"
   exit 0
 fi

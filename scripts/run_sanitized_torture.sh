@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree under ASan+UBSan (-DCLOG_SANITIZE=ON) in a separate
 # build directory and runs one torture shard plus the crash-during-
-# recovery, group-commit, and media-failure shards through it. Memory
-# errors in the recovery/retry/commit-coalescing/media-rebuild paths show
-# up here long before they corrupt a schedule.
+# recovery, group-commit, media-failure, and hammer-restore shards
+# through it. Memory errors in the recovery/retry/commit-coalescing/
+# media-rebuild/instant-restore paths show up here long before they
+# corrupt a schedule.
 #
 # Usage: scripts/run_sanitized_torture.sh [build-dir] [shard]
 set -euo pipefail
@@ -12,7 +13,14 @@ BUILD_DIR="${1:-build-asan}"
 SHARD="${2:-0}"
 
 cmake -B "$BUILD_DIR" -S . -DCLOG_SANITIZE=ON
-cmake --build "$BUILD_DIR" --target torture_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target torture_test media_recovery_test instant_restore_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0|torture_media_shard_0)\$"
+  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0|torture_media_shard_0|torture_hammer_restore_shard_0)\$"
+
+# The media and restore labels cover more than the shards above (the
+# media-recovery unit tests and the instant-restore first-touch tests);
+# run the whole labelled set so the on-demand rebuild path gets the same
+# sanitizer coverage as the torture schedules that drive it.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L "media|restore"

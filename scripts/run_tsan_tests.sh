@@ -6,7 +6,9 @@
 # the `execution`-labelled ctest suite — the cross-mode equivalence tests,
 # the real-mode crash drill, and the determinism pin — the tests that
 # actually put multiple threads through the executor, the mailbox network,
-# and the shared-state seams (metrics, trace sink, log manager).
+# and the shared-state seams (metrics, trace sink, log manager) — followed
+# by the `restore`-labelled suite, whose real-mode half runs background
+# restore sweeper threads against foreground first-touch rebuilds.
 #
 # Usage: scripts/run_tsan_tests.sh [--build-dir=DIR] [--repeat=N]
 #   --repeat=N  run the suite N times (default 3): scheduler-dependent
@@ -35,4 +37,13 @@ for i in $(seq 1 "$REPEAT"); do
   echo "== ctest -L execution under TSan (pass $i/$REPEAT)"
   ctest --test-dir "$BUILD_DIR" -L execution --output-on-failure
 done
-echo "TSan execution suite OK ($REPEAT passes)"
+
+# Restore suite: the real-mode instant-restore tests race background
+# sweeper threads against first-touch rebuilds and restart/shutdown, the
+# sharpest shared-state seam added since the executor itself. Repeated for
+# the same reason as above.
+for i in $(seq 1 "$REPEAT"); do
+  echo "== ctest -L restore under TSan (pass $i/$REPEAT)"
+  ctest --test-dir "$BUILD_DIR" -L restore --output-on-failure
+done
+echo "TSan execution+restore suites OK ($REPEAT passes each)"

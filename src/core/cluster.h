@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -197,6 +198,9 @@ class Cluster {
                             const std::function<Status(TxnHandle&)>& body,
                             int max_attempts);
 
+  /// Joins and discards every background restore sweeper thread.
+  void JoinRestoreSweepers();
+
   ClusterOptions options_;
   std::unique_ptr<Clock> clock_;
   std::unique_ptr<Executor> executor_;
@@ -206,6 +210,11 @@ class Cluster {
   NodeId next_id_ = 0;
   std::map<NodeId, RestartRecovery::Stats> recovery_stats_;
   std::function<void(NodeId, RecoveryPhase)> recovery_phase_hook_;
+  /// Real-threads mode: one background thread per restart that left a node
+  /// with instant-restore work pending, draining the cold tail through the
+  /// node's execution context. Sim mode drains inline instead (each
+  /// successful RunTransaction sweeps a batch).
+  std::vector<std::thread> restore_sweepers_;
 };
 
 /// Ergonomic wrapper binding (node, transaction id); used by examples and

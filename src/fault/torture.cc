@@ -139,6 +139,15 @@ class TortureRun {
       report_.rpc_retry_success = m.CounterValue("rpc.retry_success");
       report_.rpc_retry_exhausted = m.CounterValue("rpc.retry_exhausted");
       report_.hb_probes = m.CounterValue("hb.probes");
+      report_.restore_planned = cluster_->SumCounter("restore.pages_planned");
+      report_.restore_from_peer =
+          cluster_->SumCounter("restore.pages_from_peer");
+      report_.restore_from_archive =
+          cluster_->SumCounter("restore.pages_from_archive");
+      report_.restore_from_seed =
+          cluster_->SumCounter("restore.pages_from_seed");
+      report_.restore_already_durable =
+          cluster_->SumCounter("restore.pages_already_durable");
     }
   }
 
@@ -176,12 +185,18 @@ class TortureRun {
            cursed_.contains(rid);
   }
 
+  /// Media machinery live this run: media-failure mode, or the
+  /// instant-restore hammer (media plus on-demand rebuild on every node).
+  bool MediaMode() const {
+    return options_.media_failure || options_.hammer_restore;
+  }
+
   /// Re-reads every up node's poison ledger into the harness's view of the
   /// fenced-page set. Call only when all nodes are up (post-restart), so a
   /// down node's ledger can't silently drop out. Emits a deterministic
   /// event per transition so poison verdicts are part of the schedule hash.
   void HarvestPoison() {
-    if (!options_.media_failure) return;
+    if (!MediaMode()) return;
     std::set<PageId> now;
     for (NodeId id : cluster_->NodeIds()) {
       Node* n = cluster_->node(id);
@@ -217,6 +232,21 @@ class TortureRun {
   void CrashActor(NodeId id, const char* why) {
     Node* n = cluster_->node(id);
     if (n == nullptr || n->state() != NodeState::kUp) return;
+    // An abrupt crash discards this node's unforced log tail. A page it
+    // holds dirty whose newest records sit in that tail (an abort's update
+    // and CLR force nothing) can legally resurface at a lower PSN — no
+    // committed update rode on those records. Forget such pages'
+    // never-regress watermarks; the next sighting re-seeds them. (This
+    // also forgets any durable floor the page had earlier — acceptable:
+    // the alternative is a false regression alarm on legal loser-state
+    // loss, and the model value checks still cover committed data.)
+    for (PageId pid : pages_) {
+      const Page* p = n->pool().Peek(pid);
+      if (p != nullptr && n->pool().IsDirty(pid) &&
+          p->page_lsn() >= n->log().flushed_lsn()) {
+        watermark_.erase(pid);
+      }
+    }
     Status st = cluster_->CrashNode(id);
     if (!st.ok()) {
       Fail("CrashNode(" + std::to_string(id) + "): " + st.ToString());
@@ -280,12 +310,21 @@ class TortureRun {
       copts.group_commit.max_group_size = 4;
       Event("group-commit on");
     }
-    if (options_.media_failure) {
+    if (MediaMode()) {
       // Media schedules run with the archive at its most aggressive
       // cadence so device losses land on pages with fresh base images.
       copts.node_defaults.archive.enabled = true;
       copts.node_defaults.archive.every_checkpoints = 1;
       Event("media-failure on");
+    }
+    if (options_.hammer_restore) {
+      // Hammer: data-device losses defer their rebuilds to instant restore
+      // instead of recovering eagerly; the step loop sweeps one page per
+      // node per step so the backlog drains while the workload keeps
+      // landing on half-restored nodes.
+      copts.node_defaults.instant_restore.enabled = true;
+      copts.node_defaults.instant_restore.sweep_batch = 1;
+      Event("hammer-restore on");
     }
     cluster_ = std::make_unique<Cluster>(copts);
 
@@ -334,7 +373,7 @@ class TortureRun {
     // Media mode: checkpoint every node once before faults go live, so a
     // durable log mark and a first sealed archive pass exist before any
     // device can be lost.
-    if (options_.media_failure) {
+    if (MediaMode()) {
       for (NodeId id : cluster_->NodeIds()) {
         Status st = cluster_->node(id)->Checkpoint();
         if (!st.ok()) {
@@ -364,6 +403,12 @@ class TortureRun {
       Event("step=" + std::to_string(step) + " all-down");
       DoRestartAll();
       if (!failure_.empty()) return;
+    }
+    // Hammer mode: the background sweeper's stand-in — one page per up
+    // node per step (no RNG draw), so rebuilds interleave with the
+    // workload instead of the backlog draining in one burst.
+    if (options_.hammer_restore) {
+      for (NodeId id : UpNodes()) cluster_->node(id)->SweepRestore(1);
     }
 
     std::uint64_t dice = rng_.Uniform(100);
@@ -617,7 +662,7 @@ class TortureRun {
 
   void DoCrash(int step) {
     NodeId victim = RandomUpNode();
-    if (options_.media_failure && rng_.Uniform(100) < 35) {
+    if (MediaMode() && rng_.Uniform(100) < 35) {
       DoDeviceLoss(step, victim);
       return;
     }
@@ -675,7 +720,7 @@ class TortureRun {
     // failure); healthy schedules keep the original four-fault modulus so
     // their RNG streams — and hashes — are untouched.
     IoFault fault = static_cast<IoFault>(
-        1 + rng_.Uniform(options_.media_failure ? 5 : 4));
+        1 + rng_.Uniform(MediaMode() ? 5 : 4));
     injector_.ArmIoFault(victim, fault);
     Event("arm step=" + std::to_string(step) +
           " node=" + std::to_string(victim) +
@@ -701,7 +746,10 @@ class TortureRun {
     Status st = n->HandleFlushRequest(actor, pid);
     Event("flush step=" + std::to_string(step) +
           " node=" + std::to_string(actor) + (st.ok() ? " ok" : " failed"));
-    if (!st.ok()) CrashActor(actor, "flush-failed");
+    // Unavailable is not a lying device: flushing a page still awaiting
+    // instant restore rebuilds it first, and that rebuild legitimately
+    // blocks while a redo source is down.
+    if (!st.ok() && !st.IsUnavailable()) CrashActor(actor, "flush-failed");
   }
 
   void DoCheckpoint(int step) {
@@ -864,7 +912,12 @@ class TortureRun {
     ResolvePending();
     if (failure_.empty()) CheckPsnConsistency("post-restart");
     if (failure_.empty() && !rids_.empty()) {
-      VerifyModel(RandomUpNode(), "post-restart");
+      // Hammer mode samples the post-restart verification: reading every
+      // record would touch every page and drain the whole restore backlog
+      // on the spot, leaving nothing mid-restore for later crashes to land
+      // on. The final phase still verifies everything.
+      VerifyModel(RandomUpNode(), "post-restart",
+                  /*sampled=*/options_.hammer_restore);
     }
     injector_.set_enabled(true);
   }
@@ -968,7 +1021,7 @@ class TortureRun {
 
   /// Invariants 1+2 in bulk: every record the model knows reads back at its
   /// committed value (or NotFound if deleted) from `reader`.
-  void VerifyModel(NodeId reader, const char* tag) {
+  void VerifyModel(NodeId reader, const char* tag, bool sampled = false) {
     Node* n = cluster_->node(reader);
     Result<TxnId> begun = n->Begin();
     if (!begun.ok()) {
@@ -977,6 +1030,7 @@ class TortureRun {
     }
     TxnId txn = *begun;
     for (RecordId rid : rids_) {
+      if (sampled && rng_.Uniform(4) != 0) continue;
       if (Unverifiable(rid)) continue;
       std::optional<std::string> expected = ModelValue(rid);
       Result<std::string> got = n->Read(txn, rid);
@@ -1021,6 +1075,11 @@ class TortureRun {
       // media recovery could not replay forward); its watermark resumes if
       // a later rebuild un-poisons it.
       if (poisoned_.contains(pid)) continue;
+      // A page still queued for instant restore sits unreadable on disk by
+      // design until its on-demand rebuild; its watermark resumes once the
+      // rebuild lands (and must not have regressed then).
+      Node* owner_probe = cluster_->node(pid.owner);
+      if (owner_probe != nullptr && owner_probe->IsRestoring(pid)) continue;
       Psn max_psn = 0;
       bool any_copy = false;
       bool any_dirty = false;
@@ -1192,6 +1251,37 @@ class TortureRun {
     Event("final restart");
     HarvestPoison();
 
+    // Hammer mode: drain every restore backlog before the full
+    // verification, then hold the exit invariants — no plan left pending
+    // and the durable restore ledger empty on every node. With all nodes
+    // up and faults off, a rebuild that still can't make progress is a
+    // bug, not bad luck.
+    if (options_.hammer_restore) {
+      for (NodeId id : cluster_->NodeIds()) {
+        Node* n = cluster_->node(id);
+        std::size_t pending = n->RestorePendingCount();
+        while (pending != 0) {
+          std::size_t after = n->SweepRestore(pending);
+          if (after >= pending) break;  // No progress: sweep is blocked.
+          pending = after;
+        }
+        if (n->RestorePendingCount() != 0) {
+          Fail("restore drain: node " + std::to_string(id) + " stuck with " +
+               std::to_string(n->RestorePendingCount()) + " pages pending");
+          return;
+        }
+        if (!n->restore().LedgerEntries().empty()) {
+          Fail("restore drain: node " + std::to_string(id) +
+               " finished with a non-empty restore ledger");
+          return;
+        }
+      }
+      // Draining may have fenced pages for real (permanent poison verdicts
+      // reached during rebuild); refresh the model's view before verifying.
+      HarvestPoison();
+      Event("restore-drain ok");
+    }
+
     for (NodeId id : cluster_->NodeIds()) {
       VerifyModel(id, "final");
       if (!failure_.empty()) return;
@@ -1212,7 +1302,7 @@ class TortureRun {
     // Invariant 5 (media mode): the archive pair must be self-consistent
     // on every node, and every record on a fenced page must refuse to read
     // — Corruption, never silent stale data.
-    if (options_.media_failure) {
+    if (MediaMode()) {
       for (NodeId id : cluster_->NodeIds()) {
         Status ar = cluster_->node(id)->CheckArchiveConsistency();
         if (!ar.ok()) {
@@ -1320,6 +1410,12 @@ std::string TortureReport::Summary() const {
     out << " media{losses=" << device_losses << " log=" << log_losses
         << " read_faults=" << faults.failed_page_reads
         << " poisoned=" << pages_poisoned << "}";
+  }
+  if (restore_planned != 0) {
+    out << " restore{planned=" << restore_planned
+        << " peer=" << restore_from_peer << " archive=" << restore_from_archive
+        << " seed=" << restore_from_seed
+        << " durable=" << restore_already_durable << "}";
   }
   if (!ok) out << " failure=\"" << failure << "\"";
   return out.str();

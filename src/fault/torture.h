@@ -52,6 +52,19 @@ struct TortureOptions {
   /// and a fifth invariant (archive self-consistency) is checked at the
   /// end. Off by default; healthy-mode schedules are unchanged.
   bool media_failure = false;
+  /// Instant-restore hammer: everything media-failure mode does, plus
+  /// instant restore enabled on every node — a node that lost its data
+  /// device opens for traffic immediately and rebuilds pages on first
+  /// touch, with a sweeper draining one page per harness step. Post-restart
+  /// model verification samples records (instead of reading all of them)
+  /// so restore backlogs survive into the following steps and crashes land
+  /// mid-restore. Two invariants ride on top of the media set: a restoring
+  /// page never serves stale data (every on-demand rebuild is checked
+  /// against the model), and restore completion is crash-re-enterable
+  /// without PSN regression (watermarks + the durable restore ledger). The
+  /// final phase drains every backlog and asserts nothing is left pending
+  /// or recorded in the ledger.
+  bool hammer_restore = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
   /// Per-node capacity of the structured trace ring (newest events win).
@@ -86,6 +99,12 @@ struct TortureReport {
   std::uint64_t device_losses = 0;       ///< Device faults armed (media mode).
   std::uint64_t log_losses = 0;          ///< Of which destroyed a log device.
   std::uint64_t pages_poisoned = 0;      ///< Pages fenced unrecoverable at the end.
+  // Instant-restore counters (hammer mode; summed across nodes):
+  std::uint64_t restore_planned = 0;     ///< Pages deferred to instant restore.
+  std::uint64_t restore_from_peer = 0;   ///< Rebuilt from a peer's cached copy.
+  std::uint64_t restore_from_archive = 0;///< Rebuilt from archive + redo.
+  std::uint64_t restore_from_seed = 0;   ///< Rebuilt from seed + full redo.
+  std::uint64_t restore_already_durable = 0;  ///< Durable again before touch.
   FaultInjector::Counters faults;
 
   // Availability-envelope counters (mirrored from the network's metrics):

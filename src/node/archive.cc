@@ -121,8 +121,9 @@ Status PageArchive::StoreMeta(std::uint64_t seq) const {
 
 // --- PoisonLedger ----------------------------------------------------------
 
-Status PoisonLedger::Open(const std::string& dir) {
-  path_ = dir + "/node.poison";
+Status PoisonLedger::Open(const std::string& dir,
+                          const std::string& filename) {
+  path_ = dir + "/" + filename;
   entries_.clear();
   std::string blob;
   Status st = ReadFileToString(path_, &blob);

@@ -116,9 +116,13 @@ class PageArchive {
 /// retired once a LogLossNotice reaches the owner.
 class PoisonLedger {
  public:
-  /// Loads `dir`/node.poison if present. A corrupt ledger is an error (an
-  /// unreadable poison set must not silently un-poison pages).
-  Status Open(const std::string& dir);
+  /// Loads `dir`/`filename` if present. A corrupt ledger is an error (an
+  /// unreadable poison set must not silently un-poison pages). The filename
+  /// parameter lets instant restore reuse the same crash-atomic machinery
+  /// for its own page set ("node.restore"): same format, same absent-when-
+  /// empty contract, different fact recorded.
+  Status Open(const std::string& dir,
+              const std::string& filename = "node.poison");
 
   bool Contains(PageId pid) const { return entries_.contains(pid.Pack()); }
   bool empty() const { return entries_.empty(); }

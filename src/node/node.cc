@@ -48,8 +48,11 @@ Status Node::OpenStorage() {
     log_.set_capacity(options_.log_capacity_bytes);
   }
   // Media-recovery side state. The poison ledger is on the metadata device
-  // (with the space map); it keeps no file while empty.
+  // (with the space map); it keeps no file while empty. The restore ledger
+  // shares the machinery: pages an interrupted instant-restore epoch planned
+  // but never finished, re-probed as lost-page candidates at restart.
   CLOG_RETURN_IF_ERROR(poison_.Open(options_.dir));
+  CLOG_RETURN_IF_ERROR(restore_.Open(options_.dir));
   if (options_.archive.enabled) {
     CLOG_RETURN_IF_ERROR(archive_.Open(options_.dir));
   }
@@ -90,6 +93,9 @@ void Node::Crash() {
   disk_.Close().ok();
   archive_.Close().ok();
   ckpts_since_archive_ = 0;
+  // Volatile restore plans die with the crash; the durable restore ledger
+  // survives and tells the next restart which pages were still rebuilding.
+  restore_.Reset();
   // Media failure: an armed device loss takes effect at the crash point.
   // The data device is node.db alone; the log device is node.log plus its
   // master pointer (which points into the log and must die with it). The
@@ -171,6 +177,9 @@ Status Node::FreePage(PageId pid) {
   if (pid.owner != id_) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
+  // The space map's free-time PSN seed needs the page's true final PSN, so
+  // a restoring page must finish rebuilding before it can be freed.
+  CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
   if (poison_.Contains(pid)) {
     // The page's true final PSN is unknowable, so the space map could not
     // seed a reallocation safely past it.
@@ -254,6 +263,12 @@ Status Node::NoteOwnerFailure(NodeId owner, Status st) {
 Result<Page*> Node::FetchPage(PageId pid) {
   if (Page* hit = pool_.Lookup(pid)) return hit;
   if (pid.owner == id_) {
+    // A restoring page is rebuilt synchronously for its first toucher
+    // before anything below dares read the (hole-ridden) disk version.
+    // The rebuild lands the fresh image in the pool, so re-check for a
+    // hit before falling through to the miss path's Insert.
+    CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
+    if (Page* hit = pool_.Lookup(pid)) return hit;
     if (poison_.Contains(pid)) {
       return Status::Corruption("page unrecoverable after media failure: " +
                                 pid.ToString());
@@ -663,6 +678,9 @@ Status Node::Commit(TxnId txn_id) {
   txns_.Remove(txn_id);
   ctr_txn_commits_->Add(1);
   hist_commit_ns_->Record(network_->clock()->NowNanos() - commit_start_ns);
+  if (restore_.first_commit_pending()) {
+    restore_.NoteCommit(this, network_->clock()->NowNanos());
+  }
   if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kTxnCommit, txn_id);
   AdvanceReclaimHorizon();
   return Status::OK();
@@ -774,6 +792,9 @@ Status Node::CompleteCoveredCommits() {
     ctr_txn_commits_->Add(1);
     metrics_.GetCounter("gc.completed").Add(1);
     hist_commit_ns_->Record(network_->clock()->NowNanos() - p.parked_at_ns);
+    if (restore_.first_commit_pending()) {
+      restore_.NoteCommit(this, network_->clock()->NowNanos());
+    }
     if (trace_ != nullptr) {
       trace_->Emit(id_, TraceEventType::kGroupCommitCover, p.txn,
                    p.commit_lsn);
@@ -1064,6 +1085,9 @@ Status Node::ForceOwnPage(PageId pid) {
   if (pid.owner != id_) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
+  // Forcing a restoring page must first give it something honest to force;
+  // no-ops when the force is issued by the rebuild itself.
+  CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
   Psn flushed_psn;
   Page* cached = pool_.Lookup(pid);
   if (cached != nullptr && pool_.IsDirty(pid)) {
@@ -1213,6 +1237,28 @@ Status Node::PoisonOwnPage(PageId pid, Psn needed_psn) {
 }
 
 Status Node::UnpoisonPage(PageId pid) { return poison_.Remove(pid); }
+
+// ---------------------------------------------------------------------------
+// Instant restore: on-demand rebuild hooks (recovery/instant_restore.cc)
+// ---------------------------------------------------------------------------
+
+Status Node::EnsureRestored(PageId pid) {
+  // in_restore(): the rebuild's own disk probes and page forces land back
+  // here; recursing would re-run the ladder mid-ladder.
+  if (!restore_.IsRestoring(pid) || restore_.in_restore()) return Status::OK();
+  return restore_.RestoreOne(this, pid);
+}
+
+std::size_t Node::SweepRestore(std::size_t max_pages) {
+  if (state_ != NodeState::kUp || !restore_.active()) {
+    return restore_.pending();
+  }
+  if (max_pages == 0) {
+    max_pages = std::max<std::size_t>(1, options_.instant_restore.sweep_batch);
+  }
+  restore_.Sweep(this, max_pages);
+  return restore_.pending();
+}
 
 Status Node::HandleLogLossNotice(NodeId from,
                                  const std::vector<PageId>& pages) {

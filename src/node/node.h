@@ -20,6 +20,7 @@
 #include "net/network.h"
 #include "node/archive.h"
 #include "node/options.h"
+#include "recovery/instant_restore.h"
 #include "storage/disk_manager.h"
 #include "storage/slotted_page.h"
 #include "storage/space_map.h"
@@ -244,6 +245,27 @@ class Node : public NodeService {
   /// PSN (called by RestartRecovery only).
   Status UnpoisonPage(PageId pid);
 
+  // --- Instant restore (docs/RECOVERY_WALKTHROUGH.md "Instant restore") ---
+
+  /// Restore state for pages lost with the data device (open iff restores
+  /// are pending: IsRestoring/pending/ledger introspection for tests and
+  /// the torture harness).
+  const InstantRestoreManager& restore() const { return restore_; }
+
+  /// True while `pid` is planned for rebuild but not yet rebuilt. Such a
+  /// page is *servable*: the first touch rebuilds it synchronously.
+  bool IsRestoring(PageId pid) const { return restore_.IsRestoring(pid); }
+
+  /// Pages still awaiting rebuild (0 = not in a restore epoch).
+  std::size_t RestorePendingCount() const { return restore_.pending(); }
+
+  /// Background drain: rebuilds up to `max_pages` pending pages (0 = the
+  /// configured sweep batch) in plan-priority order. Returns the number of
+  /// pages still pending afterwards. Driven by the cluster's sweeper (a
+  /// dedicated thread in real mode, scheduled work in simulation) and
+  /// callable directly by tests. No-op unless up and restoring.
+  std::size_t SweepRestore(std::size_t max_pages = 0);
+
   /// Runs one fuzzy archive pass over all owned pages: copies every page
   /// whose PSN moved since it was last archived (newest cached version if
   /// present, else the disk version) and seals the pass. Called from
@@ -268,6 +290,7 @@ class Node : public NodeService {
 
  private:
   friend class RestartRecovery;
+  friend class InstantRestoreManager;  // recovery/instant_restore.cc
 
   // --- Internal helpers (node.cc) ---
 
@@ -317,6 +340,12 @@ class Node : public NodeService {
 
   /// Owner-side: newest version of own page `pid` (cache, else disk).
   Result<Page*> OwnLatestPage(PageId pid);
+
+  /// Instant-restore touch hook: synchronously rebuilds `pid` if it is
+  /// still restoring, before any path that would read its disk image or
+  /// poison verdict. No-op (one branch) outside a restore epoch, and while
+  /// a rebuild is already on the stack.
+  Status EnsureRestored(PageId pid);
 
   /// WAL for page transfer: before any image of `pid` leaves this node
   /// (grant-time transfer, callback, ship, recovery fetch), every local
@@ -403,6 +432,10 @@ class Node : public NodeService {
   /// keeps no file while empty, so both cost nothing on healthy nodes.
   PageArchive archive_;
   PoisonLedger poison_;
+  /// Instant restore (recovery/instant_restore.h): per-page rebuild plans
+  /// plus the durable "node.restore" ledger. Volatile plans are rebuilt by
+  /// restart recovery; empty (and file-less) on healthy nodes.
+  InstantRestoreManager restore_;
   /// Checkpoints completed since the last archive pass (pass cadence).
   std::uint32_t ckpts_since_archive_ = 0;
   BufferPool pool_;

@@ -64,6 +64,18 @@ struct ArchiveOptions {
   std::uint32_t every_checkpoints = 1;
 };
 
+/// Instant restore (docs/RECOVERY_WALKTHROUGH.md "Instant restore"): after
+/// a data-device loss, restart recovery builds only a per-page restore plan
+/// and opens the node for traffic immediately; each lost page is rebuilt on
+/// first touch (synchronously for the toucher) while a background sweep
+/// drains the cold tail. Off by default: recovery rebuilds every lost page
+/// eagerly before the node comes up, exactly as before.
+struct InstantRestoreOptions {
+  bool enabled = false;
+  /// Pages the background sweeper rebuilds per invocation.
+  std::size_t sweep_batch = 1;
+};
+
 /// Static configuration of one node.
 struct NodeOptions {
   /// Directory for this node's database, log, and side files.
@@ -101,6 +113,9 @@ struct NodeOptions {
   /// Fuzzy page archiving for media recovery; disabled by default (no
   /// archive file, zero hot-path overhead).
   ArchiveOptions archive;
+  /// On-demand media recovery: serve traffic while lost pages rebuild at
+  /// first touch. Disabled by default (eager rebuild, as before).
+  InstantRestoreOptions instant_restore;
   /// Optional structured-event trace sink shared by the whole cluster (not
   /// owned). nullptr = tracing off: every emit point is guarded by one
   /// branch on this pointer, so the default costs nothing.

@@ -23,6 +23,10 @@ Status Node::HandleLockPage(NodeId from, PageId pid, LockMode mode,
   if (!space_map_.IsAllocated(pid.page_no)) {
     return Status::NotFound("page not allocated: " + pid.ToString());
   }
+  // Instant restore: a requester's touch of a still-restoring page rebuilds
+  // it now, before the poison check — the rebuild itself may prove the page
+  // whole (peer copy, archive + redo) or poison it for real.
+  CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
   if (poison_.Contains(pid)) {
     // Media recovery could not rebuild this page (a client log holding part
     // of its history is gone). Serving it would hand out silently wrong
@@ -184,6 +188,10 @@ Status Node::WalBeforePageLeaves(PageId pid, const Page* page) {
 }
 
 Result<Page*> Node::OwnLatestPage(PageId pid) {
+  if (Page* cached = pool_.Lookup(pid)) return cached;
+  // An on-demand rebuild installs the page in the pool; re-check before
+  // the miss path tries to Insert the same frame.
+  CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
   if (Page* cached = pool_.Lookup(pid)) return cached;
   if (poison_.Contains(pid)) {
     return Status::Corruption("page unrecoverable after media failure: " +

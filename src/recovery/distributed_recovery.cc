@@ -254,10 +254,29 @@ Status RestartRecovery::RecoverOwnPages() {
             ++stats_.media_candidates;
           }
         }
-        node_->metrics_.GetCounter("media.scan_candidates")
-            .Add(stats_.media_candidates);
       }
     }
+  }
+  // Pages a previous, interrupted instant-restore epoch planned but never
+  // finished. On-demand rebuilds run in workload order, so a completed
+  // high-numbered page may have re-extended the file — the extent check
+  // above can go blind while lower pages are still holes. The durable
+  // restore ledger is the authority: its entries are probe candidates
+  // regardless of what the extent says.
+  for (std::uint64_t packed : node_->restore_.LedgerEntries()) {
+    const PageId pid = PageId::Unpack(packed);
+    if (pid.owner != me || !node_->space_map_.IsAllocated(pid.page_no)) {
+      CLOG_RETURN_IF_ERROR(node_->restore_.Forget(pid));
+      continue;
+    }
+    if (media_probe.insert(pid).second &&
+        contributors.try_emplace(pid).second) {
+      ++stats_.media_candidates;
+    }
+  }
+  if (stats_.media_candidates != 0) {
+    node_->metrics_.GetCounter("media.scan_candidates")
+        .Add(stats_.media_candidates);
   }
 
   struct WorkItem {
@@ -267,10 +286,19 @@ Status RestartRecovery::RecoverOwnPages() {
     bool full_history = false;  ///< Rebuilding a torn page from its seed.
   };
   std::vector<WorkItem> work;
+  std::uint64_t deferred = 0, deferred_with_peer = 0;
 
   for (auto& [pid, contribs] : contributors) {
     auto cit = cached_at.find(pid);
-    if (cit != cached_at.end()) {
+    // Instant restore defers media-lost pages even when a peer caches a
+    // copy: the plan records the holder as a peer candidate and the
+    // on-demand rebuild fetches it at first touch, so restart itself does
+    // no page transfers at all. (If the holder drops the copy first, the
+    // rebuild falls back to archive + redo — the contributors' logs stay
+    // pinned below either way.)
+    const bool defer_to_restore =
+        node_->options_.instant_restore.enabled && media_probe.contains(pid);
+    if (cit != cached_at.end() && !defer_to_restore) {
       // Section 2.3.1: a copy cached at an operational node carries every
       // update made before the crash; fetch it instead of redoing logs.
       bool fetched = false;
@@ -326,6 +354,34 @@ Status RestartRecovery::RecoverOwnPages() {
     WorkItem item;
     item.pid = pid;
     if (rd.IsCorruption() || rd.IsNotFound()) {
+      if (node_->options_.instant_restore.enabled &&
+          media_probe.contains(pid)) {
+        // Instant restore: don't rebuild now. Record everything the
+        // on-demand rebuild will need — durably, so a crash mid-epoch
+        // re-probes this page even after later rebuilds re-extend the
+        // file — and open for traffic without it. Only pages *unreadable
+        // right now* may defer: anything readable was either never lost or
+        // already rebuilt, and the readable-means-restored rule the
+        // rebuild relies on holds only under that discipline.
+        InstantRestoreManager::Plan plan;
+        plan.pid = pid;
+        if (cit != cached_at.end()) plan.peer_candidates = cit->second;
+        for (const auto& [peer, _] : peer_replies_) {
+          plan.redo_sources.push_back(peer);
+        }
+        plan.priority = static_cast<std::uint32_t>(
+            contribs.size() + plan.peer_candidates.size());
+        if (!plan.peer_candidates.empty()) ++deferred_with_peer;
+        // Pin the contributors' logs: their DPT entries stand until the
+        // rebuild's page force sends flush notifications.
+        for (const auto& [n, e] : contribs) {
+          if (n != me) node_->replacers_[pid].insert(n);
+        }
+        CLOG_RETURN_IF_ERROR(node_->restore_.Add(std::move(plan)));
+        ++deferred;
+        ++stats_.pages_deferred;
+        continue;
+      }
       // Torn page write (the crash interrupted a flush mid-page or
       // half-extended the file) or a lost data device. The on-disk version
       // is gone; start from the newest archived image if one exists, else
@@ -404,6 +460,24 @@ Status RestartRecovery::RecoverOwnPages() {
     CLOG_RETURN_IF_ERROR(
         CoordinatePageRecovery(item.pid, item.base.get(), lists[item.pid]));
   }
+
+  // Ledger hygiene: any restore-ledger entry without a live plan was
+  // handled eagerly above (rescued from a peer cache, readable after all,
+  // rebuilt, or poisoned) — durably forget it so later restarts stop
+  // re-probing it.
+  for (std::uint64_t packed : node_->restore_.LedgerEntries()) {
+    const PageId pid = PageId::Unpack(packed);
+    if (!node_->restore_.IsRestoring(pid)) {
+      CLOG_RETURN_IF_ERROR(node_->restore_.Forget(pid));
+    }
+  }
+  if (deferred != 0) {
+    node_->metrics_.GetCounter("restore.pages_planned").Add(deferred);
+    if (node_->trace_ != nullptr) {
+      node_->trace_->Emit(me, TraceEventType::kRestorePlan, deferred,
+                          deferred_with_peer);
+    }
+  }
   return Status::OK();
 }
 
@@ -452,6 +526,11 @@ Status RestartRecovery::RecoverOwnPagesAfterLogLoss(
     ++stats_.pages_poisoned;
   }
   node_->metrics_.GetCounter("media.log_loss_pages_restored").Add(restored);
+  // Every allocated page is now durable or poisoned, so any restore-ledger
+  // entries from an interrupted earlier epoch are settled too.
+  for (std::uint64_t packed : node_->restore_.LedgerEntries()) {
+    CLOG_RETURN_IF_ERROR(node_->restore_.Forget(PageId::Unpack(packed)));
+  }
   return Status::OK();
 }
 
@@ -651,6 +730,11 @@ Status RestartRecovery::UndoLosersAndFinish() {
   }
 
   node_->state_ = NodeState::kUp;
+  if (node_->restore_.active()) {
+    // Open-for-business with rebuilds pending: the next successful commit
+    // closes the restore.first_commit_ns measurement.
+    node_->restore_.BeginEpoch(node_->network_->clock()->NowNanos());
+  }
   if (node_->options_.has_local_log) {
     CLOG_RETURN_IF_ERROR(node_->Checkpoint());
   }

@@ -55,6 +55,7 @@ class RestartRecovery {
     std::uint64_t media_candidates = 0;    ///< Probe candidates from device scan.
     std::uint64_t archive_restores = 0;    ///< Bases restored from the archive.
     std::uint64_t pages_poisoned = 0;      ///< Pages fenced as unrecoverable.
+    std::uint64_t pages_deferred = 0;      ///< Planned for instant restore.
     bool log_loss_detected = false;        ///< Log shorter than its durable mark.
   };
 

@@ -60,6 +60,17 @@ enum class TraceEventType : std::uint16_t {
   // Media recovery summary for one restart. a = lost-page candidates,
   // b = pages restored from archive images, c = pages poisoned.
   kMediaRecovery = 24,
+  // Instant restore: restart recovery deferred the media rebuild and the
+  // node opened for traffic with pages still restoring. a = pages planned,
+  // b = pages with at least one peer-cache candidate.
+  kRestorePlan = 25,
+  // One restoring page finished rebuilding (on demand or by the sweeper).
+  // a = PageId::Pack(), b = resulting psn, c = source (0 = already durable,
+  // 1 = peer cache, 2 = archive + redo, 3 = seed + redo, 4 = poisoned).
+  kPageRestored = 26,
+  // The restore backlog drained: the node left degraded mode.
+  // a = pages restored this epoch, b = epoch duration ns.
+  kRestoreDone = 27,
 };
 
 /// Stable upper-case name, for tracedump and torture tails.

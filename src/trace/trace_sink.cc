@@ -100,6 +100,9 @@ std::string_view TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kArchivePass: return "ARCHIVE_PASS";
     case TraceEventType::kPagePoison: return "PAGE_POISON";
     case TraceEventType::kMediaRecovery: return "MEDIA_RECOVERY";
+    case TraceEventType::kRestorePlan: return "RESTORE_PLAN";
+    case TraceEventType::kPageRestored: return "PAGE_RESTORED";
+    case TraceEventType::kRestoreDone: return "RESTORE_DONE";
   }
   return "UNKNOWN";
 }

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "fault/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace clog {
+namespace {
+
+using testing::TempDir;
+
+/// Instant restore (docs/RECOVERY_WALKTHROUGH.md "Instant restore"): a node
+/// that lost its data device opens for traffic as soon as restart recovery
+/// has built per-page restore plans, rebuilds a page synchronously the
+/// first time anything touches it, and drains the cold tail with a sweeper.
+/// The headline guarantee under test: the first commit is accepted while
+/// the rebuild backlog is still nonempty — availability is decoupled from
+/// restore completion — and no read ever sees pre-rebuild data.
+///
+/// Parameterized over both execution modes: in simulation the sweep is
+/// driven inline, in real-threads mode RestartNodes spawns background
+/// sweeper threads that race (safely) with the test's own traffic.
+class InstantRestoreTest : public ::testing::TestWithParam<ExecutionMode> {
+ protected:
+  static constexpr int kPages = 12;
+
+  InstantRestoreTest() : injector_(/*seed=*/1) {
+    ClusterOptions opts;
+    opts.dir = dir_.path();
+    opts.execution_mode = GetParam();
+    opts.fault_injector = &injector_;
+    opts.node_defaults.archive.enabled = true;
+    opts.node_defaults.archive.every_checkpoints = 1;
+    opts.node_defaults.instant_restore.enabled = true;
+    cluster_ = std::make_unique<Cluster>(opts);
+    a_ = *cluster_->AddNode();
+    b_ = *cluster_->AddNode();
+  }
+
+  /// Seeds kPages pages on A (one committed record each), seals an archive
+  /// pass, then layers post-archive history: B updates page 0 (so B's pool
+  /// caches the newest copy) and A updates page 1 (redo in A's own log).
+  void SeedAndAge() {
+    for (int p = 0; p < kPages; ++p) {
+      PageId pid;
+      ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+        Result<PageId> r = a_->AllocatePage();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        pid = *r;
+      }));
+      pids_.push_back(pid);
+      RecordId rid;
+      ASSERT_OK(cluster_->RunTransaction(a_->id(), [&](TxnHandle& txn) {
+        Result<RecordId> r = txn.Insert(pid, Value(p, 0));
+        CLOG_RETURN_IF_ERROR(r.status());
+        rid = *r;
+        return Status::OK();
+      }));
+      rids_.push_back(rid);
+    }
+    ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+      ASSERT_OK(a_->Checkpoint());  // Log mark + sealed archive pass.
+    }));
+    ASSERT_OK(cluster_->RunTransaction(b_->id(), [&](TxnHandle& txn) {
+      return txn.Update(rids_[0], Value(0, 1));
+    }));
+    ASSERT_OK(cluster_->RunTransaction(a_->id(), [&](TxnHandle& txn) {
+      return txn.Update(rids_[1], Value(1, 1));
+    }));
+  }
+
+  /// Destroys A's data device at its crash point and restarts A. On return
+  /// A is up; with instant restore on, its unreadable pages are planned,
+  /// not rebuilt.
+  void LoseDataDeviceAndRestart() {
+    injector_.ArmDeviceFault(a_->id(), DeviceFault::kDestroyDataFile);
+    ASSERT_OK(cluster_->CrashNode(a_->id()));
+    ASSERT_OK(cluster_->RestartNodes({a_->id()}));
+    ASSERT_EQ(a_->state(), NodeState::kUp);
+  }
+
+  /// Drives A's sweeper until the backlog is empty (bounded; real mode's
+  /// background sweepers may drain it concurrently, which is fine).
+  void DrainRestore() {
+    for (int i = 0; i < 10 * kPages; ++i) {
+      std::size_t left = 1;
+      ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+        left = a_->SweepRestore(kPages);
+      }));
+      if (left == 0) return;
+    }
+    FAIL() << "restore backlog did not drain";
+  }
+
+  /// The committed value of record `p` at version `v`.
+  static std::string Value(int p, int v) {
+    return "p" + std::to_string(p) + "-v" + std::to_string(v);
+  }
+
+  std::string MustRead(RecordId rid) {
+    std::string got;
+    Status st = cluster_->RunTransaction(a_->id(), [&](TxnHandle& txn) {
+      CLOG_ASSIGN_OR_RETURN(got, txn.Read(rid));
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return got;
+  }
+
+  TempDir dir_;
+  FaultInjector injector_;
+  std::unique_ptr<Cluster> cluster_;
+  Node* a_ = nullptr;
+  Node* b_ = nullptr;
+  std::vector<PageId> pids_;
+  std::vector<RecordId> rids_;
+};
+
+TEST_P(InstantRestoreTest, FirstCommitAcceptedBeforeRebuildCompletes) {
+  SeedAndAge();
+  LoseDataDeviceAndRestart();
+
+  // The acceptance assertion, in one execution-context slice so real-mode
+  // sweepers cannot interleave mid-measurement: traffic arrives while the
+  // backlog is nonempty, the commit succeeds, and the backlog is STILL
+  // nonempty afterwards — the commit waited for its own page's rebuild
+  // (first touch), never for the tail.
+  std::size_t pending_before = 0;
+  std::size_t pending_after = 0;
+  Status commit_status;
+  ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+    pending_before = a_->RestorePendingCount();
+    Result<TxnId> txn = a_->Begin();
+    ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+    Result<RecordId> rid = a_->Insert(*txn, pids_[2], "during-restore");
+    ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    commit_status = a_->Commit(*txn);
+    pending_after = a_->RestorePendingCount();
+  }));
+  ASSERT_OK(commit_status);
+  EXPECT_GT(pending_before, 0u) << "node was not restoring when traffic hit";
+  EXPECT_GT(pending_after, 0u) << "commit waited for the whole rebuild";
+  EXPECT_LT(pending_after, pending_before);  // First touch rebuilt its page.
+
+  // Time-to-first-commit was recorded for the epoch.
+  ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+    EXPECT_EQ(a_->metrics().GetHistogram("restore.first_commit_ns").count(),
+              1u);
+  }));
+
+  // On-demand rebuilds serve the newest committed version, wherever it
+  // lives: page 0's from B's cached copy, page 1's from archive + merged
+  // redo, page 3's untouched seed value from the archive image.
+  EXPECT_EQ(MustRead(rids_[0]), Value(0, 1));
+  EXPECT_EQ(MustRead(rids_[1]), Value(1, 1));
+  EXPECT_EQ(MustRead(rids_[3]), Value(3, 0));
+
+  DrainRestore();
+  ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+    EXPECT_EQ(a_->RestorePendingCount(), 0u);
+    EXPECT_TRUE(a_->restore().LedgerEntries().empty());
+    EXPECT_GE(a_->metrics().CounterValue("restore.pages_from_peer"), 1u);
+    EXPECT_GE(a_->metrics().CounterValue("restore.pages_from_archive"), 1u);
+  }));
+  for (int p = 4; p < kPages; ++p) {
+    EXPECT_EQ(MustRead(rids_[p]), Value(p, 0));
+  }
+  ASSERT_OK(cluster_->Execute(a_->id(), [&] {
+    EXPECT_OK(a_->CheckInvariants(/*deep=*/true));
+  }));
+}
+
+/// Crash in the middle of a restore epoch: volatile plans die with the
+/// node, but the durable restore ledger re-seeds the next restart's probe
+/// set, so exactly the unrebuilt pages are planned again — the already
+/// restored ones are durable and serve directly, with no PSN regression.
+TEST_P(InstantRestoreTest, RestoreEpochIsCrashReenterable) {
+  if (GetParam() == ExecutionMode::kRealThreads) {
+    // Re-entry accounting needs a backlog frozen at a known size; real
+    // mode's background sweepers drain it asynchronously. The first-commit
+    // drill covers real mode; this one pins the ledger contract in sim.
+    GTEST_SKIP() << "ledger re-entry drill is simulation-only";
+  }
+  SeedAndAge();
+  LoseDataDeviceAndRestart();
+  ASSERT_EQ(a_->RestorePendingCount(), static_cast<std::size_t>(kPages));
+
+  // Rebuild a prefix, note the restored pages' PSNs, then crash mid-epoch
+  // (no new device fault: the half-restored database file survives).
+  a_->SweepRestore(3);
+  ASSERT_EQ(a_->RestorePendingCount(), static_cast<std::size_t>(kPages - 3));
+  std::vector<std::pair<PageId, Psn>> restored;
+  for (PageId pid : pids_) {
+    if (a_->IsRestoring(pid)) continue;
+    Result<Psn> psn = a_->DiskPsn(pid);
+    ASSERT_TRUE(psn.ok()) << psn.status().ToString();
+    restored.emplace_back(pid, *psn);
+  }
+  ASSERT_EQ(restored.size(), 3u);
+
+  ASSERT_OK(cluster_->CrashNode(a_->id()));
+  ASSERT_OK(cluster_->RestartNodes({a_->id()}));
+
+  // Only the ledger's survivors are re-planned; restored pages stayed
+  // whole and their PSNs did not regress.
+  EXPECT_EQ(a_->RestorePendingCount(), static_cast<std::size_t>(kPages - 3));
+  for (const auto& [pid, psn] : restored) {
+    EXPECT_FALSE(a_->IsRestoring(pid)) << pid.ToString();
+    Result<Psn> now = a_->DiskPsn(pid);
+    ASSERT_TRUE(now.ok()) << now.status().ToString();
+    EXPECT_GE(*now, psn) << pid.ToString() << " regressed across re-entry";
+  }
+
+  DrainRestore();
+  EXPECT_TRUE(a_->restore().LedgerEntries().empty());
+  EXPECT_EQ(MustRead(rids_[0]), Value(0, 1));
+  EXPECT_EQ(MustRead(rids_[1]), Value(1, 1));
+  for (int p = 2; p < kPages; ++p) {
+    EXPECT_EQ(MustRead(rids_[p]), Value(p, 0));
+  }
+  EXPECT_OK(a_->CheckInvariants(/*deep=*/true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, InstantRestoreTest,
+                         ::testing::Values(ExecutionMode::kSimulation,
+                                           ExecutionMode::kRealThreads));
+
+}  // namespace
+}  // namespace clog

@@ -137,6 +137,46 @@ TEST_P(MediaFailureShardTest, ThirtyTwoSeeds) {
 INSTANTIATE_TEST_SUITE_P(Torture, MediaFailureShardTest,
                          ::testing::Range(0, 2));
 
+/// Instant-restore hammer corpus: the media mix with instant restore on
+/// every node, so data-device losses defer their rebuilds and the workload
+/// keeps landing on half-restored nodes while the harness sweeps one page
+/// per node per step. Two invariants on top of the media set: a restoring
+/// page never serves stale data (every on-demand rebuild is model-checked),
+/// and restore completion is crash-re-enterable without PSN regression.
+/// Two 32-seed shards under the `restore` ctest label.
+constexpr std::uint64_t kHammerCorpusBase = 33000;
+constexpr int kHammerSeedsPerShard = 32;
+
+class HammerRestoreShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammerRestoreShardTest, ThirtyTwoSeeds) {
+  const int shard = GetParam();
+  std::uint64_t total_losses = 0;
+  std::uint64_t total_planned = 0;
+  for (int i = 0; i < kHammerSeedsPerShard; ++i) {
+    TortureOptions opts;
+    opts.seed = kHammerCorpusBase + static_cast<std::uint64_t>(shard) *
+        kHammerSeedsPerShard + i;
+    opts.hammer_restore = true;
+    opts.keep_events = false;
+    TortureReport report = RunTortureSchedule(opts);
+    ASSERT_TRUE(report.ok)
+        << report.Summary() << "\nreplay: tools/torture --seed=" << report.seed
+        << " --hammer-restore --verbose";
+    total_losses += report.device_losses;
+    total_planned += report.restore_planned;
+  }
+  // The mode is not allowed to degenerate: across a whole shard, devices
+  // must actually have been destroyed AND pages must actually have been
+  // deferred to instant restore (the eager path must not have absorbed
+  // every loss before a plan was written).
+  EXPECT_GT(total_losses, 0u);
+  EXPECT_GT(total_planned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Torture, HammerRestoreShardTest,
+                         ::testing::Range(0, 2));
+
 TEST(TortureSmoke, AFewSeedsPass) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
     TortureOptions opts;
@@ -196,6 +236,24 @@ TEST(TortureSmoke, MediaFailureSeedsPassAndReplayIdentically) {
     ASSERT_TRUE(a.ok) << a.Summary()
                       << "\nreplay: tools/torture --seed=" << a.seed
                       << " --media-failure --verbose";
+    EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+    EXPECT_EQ(a.Summary(), b.Summary());
+  }
+}
+
+TEST(TortureSmoke, HammerRestoreSeedsPassAndReplayIdentically) {
+  // A couple of hammer-restore schedules ride in tier1 so the on-demand
+  // rebuild path is torture-covered in every build, and the replay
+  // contract holds with the mode on.
+  for (std::uint64_t seed : {33000ull, 33007ull}) {
+    TortureOptions opts;
+    opts.seed = seed;
+    opts.hammer_restore = true;
+    TortureReport a = RunTortureSchedule(opts);
+    TortureReport b = RunTortureSchedule(opts);
+    ASSERT_TRUE(a.ok) << a.Summary()
+                      << "\nreplay: tools/torture --seed=" << a.seed
+                      << " --hammer-restore --verbose";
     EXPECT_EQ(a.schedule_hash, b.schedule_hash);
     EXPECT_EQ(a.Summary(), b.Summary());
   }

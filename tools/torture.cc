@@ -28,7 +28,8 @@ void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
                "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
-               "          [--group-commit] [--media-failure] [--verbose]\n"
+               "          [--group-commit] [--media-failure]\n"
+               "          [--hammer-restore] [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
                "and checks the four torture invariants. --verbose prints the\n"
@@ -40,7 +41,13 @@ void Usage(const char* prog) {
                "--media-failure mixes whole-device losses (data and log)\n"
                "into the schedule, runs every node with fuzzy page archives,\n"
                "and checks the archive-consistency and poison-fencing\n"
-               "invariants on top of the usual four.\n",
+               "invariants on top of the usual four.\n"
+               "--hammer-restore layers instant restore on the media mix:\n"
+               "every node rebuilds lost pages on demand while serving\n"
+               "traffic, the harness sweeps one page per node per step, and\n"
+               "two more invariants hold — a restoring page never serves\n"
+               "stale data, and restore completion survives crashes without\n"
+               "PSN regression.\n",
                prog);
 }
 
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
   bool crash_during_recovery = false;
   bool group_commit = false;
   bool media_failure = false;
+  bool hammer_restore = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -79,6 +87,8 @@ int main(int argc, char** argv) {
       group_commit = true;
     } else if (std::strcmp(arg, "--media-failure") == 0) {
       media_failure = true;
+    } else if (std::strcmp(arg, "--hammer-restore") == 0) {
+      hammer_restore = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -101,6 +111,7 @@ int main(int argc, char** argv) {
     opts.crash_during_recovery = crash_during_recovery;
     opts.group_commit = group_commit;
     opts.media_failure = media_failure;
+    opts.hammer_restore = hammer_restore;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
     if (verbose) {
       for (const std::string& e : report.events) {
