@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CANDIDATE.json [--threshold=0.2]
+    check_bench_regression.py --report-only BASELINE.json CANDIDATE.json
     check_bench_regression.py --validate-only CANDIDATE.json [...]
 
 Two input formats are understood:
@@ -21,6 +22,10 @@ A metric regresses when it moves more than ``threshold`` (default 20%) in
 the bad direction relative to the baseline. Improvements never fail.
 Metrics present in the baseline but missing from the candidate fail (a
 silently dropped benchmark is not a pass); new metrics are informational.
+
+With ``--report-only`` the same comparison is printed but the exit status
+is always 0: use it for wall-clock results (BENCH_real.json) that are
+machine-dependent and recorded for eyeballing, never gated.
 
 Exit status: 0 = no regression, 1 = regression or missing metric,
 2 = bad invocation / unreadable input.
@@ -72,12 +77,15 @@ def load_metrics(path):
 def main(argv):
     threshold = 0.2
     validate_only = False
+    report_only = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg == "--validate-only":
             validate_only = True
+        elif arg == "--report-only":
+            report_only = True
         elif arg.startswith("--"):
             print(f"unknown flag {arg}", file=sys.stderr)
             return 2
@@ -131,6 +139,10 @@ def main(argv):
         print(f"new      {name}: {candidate[name][0]:.4g}")
 
     if failures:
+        if report_only:
+            print(f"\n{len(failures)} delta(s) beyond threshold "
+                  "(report only, not gated)")
+            return 0
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)

@@ -46,6 +46,25 @@ if [ ! -x "$MICRO" ] || [ ! -x "$E1" ]; then
   echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR" >&2
   exit 1
 fi
+
+# Baseline numbers must come from an optimized build: a Debug-build bench
+# is 5-20x off, and committing one as a baseline poisons every later
+# comparison. Smoke runs only validate JSON shape, so they are exempt.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [ "$SMOKE" -eq 0 ]; then
+  case "$BUILD_TYPE" in
+    Release|RelWithDebInfo) ;;
+    *)
+      echo "error: $BUILD_DIR is a '${BUILD_TYPE:-unknown}' build;" \
+        "bench baselines require Release or RelWithDebInfo:" >&2
+      echo "  cmake -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release &&" \
+        "cmake --build $BUILD_DIR" >&2
+      echo "(--smoke runs are exempt: they only validate JSON shape)" >&2
+      exit 1
+      ;;
+  esac
+fi
 mkdir -p "$OUT_DIR"
 
 # Only throughput-counter benches are gated: they carry bytes_per_second,
@@ -136,4 +155,14 @@ for name in BENCH_micro BENCH_e1; do
   python3 "$ROOT/scripts/check_bench_regression.py" \
     "/tmp/${name}_baseline.json" "$OUT_DIR/${name}.json" || STATUS=1
 done
+
+# Wall-clock results are compared for the report, never for the gate:
+# --report-only always exits 0 (docs/performance.md, "WAL front-end").
+if [ "$REAL" -eq 1 ] && \
+    git -C "$ROOT" show "HEAD:BENCH_real.json" \
+      > /tmp/BENCH_real_baseline.json 2>/dev/null; then
+  echo "== BENCH_real.json vs HEAD baseline (report only, never gated)"
+  python3 "$ROOT/scripts/check_bench_regression.py" --report-only \
+    /tmp/BENCH_real_baseline.json "$OUT_DIR/BENCH_real.json"
+fi
 exit $STATUS

@@ -8,7 +8,10 @@
 # actually put multiple threads through the executor, the mailbox network,
 # and the shared-state seams (metrics, trace sink, log manager) — followed
 # by the `restore`-labelled suite, whose real-mode half runs background
-# restore sweeper threads against foreground first-touch rebuilds.
+# restore sweeper threads against foreground first-touch rebuilds — and
+# the `wal`-labelled suite, which hammers the lock-free WAL front end
+# (staging buffers, atomic LSN reservation, background drainer) with
+# multi-producer append/flush/abandon storms.
 #
 # Usage: scripts/run_tsan_tests.sh [--build-dir=DIR] [--repeat=N]
 #   --repeat=N  run the suite N times (default 3): scheduler-dependent
@@ -46,4 +49,13 @@ for i in $(seq 1 "$REPEAT"); do
   echo "== ctest -L restore under TSan (pass $i/$REPEAT)"
   ctest --test-dir "$BUILD_DIR" -L restore --output-on-failure
 done
-echo "TSan execution+restore suites OK ($REPEAT passes each)"
+
+# WAL suite: producers publish records through lock-free staging rings
+# while the drainer assembles and a flusher forces the tail — the densest
+# atomics in the tree. TSan must see every append/drain/flush/abandon
+# interleaving it can provoke.
+for i in $(seq 1 "$REPEAT"); do
+  echo "== ctest -L wal under TSan (pass $i/$REPEAT)"
+  ctest --test-dir "$BUILD_DIR" -L wal --output-on-failure
+done
+echo "TSan execution+restore+wal suites OK ($REPEAT passes each)"

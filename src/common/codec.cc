@@ -4,44 +4,6 @@
 
 namespace clog {
 
-void Encoder::PutU8(std::uint8_t v) {
-  out_->push_back(static_cast<char>(v));
-}
-
-void Encoder::PutU16(std::uint16_t v) {
-  char buf[2];
-  buf[0] = static_cast<char>(v & 0xFF);
-  buf[1] = static_cast<char>((v >> 8) & 0xFF);
-  out_->append(buf, 2);
-}
-
-void Encoder::PutU32(std::uint32_t v) {
-  char buf[4];
-  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  out_->append(buf, 4);
-}
-
-void Encoder::PutU64(std::uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  out_->append(buf, 8);
-}
-
-void Encoder::PutVarint64(std::uint64_t v) {
-  while (v >= 0x80) {
-    out_->push_back(static_cast<char>((v & 0x7F) | 0x80));
-    v >>= 7;
-  }
-  out_->push_back(static_cast<char>(v));
-}
-
-void Encoder::PutLengthPrefixed(Slice s) {
-  PutVarint64(s.size());
-  PutRaw(s);
-}
-
-void Encoder::PutRaw(Slice s) { out_->append(s.data(), s.size()); }
-
 Status Decoder::Need(std::size_t n) const {
   if (remaining() < n) {
     return Status::Corruption("decode past end of buffer");

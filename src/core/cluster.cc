@@ -70,6 +70,12 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   CLOG_RETURN_IF_ERROR(node->Start());
   executor_->StartNode(id);
   Node* raw = node.get();
+  // Real mode runs the lock-free WAL front end: appends go to per-thread
+  // staging buffers and a background drainer assembles them. Sim keeps the
+  // inline drain (deterministic, byte-identical schedules).
+  if (executor_->real_threads() && opts.has_local_log) {
+    raw->log().StartDrainer();
+  }
   nodes_[id] = std::move(node);
   return raw;
 }
@@ -209,6 +215,17 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
     RestartRecovery::Stats stats = e.rec->stats();
     if (stats.sim_ns == 0) stats.sim_ns = elapsed;
     recovery_stats_[e.id] = stats;
+  }
+
+  // Recovery itself appends inline (Open resets the log to inline mode;
+  // the phases run single-threaded per node). Once a node is operational
+  // again, real mode switches its WAL back to the lock-free front end.
+  if (executor_->real_threads()) {
+    for (const Entry& e : entries) {
+      if (e.abandoned) continue;
+      Node* n = node(e.id);
+      if (n->options().has_local_log) n->log().StartDrainer();
+    }
   }
 
   // Real mode: a node that came up with instant-restore work pending gets a

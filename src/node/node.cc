@@ -1243,9 +1243,13 @@ Status Node::UnpoisonPage(PageId pid) { return poison_.Remove(pid); }
 // ---------------------------------------------------------------------------
 
 Status Node::EnsureRestored(PageId pid) {
-  // in_restore(): the rebuild's own disk probes and page forces land back
-  // here; recursing would re-run the ladder mid-ladder.
-  if (!restore_.IsRestoring(pid) || restore_.in_restore()) return Status::OK();
+  // in_restore(pid): the rebuild's own disk probes and page forces land
+  // back here; recursing would re-run the ladder mid-ladder. The gate is
+  // per-page so that work interleaved at a rebuild's re-entrant wait
+  // points (real mode) still first-touch-rebuilds *other* pending pages.
+  if (!restore_.IsRestoring(pid) || restore_.in_restore(pid)) {
+    return Status::OK();
+  }
   return restore_.RestoreOne(this, pid);
 }
 

@@ -22,17 +22,23 @@ namespace clog {
 
 namespace {
 
-/// RAII for the re-entrancy gate: a rebuild's own page forces and disk
-/// reads must not loop back into RestoreOne.
+/// RAII for the per-page re-entrancy gate: a rebuild's own page forces
+/// and disk reads must not loop back into RestoreOne for the same page.
+/// Nested rebuild conversations (real-mode reentrant waits) unwind LIFO,
+/// so a push/pop stack tracks exactly the pages mid-rebuild on this
+/// call stack.
 class InRestoreGuard {
  public:
-  explicit InRestoreGuard(bool* flag) : flag_(flag) { *flag_ = true; }
-  ~InRestoreGuard() { *flag_ = false; }
+  InRestoreGuard(std::vector<std::uint64_t>* stack, PageId pid)
+      : stack_(stack) {
+    stack_->push_back(pid.Pack());
+  }
+  ~InRestoreGuard() { stack_->pop_back(); }
   InRestoreGuard(const InRestoreGuard&) = delete;
   InRestoreGuard& operator=(const InRestoreGuard&) = delete;
 
  private:
-  bool* flag_;
+  std::vector<std::uint64_t>* stack_;
 };
 
 }  // namespace
@@ -44,7 +50,7 @@ Status InstantRestoreManager::Open(const std::string& dir) {
 
 void InstantRestoreManager::Reset() {
   plans_.clear();
-  in_restore_ = false;
+  in_restore_pids_.clear();
   first_commit_pending_ = false;
   epoch_start_ns_ = 0;
   restored_this_epoch_ = 0;
@@ -118,7 +124,7 @@ Status InstantRestoreManager::RestoreOne(Node* node, PageId pid) {
   if (it == plans_.end()) return Status::OK();  // Already restored.
   const Plan plan = it->second;  // Copy: Finish erases the entry.
   const std::uint64_t t0 = node->network_->clock()->NowNanos();
-  InRestoreGuard guard(&in_restore_);
+  InRestoreGuard guard(&in_restore_pids_, pid);
 
   auto lift_poison = [&]() -> Status {
     // The image just made durable descends from a complete current copy;
@@ -270,8 +276,29 @@ Status InstantRestoreManager::RestoreOne(Node* node, PageId pid) {
   // Land the rebuilt image and force it durable, exactly as eager
   // CoordinatePageRecovery does: every contributor clears its DPT entry
   // via the flush notification.
+  //
+  // Landing is PSN-monotonic. Two rebuild conversations for the same page
+  // can interleave at re-entrant wait points (a background sweeper and a
+  // first-touch rebuild): the per-page recovery cursors on the redo
+  // sources alias across conversations, so the conversation that resumes
+  // after the other finished may have replayed nothing and still hold the
+  // bare base image. A rebuilt image therefore never replaces a newer
+  // pool or durable version — the interleaved duplicate becomes wasted
+  // work instead of a silent rollback of committed history.
   Page* frame = node->pool_.Lookup(pid);
+  if (frame != nullptr && frame->psn() >= base.psn()) {
+    CLOG_RETURN_IF_ERROR(lift_poison());
+    return Finish(node, pid, frame->psn(), RestoreSource::kAlreadyDurable, t0);
+  }
   if (frame == nullptr) {
+    Page durable;
+    if (node->ReadOwnPage(pid.page_no, &durable).ok() &&
+        durable.psn() >= base.psn()) {
+      node->ChargeDiskRead();
+      CLOG_RETURN_IF_ERROR(lift_poison());
+      return Finish(node, pid, durable.psn(), RestoreSource::kAlreadyDurable,
+                    t0);
+    }
     CLOG_ASSIGN_OR_RETURN(frame, node->pool_.Insert(pid));
   }
   frame->CopyFrom(base);

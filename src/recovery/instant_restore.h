@@ -99,9 +99,19 @@ class InstantRestoreManager {
     return !plans_.empty() && plans_.contains(pid.Pack());
   }
 
-  /// True while RestoreOne is on the stack; Node's touch hooks no-op then,
-  /// so the rebuild's own page forces cannot recurse into another rebuild.
-  bool in_restore() const { return in_restore_; }
+  /// True while RestoreOne for *this page* is on the current call stack;
+  /// Node's touch hooks no-op then, so the rebuild's own page forces
+  /// cannot recurse into another rebuild of the same page. Per-page on
+  /// purpose: in real mode a blocked rebuild conversation re-enters the
+  /// node's mailbox at wait points, and an interleaved work item touching
+  /// a *different* restoring page must still get its first-touch rebuild
+  /// rather than fall through to the hole-ridden device.
+  bool in_restore(PageId pid) const {
+    for (std::uint64_t packed : in_restore_pids_) {
+      if (packed == pid.Pack()) return true;
+    }
+    return false;
+  }
 
   /// Packed PageIds recorded in the durable ledger — pages a previous,
   /// interrupted restore epoch planned but never finished. Restart recovery
@@ -146,7 +156,9 @@ class InstantRestoreManager {
 
   PoisonLedger ledger_;  ///< Durable "node.restore"; same format as poison.
   std::map<std::uint64_t, Plan> plans_;  ///< Packed PageId -> plan.
-  bool in_restore_ = false;
+  /// Stack of packed PageIds whose RestoreOne is on the current call
+  /// stack (nested conversations unwind LIFO, so push/pop suffices).
+  std::vector<std::uint64_t> in_restore_pids_;
   bool first_commit_pending_ = false;
   std::uint64_t epoch_start_ns_ = 0;
   std::uint64_t restored_this_epoch_ = 0;

@@ -1,0 +1,57 @@
+#include "wal/drainer.h"
+
+#include <chrono>
+
+#include "wal/log_manager.h"
+
+namespace clog {
+
+void LogDrainer::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void LogDrainer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void LogDrainer::Nudge() {
+  if (!sleeping_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  cv_.notify_all();
+}
+
+void LogDrainer::Loop() {
+  // Busy sweeps while records flow; a bounded yield phase bridges short
+  // gaps, then the cv sleep (with timeout, so a missed Nudge costs at most
+  // one poll interval) caps the idle burn.
+  constexpr int kYieldRounds = 64;
+  int idle = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (log_->DrainPublishedBatch() > 0) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < kYieldRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    sleeping_.store(true, std::memory_order_release);
+    cv_.wait_for(lk, std::chrono::microseconds(200));
+    sleeping_.store(false, std::memory_order_release);
+    idle = 0;
+  }
+}
+
+}  // namespace clog

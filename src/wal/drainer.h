@@ -1,0 +1,63 @@
+#ifndef CLOG_WAL_DRAINER_H_
+#define CLOG_WAL_DRAINER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+/// \file
+/// Background drainer of the lock-free WAL front end. One thread per
+/// LogManager in concurrent mode: it merges records published in the
+/// producers' staging buffers into the durable tail in LSN order and
+/// advances the published watermark (docs/performance.md "WAL front-end").
+/// Flush and Close wait on that watermark; producers never do.
+
+namespace clog {
+
+class LogManager;
+
+/// Owns the drain thread for one LogManager. Started by
+/// LogManager::StartDrainer, stopped by StopDrainer/Close/Abandon. The
+/// loop polls DrainPublishedBatch; when a sweep finds nothing it yields a
+/// few rounds, then sleeps on a condition variable with a short timeout.
+/// Nudge() wakes it immediately — Flush calls it before waiting so a
+/// sleeping drainer never adds its poll interval to a force.
+class LogDrainer {
+ public:
+  explicit LogDrainer(LogManager* log) : log_(log) {}
+  ~LogDrainer() { Stop(); }
+
+  LogDrainer(const LogDrainer&) = delete;
+  LogDrainer& operator=(const LogDrainer&) = delete;
+
+  void Start();
+
+  /// Signals the thread to exit after its current sweep and joins it.
+  /// Does NOT drain remaining staged records: Close drains to a barrier
+  /// first; Abandon deliberately leaves them unpublished (crash
+  /// semantics — the unpublished suffix is lost). Idempotent.
+  void Stop();
+
+  /// Wakes a sleeping drainer (lock-free fast path when it is awake).
+  void Nudge();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop();
+
+  LogManager* log_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  /// True while the loop is in its cv sleep; Nudge skips the mutex+notify
+  /// when the drainer is busy sweeping anyway.
+  std::atomic<bool> sleeping_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace clog
+
+#endif  // CLOG_WAL_DRAINER_H_

@@ -26,22 +26,63 @@ std::string_view LogRecordTypeName(LogRecordType t) {
   return "UNKNOWN";
 }
 
+namespace {
+
+/// Little-endian stores into a stack scratch buffer. The update-record
+/// encode is on the lock-free append hot path; staging the fixed-width
+/// header fields here and appending them in ONE string operation (instead
+/// of a size/capacity check per field) is worth tens of nanoseconds per
+/// record. Byte-for-byte identical to the Encoder it bypasses.
+inline char* StoreU8(char* p, std::uint8_t v) {
+  *p++ = static_cast<char>(v);
+  return p;
+}
+inline char* StoreU16(char* p, std::uint16_t v) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    *p++ = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  return p;
+}
+inline char* StoreU64(char* p, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    *p++ = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  return p;
+}
+
+}  // namespace
+
 void LogRecord::EncodeTo(std::string* out) const {
   Encoder enc(out);
+  switch (type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kClr: {
+      // type | txn | prev_lsn | page | psn_before | op | slot = 36 bytes.
+      char hdr[36];
+      char* p = hdr;
+      p = StoreU8(p, static_cast<std::uint8_t>(type));
+      p = StoreU64(p, txn);
+      p = StoreU64(p, prev_lsn);
+      p = StoreU64(p, page.Pack());
+      p = StoreU64(p, psn_before);
+      p = StoreU8(p, static_cast<std::uint8_t>(op));
+      p = StoreU16(p, slot);
+      out->append(hdr, static_cast<std::size_t>(p - hdr));
+      enc.PutLengthPrefixed(redo_image);
+      enc.PutLengthPrefixed(undo_image);
+      if (type == LogRecordType::kClr) enc.PutU64(undo_next_lsn);
+      return;
+    }
+    default:
+      break;
+  }
   enc.PutU8(static_cast<std::uint8_t>(type));
   enc.PutU64(txn);
   enc.PutU64(prev_lsn);
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kClr:
-      enc.PutU64(page.Pack());
-      enc.PutU64(psn_before);
-      enc.PutU8(static_cast<std::uint8_t>(op));
-      enc.PutU16(slot);
-      enc.PutLengthPrefixed(redo_image);
-      enc.PutLengthPrefixed(undo_image);
-      if (type == LogRecordType::kClr) enc.PutU64(undo_next_lsn);
-      break;
+      break;  // Handled above.
     case LogRecordType::kSavepoint:
       enc.PutLengthPrefixed(savepoint_name);
       break;
