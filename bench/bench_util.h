@@ -24,11 +24,13 @@ class BenchCluster {
  public:
   explicit BenchCluster(const std::string& name, LoggingMode mode,
                         std::size_t buffer_frames = 256,
-                        std::uint64_t log_capacity = 0) {
+                        std::uint64_t log_capacity = 0,
+                        const LoggingPolicy& policy = {}) {
     dir_ = "/tmp/clog_bench_" + name;
     std::system(("rm -rf " + dir_).c_str());
     ClusterOptions options;
     options.dir = dir_;
+    options.logging_policy = policy;
     options.node_defaults.logging_mode = mode;
     options.node_defaults.buffer_frames = buffer_frames;
     options.node_defaults.log_capacity_bytes = log_capacity;

@@ -92,9 +92,10 @@ GroupRow MeasureGroupCommit(bool enabled) {
   std::system(("rm -rf " + dir).c_str());
   ClusterOptions options;
   options.dir = dir;
-  options.group_commit.enabled = enabled;
-  options.group_commit.window_ns = 2'000'000;
-  options.group_commit.max_group_size = 4;
+  if (enabled) {
+    options.logging_policy =
+        LoggingPolicy().WithGroupCommitWindow(2'000'000, 4);
+  }
   Cluster cluster(options);
   Node* node = Value(cluster.AddNode(), "node");
   auto pages = Value(

@@ -23,9 +23,11 @@ the bad direction relative to the baseline. Improvements never fail.
 Metrics present in the baseline but missing from the candidate fail (a
 silently dropped benchmark is not a pass); new metrics are informational.
 
-With ``--report-only`` the same comparison is printed but the exit status
-is always 0: use it for wall-clock results (BENCH_real.json) that are
-machine-dependent and recorded for eyeballing, never gated.
+With ``--report-only`` the same comparison is printed but deltas never
+fail: use it for wall-clock results (BENCH_real.json) that are
+machine-dependent and recorded for eyeballing, never gated. Malformed or
+unreadable input still exits 2 even under ``--report-only`` — a broken
+baseline is a harness bug, not a perf signal.
 
 Exit status: 0 = no regression, 1 = regression or missing metric,
 2 = bad invocation / unreadable input.
@@ -119,6 +121,10 @@ def main(argv):
     failures = []
     for name, (base, direction) in sorted(baseline.items()):
         if name not in candidate:
+            # Printed here too, not just in the failure summary: with
+            # --report-only the summary is suppressed, and a silently
+            # dropped metric must still show up in the trend table.
+            print(f"MISSING  {name}: {base:.4g} -> (absent)")
             failures.append(f"MISSING  {name} (baseline {base:.4g})")
             continue
         new = candidate[name][0]
@@ -140,13 +146,17 @@ def main(argv):
 
     if failures:
         if report_only:
-            print(f"\n{len(failures)} delta(s) beyond threshold "
+            print(f"\ntrend: {len(failures)} delta(s) beyond threshold "
                   "(report only, not gated)")
             return 0
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
+    if report_only:
+        print(f"\ntrend: {len(baseline)} metric(s) compared, all within "
+              "threshold (report only, not gated)")
+        return 0
     print("\nno bench regressions")
     return 0
 

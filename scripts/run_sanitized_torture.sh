@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree under ASan+UBSan (-DCLOG_SANITIZE=ON) in a separate
 # build directory and runs one torture shard plus the crash-during-
-# recovery, group-commit, media-failure, and hammer-restore shards
-# through it. Memory errors in the recovery/retry/commit-coalescing/
-# media-rebuild/instant-restore paths show up here long before they
-# corrupt a schedule.
+# recovery, group-commit, adaptive-logging, media-failure, and
+# hammer-restore shards through it. Memory errors in the recovery/retry/
+# commit-coalescing/adaptive-redo/media-rebuild/instant-restore paths
+# show up here long before they corrupt a schedule.
 #
 # Usage: scripts/run_sanitized_torture.sh [build-dir] [shard]
 set -euo pipefail
@@ -17,7 +17,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target torture_test media_recovery_test instant_restore_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0|torture_media_shard_0|torture_hammer_restore_shard_0)\$"
+  -R "^(torture_shard_${SHARD}|torture_recovery_crash_shard_0|torture_group_commit_shard_0|torture_adaptive_shard_0|torture_media_shard_0|torture_hammer_restore_shard_0)\$"
+
+# Shard 1 of the adaptive corpus forces a crash into every repair pass,
+# so parallel redo is torn down and re-entered under the sanitizers.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L adaptive
 
 # The media and restore labels cover more than the shards above (the
 # media-recovery unit tests and the instant-restore first-touch tests);

@@ -50,6 +50,14 @@ for i in $(seq 1 "$REPEAT"); do
   ctest --test-dir "$BUILD_DIR" -L restore --output-on-failure
 done
 
+# Adaptive suite: the execution passes above already hammer the
+# dependency-parallel redo worker pool (the cross-mode adaptive recovery
+# test runs real workers under contention); one pass over the adaptive
+# torture shards adds the full schedule-driven mix — upgrades, backfills,
+# skip classification, and mid-recovery re-entry — on top.
+echo "== ctest -L adaptive under TSan"
+ctest --test-dir "$BUILD_DIR" -L adaptive --output-on-failure
+
 # WAL suite: producers publish records through lock-free staging rings
 # while the drainer assembles and a flusher forces the tail — the densest
 # atomics in the tree. TSan must see every append/drain/flush/abandon
@@ -58,4 +66,4 @@ for i in $(seq 1 "$REPEAT"); do
   echo "== ctest -L wal under TSan (pass $i/$REPEAT)"
   ctest --test-dir "$BUILD_DIR" -L wal --output-on-failure
 done
-echo "TSan execution+restore+wal suites OK ($REPEAT passes each)"
+echo "TSan execution+restore+wal+adaptive suites OK"

@@ -58,7 +58,17 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   if (opts.fault_injector == nullptr) {
     opts.fault_injector = options_.fault_injector;
   }
-  if (!opts.group_commit.enabled) {
+  // Unified-policy inheritance: a node override that customized nothing
+  // takes the cluster policy wholesale; the deprecated cluster-level
+  // group_commit alias still applies beneath it for one release. The node
+  // constructor folds the node-level aliases last.
+  if (opts.logging_policy.strategy == LogStrategy::kPhysical &&
+      opts.logging_policy.redo_workers == 0 &&
+      !opts.logging_policy.group_commit.enabled &&
+      !opts.logging_policy.archive.enabled) {
+    opts.logging_policy = options_.logging_policy;
+  }
+  if (!opts.group_commit.enabled && !opts.logging_policy.group_commit.enabled) {
     opts.group_commit = options_.group_commit;
   }
   if (opts.trace_sink == nullptr) {

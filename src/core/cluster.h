@@ -52,9 +52,13 @@ struct ClusterOptions {
   /// failure detector, and request parking. Disabled by default so
   /// fail-fast crash semantics stay exactly as before unless opted in.
   RetryPolicy retry_policy;
-  /// Commit-time force coalescing applied to every node (unless a node's
-  /// AddNode override already enables its own policy). Off by default:
-  /// each commit forces its own log synchronously.
+  /// Unified logging policy applied to every node (unless a node's AddNode
+  /// override already set its own). Strategy selection, group commit,
+  /// archive cadence, and redo parallelism in one value; see
+  /// node/options.h. Defaults preserve the classic behavior exactly.
+  LoggingPolicy logging_policy;
+  /// DEPRECATED alias (one release): use logging_policy.group_commit.
+  /// Honored only if logging_policy.group_commit was left disabled.
   GroupCommitPolicy group_commit;
   /// Optional structured-event trace sink (not owned; must outlive the
   /// cluster). The cluster binds its SimClock to the sink and wires it
@@ -228,6 +232,14 @@ class TxnHandle {
   static Result<TxnHandle> Begin(Node* node) {
     CLOG_ASSIGN_OR_RETURN(TxnId id, node->Begin());
     return TxnHandle(node, id);
+  }
+
+  /// Begins a transaction with per-transaction options — most notably a
+  /// LogStrategy override trumping the node's LoggingPolicy for this one
+  /// transaction (adaptive logging, docs/PROTOCOLS.md).
+  static Result<TxnHandle> Begin(Node& node, TxnOptions opts) {
+    CLOG_ASSIGN_OR_RETURN(TxnId id, node.Begin(opts));
+    return TxnHandle(&node, id);
   }
 
   TxnId id() const { return id_; }

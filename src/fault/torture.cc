@@ -310,6 +310,17 @@ class TortureRun {
       copts.group_commit.max_group_size = 4;
       Event("group-commit on");
     }
+    if (options_.adaptive) {
+      // Strategy-mix schedules: the cluster default is adaptive (DoTxn
+      // overrides a seeded fraction back to physical), and the redo
+      // scheduler handles every self-only page during restarts. Two
+      // workers keep the real-mode pool path honest; the simulation
+      // replays the chains sequentially either way.
+      copts.logging_policy = LoggingPolicy()
+                                 .WithStrategy(LogStrategy::kAdaptive)
+                                 .WithRedoWorkers(2);
+      Event("adaptive on");
+    }
     if (MediaMode()) {
       // Media schedules run with the archive at its most aggressive
       // cadence so device losses land on pages with fresh base images.
@@ -452,10 +463,23 @@ class TortureRun {
   void DoTxn(int step) {
     NodeId actor = RandomUpNode();
     Node* n = cluster_->node(actor);
-    Result<TxnId> begun = n->Begin();
+    // Strategy mix (adaptive mode only, so other schedules keep their RNG
+    // stream byte-identical): roughly a third of the transactions force
+    // physical records, the rest inherit the cluster's adaptive default.
+    // Physical and logical records from concurrent transactions then
+    // interleave on the same pages, which is where upgrade, backfill, and
+    // skip classification earn their keep.
+    TxnOptions topts;
+    if (options_.adaptive && rng_.Uniform(100) < 35) {
+      topts.strategy = LogStrategy::kPhysical;
+    }
+    Result<TxnId> begun = n->Begin(topts);
     if (!begun.ok()) {
       Event("txn node=" + std::to_string(actor) + " begin-failed");
       return;
+    }
+    if (options_.adaptive && !topts.strategy.has_value()) {
+      ++report_.txns_adaptive;
     }
     TxnId txn = *begun;
     // rid -> (value before this txn, value if this txn commits).
@@ -1124,8 +1148,9 @@ class TortureRun {
   }
 
   /// Invariant 4. Ground truth: an independent forward scan of each node's
-  /// log, coalescing update/CLR records into transaction runs exactly as
-  /// Section 2.3.4 specifies. It must agree with what HandleBuildPsnList
+  /// log, coalescing update/CLR/logical records into transaction runs
+  /// exactly as Section 2.3.4 specifies, minus the runs the redo skip rule
+  /// removes. It must agree with what HandleBuildPsnList
   /// reports in full-history mode, and the merged cross-node schedule must
   /// be strictly ascending with adjacent runs on different nodes.
   void CheckPsnListReconstruction() {
@@ -1138,21 +1163,34 @@ class TortureRun {
     for (NodeId id : cluster_->NodeIds()) {
       Node* n = cluster_->node(id);
       std::vector<std::vector<PsnListEntry>> truth(pages_.size());
+      std::vector<std::vector<TxnId>> truth_txns(pages_.size());
       std::map<PageId, TxnId> last_txn;
+      std::set<TxnId> logical_txns;
+      std::set<TxnId> resolved_txns;
       LogCursor cursor(&n->log(), LogManager::first_lsn());
       LogRecord rec;
       Lsn lsn = kNullLsn;
       Status scan;
       while (cursor.Next(&rec, &lsn, &scan)) {
-        if (rec.type != LogRecordType::kUpdate &&
-            rec.type != LogRecordType::kClr) {
+        if (rec.type == LogRecordType::kCommit ||
+            rec.type == LogRecordType::kUndoBackfill) {
+          resolved_txns.insert(rec.txn);
           continue;
+        }
+        if (rec.type != LogRecordType::kUpdate &&
+            rec.type != LogRecordType::kClr &&
+            rec.type != LogRecordType::kLogicalUpdate) {
+          continue;
+        }
+        if (rec.type == LogRecordType::kLogicalUpdate) {
+          logical_txns.insert(rec.txn);
         }
         auto it = index.find(rec.page);
         if (it == index.end()) continue;
         auto lt = last_txn.find(rec.page);
         if (lt == last_txn.end() || lt->second != rec.txn) {
           truth[it->second].push_back(PsnListEntry{rec.psn_before, lsn});
+          truth_txns[it->second].push_back(rec.txn);
           last_txn[rec.page] = rec.txn;
         }
       }
@@ -1160,6 +1198,27 @@ class TortureRun {
         Fail("psn-list scan node " + std::to_string(id) + ": " +
              scan.ToString());
         return;
+      }
+      // Redo skip rule, mirrored (docs/PROTOCOLS.md "Redo skip rule"):
+      // runs of a transaction that wrote logical records but never reached
+      // a commit nor an UNDO_BACKFILL are dropped from the lists — their
+      // effects were volatile-only and recovery must not replay them. The
+      // builder additionally exempts live transactions; every harness
+      // transaction is closed by the time this check runs, so the mirror
+      // needs no such clause.
+      std::set<TxnId> skip;
+      for (TxnId t : logical_txns) {
+        if (resolved_txns.count(t) == 0) skip.insert(t);
+      }
+      if (!skip.empty()) {
+        for (std::size_t i = 0; i < pages_.size(); ++i) {
+          auto& list = truth[i];
+          std::size_t kept = 0;
+          for (std::size_t j = 0; j < list.size(); ++j) {
+            if (skip.count(truth_txns[i][j]) == 0) list[kept++] = list[j];
+          }
+          list.resize(kept);
+        }
       }
 
       PsnListReply reply;
@@ -1298,6 +1357,54 @@ class TortureRun {
     if (!failure_.empty()) return;
     CheckPsnListReconstruction();
     if (!failure_.empty()) return;
+
+    // Invariant 6 (adaptive mode): logical records replay to the same page
+    // bytes. Snapshot every recoverable page as the first joint recovery
+    // rebuilt it, crash the whole cluster a second time, and require the
+    // second recovery to reconstruct identical images, PSN and body both.
+    // (A live cache is NOT a valid reference — aborted adaptive
+    // transactions bump PSNs and shuffle slots in memory without leaving
+    // replayable records — but two recoveries read the same log, so any
+    // divergence between them is a replay-determinism bug: a logical
+    // record that redoes differently from the physical application it
+    // stands in for.)
+    if (options_.adaptive) {
+      std::map<PageId, std::string> first_images;
+      for (const PageId& pid : pages_) {
+        if (poisoned_.contains(pid)) continue;
+        Result<std::string> img = cluster_->node(pid.owner)->DebugPageImage(pid);
+        // Unreadable (fenced mid-harvest): no fidelity claim for this page.
+        if (img.ok()) first_images[pid] = std::move(*img);
+      }
+      for (NodeId id : cluster_->NodeIds()) {
+        CrashActor(id, "fidelity");
+        if (!failure_.empty()) return;
+      }
+      Status again = cluster_->RestartNodes(cluster_->NodeIds());
+      if (!again.ok()) {
+        Fail("fidelity RestartNodes: " + again.ToString());
+        return;
+      }
+      report_.restarts += cluster_->NodeIds().size();
+      HarvestPoison();
+      std::size_t checked = 0;
+      for (const auto& [pid, want] : first_images) {
+        if (poisoned_.contains(pid)) continue;
+        Result<std::string> got = cluster_->node(pid.owner)->DebugPageImage(pid);
+        if (!got.ok()) {
+          Fail("redo fidelity: " + pid.ToString() +
+               " unreadable after second recovery: " + got.status().ToString());
+          return;
+        }
+        if (*got != want) {
+          Fail("redo fidelity: " + pid.ToString() +
+               " bytes differ between two recoveries of one log");
+          return;
+        }
+        ++checked;
+      }
+      Event("redo-fidelity ok pages=" + std::to_string(checked));
+    }
 
     // Invariant 5 (media mode): the archive pair must be self-consistent
     // on every node, and every record on a fenced page must refuse to read

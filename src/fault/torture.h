@@ -43,6 +43,18 @@ struct TortureOptions {
   /// counts one as committed before its ACK, and treats a crash while
   /// parked as an indeterminate commit (resolved at the next restart).
   bool group_commit = false;
+  /// Adaptive-logging mode: the cluster runs with
+  /// LoggingPolicy strategy=kAdaptive and dependency-parallel redo
+  /// (redo_workers=2; in simulation the chains replay sequentially in
+  /// deterministic order), and each harness transaction draws a seeded
+  /// per-transaction strategy override so compact logical records,
+  /// physical records, upgrades, and backfills all interleave in one log.
+  /// Two extra checks ride on top of the base invariant set: the invariant
+  /// 4 ground-truth scan mirrors the redo skip rule (docs/PROTOCOLS.md),
+  /// and the final phase captures every recoverable page's bytes before
+  /// the full-cluster crash and requires the joint recovery — logical
+  /// replay included — to reconstruct them byte-identically.
+  bool adaptive = false;
   /// Media-failure mode: every node runs with fuzzy page archives enabled
   /// (a pass per checkpoint), the scheduled-crash branch sometimes arms a
   /// whole-device loss (data or log) consumed at the crash point, and the
@@ -91,6 +103,7 @@ struct TortureReport {
   std::uint64_t txns_aborted = 0;
   std::uint64_t txns_indeterminate = 0;  ///< Commit interrupted by a fault.
   std::uint64_t txns_parked = 0;         ///< Group commit: commits that parked.
+  std::uint64_t txns_adaptive = 0;       ///< Begun under LogStrategy::kAdaptive.
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
   std::uint64_t recovery_crashes = 0;    ///< Crashes at a recovery phase boundary.

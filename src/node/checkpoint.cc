@@ -70,7 +70,8 @@ Status Node::Checkpoint() {
   // the force just ran, remotely because WalBeforePageLeaves held when the
   // page was shipped here. That ordering is the archive's WAL rule.
   if (archive_.is_open() &&
-      ++ckpts_since_archive_ >= options_.archive.every_checkpoints) {
+      ++ckpts_since_archive_ >=
+          options_.logging_policy.archive.every_checkpoints) {
     ckpts_since_archive_ = 0;
     CLOG_RETURN_IF_ERROR(ArchivePass());
   }

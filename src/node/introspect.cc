@@ -154,7 +154,32 @@ std::string Node::DebugString() const {
     out << " parked_owner=" << owner << "@" << since_ns;
   }
   out << "\n  active txns: " << txns_.ActiveCount() << "\n";
+  std::size_t adaptive_live = 0;
+  for (const Transaction* t : txns_.Active()) {
+    if (t->strategy == LogStrategy::kAdaptive) ++adaptive_live;
+  }
+  out << "  logging: strategy="
+      << LogStrategyName(options_.logging_policy.strategy)
+      << " adaptive_live=" << adaptive_live
+      << " logical_stashes=" << live_logical_txns_
+      << " begins_adaptive=" << metrics_.CounterValue("txn.begins_adaptive")
+      << " commits_logical=" << metrics_.CounterValue("txn.commits_logical")
+      << " logical_records=" << metrics_.CounterValue("txn.logical_records")
+      << " upgrades=" << metrics_.CounterValue("txn.upgrades") << "\n";
   return out.str();
+}
+
+Result<std::string> Node::DebugPageImage(PageId pid) {
+  if (pid.owner != id_) {
+    return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
+  if (const Page* cached = pool_.Peek(pid); cached != nullptr) {
+    return std::string(cached->data(), kPageSize);
+  }
+  Page tmp;
+  CLOG_RETURN_IF_ERROR(ReadOwnPage(pid.page_no, &tmp));
+  return std::string(tmp.data(), kPageSize);
 }
 
 }  // namespace clog

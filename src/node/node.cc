@@ -27,7 +27,23 @@ Node::Node(NodeId id, NodeOptions options, Network* network,
       ctr_disk_page_writes_(&metrics_.GetCounter("disk.page_writes")),
       ctr_log_forces_(&metrics_.GetCounter("log.forces")),
       hist_commit_ns_(&metrics_.GetHistogram("commit.latency_ns")),
-      hist_force_ns_(&metrics_.GetHistogram("force.latency_ns")) {
+      hist_force_ns_(&metrics_.GetHistogram("force.latency_ns")),
+      ctr_txn_begins_adaptive_(&metrics_.GetCounter("txn.begins_adaptive")),
+      ctr_txn_commits_logical_(&metrics_.GetCounter("txn.commits_logical")),
+      ctr_txn_logical_records_(&metrics_.GetCounter("txn.logical_records")),
+      ctr_txn_upgrades_(&metrics_.GetCounter("txn.upgrades")) {
+  // Deprecated-alias folding (one release): group_commit / archive set the
+  // old way land in the unified policy unless the policy already set them;
+  // afterwards the aliases mirror the policy so either read is truthful.
+  if (options_.group_commit.enabled &&
+      !options_.logging_policy.group_commit.enabled) {
+    options_.logging_policy.group_commit = options_.group_commit;
+  }
+  if (options_.archive.enabled && !options_.logging_policy.archive.enabled) {
+    options_.logging_policy.archive = options_.archive;
+  }
+  options_.group_commit = options_.logging_policy.group_commit;
+  options_.archive = options_.logging_policy.archive;
   pool_.SetEvictionHandler([this](PageId pid, Page* page, bool dirty) {
     return OnEviction(pid, page, dirty);
   });
@@ -53,7 +69,7 @@ Status Node::OpenStorage() {
   // but never finished, re-probed as lost-page candidates at restart.
   CLOG_RETURN_IF_ERROR(poison_.Open(options_.dir));
   CLOG_RETURN_IF_ERROR(restore_.Open(options_.dir));
-  if (options_.archive.enabled) {
+  if (options_.logging_policy.archive.enabled) {
     CLOG_RETURN_IF_ERROR(archive_.Open(options_.dir));
   }
   return Status::OK();
@@ -119,6 +135,12 @@ void Node::Crash() {
   state_ = NodeState::kDown;
   recovery_redo_done_ = false;
   parked_owners_.clear();
+  // Adaptive-logging volatile state: stashes died with their transactions,
+  // the last-committed-writer hints and the recovery skip set are rebuilt
+  // from the log by the next restart.
+  live_logical_txns_ = 0;
+  page_last_commit_.clear();
+  recovery_skip_txns_.clear();
   network_->SetNodeUp(id_, false);
   metrics_.GetCounter("node.crashes").Add(1);
   if (trace_ != nullptr) trace_->Emit(id_, TraceEventType::kNodeCrash);
@@ -465,8 +487,26 @@ class PinGuard {
 Status Node::LoggedUpdate(Transaction* txn, Page* page, RecordOp op,
                           SlotId slot, Slice redo_image, Slice undo_image) {
   PinGuard pin(&pool_, page->id());
+  // Adaptive logging: single-node transactions on own pages write compact
+  // redo-only records; the first update that falls outside the gates (a
+  // remotely-owned page — the cross-node dependency the paper's recovery
+  // protocol must order) upgrades the transaction to physical records,
+  // backfilling the stashed before-images first.
+  const bool logical = TxnLogsLogical(txn, page->id());
+  if (!logical && txn->strategy == LogStrategy::kAdaptive && !txn->upgraded) {
+    CLOG_RETURN_IF_ERROR(UpgradeTxnToPhysical(txn));
+  }
+  if (txn->strategy == LogStrategy::kAdaptive &&
+      options_.logging_mode == LoggingMode::kClientLocal) {
+    // Dependency edge: the last committed writer of this page precedes us.
+    auto dep = page_last_commit_.find(page->id());
+    if (dep != page_last_commit_.end() && dep->second.txn != txn->id) {
+      txn->commit_deps[dep->second.txn] = dep->second.lsn;
+    }
+  }
+
   LogRecord rec;
-  rec.type = LogRecordType::kUpdate;
+  rec.type = logical ? LogRecordType::kLogicalUpdate : LogRecordType::kUpdate;
   rec.txn = txn->id;
   rec.prev_lsn = txn->last_lsn;
   rec.page = page->id();
@@ -474,7 +514,7 @@ Status Node::LoggedUpdate(Transaction* txn, Page* page, RecordOp op,
   rec.op = op;
   rec.slot = slot;
   rec.redo_image = redo_image.ToString();
-  rec.undo_image = undo_image.ToString();
+  if (!logical) rec.undo_image = undo_image.ToString();
 
   Lsn lsn = kNullLsn;
   if (options_.logging_mode == LoggingMode::kShipToOwner) {
@@ -487,6 +527,13 @@ Status Node::LoggedUpdate(Transaction* txn, Page* page, RecordOp op,
     network_->clock()->Advance((rec.redo_image.size() + rec.undo_image.size() +
                                 64) *
                                network_->cost_model().log_append_byte_ns);
+  }
+  if (logical) {
+    // The before-image stays volatile: discarded at commit, backfilled
+    // into the log by the first steal/dependency/rollback.
+    if (txn->logical_undos.empty()) ++live_logical_txns_;
+    txn->logical_undos.emplace(lsn, undo_image.ToString());
+    ctr_txn_logical_records_->Add(1);
   }
 
   // Log-space reclamation during the append may have forced this very
@@ -513,6 +560,19 @@ Status Node::UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn) {
   if (!page_r.ok()) return page_r.status();
   Page* page = *page_r;
 
+  // A logical record carries no before-image; undo reads it from the
+  // transaction's stash (live rollback) or from the kUndoBackfill record
+  // the upgrade wrote (resurrected loser — preloaded before RollbackTo).
+  const std::string* undo = &rec.undo_image;
+  if (rec.type == LogRecordType::kLogicalUpdate &&
+      rec.op != RecordOp::kInsert) {
+    auto it = txn->logical_undos.find(rec_lsn);
+    if (it == txn->logical_undos.end()) {
+      return Status::Corruption("no before-image for " + rec.ToString());
+    }
+    undo = &it->second;
+  }
+
   LogRecord clr;
   clr.type = LogRecordType::kClr;
   clr.txn = txn->id;
@@ -527,11 +587,11 @@ Status Node::UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn) {
       break;
     case RecordOp::kUpdate:
       clr.op = RecordOp::kUpdate;
-      clr.redo_image = rec.undo_image;
+      clr.redo_image = *undo;
       break;
     case RecordOp::kDelete:
       clr.op = RecordOp::kInsert;
-      clr.redo_image = rec.undo_image;
+      clr.redo_image = *undo;
       break;
     case RecordOp::kFormat:
       return Status::NotSupported("cannot undo a page format");
@@ -564,8 +624,15 @@ Status Node::RollbackTo(Transaction* txn, Lsn target_lsn) {
   Status scan_status;
   while (cursor.Prev(&rec, &lsn, &scan_status)) {
     if (target_lsn != kNullLsn && lsn <= target_lsn) break;
-    if (rec.type == LogRecordType::kUpdate) {
+    if (rec.type == LogRecordType::kUpdate ||
+        rec.type == LogRecordType::kLogicalUpdate) {
       CLOG_RETURN_IF_ERROR(UndoOne(txn, rec, lsn));
+    } else if (rec.type == LogRecordType::kUndoBackfill) {
+      // Refill the volatile stash from the upgrade record so the logical
+      // records further back can be undone (no-op when already stashed).
+      for (const BackfillEntry& e : rec.backfill) {
+        txn->logical_undos.emplace(e.covered_lsn, e.undo_image);
+      }
     } else if (rec.type == LogRecordType::kBegin) {
       break;
     }
@@ -577,9 +644,13 @@ Status Node::RollbackTo(Transaction* txn, Lsn target_lsn) {
 // Transactions
 // ---------------------------------------------------------------------------
 
-Result<TxnId> Node::Begin() {
+Result<TxnId> Node::Begin(TxnOptions opts) {
   if (state_ != NodeState::kUp) return Status::NodeDown("node not up");
   Transaction* txn = txns_.Begin();
+  txn->strategy = opts.strategy.value_or(options_.logging_policy.strategy);
+  if (txn->strategy == LogStrategy::kAdaptive) {
+    ctr_txn_begins_adaptive_->Add(1);
+  }
   if (options_.logging_mode != LoggingMode::kShipToOwner) {
     LogRecord rec;
     rec.type = LogRecordType::kBegin;
@@ -626,9 +697,14 @@ Status Node::Commit(TxnId txn_id) {
       commit.type = LogRecordType::kCommit;
       commit.txn = txn_id;
       commit.prev_lsn = txn->last_lsn;
+      FillCommitMeta(txn, &commit);
       Lsn commit_lsn = kNullLsn;
       CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
       CLOG_RETURN_IF_ERROR(ForceLog(commit_lsn));
+      NoteCommittedPages(txn, commit_lsn);
+      if ((commit.commit_flags & kCommitFlagLogical) != 0) {
+        ctr_txn_commits_logical_->Add(1);
+      }
       LogRecord end;
       end.type = LogRecordType::kEnd;
       end.txn = txn_id;
@@ -673,6 +749,7 @@ Status Node::Commit(TxnId txn_id) {
   }
 
   txn->state = TxnState::kCommitted;
+  ReleaseLogicalState(txn);
   lock_cache_.ReleaseTxnLocks(txn_id);
   detector_->RemoveTxn(txn_id);
   txns_.Remove(txn_id);
@@ -693,7 +770,7 @@ Status Node::Commit(TxnId txn_id) {
 bool Node::GroupCommitEnabled() const {
   // Coalescing only makes sense where the commit force is purely local —
   // the paper's protocol. B1 forces at the owner, B2 forces pages.
-  return options_.group_commit.enabled &&
+  return options_.logging_policy.group_commit.enabled &&
          options_.logging_mode == LoggingMode::kClientLocal;
 }
 
@@ -710,11 +787,18 @@ Result<bool> Node::CommitRequest(TxnId txn_id) {
   commit.type = LogRecordType::kCommit;
   commit.txn = txn_id;
   commit.prev_lsn = txn->last_lsn;
+  FillCommitMeta(txn, &commit);
   Lsn commit_lsn = kNullLsn;
   CLOG_RETURN_IF_ERROR(AppendWithReclaim(commit, &commit_lsn));
   // Past this point the transaction can no longer abort: its fate is tied
   // to whether the commit record reaches the disk. It is not ACKed either —
-  // it parks until a force covers commit_lsn.
+  // it parks until a force covers commit_lsn. Dependency hints may point at
+  // this commit immediately: forces are prefix-ordered, so any successor
+  // commit that becomes durable covers this record too.
+  NoteCommittedPages(txn, commit_lsn);
+  if ((commit.commit_flags & kCommitFlagLogical) != 0) {
+    ctr_txn_commits_logical_->Add(1);
+  }
   txn->state = TxnState::kCommitting;
   txn->last_lsn = commit_lsn;
   commit_group_.push_back(
@@ -724,7 +808,8 @@ Result<bool> Node::CommitRequest(TxnId txn_id) {
     trace_->Emit(id_, TraceEventType::kGroupCommitPark, txn_id, commit_lsn,
                  static_cast<std::uint32_t>(commit_group_.size()));
   }
-  if (commit_group_.size() >= options_.group_commit.max_group_size) {
+  if (commit_group_.size() >=
+      options_.logging_policy.group_commit.max_group_size) {
     CLOG_RETURN_IF_ERROR(FlushCommitGroup());
     return true;
   }
@@ -735,7 +820,7 @@ Result<bool> Node::PollCommit(TxnId txn_id) {
   for (const ParkedCommit& p : commit_group_) {
     if (p.txn != txn_id) continue;
     if (network_->clock()->NowNanos() <
-        p.parked_at_ns + options_.group_commit.window_ns) {
+        p.parked_at_ns + options_.logging_policy.group_commit.window_ns) {
       return false;  // Still inside the coalescing window.
     }
     CLOG_RETURN_IF_ERROR(FlushCommitGroup());
@@ -786,6 +871,7 @@ Status Node::CompleteCoveredCommits() {
       continue;
     }
     txn->state = TxnState::kCommitted;
+    ReleaseLogicalState(txn);
     lock_cache_.ReleaseTxnLocks(p.txn);
     detector_->RemoveTxn(p.txn);
     txns_.Remove(p.txn);
@@ -866,6 +952,12 @@ Status Node::Abort(TxnId txn_id) {
     CLOG_RETURN_IF_ERROR(
         ShipPendingRecords(txn, /*force=*/false, /*only_page=*/nullptr));
   } else {
+    // Adaptive: rollback writes CLRs whose redo images come from the
+    // volatile stash; backfill the before-images into the log first so a
+    // crash mid-rollback leaves the resurrected loser undoable.
+    if (txn->strategy == LogStrategy::kAdaptive && !txn->upgraded) {
+      CLOG_RETURN_IF_ERROR(UpgradeTxnToPhysical(txn));
+    }
     LogRecord abort_rec;
     abort_rec.type = LogRecordType::kAbort;
     abort_rec.txn = txn_id;
@@ -883,6 +975,7 @@ Status Node::Abort(TxnId txn_id) {
   }
 
   txn->state = TxnState::kAborted;
+  ReleaseLogicalState(txn);
   lock_cache_.ReleaseTxnLocks(txn_id);
   detector_->RemoveTxn(txn_id);
   txns_.Remove(txn_id);
@@ -920,6 +1013,12 @@ Status Node::RollbackToSavepoint(TxnId txn_id, const std::string& name) {
     return Status::NotFound("no savepoint named " + name);
   }
   Lsn target = it->lsn;
+  // Same rationale as Abort: partial rollback of an adaptive transaction
+  // backfills its before-images first, so CLR generation (and a possible
+  // crash between CLRs) never depends on volatile-only state.
+  if (txn->strategy == LogStrategy::kAdaptive && !txn->upgraded) {
+    CLOG_RETURN_IF_ERROR(UpgradeTxnToPhysical(txn));
+  }
   CLOG_RETURN_IF_ERROR(RollbackTo(txn, target));
   // Later savepoints are no longer reachable.
   txn->savepoints.erase(it.base(), txn->savepoints.end());
@@ -1039,6 +1138,10 @@ Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
           const_cast<Transaction*>(t), /*force=*/false, /*only_page=*/&pid));
     }
   } else {
+    // Adaptive: stealing a page with live logical records would put
+    // uncommitted, un-undoable bytes on disk. Backfill the owning
+    // transactions' before-images (or force their parked commits) first.
+    CLOG_RETURN_IF_ERROR(PrepareSteal(pid));
     // WAL: all records describing the page must be durable before the page
     // leaves the cache (Section 2.1).
     if (page->page_lsn() >= log_.flushed_lsn()) {
@@ -1091,6 +1194,9 @@ Status Node::ForceOwnPage(PageId pid) {
   Psn flushed_psn;
   Page* cached = pool_.Lookup(pid);
   if (cached != nullptr && pool_.IsDirty(pid)) {
+    // Same steal barrier as eviction: no uncommitted logical bytes reach
+    // the disk without their before-images (or commit) in the durable log.
+    CLOG_RETURN_IF_ERROR(PrepareSteal(pid));
     if (options_.logging_mode != LoggingMode::kShipToOwner &&
         cached->page_lsn() >= log_.flushed_lsn()) {
       CLOG_RETURN_IF_ERROR(ForceLog(cached->page_lsn()));
@@ -1297,7 +1403,12 @@ Status Node::ArchivePass() {
     PageId pid{id_, page_no};
     if (poison_.Contains(pid)) continue;  // Nothing trustworthy to copy.
     // Newest local version: the cached frame (possibly dirty — the archive
-    // is fuzzy) if present, else the disk version.
+    // is fuzzy) if present, else the disk version. A dirty frame may hold
+    // live logical updates; archiving it is a steal (the image could seed a
+    // media rebuild), so the same barrier applies.
+    if (pool_.Peek(pid) != nullptr && pool_.IsDirty(pid)) {
+      CLOG_RETURN_IF_ERROR(PrepareSteal(pid));
+    }
     const Page* src = pool_.Peek(pid);
     Page from_disk;
     if (src == nullptr) {

@@ -98,8 +98,10 @@ class Node : public NodeService {
   // Transactions
   // ---------------------------------------------------------------------
 
-  /// Starts a transaction on this node.
-  Result<TxnId> Begin();
+  /// Starts a transaction on this node. `opts` may override the node
+  /// LoggingPolicy's LogStrategy for this one transaction (adaptive
+  /// logging); the default inherits the policy.
+  Result<TxnId> Begin(TxnOptions opts = {});
 
   /// Commits. In kClientLocal this forces the local log only — the paper's
   /// headline: zero messages, no page forces. Baselines pay their protocol.
@@ -288,6 +290,11 @@ class Node : public NodeService {
   /// debugging and the tools.
   std::string DebugString() const;
 
+  /// Raw bytes of the newest local version of own page `pid` (cached frame
+  /// if present, else disk). Torture uses this for the adaptive-logging
+  /// invariant: post-recovery page bytes must equal the pre-crash bytes.
+  Result<std::string> DebugPageImage(PageId pid);
+
  private:
   friend class RestartRecovery;
   friend class InstantRestoreManager;  // recovery/instant_restore.cc
@@ -357,6 +364,36 @@ class Node : public NodeService {
   /// Logs one update, applies it, maintains PSN/DPT/dirty bits.
   Status LoggedUpdate(Transaction* txn, Page* page, RecordOp op, SlotId slot,
                       Slice redo_image, Slice undo_image);
+
+  // --- Adaptive logging (LogStrategy::kAdaptive; logging_strategy.cc) ---
+
+  /// True when `txn`'s next update on `pid` may be logged as a compact
+  /// redo-only kLogicalUpdate: adaptive strategy, not yet upgraded, own
+  /// page, kClientLocal mode, page-granular locking.
+  bool TxnLogsLogical(const Transaction* txn, PageId pid) const;
+
+  /// Upgrades an adaptive transaction to physical logging: appends one
+  /// kUndoBackfill carrying every stashed before-image (nothing if the
+  /// stash is empty) and marks it upgraded. Idempotent.
+  Status UpgradeTxnToPhysical(Transaction* txn);
+
+  /// Page-steal fence: before an image of own page `pid` containing live
+  /// logical updates becomes durable anywhere (eviction write, force,
+  /// archive copy), every contributing transaction is upgraded and the
+  /// backfill records are forced. One branch when no logical txns live.
+  Status PrepareSteal(PageId pid);
+
+  /// Stamps an adaptive transaction's commit record: the logical flag and
+  /// the dependency edges gathered while it ran. No-op (zero bytes added)
+  /// for physical transactions.
+  void FillCommitMeta(const Transaction* txn, LogRecord* commit) const;
+
+  /// Remembers `txn` as the last committed writer of each page it updated
+  /// (dependency-edge source for later adaptive commits).
+  void NoteCommittedPages(const Transaction* txn, Lsn commit_lsn);
+
+  /// Transaction-end bookkeeping for the live-logical-txn count.
+  void ReleaseLogicalState(const Transaction* txn);
 
   /// Applies the inverse of `rec` to its page and writes the CLR.
   Status UndoOne(Transaction* txn, const LogRecord& rec, Lsn rec_lsn);
@@ -463,6 +500,12 @@ class Node : public NodeService {
   Histogram* hist_commit_ns_ = nullptr;
   Histogram* hist_force_ns_ = nullptr;
 
+  /// Adaptive-logging accounting (introspect reports these per strategy).
+  Counter* ctr_txn_begins_adaptive_ = nullptr;
+  Counter* ctr_txn_commits_logical_ = nullptr;
+  Counter* ctr_txn_logical_records_ = nullptr;
+  Counter* ctr_txn_upgrades_ = nullptr;
+
   /// Owner-side flush bookkeeping: for each own page, the peers that
   /// shipped dirty copies (or contributed recovery redo) and await a flush
   /// notification (Sections 2.2/2.5).
@@ -477,6 +520,24 @@ class Node : public NodeService {
   /// far, per page under recovery.
   std::map<PageId, Lsn> recovery_cursor_;
   std::map<PageId, std::uint64_t> recovery_applied_;
+
+  /// Adaptive logging: number of active transactions currently holding
+  /// un-backfilled logical records. Zero on every physical-only node, so
+  /// the steal fence costs one branch.
+  std::size_t live_logical_txns_ = 0;
+
+  /// Last committed writer per page (txn id + commit LSN), volatile.
+  /// Adaptive transactions copy the entries for pages they touch into
+  /// their commit record as dependency edges. Maintained only in
+  /// kClientLocal mode; cleared on crash.
+  std::map<PageId, CommitDep> page_last_commit_;
+
+  /// Recovery skip set (adaptive logging): transactions whose
+  /// kLogicalUpdate records are excluded from redo and PSN lists — they
+  /// logged logical records but have neither a kCommit nor a kUndoBackfill
+  /// in the log, so their records are a provably-volatile PSN tail.
+  /// Computed by HandleBuildPsnList, consulted by HandleRecoverPage.
+  std::set<TxnId> recovery_skip_txns_;
 
   /// Multi-crash staging (Section 2.4): DPT entries / cached-page lists
   /// shipped by recovering peers for pages this node owns, with senders.

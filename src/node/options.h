@@ -2,6 +2,7 @@
 #define CLOG_NODE_OPTIONS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/sim_clock.h"
@@ -76,6 +77,79 @@ struct InstantRestoreOptions {
   std::size_t sweep_batch = 1;
 };
 
+/// What kind of update record a transaction writes (adaptive logging,
+/// docs/PROTOCOLS.md "Adaptive logging"; after arxiv 1503.03653).
+enum class LogStrategy : std::uint8_t {
+  /// Full physical ARIES records (redo + undo image) for every update.
+  /// The default; recovery behavior is byte-identical to earlier builds.
+  kPhysical = 0,
+  /// Compact redo-only records while the transaction stays single-node on
+  /// its own pages; the node upgrades it to physical records (backfilling
+  /// the stashed before-images into the log) the moment a cross-node
+  /// dependency or a page steal appears.
+  kAdaptive = 1,
+};
+
+std::string_view LogStrategyName(LogStrategy s);
+
+/// The unified logging policy: strategy selection, commit-force coalescing,
+/// archive cadence, and recovery parallelism in one value type, replacing
+/// the scattered per-feature option structs. The old NodeOptions fields
+/// (`group_commit`, `archive`) remain as deprecated aliases for one release
+/// and are folded into this policy when the node starts.
+///
+/// Named setters chain, so call sites read as one declaration:
+///
+///   opts.logging_policy = LoggingPolicy()
+///       .WithStrategy(LogStrategy::kAdaptive)
+///       .WithGroupCommit(true)
+///       .WithRedoWorkers(4);
+struct LoggingPolicy {
+  LogStrategy strategy = LogStrategy::kPhysical;
+  /// Dependency-parallel redo: number of worker threads replaying
+  /// independent transaction chains during restart recovery (real
+  /// execution mode; in sim the chains replay sequentially in a
+  /// deterministic order). 0 = classic PSN-order redo everywhere.
+  std::size_t redo_workers = 0;
+  GroupCommitPolicy group_commit;
+  ArchiveOptions archive;
+
+  LoggingPolicy& WithStrategy(LogStrategy s) {
+    strategy = s;
+    return *this;
+  }
+  LoggingPolicy& WithRedoWorkers(std::size_t n) {
+    redo_workers = n;
+    return *this;
+  }
+  LoggingPolicy& WithGroupCommit(bool on) {
+    group_commit.enabled = on;
+    return *this;
+  }
+  LoggingPolicy& WithGroupCommitWindow(std::uint64_t window_ns,
+                                       std::size_t max_group_size) {
+    group_commit.enabled = true;
+    group_commit.window_ns = window_ns;
+    group_commit.max_group_size = max_group_size;
+    return *this;
+  }
+  /// 0 disables archiving; N takes an archive pass every N checkpoints.
+  LoggingPolicy& WithArchiveEvery(std::uint32_t every_checkpoints) {
+    archive.enabled = every_checkpoints != 0;
+    archive.every_checkpoints =
+        every_checkpoints != 0 ? every_checkpoints : 1;
+    return *this;
+  }
+};
+
+/// Per-transaction options (TxnHandle::Begin / Node::Begin overloads).
+struct TxnOptions {
+  /// Overrides the node policy's LogStrategy for this transaction only;
+  /// unset = inherit. An override to kAdaptive still obeys every gate
+  /// (own pages, kClientLocal mode, page-granular locking).
+  std::optional<LogStrategy> strategy;
+};
+
 /// Static configuration of one node.
 struct NodeOptions {
   /// Directory for this node's database, log, and side files.
@@ -107,11 +181,15 @@ struct NodeOptions {
   /// Optional fault injector shared by the whole cluster (not owned); wired
   /// into this node's DiskManager and LogManager on open. nullptr = off.
   FaultInjector* fault_injector = nullptr;
-  /// Commit-time force coalescing; disabled by default so every commit
-  /// forces its own log exactly as before unless opted in.
+  /// The unified logging policy (strategy, group commit, archive cadence,
+  /// redo parallelism). The two deprecated aliases below fold into it when
+  /// the node is constructed; new code should set only this.
+  LoggingPolicy logging_policy;
+  /// DEPRECATED alias (one release): use logging_policy.group_commit.
+  /// Honored only if logging_policy.group_commit was left disabled.
   GroupCommitPolicy group_commit;
-  /// Fuzzy page archiving for media recovery; disabled by default (no
-  /// archive file, zero hot-path overhead).
+  /// DEPRECATED alias (one release): use logging_policy.archive.
+  /// Honored only if logging_policy.archive was left disabled.
   ArchiveOptions archive;
   /// On-demand media recovery: serve traffic while lost pages rebuild at
   /// first touch. Disabled by default (eager rebuild, as before).

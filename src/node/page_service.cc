@@ -410,14 +410,37 @@ Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
 
   // One pass: a PSN enters the list when the record's transaction differs
   // from the transaction of the previously inserted PSN for that page.
+  //
+  // Adaptive logging (docs/PROTOCOLS.md "Redo skip rule"): logical records
+  // of a transaction that never reached a commit NOR an UNDO_BACKFILL are
+  // volatile-only — their effects were never exposed (the steal barrier
+  // upgrades before any covered page leaves the cache), so redo must not
+  // replay them. The same scan that builds the lists classifies them: a
+  // commit/backfill always carries a higher LSN than the records it covers,
+  // so "logical record seen, no commit/backfill seen by log end" is proof.
+  // Live transactions are exempt — an instant-restore rebuild can run while
+  // normal processing has open adaptive transactions that will still commit.
   std::map<PageId, TxnId> last_txn;
+  std::vector<std::vector<TxnId>> entry_txns(pages.size());
+  std::set<TxnId> logical_txns;
+  std::set<TxnId> resolved_txns;
   LogCursor cursor(&log_, start);
   LogRecord rec;
   Lsn lsn = kNullLsn;
   Status scan_status;
   while (cursor.Next(&rec, &lsn, &scan_status)) {
-    if (rec.type != LogRecordType::kUpdate && rec.type != LogRecordType::kClr) {
+    if (rec.type == LogRecordType::kCommit ||
+        rec.type == LogRecordType::kUndoBackfill) {
+      resolved_txns.insert(rec.txn);
       continue;
+    }
+    if (rec.type != LogRecordType::kUpdate &&
+        rec.type != LogRecordType::kClr &&
+        rec.type != LogRecordType::kLogicalUpdate) {
+      continue;
+    }
+    if (rec.type == LogRecordType::kLogicalUpdate) {
+      logical_txns.insert(rec.txn);
     }
     auto it = index.find(rec.page);
     if (it == index.end()) continue;
@@ -438,10 +461,34 @@ Status Node::HandleBuildPsnList(NodeId from, const std::vector<PageId>& pages,
     }
     if (lt == last_txn.end() || lt->second != rec.txn) {
       reply->per_page[it->second].push_back(PsnListEntry{rec.psn_before, lsn});
+      entry_txns[it->second].push_back(rec.txn);
       last_txn[rec.page] = rec.txn;
     }
   }
   CLOG_RETURN_IF_ERROR(scan_status);
+
+  // Drop skip-transaction entries from the lists and remember the verdict
+  // for the redo rounds. Coalesced entries are per-transaction runs, so
+  // erasing a skip transaction's entries removes exactly its records'
+  // claim on the merged PSN order; later transactions that reused the same
+  // PSNs (a previous crash's pure-logical loser) keep their own entries.
+  std::set<TxnId> skip;
+  for (TxnId t : logical_txns) {
+    if (resolved_txns.count(t) != 0) continue;
+    if (txns_.Find(t) != nullptr) continue;  // Live: will commit or upgrade.
+    skip.insert(t);
+  }
+  if (!skip.empty()) {
+    recovery_skip_txns_.insert(skip.begin(), skip.end());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      auto& list = reply->per_page[i];
+      std::size_t kept = 0;
+      for (std::size_t j = 0; j < list.size(); ++j) {
+        if (skip.count(entry_txns[i][j]) == 0) list[kept++] = list[j];
+      }
+      list.resize(kept);
+    }
+  }
   reply->records_scanned = cursor.records_read();
   metrics_.GetCounter("recovery.psn_list_scans").Add(1);
   metrics_.GetCounter("recovery.records_scanned")
@@ -477,10 +524,20 @@ Status Node::HandleRecoverPage(NodeId from, PageId pid, const Page& page_in,
   Status scan_status;
   bool more = false;
   while (cursor.Next(&rec, &lsn, &scan_status)) {
-    if (rec.type != LogRecordType::kUpdate && rec.type != LogRecordType::kClr) {
+    if (rec.type != LogRecordType::kUpdate &&
+        rec.type != LogRecordType::kClr &&
+        rec.type != LogRecordType::kLogicalUpdate) {
       continue;
     }
     if (rec.page != pid) continue;
+    if (rec.type == LogRecordType::kLogicalUpdate &&
+        recovery_skip_txns_.count(rec.txn) != 0) {
+      // Redo skip rule: volatile-only record of a transaction that never
+      // committed nor backfilled. Checked BEFORE the bound: the merged PSN
+      // lists exclude skip entries, so a skip record past the bound must
+      // not pause the round — the next real contributor is another node.
+      continue;
+    }
     if (has_bound && rec.psn_before > bound) {
       // Another node's updates come next in PSN order; remember where to
       // resume (Section 2.3.4).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "recovery/redo_scheduler.h"
 #include "storage/slotted_page.h"
 #include "trace/trace_sink.h"
 #include "wal/log_reader.h"
@@ -456,6 +457,89 @@ Status RestartRecovery::RecoverOwnPages() {
   CLOG_RETURN_IF_ERROR(
       GatherPsnLists(full_pages_per_node, /*full_history=*/true, &lists));
 
+  // Dependency-parallel redo (recovery/redo_scheduler.h): pages whose only
+  // contributor is this node need no Section 2.3.4 bouncing — their whole
+  // history is in the local log. With redo workers configured they skip
+  // the per-page RecoverPage rounds: one raw scan routes their frames into
+  // page-disjoint transaction chains, replayed by the worker pool (real
+  // mode) or in deterministic chain order (simulation). Everything else —
+  // multi-node histories, poisoned-density pages — keeps the bouncing path.
+  if (node_->options_.logging_policy.redo_workers > 0 && !work.empty()) {
+    std::vector<WorkItem> bounced;
+    std::vector<WorkItem> scheduled;
+    std::vector<RedoPageTask> tasks;
+    for (WorkItem& item : work) {
+      const auto& ls = lists[item.pid];
+      bool self_only = !item.full_history;
+      for (const auto& [n, _] : ls) {
+        if (n != me) self_only = false;
+      }
+      if (!self_only) {
+        bounced.push_back(std::move(item));
+        continue;
+      }
+      const std::vector<RecoveryRun> runs = MergePsnLists(ls);
+      if (!runs.empty() && runs[0].psn > item.base->psn()) {
+        // Same PSN-density verdict the bouncing path would reach: records
+        // exist that tile upward from above the base — a destroyed log
+        // held the gap. Fence the page durably.
+        CLOG_RETURN_IF_ERROR(node_->PoisonOwnPage(item.pid, runs[0].psn));
+        ++stats_.pages_poisoned;
+        continue;
+      }
+      RedoPageTask task;
+      task.pid = item.pid;
+      task.page = item.base.get();
+      auto cur = node_->recovery_cursor_.find(item.pid);
+      task.start_lsn =
+          cur != node_->recovery_cursor_.end() ? cur->second : kNullLsn;
+      tasks.push_back(std::move(task));
+      scheduled.push_back(std::move(item));
+    }
+
+    if (!tasks.empty()) {
+      Executor* exec = node_->network_->executor();
+      RedoScheduler scheduler(
+          &node_->log_, &node_->recovery_skip_txns_,
+          node_->options_.logging_policy.redo_workers,
+          /*use_threads=*/exec != nullptr && exec->real_threads());
+      RedoScheduleStats rstats;
+      CLOG_RETURN_IF_ERROR(scheduler.Run(&tasks, &rstats));
+      stats_.redo_chains += rstats.chains;
+      stats_.parallel_pages += tasks.size();
+      stats_.parallel_applied += rstats.applied;
+      stats_.redo_applied += rstats.applied;
+      node_->metrics_.GetCounter("recovery.parallel_chains")
+          .Add(rstats.chains);
+      node_->metrics_.GetCounter("recovery.redo_applied")
+          .Add(rstats.applied);
+
+      // Install + force each redone page, with the same closing
+      // bookkeeping a self redo round would have done.
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        WorkItem& item = scheduled[i];
+        node_->recovery_cursor_.erase(item.pid);
+        node_->recovery_applied_.erase(item.pid);
+        Page* frame = node_->pool_.Lookup(item.pid);
+        if (frame == nullptr) {
+          CLOG_ASSIGN_OR_RETURN(frame, node_->pool_.Insert(item.pid));
+        }
+        frame->CopyFrom(*item.base);
+        node_->pool_.MarkDirty(item.pid);
+        CLOG_RETURN_IF_ERROR(node_->ForceOwnPage(item.pid));
+        const Psn needed = node_->poison_.NeededPsn(item.pid);
+        if (needed != 0 && needed != kPsnUnrecoverable &&
+            item.base->psn() >= needed) {
+          CLOG_RETURN_IF_ERROR(node_->UnpoisonPage(item.pid));
+          node_->metrics_.GetCounter("media.pages_unpoisoned").Add(1);
+        }
+        ++stats_.own_pages_recovered;
+        node_->metrics_.GetCounter("recovery.pages_recovered").Add(1);
+      }
+    }
+    work = std::move(bounced);
+  }
+
   for (WorkItem& item : work) {
     CLOG_RETURN_IF_ERROR(
         CoordinatePageRecovery(item.pid, item.base.get(), lists[item.pid]));
@@ -714,7 +798,34 @@ Status RestartRecovery::UndoLosersAndFinish() {
   for (const auto& [txn_id, loser] : analysis_.losers) {
     Transaction* txn =
         node_->txns_.Resurrect(txn_id, loser.first_lsn, loser.last_lsn);
-    if (loser.last_lsn != kNullLsn) {
+    // Adaptive logging: walk the raw prev_lsn chain first — NOT the undo
+    // cursor, whose CLR undo_next jumps can hop over an UNDO_BACKFILL
+    // record — to refill the before-image stash and classify the loser.
+    // A pure-logical loser (logical records, no backfill) never exposed
+    // anything: the steal barrier upgrades before a covered page can leave
+    // the cache, so its records were redo-skipped everywhere and there is
+    // nothing on any page to compensate. It gets an END record only; its
+    // log records stay behind as permanent skip records.
+    bool saw_logical = false;
+    bool saw_backfill = false;
+    for (Lsn walk = loser.last_lsn; walk != kNullLsn;) {
+      LogRecord rec;
+      CLOG_RETURN_IF_ERROR(node_->log_.ReadRecord(walk, &rec));
+      if (rec.type == LogRecordType::kUndoBackfill) {
+        saw_backfill = true;
+        for (const BackfillEntry& e : rec.backfill) {
+          txn->logical_undos.emplace(e.covered_lsn, e.undo_image);
+        }
+      } else if (rec.type == LogRecordType::kLogicalUpdate) {
+        saw_logical = true;
+      }
+      walk = rec.prev_lsn;
+    }
+    const bool pure_logical = saw_logical && !saw_backfill;
+    if (pure_logical) {
+      ++stats_.logical_losers_skipped;
+      node_->metrics_.GetCounter("recovery.logical_losers_skipped").Add(1);
+    } else if (loser.last_lsn != kNullLsn) {
       CLOG_RETURN_IF_ERROR(node_->RollbackTo(txn, kNullLsn));
     }
     LogRecord end;

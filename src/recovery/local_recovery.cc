@@ -38,7 +38,12 @@ Status AnalyzeLog(LogManager* log, AnalysisResult* out) {
         break;
       }
       case LogRecordType::kUpdate:
-      case LogRecordType::kClr: {
+      case LogRecordType::kClr:
+      case LogRecordType::kLogicalUpdate: {
+        // Logical records dirty pages exactly like physical ones; whether
+        // their redo is later *skipped* (uncommitted, no backfill) is
+        // decided by the PSN-list builder, not analysis — the DPT entry
+        // stays conservative either way.
         LoserTxn& t = out->losers[rec.txn];
         t.last_lsn = std::max(t.last_lsn, lsn);
         auto it = out->dpt.find(rec.page);
@@ -53,7 +58,11 @@ Status AnalyzeLog(LogManager* log, AnalysisResult* out) {
         }
         break;
       }
-      case LogRecordType::kSavepoint: {
+      case LogRecordType::kSavepoint:
+      case LogRecordType::kUndoBackfill: {
+        // Both are links in the transaction's prev_lsn chain; a backfill
+        // additionally marks the transaction as upgraded-to-physical, which
+        // the undo pass rediscovers on its backward walk.
         LoserTxn& t = out->losers[rec.txn];
         t.last_lsn = std::max(t.last_lsn, lsn);
         break;

@@ -1,11 +1,13 @@
 #ifndef CLOG_TXN_TRANSACTION_H_
 #define CLOG_TXN_TRANSACTION_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "node/options.h"
 #include "wal/log_record.h"
 
 /// \file
@@ -55,6 +57,24 @@ struct Transaction {
   std::vector<TxnId> last_blockers;
 
   std::uint64_t updates = 0;  ///< Logged update count (metrics).
+
+  // --- Adaptive logging (LogStrategy::kAdaptive) ---
+
+  /// Strategy resolved at Begin (node policy, possibly overridden per-txn).
+  LogStrategy strategy = LogStrategy::kPhysical;
+  /// True once the transaction has been upgraded to physical logging (its
+  /// stashed before-images were backfilled into the log, or it had none).
+  /// Upgraded transactions never emit another logical record.
+  bool upgraded = false;
+  /// Volatile before-images of this transaction's kLogicalUpdate records,
+  /// keyed by record LSN. Discarded at commit; written into one
+  /// kUndoBackfill record on upgrade; consulted by rollback (and refilled
+  /// from the backfill record when a resurrected loser rolls back).
+  std::map<Lsn, std::string> logical_undos;
+  /// Committed predecessors whose pages this (adaptive) transaction
+  /// touched: txn id -> commit LSN. Encoded into the commit record so
+  /// dependency-aware redo keeps the chains ordered.
+  std::map<TxnId, Lsn> commit_deps;
 };
 
 }  // namespace clog

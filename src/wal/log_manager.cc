@@ -582,6 +582,18 @@ Status LogManager::FlushLocked(Lsn up_to, std::unique_lock<std::mutex>& lk) {
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
+  std::string body;
+  std::uint32_t crc = 0;
+  CLOG_RETURN_IF_ERROR(ReadRawFrame(lsn, &body, &crc, next_lsn));
+  if (crc32c::Value(body.data(), body.size()) != crc) {
+    return Status::Corruption("log record crc mismatch at lsn " +
+                              std::to_string(lsn));
+  }
+  return LogRecord::DecodeFrom(body, rec);
+}
+
+Status LogManager::ReadRawFrame(Lsn lsn, std::string* body,
+                                std::uint32_t* crc, Lsn* next_lsn) {
   std::unique_lock<std::mutex> lk(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("log not open");
   if (lsn < kHeaderSize || lsn >= end_lsn_.load(std::memory_order_acquire)) {
@@ -591,7 +603,6 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
   // (recovery scans, peer redo collection) wait for its publication.
   AwaitPublished(lsn, lk);
   char frame_hdr[kFrameOverhead];
-  std::string body;
   if (lsn >= buffer_start_) {
     // Still in the assembled tail buffer.
     std::size_t off = static_cast<std::size_t>(lsn - buffer_start_);
@@ -604,7 +615,7 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
     if (off + kFrameOverhead + len > buffer_.size()) {
       return Status::Corruption("buffered frame body out of range");
     }
-    body.assign(buffer_.data() + off + kFrameOverhead, len);
+    body->assign(buffer_.data() + off + kFrameOverhead, len);
   } else if (!flushing_chunk_.empty() && lsn >= flushing_start_) {
     // In the chunk a concurrent Flush is writing right now: not in
     // buffer_ any more, not yet durable on disk. Read-only access races
@@ -619,7 +630,7 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
     if (off + kFrameOverhead + len > flushing_chunk_.size()) {
       return Status::Corruption("in-flight frame body out of range");
     }
-    body.assign(flushing_chunk_.data() + off + kFrameOverhead, len);
+    body->assign(flushing_chunk_.data() + off + kFrameOverhead, len);
   } else {
     if (::pread(fd_, frame_hdr, kFrameOverhead, static_cast<off_t>(lsn)) !=
         static_cast<ssize_t>(kFrameOverhead)) {
@@ -627,21 +638,15 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) {
     }
     std::uint32_t len;
     std::memcpy(&len, frame_hdr, 4);
-    body.resize(len);
-    if (::pread(fd_, body.data(), len,
+    body->resize(len);
+    if (::pread(fd_, body->data(), len,
                 static_cast<off_t>(lsn + kFrameOverhead)) !=
         static_cast<ssize_t>(len)) {
       return Status::IOError(Errno("pread log body"));
     }
   }
-  std::uint32_t crc;
-  std::memcpy(&crc, frame_hdr + 4, 4);
-  if (crc32c::Value(body.data(), body.size()) != crc) {
-    return Status::Corruption("log record crc mismatch at lsn " +
-                              std::to_string(lsn));
-  }
-  CLOG_RETURN_IF_ERROR(LogRecord::DecodeFrom(body, rec));
-  if (next_lsn != nullptr) *next_lsn = lsn + kFrameOverhead + body.size();
+  std::memcpy(crc, frame_hdr + 4, 4);
+  if (next_lsn != nullptr) *next_lsn = lsn + kFrameOverhead + body->size();
   return Status::OK();
 }
 

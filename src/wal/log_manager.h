@@ -142,6 +142,14 @@ class LogManager {
   /// record via `*next_lsn` if non-null.
   Status ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn = nullptr);
 
+  /// Reads the raw frame at `lsn`: the undecoded record body plus the CRC
+  /// the frame header stores for it, verifying neither. The parallel redo
+  /// scheduler uses this to move checksum + decode work off the
+  /// coordinating thread; callers must check crc32c::Value(body) == crc
+  /// before decoding.
+  Status ReadRawFrame(Lsn lsn, std::string* body, std::uint32_t* crc,
+                      Lsn* next_lsn = nullptr);
+
   /// LSN that the *next* appended record will get (current logical end).
   Lsn end_lsn() const { return end_lsn_.load(std::memory_order_acquire); }
 

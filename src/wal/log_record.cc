@@ -22,6 +22,10 @@ std::string_view LogRecordTypeName(LogRecordType t) {
       return "CKPT_BEGIN";
     case LogRecordType::kCheckpointEnd:
       return "CKPT_END";
+    case LogRecordType::kLogicalUpdate:
+      return "LOGICAL_UPDATE";
+    case LogRecordType::kUndoBackfill:
+      return "UNDO_BACKFILL";
   }
   return "UNKNOWN";
 }
@@ -56,7 +60,8 @@ void LogRecord::EncodeTo(std::string* out) const {
   Encoder enc(out);
   switch (type) {
     case LogRecordType::kUpdate:
-    case LogRecordType::kClr: {
+    case LogRecordType::kClr:
+    case LogRecordType::kLogicalUpdate: {
       // type | txn | prev_lsn | page | psn_before | op | slot = 36 bytes.
       char hdr[36];
       char* p = hdr;
@@ -69,7 +74,10 @@ void LogRecord::EncodeTo(std::string* out) const {
       p = StoreU16(p, slot);
       out->append(hdr, static_cast<std::size_t>(p - hdr));
       enc.PutLengthPrefixed(redo_image);
-      enc.PutLengthPrefixed(undo_image);
+      // The whole point of a logical record: no before-image on disk.
+      if (type != LogRecordType::kLogicalUpdate) {
+        enc.PutLengthPrefixed(undo_image);
+      }
       if (type == LogRecordType::kClr) enc.PutU64(undo_next_lsn);
       return;
     }
@@ -82,9 +90,30 @@ void LogRecord::EncodeTo(std::string* out) const {
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kClr:
+    case LogRecordType::kLogicalUpdate:
       break;  // Handled above.
     case LogRecordType::kSavepoint:
       enc.PutLengthPrefixed(savepoint_name);
+      break;
+    case LogRecordType::kUndoBackfill:
+      enc.PutVarint64(backfill.size());
+      for (const BackfillEntry& e : backfill) {
+        enc.PutU64(e.covered_lsn);
+        enc.PutLengthPrefixed(e.undo_image);
+      }
+      break;
+    case LogRecordType::kCommit:
+      // Trailing optional block: present only for adaptive transactions,
+      // so commit records from the physical strategy (and older builds)
+      // keep their exact bytes.
+      if (commit_flags != 0 || !commit_deps.empty()) {
+        enc.PutU8(commit_flags);
+        enc.PutVarint64(commit_deps.size());
+        for (const CommitDep& d : commit_deps) {
+          enc.PutU64(d.txn);
+          enc.PutU64(d.lsn);
+        }
+      }
       break;
     case LogRecordType::kCheckpointEnd:
       enc.PutU64(checkpoint_begin_lsn);
@@ -115,13 +144,16 @@ Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
   Decoder dec(body);
   std::uint8_t type8 = 0;
   CLOG_RETURN_IF_ERROR(dec.GetU8(&type8));
-  if (type8 < 1 || type8 > 9) return Status::Corruption("bad log record type");
+  if (type8 < 1 || type8 > 11) {
+    return Status::Corruption("bad log record type");
+  }
   out->type = static_cast<LogRecordType>(type8);
   CLOG_RETURN_IF_ERROR(dec.GetU64(&out->txn));
   CLOG_RETURN_IF_ERROR(dec.GetU64(&out->prev_lsn));
   switch (out->type) {
     case LogRecordType::kUpdate:
-    case LogRecordType::kClr: {
+    case LogRecordType::kClr:
+    case LogRecordType::kLogicalUpdate: {
       std::uint64_t packed = 0;
       std::uint8_t op8 = 0;
       CLOG_RETURN_IF_ERROR(dec.GetU64(&packed));
@@ -132,7 +164,9 @@ Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
       out->op = static_cast<RecordOp>(op8);
       CLOG_RETURN_IF_ERROR(dec.GetU16(&out->slot));
       CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->redo_image));
-      CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->undo_image));
+      if (out->type != LogRecordType::kLogicalUpdate) {
+        CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->undo_image));
+      }
       if (out->type == LogRecordType::kClr) {
         CLOG_RETURN_IF_ERROR(dec.GetU64(&out->undo_next_lsn));
       }
@@ -140,6 +174,29 @@ Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
     }
     case LogRecordType::kSavepoint:
       CLOG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&out->savepoint_name));
+      break;
+    case LogRecordType::kUndoBackfill: {
+      std::uint64_t n = 0;
+      CLOG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+      out->backfill.resize(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        CLOG_RETURN_IF_ERROR(dec.GetU64(&out->backfill[i].covered_lsn));
+        CLOG_RETURN_IF_ERROR(
+            dec.GetLengthPrefixed(&out->backfill[i].undo_image));
+      }
+      break;
+    }
+    case LogRecordType::kCommit:
+      if (!dec.Done()) {
+        CLOG_RETURN_IF_ERROR(dec.GetU8(&out->commit_flags));
+        std::uint64_t n = 0;
+        CLOG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+        out->commit_deps.resize(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          CLOG_RETURN_IF_ERROR(dec.GetU64(&out->commit_deps[i].txn));
+          CLOG_RETURN_IF_ERROR(dec.GetU64(&out->commit_deps[i].lsn));
+        }
+      }
       break;
     case LogRecordType::kCheckpointEnd: {
       CLOG_RETURN_IF_ERROR(dec.GetU64(&out->checkpoint_begin_lsn));
@@ -174,10 +231,16 @@ Status LogRecord::DecodeFrom(Slice body, LogRecord* out) {
 std::string LogRecord::ToString() const {
   std::string out(LogRecordTypeName(type));
   out += " txn=" + std::to_string(txn & 0xFFFFFFFFFFFFull);
-  if (type == LogRecordType::kUpdate || type == LogRecordType::kClr) {
+  if (IsPageUpdate()) {
     out += " page=" + page.ToString();
     out += " psn_before=" + std::to_string(psn_before);
     out += " slot=" + std::to_string(slot);
+  }
+  if (type == LogRecordType::kUndoBackfill) {
+    out += " covers=" + std::to_string(backfill.size());
+  }
+  if (type == LogRecordType::kCommit && !commit_deps.empty()) {
+    out += " deps=" + std::to_string(commit_deps.size());
   }
   return out;
 }

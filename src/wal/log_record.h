@@ -29,6 +29,18 @@ enum class LogRecordType : std::uint8_t {
   kSavepoint = 7,        ///< Named savepoint (partial rollback target).
   kCheckpointBegin = 8,  ///< Fuzzy checkpoint start.
   kCheckpointEnd = 9,    ///< Fuzzy checkpoint body (DPT + active txns).
+  /// Adaptive logging (LogStrategy::kAdaptive): a record operation logged
+  /// redo-only — no before-image. Emitted only by single-node transactions
+  /// updating pages they own; the before-image stays volatile on the node
+  /// until commit discards it or an upgrade backfills it (kUndoBackfill).
+  /// Participates in the per-page PSN order exactly like kUpdate.
+  kLogicalUpdate = 10,
+  /// Adaptive-logging upgrade point: the moment a transaction's logical
+  /// records might need durable undo (page steal, cross-node dependency,
+  /// rollback), one kUndoBackfill carries every stashed before-image,
+  /// keyed by the LSN of the kLogicalUpdate it covers. No page, no PSN
+  /// effect; skipped by redo and PSN-list construction.
+  kUndoBackfill = 11,
 };
 
 /// Record-level operation logged by kUpdate / compensated by kClr.
@@ -58,6 +70,27 @@ struct AttEntry {
   friend bool operator==(const AttEntry&, const AttEntry&) = default;
 };
 
+/// One stashed before-image carried by a kUndoBackfill record.
+struct BackfillEntry {
+  Lsn covered_lsn = kNullLsn;  ///< LSN of the kLogicalUpdate this undoes.
+  std::string undo_image;      ///< Before-image (empty for inserts).
+
+  friend bool operator==(const BackfillEntry&, const BackfillEntry&) = default;
+};
+
+/// Dependency edge recorded in an adaptive transaction's commit record:
+/// the committed predecessor whose effects this transaction read or
+/// overwrote, so dependency-aware redo keeps their chains ordered.
+struct CommitDep {
+  TxnId txn = kInvalidTxnId;  ///< Predecessor transaction.
+  Lsn lsn = kNullLsn;         ///< Predecessor's commit LSN.
+
+  friend bool operator==(const CommitDep&, const CommitDep&) = default;
+};
+
+/// kCommit flag bits (commit_flags).
+inline constexpr std::uint8_t kCommitFlagLogical = 0x1;  ///< Logged logical.
+
 /// A fully decoded log record. One struct covers all types; unused fields
 /// stay at their defaults. Encoding is explicit (no in-memory layout
 /// dependence) so logs are portable and fuzzable.
@@ -76,6 +109,14 @@ struct LogRecord {
 
   // --- kClr only ---
   Lsn undo_next_lsn = kNullLsn;  ///< Next record to undo after this CLR.
+
+  // --- kUndoBackfill only ---
+  std::vector<BackfillEntry> backfill;
+
+  // --- kCommit only (adaptive logging; both default-empty so commit
+  // records written by the physical strategy keep their exact bytes) ---
+  std::uint8_t commit_flags = 0;
+  std::vector<CommitDep> commit_deps;
 
   // --- kSavepoint only ---
   std::string savepoint_name;
@@ -105,7 +146,17 @@ struct LogRecord {
     return type == LogRecordType::kBegin || type == LogRecordType::kCommit ||
            type == LogRecordType::kAbort || type == LogRecordType::kEnd ||
            type == LogRecordType::kUpdate || type == LogRecordType::kClr ||
-           type == LogRecordType::kSavepoint;
+           type == LogRecordType::kSavepoint ||
+           type == LogRecordType::kLogicalUpdate ||
+           type == LogRecordType::kUndoBackfill;
+  }
+
+  /// True for the page-mutating types that participate in the per-page PSN
+  /// order (redo candidates). kUndoBackfill is transactional but carries no
+  /// page effect and is never a member.
+  bool IsPageUpdate() const {
+    return type == LogRecordType::kUpdate || type == LogRecordType::kClr ||
+           type == LogRecordType::kLogicalUpdate;
   }
 };
 

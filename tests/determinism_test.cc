@@ -197,6 +197,26 @@ TEST(DeterminismTest, TortureHashesMatchPreRefactorBaseline) {
   }
 }
 
+/// The pinned baselines above run with the default LoggingPolicy — all
+/// physical, redo_workers=0 — which is exactly the guarantee adaptive
+/// logging makes: when the policy is off, schedules and traces stay
+/// byte-identical to pre-adaptive builds. Adaptive schedules carry their
+/// own (unpinned) determinism contract instead: one seed, one history.
+TEST(DeterminismTest, AdaptiveTortureSchedulesReplayIdentically) {
+  TortureOptions opts;
+  opts.seed = 4242;
+  opts.adaptive = true;
+  opts.keep_events = false;
+  TortureReport first = RunTortureSchedule(opts);
+  TortureReport second = RunTortureSchedule(opts);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_TRUE(second.ok) << second.failure;
+  EXPECT_EQ(first.schedule_hash, second.schedule_hash);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  // Sanity: the mix actually produced adaptive transactions.
+  EXPECT_GT(first.txns_adaptive, 0u);
+}
+
 TEST(DeterminismTest, RecoveryItselfIsDeterministic) {
   // Crash the same pre-state twice (via a second process-replacement
   // restart of the same files): both recoveries do identical work.

@@ -177,6 +177,46 @@ TEST_P(HammerRestoreShardTest, ThirtyTwoSeeds) {
 INSTANTIATE_TEST_SUITE_P(Torture, HammerRestoreShardTest,
                          ::testing::Range(0, 2));
 
+/// Adaptive-logging corpus: the cluster policy is kAdaptive with
+/// dependency-parallel redo on, and the workload mixes per-transaction
+/// physical overrides, so every schedule interleaves logical records,
+/// upgrades, backfills, and skip classification with the usual fault mix.
+/// One shard forces a crash into every repair pass so redo re-enters
+/// mid-recovery on adaptive logs. The sixth invariant (logical records
+/// replay to the same page bytes) is checked by the harness's final
+/// double-recovery. Two 32-seed shards under the `adaptive` ctest label.
+constexpr std::uint64_t kAdaptiveCorpusBase = 41000;
+constexpr int kAdaptiveSeedsPerShard = 32;
+
+class AdaptiveShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveShardTest, ThirtyTwoSeeds) {
+  const int shard = GetParam();
+  std::uint64_t total_adaptive = 0;
+  for (int i = 0; i < kAdaptiveSeedsPerShard; ++i) {
+    TortureOptions opts;
+    opts.seed = kAdaptiveCorpusBase + static_cast<std::uint64_t>(shard) *
+        kAdaptiveSeedsPerShard + i;
+    opts.adaptive = true;
+    // Shard 1: every repair pass also kills a restarting node at a seeded
+    // phase boundary, so dependency-parallel redo is re-entered from
+    // scratch mid-recovery.
+    opts.crash_during_recovery = shard == 1;
+    opts.keep_events = false;
+    TortureReport report = RunTortureSchedule(opts);
+    ASSERT_TRUE(report.ok)
+        << report.Summary() << "\nreplay: tools/torture --seed=" << report.seed
+        << " --adaptive" << (shard == 1 ? " --crash-during-recovery" : "")
+        << " --verbose";
+    total_adaptive += report.txns_adaptive;
+  }
+  // The mode is not allowed to degenerate: across a whole shard, the
+  // workload must actually have run adaptive transactions.
+  EXPECT_GT(total_adaptive, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Torture, AdaptiveShardTest, ::testing::Range(0, 2));
+
 TEST(TortureSmoke, AFewSeedsPass) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
     TortureOptions opts;
@@ -254,6 +294,24 @@ TEST(TortureSmoke, HammerRestoreSeedsPassAndReplayIdentically) {
     ASSERT_TRUE(a.ok) << a.Summary()
                       << "\nreplay: tools/torture --seed=" << a.seed
                       << " --hammer-restore --verbose";
+    EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+    EXPECT_EQ(a.Summary(), b.Summary());
+  }
+}
+
+TEST(TortureSmoke, AdaptiveSeedsPassAndReplayIdentically) {
+  // A couple of adaptive schedules ride in tier1 so the logical-record,
+  // upgrade, and parallel-redo paths are torture-covered in every build,
+  // and the replay contract holds with the mode on.
+  for (std::uint64_t seed : {41000ull, 41003ull}) {
+    TortureOptions opts;
+    opts.seed = seed;
+    opts.adaptive = true;
+    TortureReport a = RunTortureSchedule(opts);
+    TortureReport b = RunTortureSchedule(opts);
+    ASSERT_TRUE(a.ok) << a.Summary()
+                      << "\nreplay: tools/torture --seed=" << a.seed
+                      << " --adaptive --verbose";
     EXPECT_EQ(a.schedule_hash, b.schedule_hash);
     EXPECT_EQ(a.Summary(), b.Summary());
   }

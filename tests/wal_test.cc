@@ -406,6 +406,24 @@ std::vector<LogRecord> GoldenRecords() {
   recs.push_back(ckpt);
   recs.push_back(MakeUpdate(MakeTxnId(0, 2), PageId{0, 1}, 7, kNullLsn,
                             std::string(200, 'R'), std::string(90, 'U')));
+  // Adaptive-logging record types ride through the same framing.
+  LogRecord logical = MakeUpdate(MakeTxnId(2, 9), PageId{2, 3}, 11, kNullLsn,
+                                 "compact-redo", /*undo=*/"");
+  logical.type = LogRecordType::kLogicalUpdate;
+  recs.push_back(logical);
+  LogRecord backfill;
+  backfill.type = LogRecordType::kUndoBackfill;
+  backfill.txn = MakeTxnId(2, 9);
+  backfill.prev_lsn = 700;
+  backfill.backfill = {BackfillEntry{650, "old-bytes"}, BackfillEntry{680, ""}};
+  recs.push_back(backfill);
+  LogRecord dep_commit;
+  dep_commit.type = LogRecordType::kCommit;
+  dep_commit.txn = MakeTxnId(2, 9);
+  dep_commit.prev_lsn = 720;
+  dep_commit.commit_flags = kCommitFlagLogical;
+  dep_commit.commit_deps = {CommitDep{MakeTxnId(0, 4), 333}};
+  recs.push_back(dep_commit);
   return recs;
 }
 
@@ -482,6 +500,125 @@ TEST_F(LogManagerTest, ReferenceFramedFileReplaysOnOpen) {
   LogRecord got;
   ASSERT_OK(log.ReadRecord(more, &got));
   EXPECT_EQ(got.redo_image, "new");
+}
+
+// --- Adaptive-logging record types: pinned byte layouts -----------------
+// These spell the expected bodies out byte by byte. Any encoder change
+// that shifts them orphans existing logs, exactly like the framing tests
+// above; change the format doc and add a version gate instead.
+
+void PinU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+TEST(LogRecordTest, LogicalUpdateBodyMatchesPinnedLayout) {
+  LogRecord rec = MakeUpdate(MakeTxnId(3, 5), PageId{3, 8}, 21, 900,
+                             "after", "ignored-before");
+  rec.type = LogRecordType::kLogicalUpdate;
+  std::string body;
+  rec.EncodeTo(&body);
+
+  std::string want;
+  want.push_back(static_cast<char>(LogRecordType::kLogicalUpdate));
+  PinU64(&want, MakeTxnId(3, 5));
+  PinU64(&want, 900);                  // prev_lsn
+  PinU64(&want, PageId{3, 8}.Pack());
+  PinU64(&want, 21);                   // psn_before
+  want.push_back(static_cast<char>(RecordOp::kUpdate));
+  want.push_back(2);                   // slot (u16 LE), MakeUpdate uses 2.
+  want.push_back(0);
+  want.push_back(5);                   // varint len("after")
+  want += "after";
+  // No undo image: that is the entire point of the logical format.
+  EXPECT_EQ(body, want);
+
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.type, LogRecordType::kLogicalUpdate);
+  EXPECT_EQ(out.redo_image, "after");
+  EXPECT_TRUE(out.undo_image.empty());
+  EXPECT_EQ(out.psn_before, 21u);
+  EXPECT_EQ(out.slot, 2u);
+}
+
+TEST(LogRecordTest, UndoBackfillBodyMatchesPinnedLayout) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUndoBackfill;
+  rec.txn = MakeTxnId(3, 5);
+  rec.prev_lsn = 950;
+  rec.backfill = {BackfillEntry{901, "old"}, BackfillEntry{925, ""}};
+  std::string body;
+  rec.EncodeTo(&body);
+
+  std::string want;
+  want.push_back(static_cast<char>(LogRecordType::kUndoBackfill));
+  PinU64(&want, MakeTxnId(3, 5));
+  PinU64(&want, 950);
+  want.push_back(2);    // varint count
+  PinU64(&want, 901);   // covered_lsn
+  want.push_back(3);    // varint len("old")
+  want += "old";
+  PinU64(&want, 925);
+  want.push_back(0);    // empty before-image (covered an insert)
+  EXPECT_EQ(body, want);
+
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.backfill, rec.backfill);
+}
+
+TEST(LogRecordTest, CommitWithDepsBodyMatchesPinnedLayout) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn = MakeTxnId(3, 5);
+  rec.prev_lsn = 980;
+  rec.commit_flags = kCommitFlagLogical;
+  rec.commit_deps = {CommitDep{MakeTxnId(1, 2), 400},
+                     CommitDep{MakeTxnId(0, 9), 150}};
+  std::string body;
+  rec.EncodeTo(&body);
+
+  std::string want;
+  want.push_back(static_cast<char>(LogRecordType::kCommit));
+  PinU64(&want, MakeTxnId(3, 5));
+  PinU64(&want, 980);
+  want.push_back(kCommitFlagLogical);
+  want.push_back(2);    // varint dep count
+  PinU64(&want, MakeTxnId(1, 2));
+  PinU64(&want, 400);
+  PinU64(&want, MakeTxnId(0, 9));
+  PinU64(&want, 150);
+  EXPECT_EQ(body, want);
+
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.commit_flags, kCommitFlagLogical);
+  EXPECT_EQ(out.commit_deps, rec.commit_deps);
+}
+
+TEST(LogRecordTest, PlainCommitKeepsLegacyBytes) {
+  // The trailing block is optional: a commit with no flags and no deps
+  // must encode exactly as it did before adaptive logging existed, so
+  // physical-strategy logs stay byte-identical across the release.
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn = MakeTxnId(3, 5);
+  rec.prev_lsn = 980;
+  std::string body;
+  rec.EncodeTo(&body);
+
+  std::string want;
+  want.push_back(static_cast<char>(LogRecordType::kCommit));
+  PinU64(&want, MakeTxnId(3, 5));
+  PinU64(&want, 980);
+  EXPECT_EQ(body, want);  // 17 bytes, nothing trailing.
+
+  LogRecord out;
+  ASSERT_OK(LogRecord::DecodeFrom(body, &out));
+  EXPECT_EQ(out.commit_flags, 0);
+  EXPECT_TRUE(out.commit_deps.empty());
 }
 
 TEST_F(LogManagerTest, BackwardCursorFollowsTxnChainAndClrSkips) {

@@ -28,7 +28,7 @@ void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
                "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
-               "          [--group-commit] [--media-failure]\n"
+               "          [--group-commit] [--adaptive] [--media-failure]\n"
                "          [--hammer-restore] [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
@@ -38,6 +38,11 @@ void Usage(const char* prog) {
                "dies at a seeded phase boundary and must be re-recovered).\n"
                "--group-commit runs every node with commit-force coalescing\n"
                "on; commits park and the harness polls for their acks.\n"
+               "--adaptive runs the cluster under LogStrategy::kAdaptive\n"
+               "with dependency-parallel redo, mixes per-transaction\n"
+               "physical overrides into the workload, and checks the\n"
+               "redo-fidelity invariant (logical records replay to the\n"
+               "same page bytes) on the final joint recovery.\n"
                "--media-failure mixes whole-device losses (data and log)\n"
                "into the schedule, runs every node with fuzzy page archives,\n"
                "and checks the archive-consistency and poison-fencing\n"
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool crash_during_recovery = false;
   bool group_commit = false;
+  bool adaptive = false;
   bool media_failure = false;
   bool hammer_restore = false;
 
@@ -85,6 +91,8 @@ int main(int argc, char** argv) {
       crash_during_recovery = true;
     } else if (std::strcmp(arg, "--group-commit") == 0) {
       group_commit = true;
+    } else if (std::strcmp(arg, "--adaptive") == 0) {
+      adaptive = true;
     } else if (std::strcmp(arg, "--media-failure") == 0) {
       media_failure = true;
     } else if (std::strcmp(arg, "--hammer-restore") == 0) {
@@ -110,6 +118,7 @@ int main(int argc, char** argv) {
     opts.keep_events = verbose;
     opts.crash_during_recovery = crash_during_recovery;
     opts.group_commit = group_commit;
+    opts.adaptive = adaptive;
     opts.media_failure = media_failure;
     opts.hammer_restore = hammer_restore;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
