@@ -77,6 +77,25 @@ inline double Tps(std::uint64_t txns, std::uint64_t sim_ns) {
                            static_cast<double>(sim_ns);
 }
 
+/// Writes a flat `{"key": number, ...}` map — the format every recorded
+/// BENCH_*.json file uses and scripts/check_bench_regression.py reads.
+inline void WriteJsonKv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& kv) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH FATAL cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6f%s\n", kv[i].first.c_str(), kv[i].second,
+                 i + 1 < kv.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
 }  // namespace clog::bench
 
 #endif  // CLOG_BENCH_BENCH_UTIL_H_

@@ -112,22 +112,6 @@ VariantRow RunVariant(bool instant) {
   return row;
 }
 
-void WriteJson(const std::string& path,
-               const std::vector<std::pair<std::string, double>>& kv) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "BENCH FATAL cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n");
-  for (std::size_t i = 0; i < kv.size(); ++i) {
-    std::fprintf(f, "  \"%s\": %.6f%s\n", kv[i].first.c_str(), kv[i].second,
-                 i + 1 < kv.size() ? "," : "");
-  }
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 }  // namespace clog::bench
 
@@ -159,13 +143,14 @@ int main(int argc, char** argv) {
               (unsigned long long)instant.pages_planned);
 
   if (!json_path.empty()) {
-    WriteJson(json_path,
-              {{"e10_first_commit_ms_eager", eager.first_commit_ms},
-               {"e10_first_commit_ms_instant", instant.first_commit_ms},
-               {"e10_commit_p50_ms_during_rebuild", instant.commit_p50_ms},
-               {"e10_commit_p99_ms_during_rebuild", instant.commit_p99_ms},
-               {"e10_commit_p99_ms_eager", eager.commit_p99_ms},
-               {"e10_pages_planned", (double)instant.pages_planned}});
+    WriteJsonKv(
+        json_path,
+        {{"e10_first_commit_ms_eager", eager.first_commit_ms},
+         {"e10_first_commit_ms_instant", instant.first_commit_ms},
+         {"e10_commit_p50_ms_during_rebuild", instant.commit_p50_ms},
+         {"e10_commit_p99_ms_during_rebuild", instant.commit_p99_ms},
+         {"e10_commit_p99_ms_eager", eager.commit_p99_ms},
+         {"e10_pages_planned", (double)instant.pages_planned}});
   }
   return 0;
 }

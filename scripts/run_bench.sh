@@ -5,6 +5,8 @@
 #   BENCH_micro.json   google-benchmark JSON: CRC32C + log-append throughput
 #   BENCH_e1.json      simulated commit-cost + group-commit metrics
 #   BENCH_restore.json instant-restore availability metrics (recorded only)
+#   BENCH_e2.json      per-node scalability with/without membership churn
+#                      (recorded only)
 # at the repo root, then compares them against the committed baselines
 # (the versions of those files at git HEAD) with
 # scripts/check_bench_regression.py. A >20% throughput regression fails.
@@ -109,6 +111,19 @@ else
   echo "note: $E10 not built; skipping BENCH_restore.json" >&2
 fi
 
+# Elastic scalability (docs/PROTOCOLS.md, "Membership & ownership
+# handoff"): commits/sec per node at 3/8/16 nodes with and without
+# membership churn (periodic handoffs + a mid-run join). Recorded into
+# BENCH_e2.json, never gated — the signal is the flat plain curve and the
+# bounded churn discount, both simulated-time shapes.
+E2="$BUILD_DIR/bench/bench_e2_scalability"
+if [ -x "$E2" ]; then
+  echo "== elastic scalability bench -> $OUT_DIR/BENCH_e2.json"
+  "$E2" --json="$OUT_DIR/BENCH_e2.json"
+else
+  echo "note: $E2 not built; skipping BENCH_e2.json" >&2
+fi
+
 # Fold the commit-latency quantiles into BENCH_micro.json so one file
 # carries every gated latency metric (docs/performance.md). The checker
 # reads flat numeric keys alongside the google-benchmark entries.
@@ -132,7 +147,7 @@ EOF
 if [ "$SMOKE" -eq 1 ]; then
   python3 "$ROOT/scripts/check_bench_regression.py" --validate-only \
     "$OUT_DIR/BENCH_micro.json" "$OUT_DIR/BENCH_e1.json" \
-    "$OUT_DIR/BENCH_restore.json"
+    "$OUT_DIR/BENCH_restore.json" "$OUT_DIR/BENCH_e2.json"
   echo "bench smoke OK"
   exit 0
 fi

@@ -58,6 +58,14 @@ done
 echo "== ctest -L adaptive under TSan"
 ctest --test-dir "$BUILD_DIR" -L adaptive --output-on-failure
 
+# Elastic suite: the handoff unit drill's real-threads half crashes
+# either endpoint of a page handoff at every phase boundary while worker
+# threads, the mailbox network, and the durable ledgers interact — the
+# handoff/membership seam's thread-safety check. One pass: the drill
+# itself iterates all boundary x endpoint combinations.
+echo "== ctest -L elastic under TSan"
+ctest --test-dir "$BUILD_DIR" -L elastic -R handoff_test --output-on-failure
+
 # WAL suite: producers publish records through lock-free staging rings
 # while the drainer assembles and a flusher forces the tail — the densest
 # atomics in the tree. TSan must see every append/drain/flush/abandon
@@ -66,4 +74,4 @@ for i in $(seq 1 "$REPEAT"); do
   echo "== ctest -L wal under TSan (pass $i/$REPEAT)"
   ctest --test-dir "$BUILD_DIR" -L wal --output-on-failure
 done
-echo "TSan execution+restore+wal+adaptive suites OK"
+echo "TSan execution+restore+wal+adaptive+elastic suites OK"

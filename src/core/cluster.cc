@@ -59,17 +59,12 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
     opts.fault_injector = options_.fault_injector;
   }
   // Unified-policy inheritance: a node override that customized nothing
-  // takes the cluster policy wholesale; the deprecated cluster-level
-  // group_commit alias still applies beneath it for one release. The node
-  // constructor folds the node-level aliases last.
+  // takes the cluster policy wholesale.
   if (opts.logging_policy.strategy == LogStrategy::kPhysical &&
       opts.logging_policy.redo_workers == 0 &&
       !opts.logging_policy.group_commit.enabled &&
       !opts.logging_policy.archive.enabled) {
     opts.logging_policy = options_.logging_policy;
-  }
-  if (!opts.group_commit.enabled && !opts.logging_policy.group_commit.enabled) {
-    opts.group_commit = options_.group_commit;
   }
   if (opts.trace_sink == nullptr) {
     opts.trace_sink = options_.trace_sink;
@@ -77,6 +72,9 @@ Result<Node*> Cluster::AddNode(std::optional<NodeOptions> overrides) {
   CLOG_RETURN_IF_ERROR(EnsureDir(options_.dir));
   CLOG_RETURN_IF_ERROR(EnsureDir(opts.dir));
   auto node = std::make_unique<Node>(id, opts, &network_, &detector_);
+  // Before Start: restart-time handoff registration publishes adopted
+  // pages into the shared directory.
+  node->set_directory(&directory_);
   CLOG_RETURN_IF_ERROR(node->Start());
   executor_->StartNode(id);
   Node* raw = node.get();
@@ -97,7 +95,10 @@ Node* Cluster::node(NodeId id) {
 
 std::vector<NodeId> Cluster::NodeIds() const {
   std::vector<NodeId> out;
-  for (const auto& [id, _] : nodes_) out.push_back(id);
+  for (const auto& [id, _] : nodes_) {
+    if (departed_.count(id) != 0) continue;
+    out.push_back(id);
+  }
   return out;
 }
 
@@ -142,6 +143,9 @@ Status Cluster::RestartNodes(const std::vector<NodeId>& ids) {
   for (NodeId id : ids) {
     Node* n = node(id);
     if (n == nullptr) return Status::NotFound("no such node");
+    if (departed_.count(id) != 0) {
+      return Status::FailedPrecondition("node departed the cluster");
+    }
     if (n->state() != NodeState::kDown) {
       return Status::FailedPrecondition("node not crashed");
     }
@@ -289,13 +293,133 @@ Status Cluster::ReconnectNode(NodeId id) {
 Status Cluster::ReplaceAndRestartNode(NodeId id) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return Status::NotFound("no such node");
+  if (departed_.count(id) != 0) {
+    return Status::FailedPrecondition("node departed the cluster");
+  }
   if (it->second->state() != NodeState::kDown) {
     return Status::FailedPrecondition("node not crashed");
   }
   NodeOptions opts = it->second->options();
   // The old process is gone; the standby attaches to the same files.
   it->second = std::make_unique<Node>(id, opts, &network_, &detector_);
+  it->second->set_directory(&directory_);
   return RestartNodes({id});
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership (docs/PROTOCOLS.md, "Membership & ownership handoff")
+// ---------------------------------------------------------------------------
+
+Result<Node*> Cluster::JoinNode(std::optional<NodeOptions> overrides) {
+  CLOG_ASSIGN_OR_RETURN(Node * n, AddNode(std::move(overrides)));
+  directory_.BumpEpoch();
+  return n;
+}
+
+Status Cluster::HandoffPage(PageId pid, NodeId to) {
+  const NodeId from = directory_.OwnerOf(pid);
+  if (from == to) return Status::OK();
+  Node* src = node(from);
+  Node* dst = node(to);
+  if (src == nullptr || dst == nullptr) return Status::NotFound("no such node");
+  if (departed_.count(from) != 0 || departed_.count(to) != 0) {
+    return Status::FailedPrecondition("handoff endpoint departed");
+  }
+
+  // After every durable boundary the hook may crash either endpoint; the
+  // ledgers carry the handoff from there (restart re-entry or a later
+  // ResolveHandoffs), so a dead endpoint just ends this driver early.
+  auto boundary = [&](HandoffPhase phase) -> Status {
+    if (handoff_phase_hook_) handoff_phase_hook_(pid, phase);
+    if (src->state() != NodeState::kUp) {
+      return Status::NodeDown("handoff source crashed at boundary");
+    }
+    if (dst->state() != NodeState::kUp) {
+      return Status::NodeDown("handoff target crashed at boundary");
+    }
+    return Status::OK();
+  };
+  auto run = [&]() -> Status {
+    Status st;
+    CLOG_RETURN_IF_ERROR(
+        Execute(from, [&] { st = src->HandoffPrepare(pid, to); }));
+    CLOG_RETURN_IF_ERROR(st);
+    CLOG_RETURN_IF_ERROR(boundary(HandoffPhase::kPrepared));
+    CLOG_RETURN_IF_ERROR(Execute(from, [&] { st = src->HandoffShip(pid); }));
+    CLOG_RETURN_IF_ERROR(st);
+    CLOG_RETURN_IF_ERROR(boundary(HandoffPhase::kShipped));
+    CLOG_RETURN_IF_ERROR(
+        Execute(from, [&] { st = src->HandoffTransfer(pid); }));
+    CLOG_RETURN_IF_ERROR(st);
+    CLOG_RETURN_IF_ERROR(boundary(HandoffPhase::kTransferred));
+    CLOG_RETURN_IF_ERROR(
+        Execute(from, [&] { st = src->HandoffComplete(pid); }));
+    CLOG_RETURN_IF_ERROR(st);
+    return boundary(HandoffPhase::kCompleted);
+  };
+  Status out = run();
+  if (!out.ok() && src->state() == NodeState::kUp) {
+    // Best effort: a live source should not stay fenced behind a doomed
+    // handoff (a prepared record aborts; an in-doubt shipped one queries).
+    Execute(from, [&] { src->ResolvePendingHandoffs(nullptr).ok(); }).ok();
+  }
+  return out;
+}
+
+Status Cluster::LeaveNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (departed_.count(id) != 0) {
+    return Status::FailedPrecondition("node already departed");
+  }
+  if (n->state() != NodeState::kUp) {
+    return Status::FailedPrecondition("node not up (crashed nodes cannot "
+                                      "leave gracefully)");
+  }
+  std::vector<NodeId> recipients;
+  for (auto& [nid, other] : nodes_) {
+    if (nid == id || departed_.count(nid) != 0) continue;
+    if (other->state() == NodeState::kUp) recipients.push_back(nid);
+  }
+  if (recipients.empty()) {
+    return Status::FailedPrecondition("no live recipient to drain to");
+  }
+  std::vector<PageId> owned;
+  CLOG_RETURN_IF_ERROR(Execute(id, [&] { owned = n->OwnedPages(); }));
+  std::size_t rr = 0;
+  for (PageId pid : owned) {
+    // A failed drain handoff (Busy page, endpoint crash) aborts the leave;
+    // pages already moved stay moved and the caller may retry later.
+    CLOG_RETURN_IF_ERROR(HandoffPage(pid, recipients[rr++ % recipients.size()]));
+  }
+  // Owned pages are gone; now hand back every lock this node cached on
+  // other owners' pages (forcing its remote dirt durable at the owners
+  // first), so no global lock table remembers a node that will never
+  // answer a callback again.
+  Status depart;
+  CLOG_RETURN_IF_ERROR(Execute(id, [&] { depart = n->PrepareDeparture(); }));
+  CLOG_RETURN_IF_ERROR(depart);
+  network_.SetNodeDeparted(id);
+  HaltNode(n);
+  departed_.insert(id);
+  directory_.BumpEpoch();
+  return Status::OK();
+}
+
+Status Cluster::ResolveHandoffs(std::size_t* resolved) {
+  std::size_t total = 0;
+  for (auto& [id, n] : nodes_) {
+    if (departed_.count(id) != 0) continue;
+    if (n->state() != NodeState::kUp) continue;
+    Status st;
+    std::size_t count = 0;
+    CLOG_RETURN_IF_ERROR(
+        Execute(id, [&] { st = n->ResolvePendingHandoffs(&count); }));
+    CLOG_RETURN_IF_ERROR(st);
+    total += count;
+  }
+  if (resolved != nullptr) *resolved = total;
+  return Status::OK();
 }
 
 Status Cluster::RunTransaction(NodeId node_id,

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/membership.h"
 #include "lock/deadlock_detector.h"
 #include "net/executor.h"
 #include "net/network.h"
@@ -57,9 +59,6 @@ struct ClusterOptions {
   /// archive cadence, and redo parallelism in one value; see
   /// node/options.h. Defaults preserve the classic behavior exactly.
   LoggingPolicy logging_policy;
-  /// DEPRECATED alias (one release): use logging_policy.group_commit.
-  /// Honored only if logging_policy.group_commit was left disabled.
-  GroupCommitPolicy group_commit;
   /// Optional structured-event trace sink (not owned; must outlive the
   /// cluster). The cluster binds its SimClock to the sink and wires it
   /// into the network and every node; see docs/observability.md. nullptr
@@ -75,6 +74,17 @@ enum class RecoveryPhase : int {
   kExchanged = 1,  ///< Peer state queried, lock tables reconstructed.
   kRedone = 2,     ///< Redo pass over its pages complete.
   kFinished = 3,   ///< Losers undone; node is up.
+};
+
+/// Phase boundaries of a page-ownership handoff (docs/PROTOCOLS.md,
+/// "Membership & ownership handoff"), in execution order. HandoffPage
+/// reports each one through the handoff phase hook; a hook that crashes
+/// either endpoint there exercises crash-during-handoff re-entry.
+enum class HandoffPhase : int {
+  kPrepared = 0,     ///< Page fenced, durable intent at the source.
+  kShipped = 1,      ///< Source's durable copy is the latest version.
+  kTransferred = 2,  ///< Target durably adopted (the commit point).
+  kCompleted = 3,    ///< Source durably ceded; volatile state dropped.
 };
 
 /// The distributed system under test. In simulation mode, deterministic
@@ -153,6 +163,49 @@ class Cluster {
     return recovery_stats_;
   }
 
+  // --- Elastic membership (docs/PROTOCOLS.md) ---------------------------
+
+  /// Adds a node to a LIVE cluster (same as AddNode; the epoch bump marks
+  /// the membership change for observers).
+  Result<Node*> JoinNode(std::optional<NodeOptions> overrides = std::nullopt);
+
+  /// Gracefully retires a node: every page it currently owns is handed off
+  /// round-robin to the remaining up members, then the node is marked
+  /// departed (permanent — it can never be restarted) and halted. Fails
+  /// without departing if a drain handoff cannot run (Busy page, no
+  /// recipient); pages already moved stay moved and the caller may retry.
+  Status LeaveNode(NodeId id);
+
+  /// Moves one page from its current owner to `to` via the four-phase
+  /// crash-restartable protocol. The handoff phase hook fires after each
+  /// durable boundary; if a hook crashes an endpoint the call returns
+  /// NodeDown and the ledgers re-enter the handoff at the next restart /
+  /// ResolveHandoffs.
+  Status HandoffPage(PageId pid, NodeId to);
+
+  /// Re-enters any in-flight handoffs on all up nodes (the live-node
+  /// counterpart of the restart-time resolution). `resolved` (optional)
+  /// returns how many ledger records were settled.
+  Status ResolveHandoffs(std::size_t* resolved = nullptr);
+
+  /// Current owner of `pid` per the shared directory (the home node unless
+  /// the page was handed off).
+  NodeId CurrentOwner(PageId pid) const { return directory_.OwnerOf(pid); }
+
+  /// The cluster-shared ownership directory.
+  OwnershipDirectory& directory() { return directory_; }
+
+  /// True if `id` left the cluster through LeaveNode.
+  bool IsDeparted(NodeId id) const { return departed_.count(id) != 0; }
+
+  /// Installs (or clears, with nullptr) the per-phase handoff callback.
+  /// Called as hook(pid, phase) after each completed handoff phase; the
+  /// hook may CrashNode either endpoint to simulate dying at that boundary.
+  void set_handoff_phase_hook(
+      std::function<void(PageId, HandoffPhase)> hook) {
+    handoff_phase_hook_ = std::move(hook);
+  }
+
   // --- Transaction convenience -----------------------------------------
 
   /// Runs `body` as a transaction on `node_id` with automatic retry on
@@ -214,6 +267,13 @@ class Cluster {
   NodeId next_id_ = 0;
   std::map<NodeId, RestartRecovery::Stats> recovery_stats_;
   std::function<void(NodeId, RecoveryPhase)> recovery_phase_hook_;
+  std::function<void(PageId, HandoffPhase)> handoff_phase_hook_;
+  /// Cluster-shared volatile ownership directory; every node routes
+  /// OwnerOf through it. Ground truth is the per-node durable ledgers.
+  OwnershipDirectory directory_;
+  /// Nodes retired via LeaveNode. Permanent: excluded from NodeIds and
+  /// refused by RestartNodes.
+  std::set<NodeId> departed_;
   /// Real-threads mode: one background thread per restart that left a node
   /// with instant-restore work pending, draining the cold tail through the
   /// node's execution context. Sim mode drains inline instead (each

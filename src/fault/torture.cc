@@ -305,9 +305,7 @@ class TortureRun {
     copts.retry_policy.enabled = true;
     copts.retry_policy.jitter_seed = options_.seed ^ 0xC10CBEEFull;
     if (options_.group_commit) {
-      copts.group_commit.enabled = true;
-      copts.group_commit.window_ns = 2'000'000;
-      copts.group_commit.max_group_size = 4;
+      copts.logging_policy.WithGroupCommitWindow(2'000'000, 4);
       Event("group-commit on");
     }
     if (options_.adaptive) {
@@ -316,16 +314,14 @@ class TortureRun {
       // scheduler handles every self-only page during restarts. Two
       // workers keep the real-mode pool path honest; the simulation
       // replays the chains sequentially either way.
-      copts.logging_policy = LoggingPolicy()
-                                 .WithStrategy(LogStrategy::kAdaptive)
-                                 .WithRedoWorkers(2);
+      copts.logging_policy.WithStrategy(LogStrategy::kAdaptive)
+          .WithRedoWorkers(2);
       Event("adaptive on");
     }
     if (MediaMode()) {
       // Media schedules run with the archive at its most aggressive
       // cadence so device losses land on pages with fresh base images.
-      copts.node_defaults.archive.enabled = true;
-      copts.node_defaults.archive.every_checkpoints = 1;
+      copts.node_defaults.logging_policy.WithArchiveEvery(1);
       Event("media-failure on");
     }
     if (options_.hammer_restore) {
@@ -420,6 +416,14 @@ class TortureRun {
     // workload instead of the backlog draining in one burst.
     if (options_.hammer_restore) {
       for (NodeId id : UpNodes()) cluster_->node(id)->SweepRestore(1);
+    }
+    // Elastic mode: membership churn rides on top of the normal step mix.
+    // The extra RNG draws happen only when the mode is on, so every
+    // non-elastic schedule's stream — and hash — is byte-identical to a
+    // build without the subsystem.
+    if (options_.elastic && rng_.Uniform(100) < 12) {
+      DoElasticOp(step);
+      if (!failure_.empty()) return;
     }
 
     std::uint64_t dice = rng_.Uniform(100);
@@ -758,7 +762,7 @@ class TortureRun {
     Node* n = cluster_->node(actor);
     std::vector<PageId> own;
     for (PageId pid : pages_) {
-      if (pid.owner == actor) own.push_back(pid);
+      if (cluster_->CurrentOwner(pid) == actor) own.push_back(pid);
     }
     if (own.empty()) return;
     PageId pid = own[rng_.Uniform(own.size())];
@@ -783,6 +787,241 @@ class TortureRun {
     Event("checkpoint step=" + std::to_string(step) +
           " node=" + std::to_string(actor) + (st.ok() ? " ok" : " failed"));
     if (!st.ok()) CrashActor(actor, "checkpoint-failed");
+  }
+
+  // --- Elastic membership (ownership handoff, join, leave) --------------
+
+  void DoElasticOp(int step) {
+    std::uint64_t kind = rng_.Uniform(100);
+    if (kind < 70) {
+      DoHandoff(step);
+    } else if (kind < 85) {
+      DoJoin(step);
+    } else {
+      DoLeave(step);
+    }
+  }
+
+  /// Moves one seeded page to a seeded up node through the four-phase
+  /// protocol. A seeded fraction of the handoffs (all of them under
+  /// crash_during_handoff) arms a crash of one endpoint at a seeded phase
+  /// boundary; the interrupted handoff must then re-enter from the durable
+  /// ledgers at the next restart. A completed handoff is immediately held
+  /// to the elastic invariants: durable PSN at the new owner at or above
+  /// the watermark, and every committed record on the page readable there.
+  void DoHandoff(int step) {
+    PageId pid = pages_[rng_.Uniform(pages_.size())];
+    std::vector<NodeId> up = UpNodes();
+    NodeId to = up[rng_.Uniform(up.size())];
+    std::uint64_t arm_roll = rng_.Uniform(100);
+    bool arm = options_.crash_during_handoff || arm_roll < 30;
+    int boundary = 0;
+    bool crash_target = false;
+    if (arm) {
+      boundary = static_cast<int>(rng_.Uniform(4));
+      crash_target = rng_.Uniform(2) == 1;
+    }
+    NodeId from = cluster_->CurrentOwner(pid);
+    if (from == to) {
+      Event("handoff step=" + std::to_string(step) + " " + pid.ToString() +
+            " self-noop");
+      return;
+    }
+    if (arm) {
+      NodeId victim = crash_target ? to : from;
+      cluster_->set_handoff_phase_hook(
+          [this, victim, boundary](PageId, HandoffPhase phase) {
+            if (static_cast<int>(phase) != boundary) return;
+            Node* v = cluster_->node(victim);
+            if (v == nullptr || v->state() != NodeState::kUp) return;
+            CrashActor(victim, "handoff-boundary");
+            ++report_.handoff_crashes;
+            Event("handoff-crash node=" + std::to_string(victim) +
+                  " phase=" + std::to_string(boundary));
+          });
+    }
+    Status st = cluster_->HandoffPage(pid, to);
+    cluster_->set_handoff_phase_hook(nullptr);
+    Event("handoff step=" + std::to_string(step) + " " + pid.ToString() +
+          " " + std::to_string(from) + "->" + std::to_string(to) +
+          (st.ok() ? " ok" : " failed"));
+    if (!failure_.empty()) return;
+    if (st.ok()) {
+      ++report_.handoffs;
+      CheckHandoffDurability(pid, to);
+      return;
+    }
+    // An armed crash can kill the driver's endpoint after the target
+    // already durably adopted (the commit point) — the call reports
+    // failure but the transfer took effect. Count it as a handoff so the
+    // crash shard's non-degeneracy check measures ownership movement, not
+    // clean returns; the post-restart sweep holds it to the invariants.
+    if (cluster_->CurrentOwner(pid) == to) ++report_.handoffs;
+  }
+
+  /// Elastic invariants 2+3, checked right after a completed handoff with
+  /// faults quiesced: the page's newest visible PSN (caches plus the
+  /// adopted durable copy) must sit at or above its never-regress
+  /// watermark — the transferred RedoLSN horizon must not have lost an
+  /// update — and every committed record on the page must read back its
+  /// model value from the new owner. Both halves defer to the post-restart
+  /// sweep when they cannot conclude anything here: the PSN half needs
+  /// every copy visible (a crashed holder may hold the newest version in
+  /// its dead cache until its redo restores it), and a read may bounce off
+  /// an exclusive lock legitimately retained for a crashed holder
+  /// (Section 2.3 — the handoff transfers that residue with the page).
+  void CheckHandoffDurability(PageId pid, NodeId to) {
+    Node* n = cluster_->node(to);
+    if (n == nullptr || n->state() != NodeState::kUp) return;
+    if (poisoned_.contains(pid) || n->IsRestoring(pid)) return;
+    injector_.set_enabled(false);
+    if (UpNodes().size() == cluster_->NodeIds().size()) {
+      Psn effective = 0;
+      for (NodeId id : cluster_->NodeIds()) {
+        const Page* p = cluster_->node(id)->pool().Peek(pid);
+        if (p != nullptr) effective = std::max(effective, p->psn());
+      }
+      Result<Psn> dp = n->DiskPsn(pid);
+      if (!dp.ok()) {
+        // Zero durable owners: the adopt wrote this image moments ago.
+        Fail("handoff " + pid.ToString() +
+             ": adopted durable copy unreadable at node " +
+             std::to_string(to) + ": " + dp.status().ToString());
+        injector_.set_enabled(true);
+        return;
+      }
+      effective = std::max(effective, *dp);
+      auto it = watermark_.find(pid);
+      if (it != watermark_.end() && effective < it->second) {
+        Fail("handoff " + pid.ToString() + ": visible psn regressed " +
+             std::to_string(it->second) + " -> " + std::to_string(effective) +
+             " across transfer to node " + std::to_string(to));
+        injector_.set_enabled(true);
+        return;
+      }
+      watermark_[pid] = effective;
+    }
+    Result<TxnId> begun = n->Begin();
+    if (begun.ok()) {
+      for (RecordId rid : rids_) {
+        if (rid.page != pid || Unverifiable(rid)) continue;
+        Result<std::string> got = n->Read(*begun, rid);
+        std::optional<std::string> expected = ModelValue(rid);
+        if (got.ok()) {
+          if (!expected || *expected != *got) {
+            Fail("handoff " + pid.ToString() + ": committed record " +
+                 rid.ToString() + " reads \"" + *got + "\" at new owner, " +
+                 "expected " + OptStr(expected));
+            break;
+          }
+          ++report_.reads_checked;
+        } else if (got.status().IsNotFound()) {
+          if (expected) {
+            Fail("handoff " + pid.ToString() + ": committed record " +
+                 rid.ToString() + " lost at new owner, expected " +
+                 OptStr(expected));
+            break;
+          }
+          ++report_.reads_checked;
+        } else {
+          Event("handoff-check deferred " + pid.ToString());
+          break;
+        }
+      }
+      (void)n->Abort(*begun);
+    }
+    injector_.set_enabled(true);
+  }
+
+  void DoJoin(int step) {
+    // Cap growth at a few nodes over the seeded complement so a join-heavy
+    // schedule cannot allocate without bound.
+    if (cluster_->NodeIds().size() >=
+        static_cast<std::size_t>(options_.num_nodes) + 4) {
+      Event("join step=" + std::to_string(step) + " capped");
+      return;
+    }
+    Result<Node*> added = cluster_->JoinNode();
+    if (!added.ok()) {
+      Event("join step=" + std::to_string(step) + " failed");
+      return;
+    }
+    ++report_.joins;
+    Event("join step=" + std::to_string(step) +
+          " node=" + std::to_string((*added)->id()));
+  }
+
+  /// Graceful departure: the victim drains every owned page round-robin to
+  /// the surviving members, then is halted and marked departed forever.
+  /// Failures are tolerated — a drain handoff can hit a Busy page or a
+  /// crashed recipient under live faults; pages already moved stay moved
+  /// and the node simply keeps running.
+  void DoLeave(int step) {
+    std::vector<NodeId> up = UpNodes();
+    // Never drain the cluster below three up members: the remaining pair
+    // must still absorb the departing node's pages and each other's faults.
+    if (up.size() < 3 || cluster_->NodeIds().size() < 3) {
+      Event("leave step=" + std::to_string(step) + " too-few");
+      return;
+    }
+    NodeId victim = up[rng_.Uniform(up.size())];
+    Status st = cluster_->LeaveNode(victim);
+    if (!st.ok()) {
+      Event("leave step=" + std::to_string(step) +
+            " node=" + std::to_string(victim) + " failed");
+      return;
+    }
+    ++report_.leaves;
+    Event("leave step=" + std::to_string(step) +
+          " node=" + std::to_string(victim) + " ok");
+  }
+
+  /// Elastic invariant 1: every page has exactly one durable owner claim —
+  /// its home node unless durably ceded, plus whichever node's handoff
+  /// ledger holds an adopted image — and the claimant is the directory's
+  /// current owner. Zero claims would orphan the page's history; two would
+  /// fork it. Requires every (non-departed) node up with all in-flight
+  /// handoffs resolved, so callers run it right after ResolveHandoffs.
+  void CheckOwnershipClaims(const char* tag) {
+    if (!options_.elastic) return;
+    for (NodeId id : cluster_->NodeIds()) {
+      Node* n = cluster_->node(id);
+      if (n == nullptr || n->state() != NodeState::kUp) continue;
+      std::vector<PageId> inflight = n->handoff().InflightPages();
+      if (!inflight.empty()) {
+        Fail(std::string(tag) + " node " + std::to_string(id) + ": " +
+             std::to_string(inflight.size()) +
+             " handoff(s) still in flight after resolution, first " +
+             inflight.front().ToString());
+        return;
+      }
+    }
+    for (PageId pid : pages_) {
+      NodeId owner = cluster_->CurrentOwner(pid);
+      std::size_t claims = 0;
+      NodeId claimant = owner;
+      for (NodeId id : cluster_->NodeIds()) {
+        Node* n = cluster_->node(id);
+        if (n == nullptr || n->state() != NodeState::kUp) continue;
+        bool claim = pid.owner == id ? !n->handoff().IsCeded(pid)
+                                     : n->handoff().IsAdopted(pid);
+        if (!claim) continue;
+        ++claims;
+        claimant = id;
+      }
+      if (claims != 1) {
+        Fail(std::string(tag) + " " + pid.ToString() + ": " +
+             std::to_string(claims) + " durable owner claims, want exactly 1");
+        return;
+      }
+      if (claimant != owner) {
+        Fail(std::string(tag) + " " + pid.ToString() + ": directory owner " +
+             std::to_string(owner) + " but durable claimant " +
+             std::to_string(claimant));
+        return;
+      }
+    }
+    Event(std::string("ownership-check ") + tag + " ok");
   }
 
   // --- Group commit bookkeeping -----------------------------------------
@@ -916,9 +1155,29 @@ class TortureRun {
               }
             });
       }
+      // Elastic: an endpoint crash can leave a page fenced in doubt at a
+      // *live* source until its target answers a HandoffQuery. A node
+      // restarting this round may need a lock on that page to reconstruct
+      // its retained state, so settle what is already settleable first —
+      // each round brings more endpoints up, and the convergence bound
+      // still applies.
+      if (options_.elastic) {
+        Status rh = cluster_->ResolveHandoffs();
+        if (!rh.ok()) {
+          Fail("ResolveHandoffs: " + rh.ToString());
+          return;
+        }
+      }
       Status st = cluster_->RestartNodes(down);
       cluster_->set_recovery_phase_hook(nullptr);
       if (!st.ok()) {
+        if (options_.elastic && st.IsBusy()) {
+          // A fence held by a still-unresolved handoff blocked this
+          // round's recovery; the next round resolves further and retries.
+          Event("restart-blocked round=" + std::to_string(round) + " " +
+                st.ToString());
+          continue;
+        }
         Fail("RestartNodes: " + st.ToString());
         return;
       }
@@ -933,6 +1192,20 @@ class TortureRun {
             " recovered=" + std::to_string(recovered));
     }
     HarvestPoison();
+    // Elastic mode: settle every in-flight handoff now that all nodes are
+    // up with links healed — in-doubt pages unfence (the target either
+    // durably adopted or the handoff aborts), so the verification below
+    // never reads into a fence — then hold the exactly-one-owner claim
+    // invariant across every durable ledger.
+    if (options_.elastic) {
+      Status rh = cluster_->ResolveHandoffs();
+      if (!rh.ok()) {
+        Fail("ResolveHandoffs: " + rh.ToString());
+        return;
+      }
+      CheckOwnershipClaims("post-restart");
+      if (!failure_.empty()) return;
+    }
     ResolvePending();
     if (failure_.empty()) CheckPsnConsistency("post-restart");
     if (failure_.empty() && !rids_.empty()) {
@@ -1102,7 +1375,7 @@ class TortureRun {
       // A page still queued for instant restore sits unreadable on disk by
       // design until its on-demand rebuild; its watermark resumes once the
       // rebuild lands (and must not have regressed then).
-      Node* owner_probe = cluster_->node(pid.owner);
+      Node* owner_probe = cluster_->node(cluster_->CurrentOwner(pid));
       if (owner_probe != nullptr && owner_probe->IsRestoring(pid)) continue;
       Psn max_psn = 0;
       bool any_copy = false;
@@ -1118,7 +1391,7 @@ class TortureRun {
       }
       Psn disk_psn = 0;
       bool have_disk = false;
-      Node* owner = cluster_->node(pid.owner);
+      Node* owner = cluster_->node(cluster_->CurrentOwner(pid));
       if (owner != nullptr && owner->state() == NodeState::kUp) {
         Result<Psn> dr = owner->DiskPsn(pid);
         if (dr.ok()) {
@@ -1309,6 +1582,18 @@ class TortureRun {
     report_.restarts += cluster_->NodeIds().size();
     Event("final restart");
     HarvestPoison();
+    // Elastic mode: the joint recovery must have re-entered every handoff
+    // the run left interrupted; after one live resolution pass, exactly
+    // one durable owner claim per page, cluster-wide.
+    if (options_.elastic) {
+      Status rh = cluster_->ResolveHandoffs();
+      if (!rh.ok()) {
+        Fail("final ResolveHandoffs: " + rh.ToString());
+        return;
+      }
+      CheckOwnershipClaims("final");
+      if (!failure_.empty()) return;
+    }
 
     // Hammer mode: drain every restore backlog before the full
     // verification, then hold the exit invariants — no plan left pending
@@ -1372,7 +1657,8 @@ class TortureRun {
       std::map<PageId, std::string> first_images;
       for (const PageId& pid : pages_) {
         if (poisoned_.contains(pid)) continue;
-        Result<std::string> img = cluster_->node(pid.owner)->DebugPageImage(pid);
+        Result<std::string> img =
+            cluster_->node(cluster_->CurrentOwner(pid))->DebugPageImage(pid);
         // Unreadable (fenced mid-harvest): no fidelity claim for this page.
         if (img.ok()) first_images[pid] = std::move(*img);
       }
@@ -1390,7 +1676,8 @@ class TortureRun {
       std::size_t checked = 0;
       for (const auto& [pid, want] : first_images) {
         if (poisoned_.contains(pid)) continue;
-        Result<std::string> got = cluster_->node(pid.owner)->DebugPageImage(pid);
+        Result<std::string> got =
+            cluster_->node(cluster_->CurrentOwner(pid))->DebugPageImage(pid);
         if (!got.ok()) {
           Fail("redo fidelity: " + pid.ToString() +
                " unreadable after second recovery: " + got.status().ToString());
@@ -1517,6 +1804,11 @@ std::string TortureReport::Summary() const {
     out << " media{losses=" << device_losses << " log=" << log_losses
         << " read_faults=" << faults.failed_page_reads
         << " poisoned=" << pages_poisoned << "}";
+  }
+  if (handoffs != 0 || handoff_crashes != 0 || joins != 0 || leaves != 0) {
+    out << " elastic{handoffs=" << handoffs
+        << " crashes=" << handoff_crashes << " joins=" << joins
+        << " leaves=" << leaves << "}";
   }
   if (restore_planned != 0) {
     out << " restore{planned=" << restore_planned

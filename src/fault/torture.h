@@ -77,6 +77,25 @@ struct TortureOptions {
   /// final phase drains every backlog and asserts nothing is left pending
   /// or recorded in the ledger.
   bool hammer_restore = false;
+  /// Elastic-membership mode: a seeded fraction of the steps runs a
+  /// membership operation on top of the normal workload — a page handoff
+  /// to a random up node via the four-phase crash-restartable protocol, a
+  /// JoinNode (the newcomer then receives pages through later handoffs),
+  /// or a graceful LeaveNode that drains every owned page round-robin.
+  /// Handoffs are sometimes armed to crash one endpoint (source or
+  /// target, seeded) at a seeded phase boundary, so the durable handoff
+  /// ledgers must re-enter cleanly at the next restart. Three invariants
+  /// ride on top of the usual four: every page has exactly one durable
+  /// owner claim (never zero, never two), no committed update is lost
+  /// across a transfer (every record on a moved page is re-verified from
+  /// the new owner), and the durable PSN at the new owner never regresses
+  /// below the page's watermark. Off by default; non-elastic schedules
+  /// draw nothing extra from the RNG, so their hashes are untouched.
+  bool elastic = false;
+  /// Force every elastic handoff to crash one endpoint at a seeded phase
+  /// boundary (instead of the default seeded probability), so whole
+  /// schedules consist of interrupted handoffs and ledger re-entries.
+  bool crash_during_handoff = false;
   /// Scratch directory; empty = fresh mkdtemp, removed afterwards.
   std::string scratch_dir;
   /// Per-node capacity of the structured trace ring (newest events win).
@@ -118,6 +137,11 @@ struct TortureReport {
   std::uint64_t restore_from_archive = 0;///< Rebuilt from archive + redo.
   std::uint64_t restore_from_seed = 0;   ///< Rebuilt from seed + full redo.
   std::uint64_t restore_already_durable = 0;  ///< Durable again before touch.
+  // Elastic-membership counters (elastic mode):
+  std::uint64_t handoffs = 0;         ///< Page handoffs that completed.
+  std::uint64_t handoff_crashes = 0;  ///< Crashes at a handoff phase boundary.
+  std::uint64_t joins = 0;            ///< Nodes that joined mid-run.
+  std::uint64_t leaves = 0;           ///< Nodes that departed gracefully.
   FaultInjector::Counters faults;
 
   // Availability-envelope counters (mirrored from the network's metrics):

@@ -48,6 +48,14 @@ std::string_view MsgTypeName(MsgType t) {
       return "ping";
     case MsgType::kPingReply:
       return "ping_reply";
+    case MsgType::kHandoffOffer:
+      return "handoff_offer";
+    case MsgType::kHandoffOfferReply:
+      return "handoff_offer_reply";
+    case MsgType::kHandoffQuery:
+      return "handoff_query";
+    case MsgType::kHandoffQueryReply:
+      return "handoff_query_reply";
   }
   return "unknown";
 }
@@ -60,6 +68,8 @@ std::string_view PeerHealthName(PeerHealth h) {
       return "recovering";
     case PeerHealth::kUp:
       return "up";
+    case PeerHealth::kDeparted:
+      return "departed";
   }
   return "unknown";
 }

@@ -53,6 +53,12 @@ enum class MsgType : std::uint8_t {
   // Availability layer (failure detection).
   kPing,                ///< Prober -> peer: are you up, recovering, or gone?
   kPingReply,           ///< Peer -> prober: liveness verdict.
+
+  // Elastic membership (ownership handoff, docs/PROTOCOLS.md).
+  kHandoffOffer,        ///< Old owner -> new owner: adopt this page + residue.
+  kHandoffOfferReply,   ///< New owner -> old owner: adoption verdict.
+  kHandoffQuery,        ///< Old owner -> new owner: did my offer land?
+  kHandoffQueryReply,   ///< New owner -> old owner: adopted or not.
 };
 
 /// Canonical name used as the metrics key suffix ("msg.lock_page_request").
@@ -65,9 +71,13 @@ enum class PeerHealth : std::uint8_t {
   kDown = 0,
   kRecovering = 1,
   kUp = 2,
+  /// Left the cluster for good (elastic membership). Unlike kDown this is
+  /// authoritative and permanent: nobody waits for, retries against, or
+  /// tries to recover a departed peer.
+  kDeparted = 3,
 };
 
-/// Canonical lower-case name ("down", "recovering", "up").
+/// Canonical lower-case name ("down", "recovering", "up", "departed").
 std::string_view PeerHealthName(PeerHealth h);
 
 /// Reply to kLockPageRequest.
@@ -141,6 +151,49 @@ struct RecoverPageReply {
   std::shared_ptr<Page> page;    ///< Page after applying this node's redo.
   bool more = false;             ///< Node has further records past the bound.
   std::uint64_t applied = 0;     ///< Redo records applied (metric).
+};
+
+/// One holder-residue entry travelling with a handoff: a node-level cached
+/// lock on the page granted by the old owner and re-installed verbatim by
+/// the new one, so callback locking survives the transfer.
+struct HandoffHolderEntry {
+  NodeId node = kInvalidNodeId;
+  LockMode mode = LockMode::kNone;
+};
+
+/// kHandoffOffer: everything the new owner needs to take a page over — the
+/// latest durable image plus the *owner-side recovery state* the paper's
+/// protocols hang off the owner (Section 2.5): the replacer set whose DPT
+/// RedoLSNs are waiting on a FlushNotify from whoever owns the page, the
+/// node-level lock residue, and the PSN the page's durable history was
+/// seeded at (needed for full-history rebuilds after the home node's space
+/// map is out of the picture).
+struct HandoffOffer {
+  PageId pid;
+  std::shared_ptr<Page> page;  ///< Durable-latest image at the old owner.
+  Psn psn = 0;                 ///< page->psn(), for cheap logging/metrics.
+  Psn seed_psn = 0;            ///< PSN the page's durable history starts at.
+  /// Nodes that replaced this page dirty and still hold a DPT entry for it:
+  /// the new owner notifies them (FlushNotify) once its copy is durable, so
+  /// their RedoLSNs advance off a node that was never the page's home.
+  std::vector<NodeId> replacers;
+  /// Node-level cached locks the old owner's global table granted.
+  std::vector<HandoffHolderEntry> holders;
+  /// Membership epoch at the old owner when the offer was built.
+  std::uint64_t epoch = 0;
+};
+
+/// Reply to kHandoffOffer.
+struct HandoffOfferReply {
+  bool accepted = false;
+};
+
+/// Reply to kHandoffQuery: the crash-re-entry probe. `adopted` is read from
+/// the target's durable handoff ledger, so the answer survives any number
+/// of crashes on either side.
+struct HandoffQueryReply {
+  bool adopted = false;
+  Psn psn = 0;  ///< Adopted image's PSN when adopted.
 };
 
 }  // namespace clog

@@ -53,11 +53,29 @@ bool Network::IsUp(NodeId id) const {
   return it != peers_.end() && it->second.up;
 }
 
+void Network::SetNodeDeparted(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(id);
+  if (it != peers_.end()) {
+    it->second.up = false;
+    it->second.departed = true;
+  }
+  detector_.Invalidate(id);
+}
+
+bool Network::IsDeparted(NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(id);
+  return it != peers_.end() && it->second.departed;
+}
+
 std::vector<NodeId> Network::AllNodes() const {
   std::vector<NodeId> out;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (const auto& [id, _] : peers_) out.push_back(id);
+    for (const auto& [id, peer] : peers_) {
+      if (!peer.departed) out.push_back(id);
+    }
   }
   // peers_ is a hash map; callers (and determinism) expect id order.
   std::sort(out.begin(), out.end());
@@ -69,7 +87,7 @@ std::vector<NodeId> Network::OperationalNodes(NodeId except) const {
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (const auto& [id, peer] : peers_) {
-      if (peer.up && id != except) out.push_back(id);
+      if (peer.up && !peer.departed && id != except) out.push_back(id);
     }
   }
   std::sort(out.begin(), out.end());
@@ -141,6 +159,11 @@ PeerHealth Network::ProbePeer(NodeId from, NodeId to) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = peers_.find(to);
+    if (it != peers_.end() && it->second.departed) {
+      // Departed for good: authoritative, free, and terminal — callers
+      // must not treat this like a crash they should wait out.
+      return PeerHealth::kDeparted;
+    }
     if (it == peers_.end() || !it->second.up) {
       // Connection refused: authoritative and free, so no caching needed.
       return PeerHealth::kDown;
@@ -430,6 +453,35 @@ Status Network::NodeRecovered(NodeId from, NodeId to, NodeId who) {
     (void)Deliver(to, [&] { svc->HandleNodeRecovered(who); });
   }
   return Status::OK();
+}
+
+Status Network::HandoffOfferRpc(NodeId from, NodeId to,
+                                const HandoffOffer& offer,
+                                HandoffOfferReply* reply) {
+  const std::uint64_t t0 = Now();
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
+  Charge(MsgType::kHandoffOffer,
+         kPageSize + offer.replacers.size() * 4 + offer.holders.size() * 5,
+         from, to);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleHandoffOffer(from, offer, reply); }));
+  Charge(MsgType::kHandoffOfferReply, 1, from, to);
+  RecordRtt(t0);
+  return st;
+}
+
+Status Network::HandoffQueryRpc(NodeId from, NodeId to, PageId pid,
+                                HandoffQueryReply* reply) {
+  const std::uint64_t t0 = Now();
+  CLOG_ASSIGN_OR_RETURN(NodeService * svc, AdmitWithRetry(from, to));
+  Charge(MsgType::kHandoffQuery, 8, from, to);
+  Status st;
+  CLOG_RETURN_IF_ERROR(
+      Deliver(to, [&] { st = svc->HandleHandoffQuery(from, pid, reply); }));
+  Charge(MsgType::kHandoffQueryReply, 9, from, to);
+  RecordRtt(t0);
+  return st;
 }
 
 Status Network::LogLossNotice(NodeId from, NodeId to,

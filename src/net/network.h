@@ -134,6 +134,30 @@ class NodeService {
   /// has no recovering state; node::Node reports kRecovering while its
   /// restart recovery is in flight.
   virtual PeerHealth HandlePing() { return PeerHealth::kUp; }
+
+  // --- Elastic membership (ownership handoff) ---
+
+  /// New-owner side: adopt `offer.pid` — durably store the image and the
+  /// transferred recovery residue, register as current owner, and notify
+  /// the inherited replacers. Defaulted so services that never participate
+  /// in handoffs (mocks, baselines) need no stub.
+  virtual Status HandleHandoffOffer(NodeId from, const HandoffOffer& offer,
+                                    HandoffOfferReply* reply) {
+    (void)from;
+    (void)offer;
+    reply->accepted = false;
+    return Status::NotSupported("handoff not supported");
+  }
+
+  /// New-owner side: crash re-entry probe — did `pid` make it into my
+  /// durable handoff ledger?
+  virtual Status HandleHandoffQuery(NodeId from, PageId pid,
+                                    HandoffQueryReply* reply) {
+    (void)from;
+    (void)pid;
+    reply->adopted = false;
+    return Status::OK();
+  }
 };
 
 /// Routes calls between nodes and accounts for them.
@@ -187,10 +211,17 @@ class Network {
   void SetNodeUp(NodeId id, bool up);
   bool IsUp(NodeId id) const;
 
-  /// All registered node ids.
+  /// Marks a node as permanently departed (elastic membership): calls to it
+  /// fail with NodeDown, probes answer kDeparted authoritatively and for
+  /// free, and it disappears from OperationalNodes — so recovery protocols
+  /// never wait on it the way they would on a merely-down peer.
+  void SetNodeDeparted(NodeId id);
+  bool IsDeparted(NodeId id) const;
+
+  /// All registered node ids (departed members excluded).
   std::vector<NodeId> AllNodes() const;
 
-  /// Registered nodes currently up, excluding `except`.
+  /// Registered nodes currently up, excluding `except` and departed peers.
   std::vector<NodeId> OperationalNodes(NodeId except = kInvalidNodeId) const;
 
   // --- Accounted RPC wrappers (one per request type) ---
@@ -216,6 +247,10 @@ class Network {
   Status NodeRecovered(NodeId from, NodeId to, NodeId who);
   Status LogLossNotice(NodeId from, NodeId to,
                        const std::vector<PageId>& pages);
+  Status HandoffOfferRpc(NodeId from, NodeId to, const HandoffOffer& offer,
+                         HandoffOfferReply* reply);
+  Status HandoffQueryRpc(NodeId from, NodeId to, PageId pid,
+                         HandoffQueryReply* reply);
 
   /// Traffic metrics ("msg.<type>", "msg.total", "bytes.total") and the
   /// "rpc.rtt_ns" round-trip histogram (one sample per RPC wrapper call,
@@ -286,6 +321,7 @@ class Network {
   struct Peer {
     NodeService* svc = nullptr;
     bool up = false;
+    bool departed = false;
   };
 
   Clock* clock_;

@@ -27,7 +27,7 @@ Status Node::CheckInvariants(bool deep) {
   // level exclusive lock (only X lets us write, demotion/release cleans or
   // drops the copy) and a DPT entry (its updates are not on disk).
   for (PageId pid : pool_.DirtyPages()) {
-    if (pid.owner == id_) continue;
+    if (OwnsPage(pid)) continue;
     if (lock_cache_.NodeMode(pid) != LockMode::kExclusive) {
       return Violation(id_, "dirty remote page " + pid.ToString() +
                                 " without a cached X lock");
@@ -82,7 +82,7 @@ Status Node::CheckInvariants(bool deep) {
   // back or a fresh read.
   if (deep) {
     for (PageId pid : pool_.CachedPages()) {
-      if (pid.owner != id_) continue;
+      if (!OwnsPage(pid)) continue;
       if (pool_.IsDirty(pid)) continue;
       if (poison_.Contains(pid)) {
         // A poisoned page's disk image is whatever media recovery could
@@ -92,7 +92,7 @@ Status Node::CheckInvariants(bool deep) {
       }
       Page* cached = pool_.Lookup(pid);
       Page on_disk;
-      Status st = disk_.ReadPage(pid.page_no, &on_disk);
+      Status st = ReadDurablePage(pid, &on_disk);
       if (!st.ok()) {
         return Violation(id_, "clean own page " + pid.ToString() +
                                   " unreadable on disk: " + st.ToString());
@@ -170,7 +170,7 @@ std::string Node::DebugString() const {
 }
 
 Result<std::string> Node::DebugPageImage(PageId pid) {
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   CLOG_RETURN_IF_ERROR(EnsureRestored(pid));
@@ -178,7 +178,7 @@ Result<std::string> Node::DebugPageImage(PageId pid) {
     return std::string(cached->data(), kPageSize);
   }
   Page tmp;
-  CLOG_RETURN_IF_ERROR(ReadOwnPage(pid.page_no, &tmp));
+  CLOG_RETURN_IF_ERROR(ReadDurablePage(pid, &tmp));
   return std::string(tmp.data(), kPageSize);
 }
 

@@ -38,14 +38,14 @@ Status Node::ReclaimLogSpace(std::uint64_t needed_bytes) {
       // pinned page (currently being updated) is skipped for this round.
       bool acted = false;
       for (PageId pid : dpt_.PagesByRedoLsn()) {
-        if (pid.owner != id_) {
+        if (!OwnsPage(pid)) {
           // Ship the current dirty copy home (without losing the cached
           // frame) and ask the owner to force it; the flush notification
           // then advances or drops our DPT entry (Section 2.5).
           Status st = ShipDirtyCopy(pid);
           if (st.IsNodeDown()) continue;  // Owner down; entry cannot move.
           CLOG_RETURN_IF_ERROR(st);
-          st = network_->FlushRequest(id_, pid.owner, pid);
+          st = network_->FlushRequest(id_, OwnerOf(pid), pid);
           if (st.IsNodeDown()) continue;
           CLOG_RETURN_IF_ERROR(st);
         } else {

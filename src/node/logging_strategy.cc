@@ -51,7 +51,7 @@ bool Node::TxnLogsLogical(const Transaction* txn, PageId pid) const {
   // writers (record-grain locking would let another transaction extend the
   // page's history past ours, breaking the redo skip rule).
   return txn->strategy == LogStrategy::kAdaptive && !txn->upgraded &&
-         pid.owner == id_ &&
+         OwnsPage(pid) &&
          options_.logging_mode == LoggingMode::kClientLocal &&
          !options_.local_record_locking;
 }
@@ -83,7 +83,7 @@ Status Node::UpgradeTxnToPhysical(Transaction* txn) {
 
 Status Node::PrepareSteal(PageId pid) {
   // Fast path: nothing on this node currently relies on a volatile stash.
-  if (live_logical_txns_ == 0 || pid.owner != id_) return Status::OK();
+  if (live_logical_txns_ == 0 || !OwnsPage(pid)) return Status::OK();
   Lsn fence = kNullLsn;
   auto raise = [&fence](Lsn lsn) {
     if (lsn == kNullLsn) return;
@@ -152,7 +152,7 @@ Status Node::ShipPendingRecords(Transaction* txn, bool force,
   for (LogRecord& rec : txn->pending_records) {
     bool covered = only_page == nullptr || rec.page == *only_page;
     if (covered) {
-      batches[rec.page.owner].push_back(std::move(rec));
+      batches[OwnerOf(rec.page)].push_back(std::move(rec));
     } else {
       keep.push_back(std::move(rec));
     }

@@ -32,18 +32,6 @@ Node::Node(NodeId id, NodeOptions options, Network* network,
       ctr_txn_commits_logical_(&metrics_.GetCounter("txn.commits_logical")),
       ctr_txn_logical_records_(&metrics_.GetCounter("txn.logical_records")),
       ctr_txn_upgrades_(&metrics_.GetCounter("txn.upgrades")) {
-  // Deprecated-alias folding (one release): group_commit / archive set the
-  // old way land in the unified policy unless the policy already set them;
-  // afterwards the aliases mirror the policy so either read is truthful.
-  if (options_.group_commit.enabled &&
-      !options_.logging_policy.group_commit.enabled) {
-    options_.logging_policy.group_commit = options_.group_commit;
-  }
-  if (options_.archive.enabled && !options_.logging_policy.archive.enabled) {
-    options_.logging_policy.archive = options_.archive;
-  }
-  options_.group_commit = options_.logging_policy.group_commit;
-  options_.archive = options_.logging_policy.archive;
   pool_.SetEvictionHandler([this](PageId pid, Page* page, bool dirty) {
     return OnEviction(pid, page, dirty);
   });
@@ -69,6 +57,10 @@ Status Node::OpenStorage() {
   // but never finished, re-probed as lost-page candidates at restart.
   CLOG_RETURN_IF_ERROR(poison_.Open(options_.dir));
   CLOG_RETURN_IF_ERROR(restore_.Open(options_.dir));
+  // Elastic membership: the durable ownership ledger (in-flight handoffs,
+  // ceded tombstones, adopted pages). File-less on nodes that never handed
+  // off a page.
+  CLOG_RETURN_IF_ERROR(handoff_.Open(options_.dir));
   if (options_.logging_policy.archive.enabled) {
     CLOG_RETURN_IF_ERROR(archive_.Open(options_.dir));
   }
@@ -89,6 +81,7 @@ Status Node::Start() {
   network_->SetNodeUp(id_, true);
   state_ = NodeState::kUp;
   recovery_redo_done_ = true;
+  RegisterHandoffState();
   return Status::OK();
 }
 
@@ -100,6 +93,9 @@ void Node::Crash() {
   for (const Transaction* t : txns_.Active()) detector_->RemoveTxn(t->id);
   txns_.Clear();
   replacers_.clear();
+  // Volatile handoff fences die with the crash; restart rebuilds them from
+  // the durable ledger's in-flight records.
+  handoff_fenced_.clear();
   last_ckpt_begin_ = kNullLsn;
   // Parked commits die with the crash: they were never ACKed, their COMMIT
   // records ride the unforced tail, and recovery decides their fate.
@@ -196,8 +192,16 @@ Result<PageId> Node::AllocatePage() {
 }
 
 Status Node::FreePage(PageId pid) {
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
+  }
+  if (pid.owner != id_) {
+    // Freeing releases the home node's space-map slot; an adopted page must
+    // travel home before it can die.
+    return Status::NotSupported("cannot free adopted page " + pid.ToString());
+  }
+  if (!handoff_fenced_.empty() && handoff_fenced_.count(pid) != 0) {
+    return Status::Busy("page handoff in progress: " + pid.ToString());
   }
   // The space map's free-time PSN seed needs the page's true final PSN, so
   // a restoring page must finish rebuilding before it can be freed.
@@ -231,11 +235,11 @@ Status Node::FreePage(PageId pid) {
 }
 
 Result<Psn> Node::DiskPsn(PageId pid) {
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   Page tmp;
-  CLOG_RETURN_IF_ERROR(ReadOwnPage(pid.page_no, &tmp));
+  CLOG_RETURN_IF_ERROR(ReadDurablePage(pid, &tmp));
   ChargeDiskRead();
   return tmp.psn();
 }
@@ -284,7 +288,7 @@ Status Node::NoteOwnerFailure(NodeId owner, Status st) {
 
 Result<Page*> Node::FetchPage(PageId pid) {
   if (Page* hit = pool_.Lookup(pid)) return hit;
-  if (pid.owner == id_) {
+  if (OwnsPage(pid)) {
     // A restoring page is rebuilt synchronously for its first toucher
     // before anything below dares read the (hole-ridden) disk version.
     // The rebuild lands the fresh image in the pool, so re-check for a
@@ -295,10 +299,11 @@ Result<Page*> Node::FetchPage(PageId pid) {
       return Status::Corruption("page unrecoverable after media failure: " +
                                 pid.ToString());
     }
-    // Own page: disk version is current (own-page evictions write in
-    // place, so the cache-miss copy on disk is the newest local version).
+    // Own page: durable version is current (own-page evictions write in
+    // place, so the cache-miss copy in the durable store is the newest
+    // local version).
     CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
-    Status st = ReadOwnPage(pid.page_no, frame);
+    Status st = ReadDurablePage(pid, frame);
     if (!st.ok()) {
       pool_.Drop(pid);
       return st;
@@ -318,11 +323,12 @@ Result<Page*> Node::FetchPage(PageId pid) {
     return Status::FailedPrecondition("fetch without a cached lock on " +
                                       pid.ToString());
   }
-  CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(pid.owner));
+  const NodeId owner = OwnerOf(pid);
+  CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(owner));
   LockPageReply reply;
-  Status fetch_st = network_->LockPage(id_, pid.owner, pid, mode,
+  Status fetch_st = network_->LockPage(id_, owner, pid, mode,
                                        /*want_page=*/true, &reply);
-  if (!fetch_st.ok()) return NoteOwnerFailure(pid.owner, fetch_st);
+  if (!fetch_st.ok()) return NoteOwnerFailure(owner, fetch_st);
   if (!reply.granted || !reply.page) {
     return Status::Busy("owner could not supply page " + pid.ToString());
   }
@@ -330,7 +336,7 @@ Result<Page*> Node::FetchPage(PageId pid) {
   frame->CopyFrom(*reply.page);
   if (trace_ != nullptr) {
     trace_->Emit(id_, TraceEventType::kPageFetch, pid.Pack(), frame->psn(),
-                 pid.owner);
+                 owner);
   }
   return frame;
 }
@@ -338,13 +344,14 @@ Result<Page*> Node::FetchPage(PageId pid) {
 Status Node::EnsureNodeLock(Transaction* txn, PageId pid, LockMode mode) {
   LockPageReply reply;
   Status st;
-  if (pid.owner == id_) {
+  if (OwnsPage(pid)) {
     st = HandleLockPage(id_, pid, mode, /*want_page=*/false, &reply);
   } else {
-    CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(pid.owner));
-    st = network_->LockPage(id_, pid.owner, pid, mode,
+    const NodeId owner = OwnerOf(pid);
+    CLOG_RETURN_IF_ERROR(CheckOwnerAvailable(owner));
+    st = network_->LockPage(id_, owner, pid, mode,
                             /*want_page=*/!pool_.Contains(pid), &reply);
-    if (st.IsNodeDown()) st = NoteOwnerFailure(pid.owner, st);
+    if (st.IsNodeDown()) st = NoteOwnerFailure(owner, st);
   }
   if (!st.ok()) return st;  // e.g. owner down or parked
   if (!reply.granted) {
@@ -368,6 +375,11 @@ Result<Page*> Node::EnsureNodePage(Transaction* txn, PageId pid,
 }
 
 Result<Page*> Node::AcquirePage(Transaction* txn, PageId pid, LockMode mode) {
+  if (!handoff_fenced_.empty() && handoff_fenced_.count(pid) != 0) {
+    // The page is mid-handoff: its shipped image must stay final until the
+    // transfer settles, so even lock-cache hits wait it out.
+    return Status::Busy("page handoff in progress: " + pid.ToString());
+  }
   for (int attempt = 0; attempt < 4; ++attempt) {
     LocalAcquire la = lock_cache_.AcquireForTxn(txn->id, pid, mode);
     switch (la.outcome) {
@@ -399,6 +411,9 @@ Result<Page*> Node::AcquireRecord(Transaction* txn, RecordId rid,
                                   LockMode mode) {
   if (!options_.local_record_locking) {
     return AcquirePage(txn, rid.page, mode);
+  }
+  if (!handoff_fenced_.empty() && handoff_fenced_.count(rid.page) != 0) {
+    return Status::Busy("page handoff in progress: " + rid.page.ToString());
   }
   for (int attempt = 0; attempt < 4; ++attempt) {
     LocalAcquire la =
@@ -727,13 +742,14 @@ Status Node::Commit(TxnId txn_id) {
         Page* page = pool_.Lookup(pid);
         if (page == nullptr || !pool_.IsDirty(pid)) continue;
         CLOG_RETURN_IF_ERROR(log_.Flush(page->page_lsn()));
-        if (pid.owner == id_) {
+        if (OwnsPage(pid)) {
           CLOG_RETURN_IF_ERROR(ForceOwnPage(pid));
         } else {
+          const NodeId owner = OwnerOf(pid);
           page->SealChecksum();
-          CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+          CLOG_RETURN_IF_ERROR(network_->PageShip(id_, owner, *page));
           dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
-          CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, pid.owner, pid));
+          CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, owner, pid));
           pool_.MarkClean(pid);
         }
       }
@@ -1148,11 +1164,10 @@ Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
       CLOG_RETURN_IF_ERROR(ForceLog(page->page_lsn()));
     }
   }
-  if (pid.owner == id_) {
+  if (OwnsPage(pid)) {
     // Own page: write in place. Synchronous, because the DPT entry is
     // dropped on the strength of this write.
-    CLOG_RETURN_IF_ERROR(disk_.WritePage(pid.page_no, page, /*sync=*/true));
-    ChargeDiskWrite();
+    CLOG_RETURN_IF_ERROR(WriteDurablePage(pid, page));
     dpt_.Remove(pid);
     Psn psn = page->psn();
     auto it = replacers_.find(pid);
@@ -1170,22 +1185,23 @@ Status Node::OnEviction(PageId pid, Page* page, bool dirty) {
   }
   // Remote page: the copy travels home to the owner (Section 2.1), and the
   // node remembers the end of its log for Section 2.5.
+  const NodeId owner = OwnerOf(pid);
   page->SealChecksum();
-  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, owner, *page));
   dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
   metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
   if (trace_ != nullptr) {
     trace_->Emit(id_, TraceEventType::kPageShip, pid.Pack(), page->psn(),
-                 pid.owner);
+                 owner);
   }
   if (options_.logging_mode == LoggingMode::kForceAtTransfer) {
-    CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, pid.owner, pid));
+    CLOG_RETURN_IF_ERROR(network_->FlushRequest(id_, owner, pid));
   }
   return Status::OK();
 }
 
 Status Node::ForceOwnPage(PageId pid) {
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   // Forcing a restoring page must first give it something honest to force;
@@ -1201,8 +1217,7 @@ Status Node::ForceOwnPage(PageId pid) {
         cached->page_lsn() >= log_.flushed_lsn()) {
       CLOG_RETURN_IF_ERROR(ForceLog(cached->page_lsn()));
     }
-    CLOG_RETURN_IF_ERROR(disk_.WritePage(pid.page_no, cached, /*sync=*/true));
-    ChargeDiskWrite();
+    CLOG_RETURN_IF_ERROR(WriteDurablePage(pid, cached));
     pool_.MarkClean(pid);
     dpt_.Remove(pid);
     flushed_psn = cached->psn();
@@ -1232,7 +1247,7 @@ Status Node::ForceOwnPage(PageId pid) {
 }
 
 Status Node::ShipDirtyCopy(PageId pid) {
-  if (pid.owner == id_) {
+  if (OwnsPage(pid)) {
     return Status::InvalidArgument("own pages are forced, not shipped");
   }
   Page* page = pool_.Lookup(pid);
@@ -1241,21 +1256,22 @@ Status Node::ShipDirtyCopy(PageId pid) {
       page->page_lsn() >= log_.flushed_lsn()) {
     CLOG_RETURN_IF_ERROR(ForceLog(page->page_lsn()));
   }
+  const NodeId owner = OwnerOf(pid);
   page->SealChecksum();
-  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, pid.owner, *page));
+  CLOG_RETURN_IF_ERROR(network_->PageShip(id_, owner, *page));
   dpt_.OnReplaced(pid, page->psn(), log_.end_lsn());
   pool_.MarkClean(pid);
   metrics_.GetCounter("pages.shipped_on_replacement").Add(1);
   if (trace_ != nullptr) {
     trace_->Emit(id_, TraceEventType::kPageShip, pid.Pack(), page->psn(),
-                 pid.owner);
+                 owner);
   }
   return Status::OK();
 }
 
 Status Node::InstallShippedCopy(const Page& page, NodeId from) {
   PageId pid = page.id();
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("shipped page not owned here: " +
                                    pid.ToString());
   }
@@ -1279,9 +1295,7 @@ Status Node::InstallShippedCopy(const Page& page, NodeId from) {
       if (newer) {
         Page tmp;
         tmp.CopyFrom(page);
-        CLOG_RETURN_IF_ERROR(
-            disk_.WritePage(pid.page_no, &tmp, /*sync=*/true));
-        ChargeDiskWrite();
+        CLOG_RETURN_IF_ERROR(WriteDurablePage(pid, &tmp));
         dpt_.OnOwnerFlushed(pid, tmp.psn());
       }
       replacers_[pid].insert(from);
@@ -1325,13 +1339,13 @@ std::vector<PageId> Node::PoisonedPages() const {
   out.reserve(poison_.entries().size());
   for (const auto& [packed, needed] : poison_.entries()) {
     PageId pid = PageId::Unpack(packed);
-    if (pid.owner == id_) out.push_back(pid);
+    if (OwnsPage(pid)) out.push_back(pid);
   }
   return out;
 }
 
 Status Node::PoisonOwnPage(PageId pid, Psn needed_psn) {
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   CLOG_RETURN_IF_ERROR(poison_.Add(pid, needed_psn));
@@ -1373,7 +1387,7 @@ std::size_t Node::SweepRestore(std::size_t max_pages) {
 Status Node::HandleLogLossNotice(NodeId from,
                                  const std::vector<PageId>& pages) {
   for (PageId pid : pages) {
-    if (pid.owner != id_) continue;
+    if (!OwnsPage(pid)) continue;
     // The sender held X on this page when its log died, so the newest
     // committed version existed only there — at the top of the page's
     // history, where no surviving log can prove a rebuild caught up.
@@ -1385,10 +1399,10 @@ Status Node::HandleLogLossNotice(NodeId from,
   // every dirty copy held here to its owner's disk now means no future
   // media rebuild will go looking for the destroyed records.
   for (PageId pid : pool_.DirtyPages()) {
-    if (pid.owner == id_) {
+    if (OwnsPage(pid)) {
       ForceOwnPage(pid).ok();
     } else if (ShipDirtyCopy(pid).ok()) {
-      network_->FlushRequest(id_, pid.owner, pid).ok();
+      network_->FlushRequest(id_, OwnerOf(pid), pid).ok();
     }
   }
   metrics_.GetCounter("media.log_loss_notices").Add(1);
@@ -1402,6 +1416,9 @@ Status Node::ArchivePass() {
   for (std::uint32_t page_no : allocated) {
     PageId pid{id_, page_no};
     if (poison_.Contains(pid)) continue;  // Nothing trustworthy to copy.
+    // Ceded pages live (and advance) at their new owner; the stale home
+    // slot must not overwrite the archive's last pre-handoff copy.
+    if (handoff_.IsCeded(pid)) continue;
     // Newest local version: the cached frame (possibly dirty — the archive
     // is fuzzy) if present, else the disk version. A dirty frame may hold
     // live logical updates; archiving it is a steal (the image could seed a
@@ -1456,7 +1473,9 @@ Status Node::CheckArchiveConsistency() {
     PageId pid{id_, page_no};
     // A poisoned page's live version is legitimately behind its archive:
     // media recovery restored a base image it could not replay forward.
-    if (poison_.Contains(pid)) continue;
+    // A ceded page's home slot is legitimately stale too — the live
+    // version advances at the new owner.
+    if (poison_.Contains(pid) || handoff_.IsCeded(pid)) continue;
     Psn current = 0;
     bool known = false;
     if (const Page* cached = pool_.Peek(pid); cached != nullptr) {

@@ -14,11 +14,13 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/membership.h"
 #include "lock/deadlock_detector.h"
 #include "lock/lock_cache.h"
 #include "lock/lock_manager.h"
 #include "net/network.h"
 #include "node/archive.h"
+#include "node/handoff_ledger.h"
 #include "node/options.h"
 #include "recovery/instant_restore.h"
 #include "storage/disk_manager.h"
@@ -93,6 +95,72 @@ class Node : public NodeService {
 
   /// Frees `pid` (must be owned by this node and not locked remotely).
   Status FreePage(PageId pid);
+
+  // ---------------------------------------------------------------------
+  // Elastic membership (node/handoff.cc; docs/PROTOCOLS.md "Membership &
+  // ownership handoff")
+  // ---------------------------------------------------------------------
+
+  /// Attaches the cluster-shared ownership directory. Must be set before
+  /// Start(); nullptr (the default) means every page is owned by its home
+  /// node and handoffs are refused.
+  void set_directory(OwnershipDirectory* directory) { directory_ = directory; }
+
+  /// Current owner of `pid`: the directory entry if the page has moved,
+  /// else its home node.
+  NodeId OwnerOf(PageId pid) const {
+    return directory_ == nullptr ? pid.owner : directory_->OwnerOf(pid);
+  }
+
+  /// True iff this node is the page's *current* owner (home pages it has
+  /// not ceded, plus pages it has adopted).
+  bool OwnsPage(PageId pid) const { return OwnerOf(pid) == id_; }
+
+  /// Phase 1: validates eligibility (owned here, no local transaction on
+  /// the page, not poisoned/restoring, target up), fences the page against
+  /// new work, and durably records the handoff intent.
+  Status HandoffPrepare(PageId pid, NodeId target);
+
+  /// Phase 2: quiet durable force — makes the local durable copy current
+  /// (steal fence + WAL + page write) *without* notifying replacers (their
+  /// un-advanced RedoLSNs travel to the target with the offer), then
+  /// durably marks the handoff shipped.
+  Status HandoffShip(PageId pid);
+
+  /// Phase 3: sends the HandoffOffer (image + PSN + history seed +
+  /// replacer set + lock residue). The target's durable adoption record is
+  /// the protocol's commit point. A refusal aborts the handoff; an
+  /// unreachable target leaves it in doubt (resolved by
+  /// ResolvePendingHandoffs).
+  Status HandoffTransfer(PageId pid);
+
+  /// Phase 4: durably writes the ceded tombstone and drops the old owner's
+  /// volatile per-page state (replacers, global-lock entries, unlocked
+  /// cache frames), lifting the fence.
+  Status HandoffComplete(PageId pid);
+
+  /// Crash re-entry: walks the ledger's in-flight records. Prepared
+  /// handoffs abort locally; shipped ones ask the target (kHandoffQuery)
+  /// whether it adopted and complete or abort accordingly. An unreachable
+  /// target leaves the page fenced in doubt — rerun later. `resolved`
+  /// (optional) counts the records settled this pass.
+  Status ResolvePendingHandoffs(std::size_t* resolved = nullptr);
+
+  /// Pages this node currently owns: home pages not ceded plus adopted
+  /// pages (drain enumeration for graceful leave).
+  std::vector<PageId> OwnedPages() const;
+
+  /// Graceful-leave epilogue, run after every owned page has been drained:
+  /// returns every cached node-level lock on other owners' pages (shipping
+  /// dirty copies home under WAL first) and asks those owners to force the
+  /// pages durable, so this node's log stops being anyone's redo source
+  /// (Section 2.5) and no owner's global lock table keeps an entry for a
+  /// node that will never answer a callback again. Refuses while local
+  /// transactions are active.
+  Status PrepareDeparture();
+
+  /// Ownership ledger introspection (tests, torture invariants).
+  const HandoffLedger& handoff() const { return handoff_; }
 
   // ---------------------------------------------------------------------
   // Transactions
@@ -205,6 +273,10 @@ class Node : public NodeService {
   void HandleNodeRecovered(NodeId who) override;
   Status HandleLogLossNotice(NodeId from,
                              const std::vector<PageId>& pages) override;
+  Status HandleHandoffOffer(NodeId from, const HandoffOffer& offer,
+                            HandoffOfferReply* reply) override;
+  Status HandleHandoffQuery(NodeId from, PageId pid,
+                            HandoffQueryReply* reply) override;
   PeerHealth HandlePing() override;
 
   // ---------------------------------------------------------------------
@@ -227,7 +299,7 @@ class Node : public NodeService {
 
   // --- Media failure (docs/RECOVERY_WALKTHROUGH.md "Media recovery") ---
 
-  /// The fuzzy page archive (open iff options().archive.enabled).
+  /// The fuzzy page archive (open iff options().logging_policy.archive.enabled).
   const PageArchive& archive() const { return archive_; }
 
   /// Owned pages whose committed state is unrecoverable; they refuse
@@ -344,6 +416,24 @@ class Node : public NodeService {
   /// fault (injected or a real device hiccup) is not fail-stop material the
   /// way a lying write is, so every critical read path absorbs one.
   Status ReadOwnPage(std::uint32_t page_no, Page* out);
+
+  /// Durable-store read seam for a page this node currently owns: home
+  /// pages come from the database file, adopted pages from the handoff
+  /// ledger's adopted store.
+  Status ReadDurablePage(PageId pid, Page* out);
+
+  /// Durable-store write seam (counterpart of ReadDurablePage). Charges a
+  /// disk write either way.
+  Status WriteDurablePage(PageId pid, Page* page);
+
+  /// PSN the durable history of owned page `pid` was seeded at: the space
+  /// map for home pages, the adoption record for adopted ones.
+  Psn DurableSeedPsn(PageId pid) const;
+
+  /// Rebuilds volatile handoff state from the ledger after (re)start:
+  /// fences for in-flight records, directory registration for settled
+  /// adoptions.
+  void RegisterHandoffState();
 
   /// Owner-side: newest version of own page `pid` (cache, else disk).
   Result<Page*> OwnLatestPage(PageId pid);
@@ -464,8 +554,16 @@ class Node : public NodeService {
   DiskManager disk_;
   SpaceMap space_map_;
   LogManager log_;
+  /// Elastic membership (node/handoff.cc): durable ownership ledger plus
+  /// the cluster-shared routing directory (not owned; nullptr in
+  /// single-node unit setups). `handoff_fenced_` holds pages with an
+  /// in-flight outbound handoff: new lock grants and local acquisitions
+  /// answer Busy until the handoff completes, aborts, or resolves.
+  HandoffLedger handoff_;
+  OwnershipDirectory* directory_ = nullptr;
+  std::set<PageId> handoff_fenced_;
   /// Media-recovery side state (node/archive.h). The archive is open only
-  /// when options_.archive.enabled; the poison ledger is always loaded but
+  /// when options_.logging_policy.archive.enabled; the poison ledger is always loaded but
   /// keeps no file while empty, so both cost nothing on healthy nodes.
   PageArchive archive_;
   PoisonLedger poison_;

@@ -94,9 +94,7 @@ std::string_view LogStrategyName(LogStrategy s);
 
 /// The unified logging policy: strategy selection, commit-force coalescing,
 /// archive cadence, and recovery parallelism in one value type, replacing
-/// the scattered per-feature option structs. The old NodeOptions fields
-/// (`group_commit`, `archive`) remain as deprecated aliases for one release
-/// and are folded into this policy when the node starts.
+/// the scattered per-feature option structs.
 ///
 /// Named setters chain, so call sites read as one declaration:
 ///
@@ -182,15 +180,8 @@ struct NodeOptions {
   /// into this node's DiskManager and LogManager on open. nullptr = off.
   FaultInjector* fault_injector = nullptr;
   /// The unified logging policy (strategy, group commit, archive cadence,
-  /// redo parallelism). The two deprecated aliases below fold into it when
-  /// the node is constructed; new code should set only this.
+  /// redo parallelism).
   LoggingPolicy logging_policy;
-  /// DEPRECATED alias (one release): use logging_policy.group_commit.
-  /// Honored only if logging_policy.group_commit was left disabled.
-  GroupCommitPolicy group_commit;
-  /// DEPRECATED alias (one release): use logging_policy.archive.
-  /// Honored only if logging_policy.archive was left disabled.
-  ArchiveOptions archive;
   /// On-demand media recovery: serve traffic while lost pages rebuild at
   /// first touch. Disabled by default (eager rebuild, as before).
   InstantRestoreOptions instant_restore;

@@ -17,11 +17,17 @@ Status Node::HandleLockPage(NodeId from, PageId pid, LockMode mode,
                             bool want_page, LockPageReply* reply) {
   *reply = LockPageReply();
   if (state_ == NodeState::kDown) return Status::NodeDown("owner not up");
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
-  if (!space_map_.IsAllocated(pid.page_no)) {
+  if (pid.owner == id_ ? !space_map_.IsAllocated(pid.page_no)
+                       : !handoff_.IsAdopted(pid)) {
     return Status::NotFound("page not allocated: " + pid.ToString());
+  }
+  if (!handoff_fenced_.empty() && handoff_fenced_.count(pid) != 0) {
+    // The page is mid-handoff: its recovery state is being transferred, so
+    // no new lock may be minted against the old owner's table.
+    return Status::Busy("page handoff in progress: " + pid.ToString());
   }
   // Instant restore: a requester's touch of a still-restoring page rebuilds
   // it now, before the poison check — the rebuild itself may prove the page
@@ -198,7 +204,7 @@ Result<Page*> Node::OwnLatestPage(PageId pid) {
                               pid.ToString());
   }
   CLOG_ASSIGN_OR_RETURN(Page * frame, pool_.Insert(pid));
-  Status st = ReadOwnPage(pid.page_no, frame);
+  Status st = ReadDurablePage(pid, frame);
   if (!st.ok()) {
     pool_.Drop(pid);
     return st;
@@ -258,12 +264,19 @@ Status Node::HandleUnlockNotice(NodeId from, PageId pid) {
 Status Node::HandlePageShip(NodeId from, const Page& page) {
   if (state_ == NodeState::kDown) return Status::NodeDown("owner down");
   CLOG_RETURN_IF_ERROR(page.VerifyChecksum());
-  return InstallShippedCopy(page, from);
+  CLOG_RETURN_IF_ERROR(InstallShippedCopy(page, from));
+  const PageId pid = page.id();
+  if (!handoff_fenced_.empty() && handoff_fenced_.count(pid) != 0) {
+    // Mid-handoff the shipped (kShipped) durable image must stay the
+    // latest version: re-force so the offer built from it misses nothing.
+    CLOG_RETURN_IF_ERROR(ForceOwnPage(pid));
+  }
+  return Status::OK();
 }
 
 Status Node::HandleFlushRequest(NodeId from, PageId pid) {
   if (state_ != NodeState::kUp) return Status::NodeDown("owner not up");
-  if (pid.owner != id_) {
+  if (!OwnsPage(pid)) {
     return Status::InvalidArgument("not the owner of " + pid.ToString());
   }
   replacers_[pid].insert(from);
@@ -317,20 +330,30 @@ Status Node::HandleRecoveryQuery(NodeId crashed, RecoveryQueryReply* reply) {
   // all updates made before the crash and supersede log-based recovery
   // (Section 2.3.1).
   for (PageId pid : pool_.CachedPages()) {
-    if (pid.owner == crashed) reply->cached_pages_of_crashed.push_back(pid);
+    if (OwnerOf(pid) == crashed) reply->cached_pages_of_crashed.push_back(pid);
   }
   std::sort(reply->cached_pages_of_crashed.begin(),
             reply->cached_pages_of_crashed.end());
 
-  // (b) Our DPT entries for its pages (Section 2.3.1).
-  reply->dpt_entries_for_crashed = dpt_.ToEntries(crashed);
+  // (b) Our DPT entries for its pages (Section 2.3.1). Ownership routes
+  // through the directory: an adopted page's recovery state belongs to its
+  // current owner, not the home baked into the PageId.
+  for (const DptEntry& e : dpt_.ToEntries()) {
+    if (OwnerOf(e.pid) == crashed) {
+      reply->dpt_entries_for_crashed.push_back(e);
+    }
+  }
   std::sort(reply->dpt_entries_for_crashed.begin(),
             reply->dpt_entries_for_crashed.end(),
             [](const DptEntry& a, const DptEntry& b) { return a.pid < b.pid; });
 
   // (c) Lock reconstruction (Section 2.3.3): locks we acquired from the
   // crashed node rebuild its global table ...
-  reply->locks_i_hold_on_crashed = lock_cache_.NodeLocks(crashed);
+  for (const LockListEntry& l : lock_cache_.NodeLocks()) {
+    if (OwnerOf(l.pid) == crashed) {
+      reply->locks_i_hold_on_crashed.push_back(l);
+    }
+  }
 
   // ... its shared locks here are released, its exclusive locks retained
   // (they fence off pages that are not yet recovered) and reported so it
@@ -345,7 +368,7 @@ Status Node::HandleRecoveryQuery(NodeId crashed, RecoveryQueryReply* reply) {
   for (const auto& [packed, needed] : poison_.entries()) {
     (void)needed;
     const PageId pid = PageId::Unpack(packed);
-    if (pid.owner == crashed) {
+    if (OwnerOf(pid) == crashed) {
       reply->log_loss_pages_of_crashed.push_back(pid);
     }
   }
@@ -583,11 +606,11 @@ Status Node::HandleDptShip(NodeId from, const std::vector<DptEntry>& entries,
                            const std::vector<PageId>& cached_pages) {
   if (state_ == NodeState::kDown) return Status::NodeDown("owner down");
   for (const DptEntry& e : entries) {
-    if (e.pid.owner != id_) continue;
+    if (!OwnsPage(e.pid)) continue;
     foreign_dpt_entries_[e.pid].emplace_back(from, e);
   }
   for (PageId pid : cached_pages) {
-    if (pid.owner != id_) continue;
+    if (!OwnsPage(pid)) continue;
     foreign_cached_[pid].insert(from);
   }
   return Status::OK();

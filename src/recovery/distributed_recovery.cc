@@ -36,6 +36,10 @@ Status RestartRecovery::OpenAndAnalyze() {
   }
   const std::uint64_t t0 = node_->network_->clock()->NowNanos();
   CLOG_RETURN_IF_ERROR(node_->OpenStorage());
+  // Elastic membership: re-fence pages the crash left mid-handoff and
+  // publish surviving adoptions into the shared directory before any peer
+  // RPC (or recovery phase) can route by ownership.
+  node_->RegisterHandoffState();
   if (node_->options_.has_local_log) {
     // Media check before analysis: forced log bytes never shrink, so a log
     // shorter than the durable extent mark written at the last checkpoint
@@ -94,7 +98,7 @@ Status RestartRecovery::ReconstructLocks() {
   // have our retained X (reported above) or their current version lives at
   // an operational node and needs no fence from us.
   for (const auto& [pid, info] : node_->dpt_.entries()) {
-    if (pid.owner != node_->id_) continue;
+    if (!node_->OwnsPage(pid)) continue;
     if (node_->global_locks_.HoldersOf(pid).empty()) {
       node_->global_locks_.Install(pid, node_->id_, LockMode::kExclusive);
       node_->lock_cache_.Install(pid, LockMode::kExclusive);
@@ -206,7 +210,10 @@ Status RestartRecovery::RecoverOwnPages() {
   // shipments (Section 2.3.1: the basic ARIES DPT alone is not enough
   // because remote-only updates leave no local log records).
   std::map<PageId, std::map<NodeId, DptEntry>> contributors;
-  for (const DptEntry& e : node_->dpt_.ToEntries(me)) {
+  // Ownership routes through the directory: adopted pages are ours to
+  // coordinate, home pages ceded away are not.
+  for (const DptEntry& e : node_->dpt_.ToEntries()) {
+    if (!node_->OwnsPage(e.pid)) continue;
     contributors[e.pid][me] = e;
   }
   for (const auto& [peer, reply] : peer_replies_) {
@@ -250,8 +257,12 @@ Status RestartRecovery::RecoverOwnPages() {
       CLOG_ASSIGN_OR_RETURN(std::uint32_t have, node_->disk_.NumPages());
       if (have < horizon) {
         for (std::uint32_t p : allocated) {
-          media_probe.insert(PageId{me, p});
-          if (contributors.try_emplace(PageId{me, p}).second) {
+          const PageId probe{me, p};
+          // Ceded pages live (durably) at their new owner; the recreated
+          // data device owes them nothing.
+          if (node_->handoff_.IsCeded(probe)) continue;
+          media_probe.insert(probe);
+          if (contributors.try_emplace(probe).second) {
             ++stats_.media_candidates;
           }
         }
@@ -349,7 +360,7 @@ Status RestartRecovery::RecoverOwnPages() {
     }
 
     auto base = std::make_unique<Page>();
-    Status rd = node_->disk_.ReadPage(pid.page_no, base.get());
+    Status rd = node_->ReadDurablePage(pid, base.get());
     node_->ChargeDiskRead();
 
     WorkItem item;
@@ -391,8 +402,7 @@ Status RestartRecovery::RecoverOwnPages() {
       bool from_archive = false;
       if (node_->archive_.is_open()) {
         Status ar = node_->archive_.Restore(pid.page_no, base.get());
-        if (ar.ok() &&
-            base->psn() >= node_->space_map_.PsnSeed(pid.page_no)) {
+        if (ar.ok() && base->psn() >= node_->DurableSeedPsn(pid)) {
           // (An image older than the seed is from a prior life of a freed
           // and reallocated slot — useless for this incarnation.)
           from_archive = true;
@@ -401,8 +411,7 @@ Status RestartRecovery::RecoverOwnPages() {
         }
       }
       if (!from_archive) {
-        base->Format(pid, PageType::kData,
-                     node_->space_map_.PsnSeed(pid.page_no));
+        base->Format(pid, PageType::kData, node_->DurableSeedPsn(pid));
         SlottedPage(base.get()).InitBody();
         node_->metrics_.GetCounter("recovery.pages_rebuilt_from_seed").Add(1);
       }
@@ -576,8 +585,16 @@ Status RestartRecovery::RecoverOwnPagesAfterLogLoss(
   // a live lock, and any newer update would have called that lock back).
   // Fetch those, flush them durable, and poison everything else.
   std::uint64_t restored = 0;
+  std::vector<PageId> sweep;
   for (std::uint32_t page_no : node_->space_map_.AllocatedPages()) {
     const PageId pid{me, page_no};
+    if (node_->handoff_.IsCeded(pid)) continue;  // Lives at its new owner.
+    sweep.push_back(pid);
+  }
+  // Adopted pages are ours too: their newest history could be in the lost
+  // log just like a home page's.
+  for (PageId pid : node_->handoff_.AdoptedPages()) sweep.push_back(pid);
+  for (PageId pid : sweep) {
     bool fetched = false;
     auto cit = cached_at.find(pid);
     if (cit != cached_at.end()) {
@@ -624,7 +641,7 @@ Status RestartRecovery::RecoverRemotePages() {
   // by this node at crash time — their newest version died with our cache.
   for (const DptEntry& e : node_->dpt_.ToEntries()) {
     PageId pid = e.pid;
-    if (pid.owner == me) continue;
+    if (node_->OwnsPage(pid)) continue;
     if (node_->lock_cache_.NodeMode(pid) != LockMode::kExclusive) {
       continue;  // Current version lives elsewhere; nothing of ours is lost.
     }
@@ -632,7 +649,7 @@ Status RestartRecovery::RecoverRemotePages() {
     // crashed too, it coordinates this page itself (Section 2.4) using the
     // DPT entries and log scans it collects from us.
     LockPageReply reply;
-    Status st = node_->network_->LockPage(me, pid.owner, pid,
+    Status st = node_->network_->LockPage(me, node_->OwnerOf(pid), pid,
                                           LockMode::kExclusive,
                                           /*want_page=*/true, &reply);
     if (st.IsNodeDown()) continue;
@@ -704,7 +721,7 @@ Status RestartRecovery::ExchangePeerState() {
   for (const auto& [peer, reply] : peer_replies_) {
     (void)peer;
     for (PageId pid : reply.log_loss_pages_of_crashed) {
-      if (pid.owner != node_->id_) continue;
+      if (!node_->OwnsPage(pid)) continue;
       CLOG_RETURN_IF_ERROR(node_->PoisonOwnPage(pid, kPsnUnrecoverable));
       ++stats_.pages_poisoned;
     }
@@ -717,7 +734,7 @@ Status RestartRecovery::ExchangePeerState() {
   for (const auto& [packed, needed] : node_->poison_.entries()) {
     (void)needed;
     const PageId pid = PageId::Unpack(packed);
-    if (pid.owner != node_->id_) owed[pid.owner].push_back(pid);
+    if (!node_->OwnsPage(pid)) owed[node_->OwnerOf(pid)].push_back(pid);
   }
   for (const auto& [owner, pages] : owed) {
     if (node_->network_->LogLossNotice(node_->id_, owner, pages).ok()) {
@@ -749,7 +766,7 @@ Status RestartRecovery::HandleLogLoss() {
     std::vector<PageId> pages;
     if (node_->options_.logging_mode != LoggingMode::kShipToOwner) {
       for (const LockListEntry& l : reply.x_locks_crashed_held_here) {
-        if (l.pid.owner == peer) pages.push_back(l.pid);
+        if (node_->OwnerOf(l.pid) == peer) pages.push_back(l.pid);
       }
       std::sort(pages.begin(), pages.end());
       pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
@@ -841,6 +858,10 @@ Status RestartRecovery::UndoLosersAndFinish() {
   }
 
   node_->state_ = NodeState::kUp;
+  // Elastic membership: settle handoffs the crash interrupted — prepared
+  // records abort locally, shipped ones ask the target whether its durable
+  // adoption landed. In-doubt records (target unreachable) stay fenced.
+  CLOG_RETURN_IF_ERROR(node_->ResolvePendingHandoffs());
   if (node_->restore_.active()) {
     // Open-for-business with rebuilds pending: the next successful commit
     // closes the restore.first_commit_ns measurement.

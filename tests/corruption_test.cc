@@ -180,8 +180,7 @@ class ArchiveCorruptionTest : public ::testing::Test {
   ArchiveCorruptionTest() {
     ClusterOptions opts;
     opts.dir = dir_.path();
-    opts.node_defaults.archive.enabled = true;
-    opts.node_defaults.archive.every_checkpoints = 1;
+    opts.node_defaults.logging_policy.WithArchiveEvery(1);
     cluster_ = std::make_unique<Cluster>(opts);
     node_ = *cluster_->AddNode();
   }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "fault/fault_injector.h"
 #include "tests/test_util.h"
 
 namespace clog {
@@ -10,10 +11,15 @@ using testing::TempDir;
 
 class LogSpaceTest : public ::testing::Test {
  protected:
-  void Build(std::uint64_t capacity_bytes) {
+  void Build(std::uint64_t capacity_bytes, bool with_faults = false) {
     ClusterOptions opts;
     opts.dir = dir_.path();
     opts.node_defaults.buffer_frames = 64;
+    if (with_faults) {
+      injector_ = std::make_unique<FaultInjector>(/*seed=*/7);
+      injector_->set_enabled(true);
+      opts.fault_injector = injector_.get();
+    }
     cluster_ = std::make_unique<Cluster>(opts);
     owner_ = *cluster_->AddNode();
     NodeOptions bounded = opts.node_defaults;
@@ -22,6 +28,7 @@ class LogSpaceTest : public ::testing::Test {
   }
 
   TempDir dir_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Cluster> cluster_;
   Node* owner_ = nullptr;
   Node* client_ = nullptr;
@@ -113,6 +120,121 @@ TEST_F(LogSpaceTest, UnboundedLogNeverFills) {
     ASSERT_OK(client_->Update(txn, rid, std::string(400, 'u')));
   }
   ASSERT_OK(client_->Commit(txn));
+}
+
+TEST_F(LogSpaceTest, OwnerDownPinsTheEntryThenReclaimResumesOnRestart) {
+  // Section 2.5 with the owner crashed: the min-RedoLSN victim is a remote
+  // page whose owner cannot force it, so the reclaimer must skip it
+  // (NodeDown is not an error) and the bounded log honestly fills. Once
+  // the owner restarts, the very same workload reclaims again.
+  Build(/*capacity_bytes=*/32 * 1024);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId seed, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(seed, pid, std::string(64, 's')));
+  ASSERT_OK(client_->Commit(seed));
+
+  ASSERT_OK(cluster_->CrashNode(owner_->id()));
+  Status st;
+  int committed = 0;
+  for (int round = 0; round < 300; ++round) {
+    Result<TxnId> txn = client_->Begin();
+    ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+    st = client_->Update(*txn, rid, std::string(400, 'd'));
+    if (st.ok()) st = client_->Commit(*txn);
+    if (!st.ok()) {
+      ASSERT_OK(client_->Abort(*txn));
+      break;
+    }
+    ++committed;
+  }
+  // The entry is pinned (owner down), so the log must eventually report
+  // full rather than silently dropping the page's redo coverage.
+  EXPECT_TRUE(st.IsLogFull()) << st.ToString();
+  EXPECT_GT(committed, 0);
+  EXPECT_TRUE(client_->dpt().Contains(pid));
+
+  ASSERT_OK(cluster_->RestartNode(owner_->id()));
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK(client_->Update(txn, rid, std::string(400, 'u')));
+    ASSERT_OK(client_->Commit(txn));
+  }
+  EXPECT_LE(client_->log().LiveBytes(), 32 * 1024u);
+  ASSERT_OK_AND_ASSIGN(TxnId check, client_->Begin());
+  ASSERT_OK(client_->Read(check, rid).status());
+  ASSERT_OK(client_->Commit(check));
+}
+
+TEST_F(LogSpaceTest, PartitionedOwnerStallsReclaimUntilTheLinkHeals) {
+  // Fault-injected variant: the owner is up but unreachable, so the ship
+  // and FlushRequest legs of the Section 2.5 eviction fail like a crash.
+  // Reclaim must tolerate the partition (no spurious errors surfaced to
+  // the workload until the log is genuinely full) and resume after heal.
+  Build(/*capacity_bytes=*/32 * 1024, /*with_faults=*/true);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId seed, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(seed, pid, std::string(64, 's')));
+  ASSERT_OK(client_->Commit(seed));
+
+  injector_->BlockLink(owner_->id(), client_->id());
+  Status st;
+  for (int round = 0; round < 300; ++round) {
+    Result<TxnId> txn = client_->Begin();
+    ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+    st = client_->Update(*txn, rid, std::string(400, 'p'));
+    if (st.ok()) st = client_->Commit(*txn);
+    if (!st.ok()) {
+      ASSERT_OK(client_->Abort(*txn));
+      break;
+    }
+  }
+  EXPECT_TRUE(st.IsLogFull()) << st.ToString();
+  EXPECT_TRUE(client_->dpt().Contains(pid));
+
+  injector_->HealAllLinks();
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK(client_->Update(txn, rid, std::string(400, 'h')));
+    ASSERT_OK(client_->Commit(txn));
+  }
+  EXPECT_LE(client_->log().LiveBytes(), 32 * 1024u);
+  EXPECT_GT(client_->metrics().CounterValue("logspace.victim_forces"), 0u);
+}
+
+TEST_F(LogSpaceTest, FlushNotifyAdvancesTheReplacersRedoLsn) {
+  // The Section 2.5 notification path in isolation: after a victim force,
+  // the owner's FlushNotify must advance (or drop) the replacer's DPT
+  // entry — with notifications ablated, the entry is pinned forever and
+  // the log fills even though the owner forced the page.
+  Build(/*capacity_bytes=*/32 * 1024);
+  ASSERT_OK_AND_ASSIGN(PageId pid, owner_->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(TxnId seed, client_->Begin());
+  ASSERT_OK_AND_ASSIGN(RecordId rid,
+                       client_->Insert(seed, pid, std::string(64, 's')));
+  ASSERT_OK(client_->Commit(seed));
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, client_->Begin());
+    ASSERT_OK(client_->Update(txn, rid, std::string(400, 'n')));
+    ASSERT_OK(client_->Commit(txn));
+  }
+  ASSERT_TRUE(client_->dpt().Contains(pid));
+  Lsn before = client_->dpt().MinRedoLsn();
+
+  // Force the client to run the Section 2.5 victim path directly: the
+  // request cannot be satisfied from the current live tail, so the
+  // min-RedoLSN victim is shipped home and force-requested.
+  ASSERT_OK(client_->ReclaimLogSpace(/*needed_bytes=*/30 * 1024));
+  // The owner forced the page and notified; the client's entry is gone (or
+  // strictly advanced if re-dirtied, which this workload does not do).
+  EXPECT_FALSE(client_->dpt().Contains(pid));
+  EXPECT_GT(cluster_->network().metrics().CounterValue("msg.flush_notify"),
+            0u);
+  (void)before;
+  ASSERT_OK_AND_ASSIGN(TxnId check, client_->Begin());
+  ASSERT_OK(client_->Read(check, rid).status());
+  ASSERT_OK(client_->Commit(check));
 }
 
 }  // namespace

@@ -217,6 +217,53 @@ TEST_P(AdaptiveShardTest, ThirtyTwoSeeds) {
 
 INSTANTIATE_TEST_SUITE_P(Torture, AdaptiveShardTest, ::testing::Range(0, 2));
 
+/// Elastic-membership corpus at 16 nodes: a seeded fraction of every
+/// schedule's steps runs a membership operation — four-phase page handoff,
+/// JoinNode, graceful LeaveNode — on top of the normal fault mix, and
+/// three invariants ride on the usual four (exactly one durable owner per
+/// page, no committed update lost across a transfer, no visible-PSN
+/// regression at the new owner). Shard 1 arms every handoff to crash one
+/// endpoint (source or target, seeded) at a seeded phase boundary, so the
+/// durable handoff ledgers must re-enter on every single transfer. Two
+/// 32-seed shards under the `elastic` ctest label.
+constexpr std::uint64_t kElasticCorpusBase = 49000;
+constexpr int kElasticSeedsPerShard = 32;
+
+class ElasticShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElasticShardTest, ThirtyTwoSeeds) {
+  const int shard = GetParam();
+  std::uint64_t total_handoffs = 0;
+  std::uint64_t total_handoff_crashes = 0;
+  std::uint64_t total_membership = 0;
+  for (int i = 0; i < kElasticSeedsPerShard; ++i) {
+    TortureOptions opts;
+    opts.seed = kElasticCorpusBase + static_cast<std::uint64_t>(shard) *
+        kElasticSeedsPerShard + i;
+    opts.elastic = true;
+    opts.num_nodes = 16;
+    opts.crash_during_handoff = shard == 1;
+    opts.keep_events = false;
+    TortureReport report = RunTortureSchedule(opts);
+    ASSERT_TRUE(report.ok)
+        << report.Summary() << "\nreplay: tools/torture --seed=" << report.seed
+        << " --elastic --nodes=16"
+        << (shard == 1 ? " --crash-during-handoff" : "") << " --verbose";
+    total_handoffs += report.handoffs;
+    total_handoff_crashes += report.handoff_crashes;
+    total_membership += report.joins + report.leaves;
+  }
+  // The mode is not allowed to degenerate: across a whole shard, pages
+  // must actually have changed owners and membership must actually have
+  // churned; the crash shard must actually have killed endpoints at
+  // handoff phase boundaries.
+  EXPECT_GT(total_handoffs, 0u);
+  EXPECT_GT(total_membership, 0u);
+  if (shard == 1) EXPECT_GT(total_handoff_crashes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Torture, ElasticShardTest, ::testing::Range(0, 2));
+
 TEST(TortureSmoke, AFewSeedsPass) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
     TortureOptions opts;
@@ -294,6 +341,25 @@ TEST(TortureSmoke, HammerRestoreSeedsPassAndReplayIdentically) {
     ASSERT_TRUE(a.ok) << a.Summary()
                       << "\nreplay: tools/torture --seed=" << a.seed
                       << " --hammer-restore --verbose";
+    EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+    EXPECT_EQ(a.Summary(), b.Summary());
+  }
+}
+
+TEST(TortureSmoke, ElasticSeedsPassAndReplayIdentically) {
+  // A couple of elastic-membership schedules ride in tier1 (at the default
+  // three nodes, so they stay cheap) so handoff, join, and leave paths are
+  // torture-covered in every build, and the replay contract holds with
+  // membership churn on.
+  for (std::uint64_t seed : {49000ull, 49002ull}) {
+    TortureOptions opts;
+    opts.seed = seed;
+    opts.elastic = true;
+    TortureReport a = RunTortureSchedule(opts);
+    TortureReport b = RunTortureSchedule(opts);
+    ASSERT_TRUE(a.ok) << a.Summary()
+                      << "\nreplay: tools/torture --seed=" << a.seed
+                      << " --elastic --verbose";
     EXPECT_EQ(a.schedule_hash, b.schedule_hash);
     EXPECT_EQ(a.Summary(), b.Summary());
   }

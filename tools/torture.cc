@@ -29,7 +29,8 @@ void Usage(const char* prog) {
                "usage: %s --seed=N [--count=K] [--steps=S] [--nodes=N]\n"
                "          [--pages=P] [--records=R] [--crash-during-recovery]\n"
                "          [--group-commit] [--adaptive] [--media-failure]\n"
-               "          [--hammer-restore] [--verbose]\n"
+               "          [--hammer-restore] [--elastic]\n"
+               "          [--crash-during-handoff] [--verbose]\n"
                "\n"
                "Replays the deterministic fault/crash schedule for each seed\n"
                "and checks the four torture invariants. --verbose prints the\n"
@@ -52,7 +53,15 @@ void Usage(const char* prog) {
                "traffic, the harness sweeps one page per node per step, and\n"
                "two more invariants hold — a restoring page never serves\n"
                "stale data, and restore completion survives crashes without\n"
-               "PSN regression.\n",
+               "PSN regression.\n"
+               "--elastic mixes membership churn into the schedule: page\n"
+               "handoffs between nodes via the four-phase crash-restartable\n"
+               "protocol, node joins, and graceful leaves, with three extra\n"
+               "invariants (exactly one durable owner per page, no committed\n"
+               "update lost across a transfer, no durable PSN regression at\n"
+               "the new owner). --crash-during-handoff forces every handoff\n"
+               "to kill one endpoint at a seeded phase boundary, so the\n"
+               "durable ledgers re-enter on every transfer.\n",
                prog);
 }
 
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
   bool adaptive = false;
   bool media_failure = false;
   bool hammer_restore = false;
+  bool elastic = false;
+  bool crash_during_handoff = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -97,6 +108,10 @@ int main(int argc, char** argv) {
       media_failure = true;
     } else if (std::strcmp(arg, "--hammer-restore") == 0) {
       hammer_restore = true;
+    } else if (std::strcmp(arg, "--elastic") == 0) {
+      elastic = true;
+    } else if (std::strcmp(arg, "--crash-during-handoff") == 0) {
+      crash_during_handoff = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -121,6 +136,8 @@ int main(int argc, char** argv) {
     opts.adaptive = adaptive;
     opts.media_failure = media_failure;
     opts.hammer_restore = hammer_restore;
+    opts.elastic = elastic;
+    opts.crash_during_handoff = crash_during_handoff;
     clog::TortureReport report = clog::RunTortureSchedule(opts);
     if (verbose) {
       for (const std::string& e : report.events) {
